@@ -1,0 +1,502 @@
+package sciborq
+
+// The benchmark harness: one benchmark per paper artifact (Figure 4,
+// Figure 7) and per experiment E1–E8, plus the ablations called out in
+// DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks measure the cost of regenerating each artifact; the
+// artifact *content* checks live in internal/experiments tests and in
+// EXPERIMENTS.md.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"sciborq/internal/engine"
+	"sciborq/internal/experiments"
+	"sciborq/internal/expr"
+	"sciborq/internal/impression"
+	"sciborq/internal/kde"
+	"sciborq/internal/recycler"
+	"sciborq/internal/reservoir"
+	"sciborq/internal/skyserver"
+	"sciborq/internal/sqlparse"
+	"sciborq/internal/stats"
+	"sciborq/internal/workload"
+	"sciborq/internal/xrand"
+)
+
+// BenchmarkFigure4 regenerates the Figure-4 pipeline: 400 logged
+// queries, Figure-5 histograms, and all four density curves per
+// attribute.
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure4(400, 30, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7 regenerates Figure 7 at reduced scale (the paper's
+// 600k-row version runs via cmd/figures; the benchmark tracks the cost
+// shape at 60k).
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure7(60_000, 2_000, 30, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE1LayerError measures the error-vs-size sweep.
+func BenchmarkE1LayerError(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E1LayerError(40_000, []int{1000, 4000, 16_000}, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2TimeBounds measures the latency-promise experiment.
+func BenchmarkE2TimeBounds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E2TimeBounds(30_000, []int{1000, 10_000}, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3BiasedVsUniform measures the central biased-vs-uniform
+// comparison.
+func BenchmarkE3BiasedVsUniform(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E3BiasedVsUniform(60_000, 3_000, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4Adaptation measures the workload-shift experiment.
+func BenchmarkE4Adaptation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E4Adaptation(20, 2000, 1000, 10, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5Escalation measures the quality-bound escalation sweep.
+func BenchmarkE5Escalation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.E5Escalation(40_000, []int{8000, 2000, 400},
+			[]float64{0.1, 0.01, 1e-9}, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6LastSeen measures the recency-bias profile run.
+func BenchmarkE6LastSeen(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E6LastSeen(200_000, 10_000, 1000, []float64{0.5, 1}, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7KDECost measures the f̂-vs-f̆ cost sweep.
+func BenchmarkE7KDECost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E7KDECost([]int{100, 1000, 10_000}, 30, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8Fisher measures the Fisher NCH validation run.
+func BenchmarkE8Fisher(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E8Fisher(60, 140, 40, 200, []float64{1, 5}, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Microbenchmarks of the core algorithms -------------------------
+
+// BenchmarkReservoirR measures Algorithm R offers (Figure 2).
+func BenchmarkReservoirR(b *testing.B) {
+	r, err := reservoir.NewR[int32](10_000, xrand.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Offer(int32(i))
+	}
+}
+
+// BenchmarkReservoirX measures Vitter's skip-based Algorithm X.
+func BenchmarkReservoirX(b *testing.B) {
+	x, err := reservoir.NewX[int32](10_000, xrand.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Offer(int32(i))
+	}
+}
+
+// BenchmarkReservoirBiased measures Figure-6 offers including the f̆
+// weight evaluation.
+func BenchmarkReservoirBiased(b *testing.B) {
+	hist := stats.MustNewHistogram(0, 100, 30)
+	rng := xrand.New(2)
+	for i := 0; i < 400; i++ {
+		hist.Observe(25 + rng.NormFloat64()*5)
+	}
+	kd, err := kde.NewBinned(hist, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := make([]float64, 1<<16)
+	for i := range vals {
+		vals[i] = rng.Float64() * 100
+	}
+	weight := func(i int32) float64 {
+		return kd.Eval(vals[int(i)&(1<<16-1)]) * float64(hist.N)
+	}
+	sampler, err := reservoir.NewBiased[int32](10_000, weight, false, xrand.New(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sampler.Offer(int32(i))
+	}
+}
+
+// BenchmarkBinnedKDE measures one f̆ evaluation (β=30).
+func BenchmarkBinnedKDE(b *testing.B) {
+	hist := stats.MustNewHistogram(0, 100, 30)
+	rng := xrand.New(4)
+	for i := 0; i < 10_000; i++ {
+		hist.Observe(40 + rng.NormFloat64()*10)
+	}
+	kd, err := kde.NewBinned(hist, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	sink := 0.0
+	for i := 0; i < b.N; i++ {
+		sink += kd.Eval(float64(i % 100))
+	}
+	_ = sink
+}
+
+// BenchmarkFullKDE measures one f̂ evaluation over N=10000 raw values —
+// the cost f̆ avoids.
+func BenchmarkFullKDE(b *testing.B) {
+	rng := xrand.New(5)
+	xs := make([]float64, 10_000)
+	for i := range xs {
+		xs[i] = 40 + rng.NormFloat64()*10
+	}
+	f, err := kde.NewFull(xs, 3, kde.Gaussian{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	sink := 0.0
+	for i := 0; i < b.N; i++ {
+		sink += f.Eval(float64(i % 100))
+	}
+	_ = sink
+}
+
+// BenchmarkSQLParse measures parsing of a bounded paper-style query.
+func BenchmarkSQLParse(b *testing.B) {
+	const q = "SELECT COUNT(*), AVG(r) AS m FROM PhotoObjAll WHERE type = 'GALAXY' AND fGetNearbyObjEq(185, 0, 3) WITHIN ERROR 0.05 CONFIDENCE 0.99"
+	for i := 0; i < b.N; i++ {
+		if _, err := sqlparse.Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchDB builds a loaded DB once per benchmark binary.
+func benchDB(b *testing.B, rows int) *DB {
+	b.Helper()
+	db := Open(WithCostModel(engine.CostModel{NsPerRow: 15, FixedNs: 5000}), WithSeed(6))
+	sky, err := skyserver.New(skyserver.DefaultConfig(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	fact, err := sky.Catalog.Get("PhotoObjAll")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := db.AttachTable(fact); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.BuildImpressions("PhotoObjAll", ImpressionConfig{
+		Sizes: []int{rows / 10, rows / 100}, Policy: Uniform,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	gen := sky.Generator(nil)
+	if err := db.Load("PhotoObjAll", gen.NextBatch(rows)); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// BenchmarkExecExact measures a full exact aggregate over 100k rows.
+func BenchmarkExecExact(b *testing.B) {
+	db := benchDB(b, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec("SELECT AVG(r) AS v FROM PhotoObjAll WHERE ra BETWEEN 150 AND 180"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecErrorBounded measures the same aggregate under a 5%
+// quality bound (answered from an impression layer).
+func BenchmarkExecErrorBounded(b *testing.B) {
+	db := benchDB(b, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec("SELECT AVG(r) AS v FROM PhotoObjAll WHERE ra BETWEEN 150 AND 180 WITHIN ERROR 0.05"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecTimeBounded measures the same aggregate under a 100µs
+// runtime bound.
+func BenchmarkExecTimeBounded(b *testing.B) {
+	db := benchDB(b, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec("SELECT AVG(r) AS v FROM PhotoObjAll WHERE ra BETWEEN 150 AND 180 WITHIN TIME 100us"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §3) ----------------------------------------
+
+// BenchmarkAblationFaithfulVsCorrectedSlot quantifies the throughput
+// difference between the paper's verbatim shared-random victim slot and
+// the corrected independent slot (the distributional difference is
+// asserted in reservoir tests).
+func BenchmarkAblationFaithfulVsCorrectedSlot(b *testing.B) {
+	for _, faithful := range []bool{true, false} {
+		name := "corrected"
+		if faithful {
+			name = "faithful"
+		}
+		b.Run(name, func(b *testing.B) {
+			s, err := reservoir.NewBiased[int32](4096, func(int32) float64 { return 1 }, faithful, xrand.New(7))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Offer(int32(i))
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBinnedBandwidth sweeps β to show the f̆ cost/fidelity
+// trade (cost only here; fidelity asserted in kde tests).
+func BenchmarkAblationBinnedBandwidth(b *testing.B) {
+	rng := xrand.New(8)
+	for _, beta := range []int{10, 30, 100, 300} {
+		b.Run(fmt.Sprintf("beta%d", beta), func(b *testing.B) {
+			hist := stats.MustNewHistogram(0, 100, beta)
+			for i := 0; i < 10_000; i++ {
+				hist.Observe(40 + rng.NormFloat64()*10)
+			}
+			kd, err := kde.NewBinned(hist, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			sink := 0.0
+			for i := 0; i < b.N; i++ {
+				sink += kd.Eval(float64(i % 100))
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkAblationRecyclerOnOff measures repeated predicate evaluation
+// with and without the intermediate recycler.
+func BenchmarkAblationRecyclerOnOff(b *testing.B) {
+	sky, err := skyserver.Generate(skyserver.DefaultConfig(100_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pred := skyserver.FGetNearbyObjEq(165, 20, 3)
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := pred.Filter(sky.PhotoObjAll, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		rec, err := recycler.New(16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := rec.Filter(sky.PhotoObjAll, pred); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkImpressionOfferUniform measures the per-tuple load-path cost
+// of maintaining a uniform impression.
+func BenchmarkImpressionOfferUniform(b *testing.B) {
+	sky, err := skyserver.Generate(skyserver.DefaultConfig(1000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := impression.New(sky.PhotoObjAll, impression.Config{Name: "u", Size: 512, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		im.Offer(int32(i % 1000))
+	}
+}
+
+// BenchmarkImpressionOfferBiased measures the per-tuple load-path cost
+// of maintaining a biased impression (f̆ evaluation included).
+func BenchmarkImpressionOfferBiased(b *testing.B) {
+	sky, err := skyserver.Generate(skyserver.DefaultConfig(1000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	logger, err := workload.NewLogger([]workload.AttrSpec{
+		{Name: "ra", Min: 120, Max: 240, Beta: 30},
+	}, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(10)
+	for i := 0; i < 400; i++ {
+		logger.LogPoints([]expr.Point{{Attr: "ra", Value: 160 + rng.NormFloat64()*5}})
+	}
+	im, err := impression.New(sky.PhotoObjAll, impression.Config{
+		Name: "b", Size: 512, Policy: impression.Biased,
+		Logger: logger, Attrs: []string{"ra"}, Seed: 11,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		im.Offer(int32(i % 1000))
+	}
+}
+
+// BenchmarkLoadPath measures end-to-end nightly loading with a 3-layer
+// hierarchy attached (rows/op reported through custom metric).
+func BenchmarkLoadPath(b *testing.B) {
+	sky, err := skyserver.New(skyserver.DefaultConfig(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := Open(WithCostModel(engine.CostModel{NsPerRow: 15, FixedNs: 5000}))
+	fact, _ := sky.Catalog.Get("PhotoObjAll")
+	if err := db.AttachTable(fact); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.BuildImpressions("PhotoObjAll", ImpressionConfig{
+		Sizes: []int{10_000, 1_000, 100}, Policy: Uniform,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	gen := sky.Generator(nil)
+	const batchSize = 10_000
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if err := db.Load("PhotoObjAll", gen.NextBatch(batchSize)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if b.N > 0 {
+		perRow := float64(time.Since(start).Nanoseconds()) / float64(b.N*batchSize)
+		b.ReportMetric(perRow, "ns/row")
+	}
+}
+
+// BenchmarkAblationJointVsMarginalBias compares the per-offer cost of
+// the correlation-aware joint (2-D) bias against the marginal
+// (geometric-mean) bias; the cross-product suppression itself is
+// asserted in the impression tests.
+func BenchmarkAblationJointVsMarginalBias(b *testing.B) {
+	sky, err := skyserver.Generate(skyserver.DefaultConfig(1000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mkLogger := func(joint bool) *workload.Logger {
+		logger, err := workload.NewLogger([]workload.AttrSpec{
+			{Name: "ra", Min: 120, Max: 240, Beta: 30},
+			{Name: "dec", Min: 0, Max: 60, Beta: 30},
+		}, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if joint {
+			if err := logger.TrackJoint("ra", "dec", 30, 30); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rng := xrand.New(12)
+		for i := 0; i < 400; i++ {
+			logger.LogPoints([]expr.Point{
+				{Attr: "ra", Value: 160 + rng.NormFloat64()*5},
+				{Attr: "dec", Value: 20 + rng.NormFloat64()*5},
+			})
+		}
+		return logger
+	}
+	for _, joint := range []bool{false, true} {
+		name := "marginal"
+		if joint {
+			name = "joint"
+		}
+		b.Run(name, func(b *testing.B) {
+			im, err := impression.New(sky.PhotoObjAll, impression.Config{
+				Name: name, Size: 256, Policy: impression.Biased,
+				Logger: mkLogger(joint), Attrs: []string{"ra", "dec"},
+				Joint: joint, Seed: 13,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				im.Offer(int32(i % 1000))
+			}
+		})
+	}
+}

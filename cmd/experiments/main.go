@@ -1,0 +1,77 @@
+// Command experiments runs the SciBORQ experiment suite E1–E8 (the
+// quantified versions of the paper's qualitative claims; see DESIGN.md
+// for the per-experiment index) and prints one table per experiment.
+//
+//	experiments            # run all
+//	experiments -e 3       # run one
+//	experiments -quick     # smaller inputs for a fast smoke run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sciborq/internal/experiments"
+)
+
+type renderer interface{ Render() string }
+
+func main() {
+	which := flag.Int("e", 0, "experiment number 1..8 (0 = all)")
+	quick := flag.Bool("quick", false, "scale inputs down for a fast run")
+	seed := flag.Uint64("seed", 2011, "random seed")
+	flag.Parse()
+
+	base := 200_000
+	e3n := 10_000
+	trials := 2000
+	if *quick {
+		base = 40_000
+		e3n = 2_000
+		trials = 300
+	}
+
+	runners := map[int]func() (renderer, error){
+		1: func() (renderer, error) {
+			return experiments.E1LayerError(base, []int{base / 200, base / 40, base / 20, base / 8, base / 2}, *seed)
+		},
+		2: func() (renderer, error) {
+			return experiments.E2TimeBounds(base, []int{base / 100, base / 10, base / 2}, *seed)
+		},
+		3: func() (renderer, error) {
+			return experiments.E3BiasedVsUniform(base, e3n, *seed)
+		},
+		4: func() (renderer, error) {
+			return experiments.E4Adaptation(60, 3000, 2000, 30, *seed)
+		},
+		5: func() (renderer, error) {
+			return experiments.E5Escalation(base, []int{20_000, 4000, 800}, []float64{0.1, 0.05, 0.02, 0.01, 0.001, 1e-9}, *seed)
+		},
+		6: func() (renderer, error) {
+			return experiments.E6LastSeen(500_000, 10_000, 2000, []float64{0.25, 0.5, 1.0}, *seed)
+		},
+		7: func() (renderer, error) {
+			return experiments.E7KDECost([]int{100, 1000, 10_000, 100_000}, 30, *seed)
+		},
+		8: func() (renderer, error) {
+			return experiments.E8Fisher(60, 140, 40, trials, []float64{1, 2, 5, 10}, *seed)
+		},
+	}
+	order := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	if *which != 0 {
+		if _, ok := runners[*which]; !ok {
+			fmt.Fprintf(os.Stderr, "experiments: no experiment %d (want 1..8)\n", *which)
+			os.Exit(2)
+		}
+		order = []int{*which}
+	}
+	for _, e := range order {
+		res, err := runners[e]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: E%d: %v\n", e, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Render())
+	}
+}

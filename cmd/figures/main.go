@@ -1,0 +1,51 @@
+// Command figures regenerates the SciBORQ paper's evaluation figures as
+// printed data series:
+//
+//	figures -fig 4            # Figure 4: predicate-set histograms + KDE curves
+//	figures -fig 7            # Figure 7: base vs uniform vs biased impressions
+//	figures -fig all          # both
+//
+// Figure 7 defaults to the paper's scale (>600 000 base tuples, 10 000-
+// tuple impressions); -rows and -n scale it down for quick runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sciborq/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to regenerate: 4, 7, or all")
+	queries := flag.Int("queries", 400, "Figure 4: number of logged queries (paper: 400)")
+	beta := flag.Int("beta", 30, "histogram bins β")
+	rows := flag.Int("rows", 600_000, "Figure 7: base table rows (paper: >600000)")
+	n := flag.Int("n", 10_000, "Figure 7: impression size (paper: 10000)")
+	seed := flag.Uint64("seed", 2011, "random seed")
+	flag.Parse()
+
+	run4 := *fig == "4" || *fig == "all"
+	run7 := *fig == "7" || *fig == "all"
+	if !run4 && !run7 {
+		fmt.Fprintf(os.Stderr, "figures: unknown -fig %q (want 4, 7, or all)\n", *fig)
+		os.Exit(2)
+	}
+	if run4 {
+		res, err := experiments.Figure4(*queries, *beta, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Render())
+	}
+	if run7 {
+		res, err := experiments.Figure7(*rows, *n, *beta, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Render())
+	}
+}

@@ -1,0 +1,205 @@
+// Command sciborq is an interactive shell over a synthetic SkyServer
+// catalogue with impressions: generate data, type SQL (including the
+// WITHIN ERROR / WITHIN TIME bounded clauses), and inspect how answers
+// escalate through impression layers.
+//
+//	sciborq -rows 600000 -layers 60000,6000,600 -policy biased
+//
+// Then at the prompt:
+//
+//	sciborq> SELECT COUNT(*) FROM PhotoObjAll WHERE fGetNearbyObjEq(165, 20, 3) WITHIN ERROR 0.05
+//	sciborq> SELECT AVG(r) FROM PhotoObjAll WITHIN TIME 2ms
+//	sciborq> \layers      -- show the impression hierarchy
+//	sciborq> \workload    -- show the logged predicate-set histograms
+//	sciborq> \quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sciborq"
+	"sciborq/internal/skyserver"
+)
+
+func main() {
+	rows := flag.Int("rows", 200_000, "synthetic PhotoObjAll rows")
+	layersFlag := flag.String("layers", "20000,2000,200", "impression layer sizes, comma separated, largest first")
+	policyFlag := flag.String("policy", "biased", "impression policy: uniform | biased | last-seen")
+	seed := flag.Uint64("seed", 2011, "random seed")
+	flag.Parse()
+
+	sizes, err := parseSizes(*layersFlag)
+	if err != nil {
+		fatal(err)
+	}
+	policy, err := parsePolicy(*policyFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("generating %d synthetic SkyServer objects...\n", *rows)
+	cfg := skyserver.DefaultConfig(0)
+	cfg.Seed = *seed
+	sky, err := skyserver.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	db := sciborq.Open(sciborq.WithSeed(*seed))
+	for _, t := range []string{"PhotoObjAll", "Field", "PhotoTag"} {
+		tb, err := sky.Catalog.Get(t)
+		if err != nil {
+			fatal(err)
+		}
+		if err := db.AttachTable(tb); err != nil {
+			fatal(err)
+		}
+	}
+	if err := db.TrackWorkload("PhotoObjAll",
+		sciborq.Attr{Name: "ra", Min: cfg.RaMin, Max: cfg.RaMax, Beta: 30},
+		sciborq.Attr{Name: "dec", Min: cfg.DecMin, Max: cfg.DecMax, Beta: 30},
+	); err != nil {
+		fatal(err)
+	}
+	attrs := []string{"ra", "dec"}
+	if policy != sciborq.Biased {
+		attrs = nil
+	}
+	if err := db.BuildImpressions("PhotoObjAll", sciborq.ImpressionConfig{
+		Sizes: sizes, Policy: policy, Attrs: attrs, K: 500, D: 1000,
+	}); err != nil {
+		fatal(err)
+	}
+	// Load in nightly batches so impressions build in the load path.
+	gen := sky.Generator(nil)
+	const night = 20_000
+	for loaded := 0; loaded < *rows; loaded += night {
+		n := night
+		if *rows-loaded < n {
+			n = *rows - loaded
+		}
+		if err := db.Load("PhotoObjAll", gen.NextBatch(n)); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("ready: %d rows, layers %v, policy %s (cost model %.1f ns/row)\n",
+		*rows, sizes, policy, db.CostModel().NsPerRow)
+
+	repl(db)
+}
+
+func repl(db *sciborq.DB) {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("sciborq> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\layers`:
+			printLayers(db)
+			continue
+		case line == `\workload`:
+			printWorkload(db)
+			continue
+		}
+		res, err := db.Exec(line)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		fmt.Print(res.String())
+		if res.Bounded != nil {
+			for _, lr := range res.Bounded.Trail {
+				fmt.Printf("  tried %-32s rows=%-8d ok=%t in %v\n",
+					lr.Layer, lr.Rows, lr.Satisfied, lr.Elapsed)
+			}
+		}
+	}
+}
+
+func printLayers(db *sciborq.DB) {
+	h := db.Hierarchy("PhotoObjAll")
+	if h == nil {
+		fmt.Println("no impressions built")
+		return
+	}
+	for i, im := range h.Layers() {
+		fmt.Printf("  layer %d: %-34s policy=%-9s n=%d/%d offered=%d\n",
+			i, im.Name(), im.Policy(), im.Len(), im.Cap(), im.Offered())
+	}
+}
+
+func printWorkload(db *sciborq.DB) {
+	lg := db.Logger("PhotoObjAll")
+	if lg == nil {
+		fmt.Println("no workload tracking")
+		return
+	}
+	fmt.Printf("logged queries: %d\n", lg.Queries())
+	for _, attr := range lg.Attrs() {
+		h, err := lg.Histogram(attr)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("  [%s] N=%d\n", attr, h.N)
+		for i, b := range h.Bins {
+			if b.Count == 0 {
+				continue
+			}
+			bar := strings.Repeat("#", clamp(int(b.Count), 1, 60))
+			fmt.Printf("    %7.1f %6d %s\n", h.BinLow(i), b.Count, bar)
+		}
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func parseSizes(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("sciborq: bad layer size %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parsePolicy(s string) (sciborq.Policy, error) {
+	switch strings.ToLower(s) {
+	case "uniform":
+		return sciborq.Uniform, nil
+	case "biased":
+		return sciborq.Biased, nil
+	case "last-seen", "lastseen":
+		return sciborq.LastSeen, nil
+	}
+	return 0, fmt.Errorf("sciborq: unknown policy %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sciborq:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+// Quickstart: build a tiny SciBORQ database from scratch, load data in
+// nightly batches, and compare an exact answer with error-bounded and
+// time-bounded answers over impressions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sciborq"
+	"sciborq/internal/xrand"
+)
+
+func main() {
+	db := sciborq.Open(sciborq.WithSeed(7))
+
+	// A measurement table: sensor position and reading.
+	if _, err := db.CreateTable("readings", sciborq.Schema{
+		{Name: "pos", Type: sciborq.Float64},
+		{Name: "value", Type: sciborq.Float64},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Track which positions queries ask about, and build a 3-layer
+	// biased impression hierarchy steered by that interest.
+	if err := db.TrackWorkload("readings",
+		sciborq.Attr{Name: "pos", Min: 0, Max: 100, Beta: 25},
+	); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.BuildImpressions("readings", sciborq.ImpressionConfig{
+		Sizes:  []int{20_000, 2_000, 200},
+		Policy: sciborq.Biased,
+		Attrs:  []string{"pos"},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Declare interest around pos≈25 before loading: a few exploratory
+	// queries are all SciBORQ needs to steer the sample.
+	for i := 0; i < 50; i++ {
+		if _, err := db.Exec("SELECT COUNT(*) FROM readings WHERE pos BETWEEN 20 AND 30"); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Load 200k rows in 20 nightly batches; impressions are maintained
+	// inside the load path, base data is never re-scanned.
+	rng := xrand.New(42)
+	for night := 0; night < 20; night++ {
+		batch := make([]sciborq.Row, 10_000)
+		for i := range batch {
+			pos := rng.Float64() * 100
+			batch[i] = sciborq.Row{pos, 10 + pos/10 + rng.NormFloat64()}
+		}
+		if err := db.Load("readings", batch); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 1. Exact answer (scans all 200k rows).
+	exact, err := db.Exec("SELECT AVG(value) AS v FROM readings WHERE pos BETWEEN 20 AND 30")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("exact:")
+	fmt.Print(exact.String())
+
+	// 2. Quality-bounded: 1% relative error at 95% confidence. SciBORQ
+	// answers from the smallest impression layer that satisfies the
+	// bound, escalating only as needed.
+	approx, err := db.Exec(
+		"SELECT AVG(value) AS v FROM readings WHERE pos BETWEEN 20 AND 30 WITHIN ERROR 0.01")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwithin 1% error:")
+	fmt.Print(approx.String())
+
+	// 3. Time-bounded: the most representative answer the cost model
+	// predicts can be produced in 200µs.
+	fast, err := db.Exec(
+		"SELECT AVG(value) AS v FROM readings WHERE pos BETWEEN 20 AND 30 WITHIN TIME 200us")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwithin 200µs:")
+	fmt.Print(fast.String())
+}

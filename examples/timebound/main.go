@@ -1,0 +1,70 @@
+// Timebound: "give me the most representative result you can obtain
+// within X" (§1). Sweeps a time budget from microseconds to "unbounded"
+// over the same aggregate and shows which impression layer each budget
+// buys, the promised vs measured latency, and the estimate quality.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sciborq"
+	"sciborq/internal/skyserver"
+)
+
+func main() {
+	const rows = 400_000
+
+	cfg := skyserver.DefaultConfig(0)
+	sky, err := skyserver.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := sciborq.Open(sciborq.WithSeed(99))
+	fact, err := sky.Catalog.Get("PhotoObjAll")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := db.AttachTable(fact); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.BuildImpressions("PhotoObjAll", sciborq.ImpressionConfig{
+		Sizes:  []int{100_000, 10_000, 1_000, 100},
+		Policy: sciborq.Uniform,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	gen := sky.Generator(nil)
+	for night := 0; night < 20; night++ {
+		if err := db.Load("PhotoObjAll", gen.NextBatch(rows/20)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("loaded %d rows; cost model: %.2f ns/row + %.0f ns fixed\n\n",
+		rows, db.CostModel().NsPerRow, db.CostModel().FixedNs)
+
+	// Exact reference.
+	exact, err := db.Exec("SELECT AVG(r) AS v FROM PhotoObjAll WHERE fGetNearbyObjEq(165, 20, 6)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth, _ := exact.Scalar("v")
+	fmt.Printf("exact AVG(r) in the cone: %.5f (%v)\n\n", truth, exact.Elapsed)
+
+	fmt.Printf("%10s %-38s %12s %12s %10s %10s\n",
+		"budget", "layer", "promised", "measured", "estimate", "rel err")
+	for _, budget := range []string{"20us", "100us", "500us", "2ms", "20ms", "1m"} {
+		q := fmt.Sprintf(
+			"SELECT AVG(r) AS v FROM PhotoObjAll WHERE fGetNearbyObjEq(165, 20, 6) WITHIN TIME %s", budget)
+		res, err := db.Exec(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ans := res.Bounded
+		est := ans.Estimates[0]
+		fmt.Printf("%10s %-38s %12v %12v %10.5f %9.3f%%\n",
+			budget, ans.Layer, ans.Promised, ans.Elapsed, est.Value(), est.RelError()*100)
+	}
+	fmt.Println("\nlarger budgets buy larger layers: latency rises, error falls,")
+	fmt.Println("and an unconstrained budget degrades gracefully to the exact answer.")
+}

@@ -1,0 +1,180 @@
+package sciborq
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sciborq/internal/bounded"
+	"sciborq/internal/engine"
+	"sciborq/internal/estimate"
+	"sciborq/internal/sqlparse"
+	"sciborq/internal/table"
+)
+
+// Result is the uniform answer of DB.Exec: either an exact relational
+// result or a bounded estimate with confidence intervals.
+type Result struct {
+	// Rows is the materialised result for exact (unbounded) queries;
+	// nil for bounded answers.
+	Rows *engine.Result
+	// Bounded is the layered answer for bounded queries; nil otherwise.
+	Bounded *bounded.Answer
+	// Elapsed is the wall-clock execution time.
+	Elapsed time.Duration
+	// SQL is the executed statement.
+	SQL string
+}
+
+// Estimates returns the per-aggregate estimates of a bounded answer.
+func (r *Result) Estimates() []estimate.Estimate {
+	if r.Bounded == nil {
+		return nil
+	}
+	return r.Bounded.Estimates
+}
+
+// Scalar returns a single aggregate value by output column name,
+// regardless of whether the result is exact or bounded.
+func (r *Result) Scalar(name string) (float64, error) {
+	if r.Rows != nil {
+		return r.Rows.Scalar(name)
+	}
+	if r.Bounded != nil {
+		for _, e := range r.Bounded.Estimates {
+			if e.Spec.Name() == name {
+				return e.Value(), nil
+			}
+		}
+		return 0, fmt.Errorf("sciborq: no aggregate %q in bounded answer", name)
+	}
+	return 0, fmt.Errorf("sciborq: empty result")
+}
+
+// String renders a compact human-readable summary.
+func (r *Result) String() string {
+	var b strings.Builder
+	if r.Bounded != nil {
+		fmt.Fprintf(&b, "layer=%s exact=%t bound_met=%t elapsed=%v\n",
+			r.Bounded.Layer, r.Bounded.Exact, r.Bounded.BoundMet, r.Elapsed)
+		for _, e := range r.Bounded.Estimates {
+			if e.Exact {
+				fmt.Fprintf(&b, "  %s = %.6g (exact)\n", e.Spec.Name(), e.Value())
+			} else {
+				fmt.Fprintf(&b, "  %s = %.6g ± %.3g (%.0f%% conf, rel err %.2g%%)\n",
+					e.Spec.Name(), e.Value(), e.Interval.HalfWidth,
+					e.Interval.Level*100, e.RelError()*100)
+			}
+		}
+		return b.String()
+	}
+	if r.Rows != nil {
+		names := r.Rows.Table.Schema().Names()
+		fmt.Fprintf(&b, "%s\n", strings.Join(names, "\t"))
+		n := r.Rows.Len()
+		const maxShow = 20
+		for i := 0; i < n && i < maxShow; i++ {
+			fmt.Fprintf(&b, "%s\n", strings.Join(r.Rows.Table.RowStrings(int32(i)), "\t"))
+		}
+		if n > maxShow {
+			fmt.Fprintf(&b, "... (%d rows)\n", n)
+		}
+		return b.String()
+	}
+	return "(empty)"
+}
+
+// Exec parses and executes one SQL statement. Predicates are logged to
+// the table's workload logger (steering future impressions); bounded
+// aggregate statements run through the layer-escalation executor, other
+// statements run exactly on base data.
+func (db *DB) Exec(sql string) (*Result, error) {
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecStatement(st, sql)
+}
+
+// ExecStatement executes a pre-parsed statement.
+func (db *DB) ExecStatement(st *sqlparse.Statement, sql string) (*Result, error) {
+	base, err := db.catalog.Get(st.Query.Table)
+	if err != nil {
+		return nil, err
+	}
+	// Log the query's predicate set — this is how SciBORQ adapts
+	// impressions to the shifting focal point (§3.1, §4).
+	if lg := db.Logger(st.Query.Table); lg != nil {
+		lg.LogQuery(st.Query.Where)
+	}
+	start := time.Now()
+	bounds := st.Bounds
+	wantsBound := bounds.HasErrorBound() || bounds.HasTimeBound()
+	if wantsBound && len(st.Query.Aggs) > 0 && st.Query.GroupBy == "" {
+		ex, err := db.boundedExecutor(st.Query.Table, base)
+		if err != nil {
+			return nil, err
+		}
+		ans, err := ex.Run(st)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Bounded: ans, Elapsed: time.Since(start), SQL: sql}, nil
+	}
+	// Exact execution path; bounded non-aggregate queries degrade to a
+	// time-bounded LIMIT against the best-fitting layer.
+	if wantsBound && len(st.Query.Aggs) == 0 {
+		res, err := db.boundedProjection(base, st)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Rows: res, Elapsed: time.Since(start), SQL: sql}, nil
+	}
+	res, err := engine.RunOn(base, st.Query)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Rows: res, Elapsed: time.Since(start), SQL: sql}, nil
+}
+
+// boundedExecutor returns the cached bounded executor for a table; the
+// cache keeps the executor's learned cost model alive across queries.
+func (db *DB) boundedExecutor(name string, base *table.Table) (*bounded.Executor, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if ex, ok := db.execs[name]; ok {
+		return ex, nil
+	}
+	ex, err := bounded.NewExecutor(base, db.hiers[name], db.cost)
+	if err != nil {
+		return nil, err
+	}
+	db.execs[name] = ex
+	return ex, nil
+}
+
+// boundedProjection answers a projection query under a time bound by
+// running it against the largest impression layer that fits the budget —
+// the paper's replacement for LIMIT-N: "the equivalent query with a
+// LIMIT 100 clause will not return the first 100 results, but the 100
+// results satisfying the impression" (§3.2).
+func (db *DB) boundedProjection(base *table.Table, st *sqlparse.Statement) (*engine.Result, error) {
+	h := db.Hierarchy(st.Query.Table)
+	target := base
+	layerName := "base"
+	if h != nil && st.Bounds.HasTimeBound() {
+		maxRows := db.cost.MaxRowsWithin(st.Bounds.MaxTime)
+		if im, ok := h.LargestWithin(maxRows); ok {
+			t, _, err := im.Table()
+			if err != nil {
+				return nil, err
+			}
+			target = t
+			layerName = im.Name()
+		}
+	}
+	_ = layerName
+	q := st.Query
+	q.Table = target.Name()
+	return engine.RunOn(target, q)
+}

@@ -1,0 +1,281 @@
+package sciborq
+
+// Integration tests: the full SciBORQ lifecycle through the public API —
+// schema, workload tracking, hierarchy construction, nightly loads,
+// exploration with bounded queries, workload drift, and exact overnight
+// verification. These are the end-to-end acceptance tests of the
+// reproduction.
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"sciborq/internal/engine"
+	"sciborq/internal/skyserver"
+)
+
+func TestFullExplorationLifecycle(t *testing.T) {
+	db := Open(WithCostModel(engine.CostModel{NsPerRow: 12, FixedNs: 2000}), WithSeed(314))
+	cfg := skyserver.DefaultConfig(0)
+	sky, err := skyserver.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fact, err := sky.Catalog.Get("PhotoObjAll")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AttachTable(fact); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.TrackWorkload("PhotoObjAll",
+		Attr{Name: "ra", Min: cfg.RaMin, Max: cfg.RaMax, Beta: 30},
+		Attr{Name: "dec", Min: cfg.DecMin, Max: cfg.DecMax, Beta: 30},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildImpressions("PhotoObjAll", ImpressionConfig{
+		Sizes:  []int{8000, 800},
+		Policy: Biased,
+		Attrs:  []string{"ra", "dec"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: exploration queries declare interest in the cluster.
+	for i := 0; i < 120; i++ {
+		if _, err := db.Exec("SELECT COUNT(*) FROM PhotoObjAll WHERE fGetNearbyObjEq(165, 20, 2)"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Phase 2: ten nightly loads build the biased impressions in-line.
+	gen := sky.Generator(nil)
+	for night := 0; night < 10; night++ {
+		if err := db.Load("PhotoObjAll", gen.NextBatch(8000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fact.Len() != 80000 {
+		t.Fatalf("base rows = %d", fact.Len())
+	}
+
+	// Phase 3: bounded focal query — must come from a sample layer and
+	// cover the exact answer.
+	const focalSQL = "SELECT COUNT(*) AS n FROM PhotoObjAll WHERE fGetNearbyObjEq(165, 20, 3)"
+	exact, err := db.Exec(focalSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := exact.Scalar("n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth < 1000 {
+		t.Fatalf("cluster cone has only %v objects", truth)
+	}
+	bounded, err := db.Exec(focalSQL + " WITHIN ERROR 0.12 CONFIDENCE 0.99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounded.Bounded == nil || bounded.Bounded.Exact {
+		t.Fatalf("focal bounded query did not use a sample layer: %+v", bounded.Bounded)
+	}
+	est := bounded.Estimates()[0]
+	if !est.Interval.Contains(truth) {
+		t.Fatalf("bounded count [%v, %v] misses exact %v",
+			est.Interval.Lo(), est.Interval.Hi(), truth)
+	}
+
+	// Phase 4: the bounded answer must be materially cheaper than exact.
+	if bounded.Elapsed > exact.Elapsed {
+		t.Logf("warning: bounded (%v) not faster than exact (%v) at this scale",
+			bounded.Elapsed, exact.Elapsed)
+	}
+
+	// Phase 5: time-bounded query honours the budget semantics.
+	timed, err := db.Exec(focalSQL + " WITHIN TIME 150us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timed.Bounded == nil {
+		t.Fatal("time-bounded query returned exact result type")
+	}
+	if timed.Bounded.Exact {
+		t.Fatal("150µs cannot buy an 80000-row scan under the test cost model")
+	}
+}
+
+func TestLearnedPromisesConvergeThroughPublicAPI(t *testing.T) {
+	// Start with a wildly optimistic cost model; repeated time-bounded
+	// queries must teach the executor realistic promises.
+	db := Open(WithCostModel(engine.CostModel{NsPerRow: 0.001, FixedNs: 10}), WithSeed(21))
+	sky, err := skyserver.New(skyserver.DefaultConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fact, _ := sky.Catalog.Get("PhotoObjAll")
+	if err := db.AttachTable(fact); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildImpressions("PhotoObjAll", ImpressionConfig{
+		Sizes: []int{5000, 500}, Policy: Uniform,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	gen := sky.Generator(nil)
+	if err := db.Load("PhotoObjAll", gen.NextBatch(50000)); err != nil {
+		t.Fatal(err)
+	}
+	const q = "SELECT AVG(r) AS v FROM PhotoObjAll WHERE fGetNearbyObjEq(165, 20, 5) WITHIN TIME 300us"
+	var first, last *Result
+	for i := 0; i < 12; i++ {
+		res, err := db.Exec(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = res
+		}
+		last = res
+	}
+	// The first run believes base data costs ~50µs; after learning the
+	// promise for the same layer choice must be far more realistic.
+	if first.Bounded == nil || last.Bounded == nil {
+		t.Fatal("bounded results missing")
+	}
+	firstRows := first.Bounded.Trail[0].Rows
+	lastRows := last.Bounded.Trail[0].Rows
+	if lastRows > firstRows {
+		t.Fatalf("learning increased the layer: %d -> %d rows", firstRows, lastRows)
+	}
+	if lastRows == firstRows && last.Bounded.Promised <= first.Bounded.Promised {
+		t.Fatalf("promises did not become more honest: %v -> %v",
+			first.Bounded.Promised, last.Bounded.Promised)
+	}
+}
+
+func TestLastSeenPolicyThroughPublicAPI(t *testing.T) {
+	db := Open(WithCostModel(engine.CostModel{NsPerRow: 12, FixedNs: 2000}), WithSeed(8))
+	if _, err := db.CreateTable("obs", Schema{
+		{Name: "t", Type: Float64},
+		{Name: "v", Type: Float64},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildImpressions("obs", ImpressionConfig{
+		Sizes:  []int{500, 50},
+		Policy: LastSeen,
+		K:      500, D: 1000,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for day := 0; day < 50; day++ {
+		batch := make([]Row, 1000)
+		for i := range batch {
+			batch[i] = Row{float64(day), float64(day*1000 + i)}
+		}
+		if err := db.Load("obs", batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The top layer must be dominated by recent days.
+	h := db.Hierarchy("obs")
+	lt, _, err := h.Layers()[0].Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	days, err := lt.Float64("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recent := 0
+	for _, d := range days {
+		if d >= 45 {
+			recent++
+		}
+	}
+	if frac := float64(recent) / float64(len(days)); frac < 0.5 {
+		t.Fatalf("Last Seen impression holds only %.0f%% recent tuples", frac*100)
+	}
+}
+
+func TestConcurrentExecIsSafe(t *testing.T) {
+	db := Open(WithCostModel(engine.CostModel{NsPerRow: 12, FixedNs: 2000}), WithSeed(9))
+	sky, _ := skyserver.New(skyserver.DefaultConfig(0))
+	fact, _ := sky.Catalog.Get("PhotoObjAll")
+	if err := db.AttachTable(fact); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.TrackWorkload("PhotoObjAll",
+		Attr{Name: "ra", Min: 120, Max: 240, Beta: 30}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildImpressions("PhotoObjAll", ImpressionConfig{
+		Sizes: []int{2000, 200}, Policy: Uniform,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	gen := sky.Generator(nil)
+	if err := db.Load("PhotoObjAll", gen.NextBatch(20000)); err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent readers while a writer loads nightly batches.
+	done := make(chan error, 8)
+	for w := 0; w < 6; w++ {
+		go func() {
+			for i := 0; i < 30; i++ {
+				if _, err := db.Exec("SELECT AVG(r) AS v FROM PhotoObjAll WHERE ra BETWEEN 150 AND 200 WITHIN ERROR 0.1"); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	go func() {
+		for i := 0; i < 5; i++ {
+			if err := db.Load("PhotoObjAll", gen.NextBatch(2000)); err != nil {
+				done <- err
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		done <- nil
+	}()
+	for i := 0; i < 7; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMagnitudeSanityAcrossLayers(t *testing.T) {
+	// Every layer of a uniform hierarchy must agree on AVG(r) within a
+	// few percent of each other — the consistency users rely on when
+	// trading time for quality.
+	db := openSky(t, 40000, Uniform)
+	h := db.Hierarchy("PhotoObjAll")
+	var values []float64
+	for _, im := range h.Layers() {
+		lt, _, err := im.Table()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := lt.Float64("r")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, v := range rs {
+			sum += v
+		}
+		values = append(values, sum/float64(len(rs)))
+	}
+	for i := 1; i < len(values); i++ {
+		if math.Abs(values[i]-values[0]) > 0.5 {
+			t.Fatalf("layer means diverge: %v", values)
+		}
+	}
+}

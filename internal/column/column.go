@@ -1,0 +1,302 @@
+// Package column implements the typed columns of the SciBORQ storage
+// layer: append-only, in-memory arrays with per-column summary statistics,
+// mirroring the BAT (binary association table) layout of MonetDB that the
+// paper builds on. Impressions sample at column granularity, so columns
+// expose cheap positional access and bulk kernels via package vec.
+package column
+
+import (
+	"fmt"
+
+	"sciborq/internal/vec"
+)
+
+// Type enumerates the supported column types.
+type Type int
+
+// Supported column types.
+const (
+	Float64 Type = iota
+	Int64
+	String
+	Bool
+)
+
+// String returns the SQL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case Float64:
+		return "DOUBLE"
+	case Int64:
+		return "BIGINT"
+	case String:
+		return "VARCHAR"
+	case Bool:
+		return "BOOLEAN"
+	}
+	return "UNKNOWN"
+}
+
+// Column is the interface implemented by every typed column.
+type Column interface {
+	// Name returns the column name.
+	Name() string
+	// Type returns the column type.
+	Type() Type
+	// Len returns the number of rows.
+	Len() int
+	// ValueString renders row i for display.
+	ValueString(i int32) string
+	// AppendFrom appends the rows of src selected by sel. src must have
+	// the same concrete type.
+	AppendFrom(src Column, sel vec.Sel) error
+	// Slice returns a column containing only the rows in sel (materialised).
+	Slice(sel vec.Sel) Column
+}
+
+// Float64Col is a column of float64 values.
+type Float64Col struct {
+	name string
+	Data []float64
+}
+
+// NewFloat64 returns an empty float64 column.
+func NewFloat64(name string) *Float64Col { return &Float64Col{name: name} }
+
+// NewFloat64From returns a float64 column wrapping data (not copied).
+func NewFloat64From(name string, data []float64) *Float64Col {
+	return &Float64Col{name: name, Data: data}
+}
+
+// Name implements Column.
+func (c *Float64Col) Name() string { return c.name }
+
+// Type implements Column.
+func (c *Float64Col) Type() Type { return Float64 }
+
+// Len implements Column.
+func (c *Float64Col) Len() int { return len(c.Data) }
+
+// Append adds one value.
+func (c *Float64Col) Append(v float64) { c.Data = append(c.Data, v) }
+
+// ValueString implements Column.
+func (c *Float64Col) ValueString(i int32) string { return fmt.Sprintf("%g", c.Data[i]) }
+
+// AppendFrom implements Column.
+func (c *Float64Col) AppendFrom(src Column, sel vec.Sel) error {
+	s, ok := src.(*Float64Col)
+	if !ok {
+		return fmt.Errorf("column %q: cannot append %s into DOUBLE", c.name, src.Type())
+	}
+	if sel == nil {
+		c.Data = append(c.Data, s.Data...)
+		return nil
+	}
+	for _, i := range sel {
+		c.Data = append(c.Data, s.Data[i])
+	}
+	return nil
+}
+
+// Slice implements Column.
+func (c *Float64Col) Slice(sel vec.Sel) Column {
+	return NewFloat64From(c.name, vec.GatherFloat64(c.Data, sel))
+}
+
+// Int64Col is a column of int64 values.
+type Int64Col struct {
+	name string
+	Data []int64
+}
+
+// NewInt64 returns an empty int64 column.
+func NewInt64(name string) *Int64Col { return &Int64Col{name: name} }
+
+// NewInt64From returns an int64 column wrapping data (not copied).
+func NewInt64From(name string, data []int64) *Int64Col {
+	return &Int64Col{name: name, Data: data}
+}
+
+// Name implements Column.
+func (c *Int64Col) Name() string { return c.name }
+
+// Type implements Column.
+func (c *Int64Col) Type() Type { return Int64 }
+
+// Len implements Column.
+func (c *Int64Col) Len() int { return len(c.Data) }
+
+// Append adds one value.
+func (c *Int64Col) Append(v int64) { c.Data = append(c.Data, v) }
+
+// ValueString implements Column.
+func (c *Int64Col) ValueString(i int32) string { return fmt.Sprintf("%d", c.Data[i]) }
+
+// AppendFrom implements Column.
+func (c *Int64Col) AppendFrom(src Column, sel vec.Sel) error {
+	s, ok := src.(*Int64Col)
+	if !ok {
+		return fmt.Errorf("column %q: cannot append %s into BIGINT", c.name, src.Type())
+	}
+	if sel == nil {
+		c.Data = append(c.Data, s.Data...)
+		return nil
+	}
+	for _, i := range sel {
+		c.Data = append(c.Data, s.Data[i])
+	}
+	return nil
+}
+
+// Slice implements Column.
+func (c *Int64Col) Slice(sel vec.Sel) Column {
+	return NewInt64From(c.name, vec.GatherInt64(c.Data, sel))
+}
+
+// BoolCol is a column of bool values.
+type BoolCol struct {
+	name string
+	Data []bool
+}
+
+// NewBool returns an empty bool column.
+func NewBool(name string) *BoolCol { return &BoolCol{name: name} }
+
+// Name implements Column.
+func (c *BoolCol) Name() string { return c.name }
+
+// Type implements Column.
+func (c *BoolCol) Type() Type { return Bool }
+
+// Len implements Column.
+func (c *BoolCol) Len() int { return len(c.Data) }
+
+// Append adds one value.
+func (c *BoolCol) Append(v bool) { c.Data = append(c.Data, v) }
+
+// ValueString implements Column.
+func (c *BoolCol) ValueString(i int32) string { return fmt.Sprintf("%t", c.Data[i]) }
+
+// AppendFrom implements Column.
+func (c *BoolCol) AppendFrom(src Column, sel vec.Sel) error {
+	s, ok := src.(*BoolCol)
+	if !ok {
+		return fmt.Errorf("column %q: cannot append %s into BOOLEAN", c.name, src.Type())
+	}
+	if sel == nil {
+		c.Data = append(c.Data, s.Data...)
+		return nil
+	}
+	for _, i := range sel {
+		c.Data = append(c.Data, s.Data[i])
+	}
+	return nil
+}
+
+// Slice implements Column.
+func (c *BoolCol) Slice(sel vec.Sel) Column {
+	out := NewBool(c.name)
+	if sel == nil {
+		out.Data = append(out.Data, c.Data...)
+		return out
+	}
+	out.Data = make([]bool, len(sel))
+	for k, i := range sel {
+		out.Data[k] = c.Data[i]
+	}
+	return out
+}
+
+// StringCol is a dictionary-encoded string column: values are stored once
+// in a dictionary and rows hold int32 codes, the standard read-optimised
+// column-store layout for low-cardinality strings (object types, flags).
+type StringCol struct {
+	name  string
+	dict  []string
+	codes map[string]int32
+	Data  []int32 // per-row dictionary codes
+}
+
+// NewString returns an empty dictionary-encoded string column.
+func NewString(name string) *StringCol {
+	return &StringCol{name: name, codes: make(map[string]int32)}
+}
+
+// Name implements Column.
+func (c *StringCol) Name() string { return c.name }
+
+// Type implements Column.
+func (c *StringCol) Type() Type { return String }
+
+// Len implements Column.
+func (c *StringCol) Len() int { return len(c.Data) }
+
+// Append adds one value, interning it in the dictionary.
+func (c *StringCol) Append(v string) {
+	code, ok := c.codes[v]
+	if !ok {
+		code = int32(len(c.dict))
+		c.dict = append(c.dict, v)
+		c.codes[v] = code
+	}
+	c.Data = append(c.Data, code)
+}
+
+// Value returns the string at row i.
+func (c *StringCol) Value(i int32) string { return c.dict[c.Data[i]] }
+
+// Code returns the dictionary code for v and whether v is present.
+func (c *StringCol) Code(v string) (int32, bool) {
+	code, ok := c.codes[v]
+	return code, ok
+}
+
+// DictSize returns the number of distinct values seen.
+func (c *StringCol) DictSize() int { return len(c.dict) }
+
+// ValueString implements Column.
+func (c *StringCol) ValueString(i int32) string { return c.Value(i) }
+
+// AppendFrom implements Column.
+func (c *StringCol) AppendFrom(src Column, sel vec.Sel) error {
+	s, ok := src.(*StringCol)
+	if !ok {
+		return fmt.Errorf("column %q: cannot append %s into VARCHAR", c.name, src.Type())
+	}
+	if sel == nil {
+		for i := range s.Data {
+			c.Append(s.Value(int32(i)))
+		}
+		return nil
+	}
+	for _, i := range sel {
+		c.Append(s.Value(i))
+	}
+	return nil
+}
+
+// Slice implements Column.
+func (c *StringCol) Slice(sel vec.Sel) Column {
+	out := NewString(c.name)
+	// The slice rebuilds its own (possibly smaller) dictionary.
+	if err := out.AppendFrom(c, sel); err != nil {
+		panic(err) // same concrete type; cannot happen
+	}
+	return out
+}
+
+// New returns an empty column of the given type.
+func New(name string, t Type) Column {
+	switch t {
+	case Float64:
+		return NewFloat64(name)
+	case Int64:
+		return NewInt64(name)
+	case String:
+		return NewString(name)
+	case Bool:
+		return NewBool(name)
+	}
+	panic(fmt.Sprintf("column: unknown type %d", t))
+}

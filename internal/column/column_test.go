@@ -1,0 +1,156 @@
+package column
+
+import (
+	"testing"
+
+	"sciborq/internal/vec"
+)
+
+func TestFloat64Col(t *testing.T) {
+	c := NewFloat64("ra")
+	for _, v := range []float64{1.5, 2.5, 3.5} {
+		c.Append(v)
+	}
+	if c.Len() != 3 || c.Name() != "ra" || c.Type() != Float64 {
+		t.Fatalf("basic accessors wrong: %d %q %v", c.Len(), c.Name(), c.Type())
+	}
+	if c.ValueString(1) != "2.5" {
+		t.Fatalf("ValueString = %q", c.ValueString(1))
+	}
+	s := c.Slice(vec.Sel{0, 2}).(*Float64Col)
+	if len(s.Data) != 2 || s.Data[0] != 1.5 || s.Data[1] != 3.5 {
+		t.Fatalf("Slice = %v", s.Data)
+	}
+}
+
+func TestInt64Col(t *testing.T) {
+	c := NewInt64("objID")
+	c.Append(10)
+	c.Append(20)
+	if c.Type() != Int64 || c.ValueString(0) != "10" {
+		t.Fatalf("int col accessors wrong")
+	}
+	other := NewInt64From("x", []int64{30, 40})
+	if err := c.AppendFrom(other, nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 4 || c.Data[3] != 40 {
+		t.Fatalf("AppendFrom: %v", c.Data)
+	}
+}
+
+func TestAppendFromWithSel(t *testing.T) {
+	src := NewFloat64From("a", []float64{0, 1, 2, 3})
+	dst := NewFloat64("a")
+	if err := dst.AppendFrom(src, vec.Sel{1, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if len(dst.Data) != 2 || dst.Data[0] != 1 || dst.Data[1] != 3 {
+		t.Fatalf("AppendFrom sel = %v", dst.Data)
+	}
+}
+
+func TestAppendFromTypeMismatch(t *testing.T) {
+	f := NewFloat64("a")
+	i := NewInt64("a")
+	if err := f.AppendFrom(i, nil); err == nil {
+		t.Fatal("float <- int append did not error")
+	}
+	if err := i.AppendFrom(f, nil); err == nil {
+		t.Fatal("int <- float append did not error")
+	}
+	b := NewBool("a")
+	if err := b.AppendFrom(f, nil); err == nil {
+		t.Fatal("bool <- float append did not error")
+	}
+	s := NewString("a")
+	if err := s.AppendFrom(f, nil); err == nil {
+		t.Fatal("string <- float append did not error")
+	}
+}
+
+func TestBoolCol(t *testing.T) {
+	c := NewBool("flag")
+	c.Append(true)
+	c.Append(false)
+	if c.ValueString(0) != "true" || c.ValueString(1) != "false" {
+		t.Fatalf("bool rendering wrong")
+	}
+	s := c.Slice(vec.Sel{1}).(*BoolCol)
+	if len(s.Data) != 1 || s.Data[0] != false {
+		t.Fatalf("bool slice = %v", s.Data)
+	}
+}
+
+func TestStringColDictionary(t *testing.T) {
+	c := NewString("type")
+	for _, v := range []string{"GALAXY", "STAR", "GALAXY", "QSO", "GALAXY"} {
+		c.Append(v)
+	}
+	if c.Len() != 5 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if c.DictSize() != 3 {
+		t.Fatalf("DictSize = %d, want 3", c.DictSize())
+	}
+	if c.Value(0) != "GALAXY" || c.Value(2) != "GALAXY" || c.Value(3) != "QSO" {
+		t.Fatal("dictionary decoding wrong")
+	}
+	if c.Data[0] != c.Data[2] {
+		t.Fatal("equal strings got different codes")
+	}
+	code, ok := c.Code("STAR")
+	if !ok || c.dict[code] != "STAR" {
+		t.Fatal("Code lookup failed")
+	}
+	if _, ok := c.Code("NEBULA"); ok {
+		t.Fatal("Code found absent value")
+	}
+}
+
+func TestStringColSliceRebuildsDict(t *testing.T) {
+	c := NewString("type")
+	for _, v := range []string{"A", "B", "C", "B"} {
+		c.Append(v)
+	}
+	s := c.Slice(vec.Sel{1, 3}).(*StringCol)
+	if s.Len() != 2 || s.Value(0) != "B" || s.Value(1) != "B" {
+		t.Fatalf("slice values wrong")
+	}
+	if s.DictSize() != 1 {
+		t.Fatalf("slice dict size = %d, want 1", s.DictSize())
+	}
+}
+
+func TestNewFactory(t *testing.T) {
+	for _, typ := range []Type{Float64, Int64, String, Bool} {
+		c := New("c", typ)
+		if c.Type() != typ {
+			t.Fatalf("New(%v) produced %v", typ, c.Type())
+		}
+		if c.Len() != 0 {
+			t.Fatalf("new column not empty")
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	want := map[Type]string{Float64: "DOUBLE", Int64: "BIGINT", String: "VARCHAR", Bool: "BOOLEAN"}
+	for typ, s := range want {
+		if typ.String() != s {
+			t.Fatalf("Type(%d).String() = %q, want %q", typ, typ.String(), s)
+		}
+	}
+	if Type(99).String() != "UNKNOWN" {
+		t.Fatal("unknown type string wrong")
+	}
+}
+
+func TestSliceNilSelCopies(t *testing.T) {
+	c := NewFloat64From("a", []float64{1, 2})
+	s := c.Slice(nil).(*Float64Col)
+	s.Data[0] = 99
+	if c.Data[0] == 99 {
+		t.Fatal("Slice(nil) aliases the source data")
+	}
+}

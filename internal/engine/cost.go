@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"time"
+
+	"sciborq/internal/column"
+	"sciborq/internal/table"
+	"sciborq/internal/vec"
+)
+
+// CostModel predicts query latency from row counts. SciBORQ's
+// time-bounded processing (§3.2) chooses the largest impression layer
+// whose predicted latency fits the user's bound, so the model is
+// calibrated on this machine rather than assumed.
+type CostModel struct {
+	// NsPerRow is the calibrated cost of scanning + filtering +
+	// aggregating one row, in nanoseconds.
+	NsPerRow float64
+	// FixedNs is the per-query overhead independent of input size.
+	FixedNs float64
+}
+
+// DefaultCostModel is a conservative fallback used before calibration.
+func DefaultCostModel() CostModel {
+	return CostModel{NsPerRow: 12, FixedNs: 20_000}
+}
+
+// Predict returns the predicted latency of scanning n rows.
+func (c CostModel) Predict(n int) time.Duration {
+	return time.Duration(c.FixedNs + c.NsPerRow*float64(n))
+}
+
+// MaxRowsWithin returns the largest row count whose predicted latency
+// stays within budget (0 when even the fixed overhead exceeds it).
+func (c CostModel) MaxRowsWithin(budget time.Duration) int {
+	ns := float64(budget.Nanoseconds()) - c.FixedNs
+	if ns <= 0 {
+		return 0
+	}
+	if c.NsPerRow <= 0 {
+		return int(^uint(0) >> 1)
+	}
+	return int(ns / c.NsPerRow)
+}
+
+// Calibrate measures the per-row cost of a representative
+// filter+aggregate pipeline on this machine and returns a fitted model.
+// rows controls the calibration table size (>= 2 sizes are probed).
+func Calibrate(rows int) CostModel {
+	if rows < 4096 {
+		rows = 4096
+	}
+	small := rows / 4
+	tSmall := calibrationRun(small)
+	tBig := calibrationRun(rows)
+	perRow := float64(tBig-tSmall) / float64(rows-small)
+	if perRow <= 0 {
+		perRow = 1
+	}
+	fixed := float64(tSmall) - perRow*float64(small)
+	if fixed < 0 {
+		fixed = 0
+	}
+	return CostModel{NsPerRow: perRow, FixedNs: fixed}
+}
+
+// calibrationRun times one scan+filter+sum over n synthetic rows and
+// returns nanoseconds (the median of three runs).
+func calibrationRun(n int) int64 {
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = float64(i%997) / 997
+	}
+	tb := table.MustNew("calibration", table.Schema{{Name: "x", Type: column.Float64}})
+	if err := tb.AppendColumns([]column.Column{column.NewFloat64From("x", data)}); err != nil {
+		panic(err)
+	}
+	var times []int64
+	for r := 0; r < 3; r++ {
+		start := time.Now()
+		sel := vec.SelectFloat64(data, nil, vec.Lt, 0.5)
+		_ = vec.SumFloat64(data, sel)
+		times = append(times, time.Since(start).Nanoseconds())
+	}
+	// median of 3
+	a, b, c := times[0], times[1], times[2]
+	switch {
+	case (a >= b && a <= c) || (a <= b && a >= c):
+		return a
+	case (b >= a && b <= c) || (b <= a && b >= c):
+		return b
+	default:
+		return c
+	}
+}

@@ -1,0 +1,470 @@
+package engine
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"sciborq/internal/column"
+	"sciborq/internal/expr"
+	"sciborq/internal/table"
+	"sciborq/internal/vec"
+)
+
+func photoTable(t *testing.T) *table.Table {
+	t.Helper()
+	tb := table.MustNew("PhotoObjAll", table.Schema{
+		{Name: "objID", Type: column.Int64},
+		{Name: "fieldID", Type: column.Int64},
+		{Name: "ra", Type: column.Float64},
+		{Name: "dec", Type: column.Float64},
+		{Name: "rmag", Type: column.Float64},
+		{Name: "type", Type: column.String},
+	})
+	rows := []table.Row{
+		{int64(1), int64(10), 185.0, 0.0, 17.5, "GALAXY"},
+		{int64(2), int64(10), 185.5, 0.5, 18.0, "GALAXY"},
+		{int64(3), int64(11), 190.0, 2.0, 15.0, "STAR"},
+		{int64(4), int64(12), 120.0, 45.0, 19.5, "QSO"},
+		{int64(5), int64(11), 186.0, -0.5, 16.5, "GALAXY"},
+		{int64(6), int64(99), 200.0, 30.0, 21.0, "STAR"},
+	}
+	if err := tb.AppendBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func catalogWith(t *testing.T, tb *table.Table) *table.Catalog {
+	t.Helper()
+	cat := table.NewCatalog()
+	if err := cat.Add(tb); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestQueryValidate(t *testing.T) {
+	cases := []Query{
+		{},           // no table
+		{Table: "t"}, // selects nothing
+		{Table: "t", Select: []string{"a"}, Aggs: []AggSpec{{Func: Count}}}, // mixed
+		{Table: "t", Select: []string{"a"}, GroupBy: "g"},                   // groupby without aggs
+		{Table: "t", Select: []string{"a"}, Limit: -1},                      // negative limit
+	}
+	for i, q := range cases {
+		if err := q.Validate(); err == nil {
+			t.Fatalf("case %d validated", i)
+		}
+	}
+	ok := Query{Table: "t", Aggs: []AggSpec{{Func: Count}}}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggSpecName(t *testing.T) {
+	if (AggSpec{Func: Count}).Name() != "COUNT(*)" {
+		t.Fatal("COUNT(*) name wrong")
+	}
+	a := AggSpec{Func: Avg, Arg: expr.ColRef{Name: "rmag"}}
+	if a.Name() != "AVG(rmag)" {
+		t.Fatalf("Name = %q", a.Name())
+	}
+	a.Alias = "m"
+	if a.Name() != "m" {
+		t.Fatal("alias not honoured")
+	}
+}
+
+func TestCountAndAvg(t *testing.T) {
+	tb := photoTable(t)
+	ex := NewExecutor(catalogWith(t, tb))
+	res, err := ex.Run(Query{
+		Table: "PhotoObjAll",
+		Where: expr.StrEq{Col: "type", Value: "GALAXY"},
+		Aggs: []AggSpec{
+			{Func: Count},
+			{Func: Avg, Arg: expr.ColRef{Name: "rmag"}, Alias: "avg_r"},
+			{Func: Sum, Arg: expr.ColRef{Name: "rmag"}, Alias: "sum_r"},
+			{Func: Min, Arg: expr.ColRef{Name: "rmag"}, Alias: "min_r"},
+			{Func: Max, Arg: expr.ColRef{Name: "rmag"}, Alias: "max_r"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := res.Scalar("COUNT(*)"); got != 3 {
+		t.Fatalf("count = %v", got)
+	}
+	if got, _ := res.Scalar("avg_r"); math.Abs(got-(17.5+18.0+16.5)/3) > 1e-12 {
+		t.Fatalf("avg = %v", got)
+	}
+	if got, _ := res.Scalar("sum_r"); math.Abs(got-52.0) > 1e-12 {
+		t.Fatalf("sum = %v", got)
+	}
+	if got, _ := res.Scalar("min_r"); got != 16.5 {
+		t.Fatalf("min = %v", got)
+	}
+	if got, _ := res.Scalar("max_r"); got != 18.0 {
+		t.Fatalf("max = %v", got)
+	}
+	if res.ScannedRows != 6 {
+		t.Fatalf("ScannedRows = %d", res.ScannedRows)
+	}
+}
+
+func TestStdDevAgg(t *testing.T) {
+	tb := photoTable(t)
+	res, err := RunOn(tb, Query{
+		Table: "PhotoObjAll",
+		Aggs:  []AggSpec{{Func: StdDev, Arg: expr.ColRef{Name: "rmag"}, Alias: "sd"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := res.Scalar("sd")
+	if got <= 0 {
+		t.Fatalf("stddev = %v", got)
+	}
+}
+
+func TestEmptySelectionAggregates(t *testing.T) {
+	tb := photoTable(t)
+	res, err := RunOn(tb, Query{
+		Table: "PhotoObjAll",
+		Where: expr.StrEq{Col: "type", Value: "NEBULA"},
+		Aggs: []AggSpec{
+			{Func: Count},
+			{Func: Avg, Arg: expr.ColRef{Name: "rmag"}, Alias: "a"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := res.Scalar("COUNT(*)"); got != 0 {
+		t.Fatalf("count over empty = %v", got)
+	}
+	if got, _ := res.Scalar("a"); got != 0 {
+		t.Fatalf("avg over empty = %v (zero-value contract)", got)
+	}
+}
+
+func TestProjection(t *testing.T) {
+	tb := photoTable(t)
+	res, err := RunOn(tb, Query{
+		Table:  "PhotoObjAll",
+		Where:  expr.Cmp{Op: vec.Gt, Left: expr.ColRef{Name: "dec"}, Right: 1.0},
+		Select: []string{"objID", "ra"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 {
+		t.Fatalf("rows = %d", res.Len())
+	}
+	ra, _ := res.Float64Col("ra")
+	if !reflect.DeepEqual(ra, []float64{190, 120, 200}) {
+		t.Fatalf("ra = %v", ra)
+	}
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	tb := photoTable(t)
+	res, err := RunOn(tb, Query{
+		Table:   "PhotoObjAll",
+		Select:  []string{"objID", "rmag"},
+		OrderBy: "rmag",
+		Limit:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmag, _ := res.Float64Col("rmag")
+	if !reflect.DeepEqual(rmag, []float64{15.0, 16.5}) {
+		t.Fatalf("ascending top2 = %v", rmag)
+	}
+	res, err = RunOn(tb, Query{
+		Table:   "PhotoObjAll",
+		Select:  []string{"rmag"},
+		OrderBy: "rmag",
+		Desc:    true,
+		Limit:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmag, _ = res.Float64Col("rmag")
+	if !reflect.DeepEqual(rmag, []float64{21.0, 19.5}) {
+		t.Fatalf("descending top2 = %v", rmag)
+	}
+}
+
+func TestOrderByMissingColumn(t *testing.T) {
+	tb := photoTable(t)
+	_, err := RunOn(tb, Query{Table: "PhotoObjAll", Select: []string{"ra"}, OrderBy: "zzz"})
+	if err == nil {
+		t.Fatal("ORDER BY missing column accepted")
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	tb := photoTable(t)
+	res, err := RunOn(tb, Query{
+		Table:   "PhotoObjAll",
+		GroupBy: "type",
+		Aggs: []AggSpec{
+			{Func: Count},
+			{Func: Avg, Arg: expr.ColRef{Name: "rmag"}, Alias: "avg_r"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 3 {
+		t.Fatalf("groups = %d", res.Len())
+	}
+	// First-seen order: GALAXY, STAR, QSO.
+	counts, _ := res.Float64Col("COUNT(*)")
+	if !reflect.DeepEqual(counts, []float64{3, 2, 1}) {
+		t.Fatalf("group counts = %v", counts)
+	}
+	avgs, _ := res.Float64Col("avg_r")
+	if math.Abs(avgs[1]-18.0) > 1e-12 { // STAR: (15+21)/2
+		t.Fatalf("star avg = %v", avgs[1])
+	}
+}
+
+func TestGroupByInt64KeyWithOrderLimit(t *testing.T) {
+	tb := photoTable(t)
+	res, err := RunOn(tb, Query{
+		Table:   "PhotoObjAll",
+		GroupBy: "fieldID",
+		Aggs:    []AggSpec{{Func: Count, Alias: "n"}},
+		OrderBy: "n",
+		Desc:    true,
+		Limit:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("limited groups = %d", res.Len())
+	}
+	n, _ := res.Float64Col("n")
+	if !reflect.DeepEqual(n, []float64{2, 2}) {
+		t.Fatalf("top counts = %v", n)
+	}
+}
+
+func TestGroupByUnsupportedType(t *testing.T) {
+	tb := photoTable(t)
+	_, err := RunOn(tb, Query{
+		Table:   "PhotoObjAll",
+		GroupBy: "ra",
+		Aggs:    []AggSpec{{Func: Count}},
+	})
+	if err == nil {
+		t.Fatal("GROUP BY DOUBLE accepted")
+	}
+}
+
+func TestGroupByWithWhere(t *testing.T) {
+	tb := photoTable(t)
+	res, err := RunOn(tb, Query{
+		Table:   "PhotoObjAll",
+		Where:   expr.Cmp{Op: vec.Lt, Left: expr.ColRef{Name: "rmag"}, Right: 19.0},
+		GroupBy: "type",
+		Aggs:    []AggSpec{{Func: Count, Alias: "n"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := res.Float64Col("n")
+	if !reflect.DeepEqual(n, []float64{3, 1}) { // GALAXY 3, STAR 1
+		t.Fatalf("filtered group counts = %v", n)
+	}
+}
+
+func TestRunUnknownTable(t *testing.T) {
+	ex := NewExecutor(table.NewCatalog())
+	_, err := ex.Run(Query{Table: "missing", Aggs: []AggSpec{{Func: Count}}})
+	if err == nil {
+		t.Fatal("unknown table accepted")
+	}
+}
+
+func TestScalarErrors(t *testing.T) {
+	tb := photoTable(t)
+	res, err := RunOn(tb, Query{Table: "PhotoObjAll", Select: []string{"ra"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Scalar("ra"); err == nil {
+		t.Fatal("multi-row Scalar accepted")
+	}
+	if _, err := res.Scalar("missing"); err == nil {
+		t.Fatal("missing column Scalar accepted")
+	}
+}
+
+func dimensionTable(t *testing.T) *table.Table {
+	t.Helper()
+	tb := table.MustNew("Field", table.Schema{
+		{Name: "fieldID", Type: column.Int64},
+		{Name: "quality", Type: column.Float64},
+		{Name: "run", Type: column.Int64},
+	})
+	rows := []table.Row{
+		{int64(10), 0.9, int64(1000)},
+		{int64(11), 0.7, int64(1001)},
+		{int64(12), 0.5, int64(1002)},
+	}
+	if err := tb.AppendBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestHashJoin(t *testing.T) {
+	fact := photoTable(t)
+	dim := dimensionTable(t)
+	joined, err := HashJoin(fact, dim, "fieldID", "fieldID")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fieldID 99 has no dimension row: inner join drops objID 6.
+	if joined.Len() != 5 {
+		t.Fatalf("joined rows = %d", joined.Len())
+	}
+	q, err := joined.Float64("quality")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, _ := joined.Int64("objID")
+	for i, id := range ids {
+		var want float64
+		switch id {
+		case 1, 2:
+			want = 0.9
+		case 3, 5:
+			want = 0.7
+		case 4:
+			want = 0.5
+		}
+		if q[i] != want {
+			t.Fatalf("objID %d joined quality %v, want %v", id, q[i], want)
+		}
+	}
+}
+
+func TestHashJoinDuplicateBuildKeys(t *testing.T) {
+	left := table.MustNew("L", table.Schema{{Name: "k", Type: column.Int64}})
+	right := table.MustNew("R", table.Schema{
+		{Name: "k", Type: column.Int64},
+		{Name: "v", Type: column.Float64},
+	})
+	_ = left.AppendBatch([]table.Row{{int64(1)}, {int64(2)}})
+	_ = right.AppendBatch([]table.Row{{int64(1), 10.0}, {int64(1), 20.0}})
+	joined, err := HashJoin(left, right, "k", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined.Len() != 2 {
+		t.Fatalf("m:n join rows = %d", joined.Len())
+	}
+}
+
+func TestHashJoinNameClash(t *testing.T) {
+	left := table.MustNew("L", table.Schema{
+		{Name: "k", Type: column.Int64},
+		{Name: "v", Type: column.Float64},
+	})
+	right := table.MustNew("R", table.Schema{
+		{Name: "k", Type: column.Int64},
+		{Name: "v", Type: column.Float64},
+	})
+	_ = left.AppendBatch([]table.Row{{int64(1), 1.0}})
+	_ = right.AppendBatch([]table.Row{{int64(1), 2.0}})
+	joined, err := HashJoin(left, right, "k", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined.Schema().Index("R.v") == -1 {
+		t.Fatalf("clashing column not prefixed: %v", joined.Schema().Names())
+	}
+	v, _ := joined.Float64("R.v")
+	if v[0] != 2.0 {
+		t.Fatalf("prefixed value = %v", v)
+	}
+}
+
+func TestHashJoinBadKeys(t *testing.T) {
+	fact := photoTable(t)
+	dim := dimensionTable(t)
+	if _, err := HashJoin(fact, dim, "ra", "fieldID"); err == nil {
+		t.Fatal("non-int left key accepted")
+	}
+	if _, err := HashJoin(fact, dim, "fieldID", "quality"); err == nil {
+		t.Fatal("non-int right key accepted")
+	}
+}
+
+func TestSemiJoinSel(t *testing.T) {
+	fact := photoTable(t)
+	dim := dimensionTable(t)
+	sel, err := SemiJoinSel(fact, "fieldID", dim, "fieldID", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sel, vec.Sel{0, 1, 2, 3, 4}) {
+		t.Fatalf("semijoin sel = %v", sel)
+	}
+	sel, err = SemiJoinSel(fact, "fieldID", dim, "fieldID", vec.Sel{4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sel, vec.Sel{4}) {
+		t.Fatalf("restricted semijoin = %v", sel)
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	m := CostModel{NsPerRow: 10, FixedNs: 1000}
+	if got := m.Predict(100); got.Nanoseconds() != 2000 {
+		t.Fatalf("Predict = %v", got)
+	}
+	if got := m.MaxRowsWithin(2000); got != 100 {
+		t.Fatalf("MaxRowsWithin = %d", got)
+	}
+	if got := m.MaxRowsWithin(500); got != 0 {
+		t.Fatalf("tiny budget rows = %d", got)
+	}
+	free := CostModel{NsPerRow: 0, FixedNs: 0}
+	if free.MaxRowsWithin(1) <= 0 {
+		t.Fatal("zero-cost model should allow everything")
+	}
+}
+
+func TestCalibrateProducesUsableModel(t *testing.T) {
+	m := Calibrate(50_000)
+	if m.NsPerRow <= 0 {
+		t.Fatalf("calibrated NsPerRow = %v", m.NsPerRow)
+	}
+	if m.Predict(1_000_000) <= 0 {
+		t.Fatal("prediction not positive")
+	}
+	d := DefaultCostModel()
+	if d.NsPerRow <= 0 || d.FixedNs <= 0 {
+		t.Fatal("default model degenerate")
+	}
+}
+
+func TestAggFuncString(t *testing.T) {
+	want := map[AggFunc]string{Count: "COUNT", Sum: "SUM", Avg: "AVG", Min: "MIN", Max: "MAX", StdDev: "STDDEV"}
+	for f, s := range want {
+		if f.String() != s {
+			t.Fatalf("%d String = %q", f, f.String())
+		}
+	}
+}

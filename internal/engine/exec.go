@@ -1,0 +1,318 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sciborq/internal/column"
+	"sciborq/internal/stats"
+	"sciborq/internal/table"
+	"sciborq/internal/vec"
+)
+
+// Result is a fully materialised query result.
+type Result struct {
+	Table *table.Table
+	// ScannedRows is the number of base rows the executor touched;
+	// the cost model calibrates against it.
+	ScannedRows int
+}
+
+// Len returns the number of result rows.
+func (r *Result) Len() int { return r.Table.Len() }
+
+// Float64Col returns a float64 result column by name.
+func (r *Result) Float64Col(name string) ([]float64, error) { return r.Table.Float64(name) }
+
+// Scalar returns the single value of a one-row, one-column aggregate
+// result column.
+func (r *Result) Scalar(name string) (float64, error) {
+	col, err := r.Table.Float64(name)
+	if err != nil {
+		return 0, err
+	}
+	if len(col) != 1 {
+		return 0, fmt.Errorf("engine: column %q has %d rows, want 1", name, len(col))
+	}
+	return col[0], nil
+}
+
+// Executor evaluates queries against a catalog.
+type Executor struct {
+	cat *table.Catalog
+}
+
+// NewExecutor returns an executor over the given catalog.
+func NewExecutor(cat *table.Catalog) *Executor { return &Executor{cat: cat} }
+
+// Run evaluates q against its table in the catalog.
+func (e *Executor) Run(q Query) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	t, err := e.cat.Get(q.Table)
+	if err != nil {
+		return nil, err
+	}
+	return RunOn(t, q)
+}
+
+// RunOn evaluates q against an explicit table — the hook the bounded
+// executor uses to aim one logical query at different impression layers.
+func RunOn(t *table.Table, q Query) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	sel, err := q.Pred().Filter(t, nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(q.Aggs) > 0 {
+		if q.GroupBy != "" {
+			return groupByAggregate(t, sel, q)
+		}
+		return aggregate(t, sel, q)
+	}
+	return project(t, sel, q)
+}
+
+// project materialises the selected columns, applying ORDER BY / LIMIT.
+// A single "*" projection expands to the full schema.
+func project(t *table.Table, sel vec.Sel, q Query) (*Result, error) {
+	if len(q.Select) == 1 && q.Select[0] == "*" {
+		q.Select = t.Schema().Names()
+	}
+	sel, err := orderAndLimit(t, sel, q)
+	if err != nil {
+		return nil, err
+	}
+	out, err := t.Project(resultName(q), q.Select, sel)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Table: out, ScannedRows: t.Len()}, nil
+}
+
+// orderAndLimit sorts sel by the ORDER BY column and truncates to LIMIT.
+func orderAndLimit(t *table.Table, sel vec.Sel, q Query) (vec.Sel, error) {
+	if sel == nil {
+		sel = vec.NewSelAll(t.Len())
+	}
+	if q.OrderBy != "" {
+		keys, err := t.Float64(q.OrderBy)
+		if err != nil {
+			return nil, err
+		}
+		sorted := make(vec.Sel, len(sel))
+		copy(sorted, sel)
+		sort.SliceStable(sorted, func(a, b int) bool {
+			if q.Desc {
+				return keys[sorted[a]] > keys[sorted[b]]
+			}
+			return keys[sorted[a]] < keys[sorted[b]]
+		})
+		sel = sorted
+	}
+	if q.Limit > 0 && len(sel) > q.Limit {
+		sel = sel[:q.Limit]
+	}
+	return sel, nil
+}
+
+// AggState carries the moments of one aggregate's input; the estimate
+// package turns it into confidence intervals.
+type AggState struct {
+	Spec    AggSpec
+	Moments stats.Moments
+}
+
+// Value returns the aggregate's exact value over the observed input.
+func (s *AggState) Value() float64 {
+	m := &s.Moments
+	switch s.Spec.Func {
+	case Count:
+		return float64(m.N())
+	case Sum:
+		return m.Mean() * float64(m.N())
+	case Avg:
+		return m.Mean()
+	case Min:
+		return m.Min()
+	case Max:
+		return m.Max()
+	case StdDev:
+		return m.StdDev()
+	}
+	return math.NaN()
+}
+
+// AggregateStates computes per-aggregate input moments for q on t
+// restricted to sel. It is the common core of plain and bounded
+// aggregation.
+func AggregateStates(t *table.Table, sel vec.Sel, aggs []AggSpec) ([]AggState, error) {
+	states := make([]AggState, len(aggs))
+	for i, a := range aggs {
+		states[i].Spec = a
+		if a.Arg == nil {
+			// COUNT(*): every selected row contributes 1.
+			n := sel.Len(t.Len())
+			for k := 0; k < n; k++ {
+				states[i].Moments.Observe(1)
+			}
+			continue
+		}
+		vals, err := a.Arg.EvalF64(t)
+		if err != nil {
+			return nil, err
+		}
+		states[i].Moments.ObserveAll(vec.GatherFloat64(vals, sel))
+	}
+	return states, nil
+}
+
+// aggregate evaluates a global (ungrouped) aggregate query.
+func aggregate(t *table.Table, sel vec.Sel, q Query) (*Result, error) {
+	states, err := AggregateStates(t, sel, q.Aggs)
+	if err != nil {
+		return nil, err
+	}
+	res, err := ResultFromStates(q, states)
+	if err != nil {
+		return nil, err
+	}
+	res.ScannedRows = t.Len()
+	return res, nil
+}
+
+// ResultFromStates assembles a one-row aggregate result from computed
+// aggregate states; the bounded executor uses it for baseline variants
+// that compute their own selections.
+func ResultFromStates(q Query, states []AggState) (*Result, error) {
+	schema := make(table.Schema, len(states))
+	for i, s := range states {
+		schema[i] = table.ColumnDef{Name: s.Spec.Name(), Type: column.Float64}
+	}
+	out, err := table.New(resultName(q), schema)
+	if err != nil {
+		return nil, err
+	}
+	row := make(table.Row, len(states))
+	for i := range states {
+		row[i] = states[i].Value()
+	}
+	if err := out.AppendRow(row); err != nil {
+		return nil, err
+	}
+	return &Result{Table: out}, nil
+}
+
+// groupKey extracts a group identifier per row for BIGINT or VARCHAR
+// grouping columns.
+func groupKeys(t *table.Table, name string) (func(i int32) string, error) {
+	col, err := t.Col(name)
+	if err != nil {
+		return nil, err
+	}
+	switch c := col.(type) {
+	case *column.Int64Col:
+		return func(i int32) string { return fmt.Sprintf("%d", c.Data[i]) }, nil
+	case *column.StringCol:
+		return func(i int32) string { return c.Value(i) }, nil
+	default:
+		return nil, fmt.Errorf("engine: GROUP BY %q: unsupported type %s", name, col.Type())
+	}
+}
+
+// groupByAggregate evaluates a grouped aggregate query via hash grouping.
+func groupByAggregate(t *table.Table, sel vec.Sel, q Query) (*Result, error) {
+	key, err := groupKeys(t, q.GroupBy)
+	if err != nil {
+		return nil, err
+	}
+	// Materialise every aggregate argument once.
+	args := make([][]float64, len(q.Aggs))
+	for i, a := range q.Aggs {
+		if a.Arg == nil {
+			continue
+		}
+		vals, err := a.Arg.EvalF64(t)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = vals
+	}
+	if sel == nil {
+		sel = vec.NewSelAll(t.Len())
+	}
+	groups := make(map[string][]stats.Moments)
+	order := make([]string, 0, 16) // deterministic first-seen order
+	for _, row := range sel {
+		k := key(row)
+		ms, ok := groups[k]
+		if !ok {
+			ms = make([]stats.Moments, len(q.Aggs))
+			order = append(order, k)
+		}
+		for i := range q.Aggs {
+			if args[i] == nil {
+				ms[i].Observe(1)
+			} else {
+				ms[i].Observe(args[i][row])
+			}
+		}
+		groups[k] = ms
+	}
+	schema := make(table.Schema, 0, len(q.Aggs)+1)
+	schema = append(schema, table.ColumnDef{Name: q.GroupBy, Type: column.String})
+	for _, a := range q.Aggs {
+		schema = append(schema, table.ColumnDef{Name: a.Name(), Type: column.Float64})
+	}
+	out, err := table.New(resultName(q), schema)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range order {
+		row := make(table.Row, 0, len(q.Aggs)+1)
+		row = append(row, k)
+		for i, a := range q.Aggs {
+			st := AggState{Spec: a, Moments: groups[k][i]}
+			row = append(row, st.Value())
+		}
+		if err := out.AppendRow(row); err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{Table: out, ScannedRows: t.Len()}
+	return sortGroupedResult(res, q)
+}
+
+// sortGroupedResult applies ORDER BY / LIMIT to a grouped result.
+func sortGroupedResult(res *Result, q Query) (*Result, error) {
+	if q.OrderBy == "" && q.Limit == 0 {
+		return res, nil
+	}
+	sel := vec.NewSelAll(res.Table.Len())
+	if q.OrderBy != "" {
+		keys, err := res.Table.Float64(q.OrderBy)
+		if err != nil {
+			return nil, fmt.Errorf("engine: ORDER BY %q must name an aggregate output: %w", q.OrderBy, err)
+		}
+		sort.SliceStable(sel, func(a, b int) bool {
+			if q.Desc {
+				return keys[sel[a]] > keys[sel[b]]
+			}
+			return keys[sel[a]] < keys[sel[b]]
+		})
+	}
+	if q.Limit > 0 && len(sel) > q.Limit {
+		sel = sel[:q.Limit]
+	}
+	out, err := res.Table.Project(res.Table.Name(), res.Table.Schema().Names(), sel)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Table: out, ScannedRows: res.ScannedRows}, nil
+}
+
+func resultName(q Query) string { return "result(" + q.Table + ")" }

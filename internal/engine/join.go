@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"fmt"
+
+	"sciborq/internal/column"
+	"sciborq/internal/table"
+	"sciborq/internal/vec"
+)
+
+// HashJoin performs an inner equi-join of left and right on BIGINT key
+// columns (the foreign-key joins of the SkyServer schema: fact table to
+// dimension tables). The result contains all left columns plus the
+// non-key right columns, prefixed with the right table name on clashes.
+//
+// The build side is the right (dimension) table; the probe side streams
+// the left (fact) table, the standard column-store FK-join shape.
+func HashJoin(left, right *table.Table, leftKey, rightKey string) (*table.Table, error) {
+	lk, err := left.Int64(leftKey)
+	if err != nil {
+		return nil, fmt.Errorf("engine: join left key: %w", err)
+	}
+	rk, err := right.Int64(rightKey)
+	if err != nil {
+		return nil, fmt.Errorf("engine: join right key: %w", err)
+	}
+	// Build: key -> row positions in right (supports duplicate keys).
+	build := make(map[int64][]int32, len(rk))
+	for i, k := range rk {
+		build[k] = append(build[k], int32(i))
+	}
+	// Probe: collect matching row pairs.
+	var lsel, rsel vec.Sel
+	for i, k := range lk {
+		for _, rrow := range build[k] {
+			lsel = append(lsel, int32(i))
+			rsel = append(rsel, rrow)
+		}
+	}
+	// Assemble output schema: left columns, then right minus its key.
+	leftNames := left.Schema().Names()
+	used := make(map[string]bool, len(leftNames))
+	for _, n := range leftNames {
+		used[n] = true
+	}
+	schema := make(table.Schema, 0, len(leftNames)+len(right.Schema()))
+	schema = append(schema, left.Schema()...)
+	type rightCol struct {
+		src string // column name in right
+		dst string // output name
+	}
+	var rightCols []rightCol
+	for _, def := range right.Schema() {
+		if def.Name == rightKey {
+			continue
+		}
+		out := def.Name
+		if used[out] {
+			out = right.Name() + "." + def.Name
+		}
+		used[out] = true
+		schema = append(schema, table.ColumnDef{Name: out, Type: def.Type})
+		rightCols = append(rightCols, rightCol{src: def.Name, dst: out})
+	}
+	joined, err := table.New(left.Name()+"⋈"+right.Name(), schema)
+	if err != nil {
+		return nil, err
+	}
+	// Materialise all output columns with the matched selections.
+	chunks := make([]column.Column, 0, len(schema))
+	for _, n := range leftNames {
+		c, err := left.Col(n)
+		if err != nil {
+			return nil, err
+		}
+		chunks = append(chunks, c.Slice(lsel))
+	}
+	for _, rc := range rightCols {
+		c, err := right.Col(rc.src)
+		if err != nil {
+			return nil, err
+		}
+		sliced := c.Slice(rsel)
+		chunks = append(chunks, renameColumn(sliced, rc.dst))
+	}
+	if err := joined.AppendColumns(chunks); err != nil {
+		return nil, err
+	}
+	return joined, nil
+}
+
+// renameColumn returns a column identical to c but with a new name.
+func renameColumn(c column.Column, name string) column.Column {
+	switch cc := c.(type) {
+	case *column.Float64Col:
+		return column.NewFloat64From(name, cc.Data)
+	case *column.Int64Col:
+		return column.NewInt64From(name, cc.Data)
+	case *column.StringCol:
+		out := column.NewString(name)
+		for i := 0; i < cc.Len(); i++ {
+			out.Append(cc.Value(int32(i)))
+		}
+		return out
+	case *column.BoolCol:
+		out := column.NewBool(name)
+		out.Data = append(out.Data, cc.Data...)
+		return out
+	}
+	return c
+}
+
+// SemiJoinSel returns the positions of left rows whose key appears in
+// right's key column — the cheap FK-existence filter used when a query
+// only constrains a dimension.
+func SemiJoinSel(left *table.Table, leftKey string, right *table.Table, rightKey string, sel vec.Sel) (vec.Sel, error) {
+	lk, err := left.Int64(leftKey)
+	if err != nil {
+		return nil, err
+	}
+	rk, err := right.Int64(rightKey)
+	if err != nil {
+		return nil, err
+	}
+	keys := make(map[int64]struct{}, len(rk))
+	for _, k := range rk {
+		keys[k] = struct{}{}
+	}
+	return vec.SelectFunc(len(lk), sel, func(i int32) bool {
+		_, ok := keys[lk[i]]
+		return ok
+	}), nil
+}

@@ -1,0 +1,146 @@
+package estimate
+
+import (
+	"testing"
+
+	"sciborq/internal/column"
+	"sciborq/internal/engine"
+	"sciborq/internal/expr"
+	"sciborq/internal/impression"
+	"sciborq/internal/table"
+	"sciborq/internal/vec"
+	"sciborq/internal/workload"
+	"sciborq/internal/xrand"
+)
+
+// clampedFixture builds the regime where acceptance clamps: a biased
+// impression at n/N = 10% with strong focal interest, where the bias
+// factor alone misrepresents sample composition and CountWeights (the
+// inclusion probabilities) are required for share estimates.
+func clampedFixture(t *testing.T) (Layer, *table.Table) {
+	t.Helper()
+	const N, n = 40000, 4000
+	tb := table.MustNew("base", table.Schema{
+		{Name: "ra", Type: column.Float64},
+	})
+	r := xrand.New(51)
+	rows := make([]table.Row, 0, N)
+	for i := 0; i < N; i++ {
+		rows = append(rows, table.Row{120 + r.Float64()*120})
+	}
+	if err := tb.AppendBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+	logger, err := workload.NewLogger([]workload.AttrSpec{
+		{Name: "ra", Min: 120, Max: 240, Beta: 30},
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		logger.LogPoints([]expr.Point{{Attr: "ra", Value: 165 + r.NormFloat64()*4}})
+	}
+	im, err := impression.New(tb, impression.Config{
+		Name: "clamped", Size: n, Policy: impression.Biased,
+		Logger: logger, Attrs: []string{"ra"}, Seed: 52,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < N; i++ {
+		im.Offer(int32(i))
+	}
+	m, err := im.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Layer{
+		Name: "clamped", Table: m.Table,
+		Weights: m.RatioWeights, CountWeights: m.InclusionWeights,
+		BaseRows: N,
+	}, tb
+}
+
+func TestCountWeightsFixClampedCounts(t *testing.T) {
+	layer, base := clampedFixture(t)
+	ra, _ := base.Float64("ra")
+	exact := 0
+	for _, v := range ra {
+		if v >= 160 && v < 170 {
+			exact++
+		}
+	}
+	pred := expr.And{
+		L: expr.Cmp{Op: vec.Ge, Left: expr.ColRef{Name: "ra"}, Right: 160},
+		R: expr.Cmp{Op: vec.Lt, Left: expr.ColRef{Name: "ra"}, Right: 170},
+	}
+	q := engine.Query{Table: "c", Where: pred, Aggs: []engine.AggSpec{{Func: engine.Count}}}
+
+	// With inclusion weights: the focal count must be in the right
+	// ballpark (within 35% — the clamped regime is the documented worst
+	// case) and covered at 99%.
+	withPi, err := AggregateOn(layer, q, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPi := withPi[0].Value()
+
+	// Without them (ratio-weight fallback): the same count is far off —
+	// the failure mode that motivated the two-vector design.
+	noPi := layer
+	noPi.CountWeights = nil
+	withW, err := AggregateOn(noPi, q, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotW := withW[0].Value()
+
+	relPi := abs(gotPi-float64(exact)) / float64(exact)
+	relW := abs(gotW-float64(exact)) / float64(exact)
+	if relPi > 0.35 {
+		t.Fatalf("inclusion-weighted count off by %.0f%% (got %v, exact %d)", relPi*100, gotPi, exact)
+	}
+	if relW < relPi {
+		t.Fatalf("ratio-weight fallback (%.0f%% error) beat inclusion weights (%.0f%%); fixture not in clamped regime",
+			relW*100, relPi*100)
+	}
+}
+
+func TestCountWeightsValidation(t *testing.T) {
+	layer, _ := clampedFixture(t)
+	layer.CountWeights = layer.CountWeights[:1]
+	if err := layer.Validate(); err == nil {
+		t.Fatal("count-weight length mismatch accepted")
+	}
+}
+
+func TestAvgStillUsesRatioWeights(t *testing.T) {
+	// AVG must be driven by Weights, not CountWeights: poisoning the
+	// CountWeights must not change an AVG estimate.
+	layer, _ := clampedFixture(t)
+	q := engine.Query{Table: "c", Aggs: []engine.AggSpec{
+		{Func: engine.Avg, Arg: expr.ColRef{Name: "ra"}, Alias: "a"}}}
+	before, err := AggregateOn(layer, q, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisoned := make([]float64, len(layer.CountWeights))
+	for i := range poisoned {
+		poisoned[i] = 1e-9
+	}
+	layer.CountWeights = poisoned
+	after, err := AggregateOn(layer, q, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before[0].Value() != after[0].Value() {
+		t.Fatal("AVG estimate depends on CountWeights")
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,100 @@
+package estimate
+
+import (
+	"fmt"
+
+	"sciborq/internal/column"
+	"sciborq/internal/engine"
+	"sciborq/internal/table"
+	"sciborq/internal/vec"
+)
+
+// GroupEstimate is the estimate set for one group key.
+type GroupEstimate struct {
+	Key       string
+	Estimates []Estimate
+}
+
+// GroupedAggregateOn evaluates a grouped aggregate query against a
+// layer, producing per-group estimates with confidence intervals: the
+// layer is partitioned by the grouping column and each partition is
+// estimated as an ordinary filtered aggregate. Groups that do not occur
+// in the sample are necessarily absent (their population share is below
+// the layer's resolution — exactly the paper's cue to escalate to a more
+// detailed impression).
+func GroupedAggregateOn(l Layer, q engine.Query, level float64) ([]GroupEstimate, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if q.GroupBy == "" {
+		return nil, fmt.Errorf("estimate: query has no GROUP BY")
+	}
+	if len(q.Aggs) == 0 {
+		return nil, fmt.Errorf("estimate: grouped query has no aggregates")
+	}
+	sel, err := q.Pred().Filter(l.Table, nil)
+	if err != nil {
+		return nil, err
+	}
+	groups, order, err := partition(l.Table, q.GroupBy, sel)
+	if err != nil {
+		return nil, err
+	}
+	// Materialise aggregate arguments once over the whole layer.
+	fulls := make([][]float64, len(q.Aggs))
+	for i, spec := range q.Aggs {
+		if spec.Arg == nil {
+			continue
+		}
+		full, err := spec.Arg.EvalF64(l.Table)
+		if err != nil {
+			return nil, err
+		}
+		fulls[i] = full
+	}
+	out := make([]GroupEstimate, 0, len(order))
+	for _, key := range order {
+		gsel := groups[key]
+		ge := GroupEstimate{Key: key}
+		for i, spec := range q.Aggs {
+			est, err := estimateOne(l, spec, fulls[i], gsel, len(gsel), level)
+			if err != nil {
+				return nil, err
+			}
+			ge.Estimates = append(ge.Estimates, est)
+		}
+		out = append(out, ge)
+	}
+	return out, nil
+}
+
+// partition splits sel by the grouping column's value, preserving
+// first-seen order.
+func partition(t *table.Table, groupBy string, sel vec.Sel) (map[string]vec.Sel, []string, error) {
+	col, err := t.Col(groupBy)
+	if err != nil {
+		return nil, nil, err
+	}
+	var key func(i int32) string
+	switch c := col.(type) {
+	case *column.Int64Col:
+		key = func(i int32) string { return fmt.Sprintf("%d", c.Data[i]) }
+	case *column.StringCol:
+		key = func(i int32) string { return c.Value(i) }
+	default:
+		return nil, nil, fmt.Errorf("estimate: GROUP BY %q: unsupported type %s", groupBy, col.Type())
+	}
+	if sel == nil {
+		sel = vec.NewSelAll(t.Len())
+	}
+	groups := make(map[string]vec.Sel)
+	var order []string
+	for _, pos := range sel {
+		k := key(pos)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], pos)
+	}
+	return groups, order, nil
+}

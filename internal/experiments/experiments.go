@@ -1,0 +1,726 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"sciborq/internal/bounded"
+	"sciborq/internal/engine"
+	"sciborq/internal/estimate"
+	"sciborq/internal/expr"
+	"sciborq/internal/fisher"
+	"sciborq/internal/impression"
+	"sciborq/internal/kde"
+	"sciborq/internal/reservoir"
+	"sciborq/internal/skyserver"
+	"sciborq/internal/stats"
+	"sciborq/internal/vec"
+	"sciborq/internal/workload"
+	"sciborq/internal/xrand"
+)
+
+// fixture bundles the shared experiment substrate: a synthetic sky, a
+// focused workload logger, and helpers.
+type fixture struct {
+	db     *skyserver.Database
+	logger *workload.Logger
+}
+
+func newFixture(baseRows int, seed uint64) (*fixture, error) {
+	cfg := skyserver.DefaultConfig(baseRows)
+	cfg.Seed = seed
+	db, err := skyserver.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	logger, err := workload.NewLogger([]workload.AttrSpec{
+		{Name: "ra", Min: 120, Max: 240, Beta: 30},
+		{Name: "dec", Min: 0, Max: 60, Beta: 30},
+	}, false)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := workload.NewGenerator(workload.Figure4Focals(), xrand.New(seed+1))
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range gen.NextN(400) {
+		logger.LogQuery(c)
+	}
+	return &fixture{db: db, logger: logger}, nil
+}
+
+// uniformLayer builds one uniform impression layer of size n.
+func (f *fixture) uniformLayer(n int, seed uint64) (estimate.Layer, error) {
+	im, err := impression.New(f.db.PhotoObjAll, impression.Config{
+		Name: fmt.Sprintf("uniform-%d", n), Size: n, Seed: seed,
+	})
+	if err != nil {
+		return estimate.Layer{}, err
+	}
+	for i := 0; i < f.db.PhotoObjAll.Len(); i++ {
+		im.Offer(int32(i))
+	}
+	t, _, err := im.Table()
+	if err != nil {
+		return estimate.Layer{}, err
+	}
+	return estimate.Layer{Name: im.Name(), Table: t, BaseRows: int64(f.db.PhotoObjAll.Len())}, nil
+}
+
+// biasedLayer builds one biased impression layer of size n steered by
+// the fixture's workload.
+func (f *fixture) biasedLayer(n int, seed uint64) (estimate.Layer, error) {
+	im, err := impression.New(f.db.PhotoObjAll, impression.Config{
+		Name: fmt.Sprintf("biased-%d", n), Size: n, Policy: impression.Biased,
+		Logger: f.logger, Attrs: []string{"ra", "dec"}, Seed: seed,
+	})
+	if err != nil {
+		return estimate.Layer{}, err
+	}
+	for i := 0; i < f.db.PhotoObjAll.Len(); i++ {
+		im.Offer(int32(i))
+	}
+	t, w, err := im.Table()
+	if err != nil {
+		return estimate.Layer{}, err
+	}
+	return estimate.Layer{Name: im.Name(), Table: t, Weights: w, BaseRows: int64(f.db.PhotoObjAll.Len())}, nil
+}
+
+// avgRQuery is the standard probe: AVG(r) over an optional predicate.
+func avgRQuery(where expr.Predicate) engine.Query {
+	return engine.Query{
+		Table: "PhotoObjAll",
+		Where: where,
+		Aggs:  []engine.AggSpec{{Func: engine.Avg, Arg: expr.ColRef{Name: "r"}, Alias: "avg_r"}},
+	}
+}
+
+// exactAvg computes AVG(r) exactly under a predicate.
+func (f *fixture) exactAvg(where expr.Predicate) (float64, error) {
+	res, err := engine.RunOn(f.db.PhotoObjAll, avgRQuery(where))
+	if err != nil {
+		return 0, err
+	}
+	return res.Scalar("avg_r")
+}
+
+// E1Row is one row of experiment E1.
+type E1Row struct {
+	LayerSize    int
+	PredictedRel float64 // CI half-width / estimate
+	ObservedRel  float64 // |estimate − truth| / truth
+	Covered      bool
+}
+
+// E1Result: error vs impression size (§3.1 "the larger the impression,
+// the smaller the error bounds").
+type E1Result struct {
+	BaseRows int
+	Truth    float64
+	Rows     []E1Row
+}
+
+// E1LayerError runs AVG(r) on uniform layers of increasing size.
+func E1LayerError(baseRows int, sizes []int, seed uint64) (*E1Result, error) {
+	f, err := newFixture(baseRows, seed)
+	if err != nil {
+		return nil, err
+	}
+	truth, err := f.exactAvg(nil)
+	if err != nil {
+		return nil, err
+	}
+	out := &E1Result{BaseRows: baseRows, Truth: truth}
+	for i, n := range sizes {
+		layer, err := f.uniformLayer(n, seed+uint64(i)+10)
+		if err != nil {
+			return nil, err
+		}
+		ests, err := estimate.AggregateOn(layer, avgRQuery(nil), 0.95)
+		if err != nil {
+			return nil, err
+		}
+		e := ests[0]
+		out.Rows = append(out.Rows, E1Row{
+			LayerSize:    n,
+			PredictedRel: e.RelError(),
+			ObservedRel:  math.Abs(e.Value()-truth) / math.Abs(truth),
+			Covered:      e.Interval.Contains(truth),
+		})
+	}
+	return out, nil
+}
+
+// Render prints E1.
+func (r *E1Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E1 — error vs impression size (base=%d, truth AVG(r)=%.4f)\n", r.BaseRows, r.Truth)
+	fmt.Fprintf(&b, "%10s %14s %14s %8s\n", "layer n", "CI rel err", "observed err", "covered")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%10d %13.4f%% %13.4f%% %8t\n",
+			row.LayerSize, row.PredictedRel*100, row.ObservedRel*100, row.Covered)
+	}
+	return b.String()
+}
+
+// E2Row is one row of experiment E2.
+type E2Row struct {
+	LayerRows int
+	Promised  time.Duration
+	Measured  time.Duration
+	Met       bool
+}
+
+// E2Result: per-layer latency promises vs measurements.
+type E2Result struct {
+	Model engine.CostModel
+	Rows  []E2Row
+}
+
+// E2TimeBounds measures actual layer latencies against the calibrated
+// cost model's promises.
+func E2TimeBounds(baseRows int, sizes []int, seed uint64) (*E2Result, error) {
+	f, err := newFixture(baseRows, seed)
+	if err != nil {
+		return nil, err
+	}
+	model := engine.Calibrate(200_000)
+	out := &E2Result{Model: model}
+	cone := skyserver.FGetNearbyObjEq(165, 20, 5)
+	for i, n := range sizes {
+		layer, err := f.uniformLayer(n, seed+uint64(i)+40)
+		if err != nil {
+			return nil, err
+		}
+		// Median of 5 runs.
+		var best time.Duration
+		for rep := 0; rep < 5; rep++ {
+			start := time.Now()
+			if _, err := estimate.AggregateOn(layer, avgRQuery(cone), 0.95); err != nil {
+				return nil, err
+			}
+			el := time.Since(start)
+			if rep == 0 || el < best {
+				best = el
+			}
+		}
+		promised := model.Predict(n)
+		out.Rows = append(out.Rows, E2Row{
+			LayerRows: n,
+			Promised:  promised,
+			Measured:  best,
+			// The promise holds if the measured time is within 4x of it
+			// (cost models promise order of magnitude, not cycles).
+			Met: best <= 4*promised || best < time.Millisecond,
+		})
+	}
+	return out, nil
+}
+
+// Render prints E2.
+func (r *E2Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E2 — execution-time guarantees per layer (model: %.2f ns/row + %.0f ns)\n",
+		r.Model.NsPerRow, r.Model.FixedNs)
+	fmt.Fprintf(&b, "%10s %14s %14s %6s\n", "layer n", "promised", "measured", "ok")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%10d %14v %14v %6t\n", row.LayerRows, row.Promised, row.Measured, row.Met)
+	}
+	return b.String()
+}
+
+// E3Result: biased vs uniform precision on focal and anti-focal queries.
+type E3Result struct {
+	SampleSize                   int
+	FocalUniform, FocalBiased    float64 // CI relative errors
+	AntiUniform, AntiBiased      float64
+	FocalSupportU, FocalSupportB int // matching sample rows
+}
+
+// E3BiasedVsUniform runs the paper's central claim: biased impressions
+// answer focal queries with tighter bounds than uniform ones of equal
+// size, at the cost of looser anti-focal bounds.
+func E3BiasedVsUniform(baseRows, sampleSize int, seed uint64) (*E3Result, error) {
+	f, err := newFixture(baseRows, seed)
+	if err != nil {
+		return nil, err
+	}
+	uni, err := f.uniformLayer(sampleSize, seed+100)
+	if err != nil {
+		return nil, err
+	}
+	bia, err := f.biasedLayer(sampleSize, seed+101)
+	if err != nil {
+		return nil, err
+	}
+	focal := skyserver.FGetNearbyObjEq(165, 20, 3) // at the workload focus
+	anti := expr.And{
+		L: expr.Cmp{Op: vec.Ge, Left: expr.ColRef{Name: "ra"}, Right: 225},
+		R: expr.Cmp{Op: vec.Lt, Left: expr.ColRef{Name: "dec"}, Right: 10},
+	} // far from any focal point
+	run := func(l estimate.Layer, p expr.Predicate) (estimate.Estimate, error) {
+		ests, err := estimate.AggregateOn(l, avgRQuery(p), 0.95)
+		if err != nil {
+			return estimate.Estimate{}, err
+		}
+		return ests[0], nil
+	}
+	fu, err := run(uni, focal)
+	if err != nil {
+		return nil, err
+	}
+	fb, err := run(bia, focal)
+	if err != nil {
+		return nil, err
+	}
+	au, err := run(uni, anti)
+	if err != nil {
+		return nil, err
+	}
+	ab, err := run(bia, anti)
+	if err != nil {
+		return nil, err
+	}
+	return &E3Result{
+		SampleSize:    sampleSize,
+		FocalUniform:  fu.RelError(),
+		FocalBiased:   fb.RelError(),
+		AntiUniform:   au.RelError(),
+		AntiBiased:    ab.RelError(),
+		FocalSupportU: fu.SampleRows,
+		FocalSupportB: fb.SampleRows,
+	}, nil
+}
+
+// Render prints E3.
+func (r *E3Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E3 — biased vs uniform (n=%d): CI relative error on AVG(r)\n", r.SampleSize)
+	fmt.Fprintf(&b, "%18s %10s %10s\n", "query", "uniform", "biased")
+	fmt.Fprintf(&b, "%18s %9.3f%% %9.3f%%   (support: %d vs %d sample rows)\n",
+		"focal cone", r.FocalUniform*100, r.FocalBiased*100, r.FocalSupportU, r.FocalSupportB)
+	fmt.Fprintf(&b, "%18s %9.3f%% %9.3f%%\n", "anti-focal box", r.AntiUniform*100, r.AntiBiased*100)
+	return b.String()
+}
+
+// E4Point is the focal coverage after one load step.
+type E4Point struct {
+	Load      int
+	FocalFrac float64 // fraction of the impression inside the active focus
+}
+
+// E4Result: adaptation to workload shift.
+type E4Result struct {
+	ShiftAt int
+	Points  []E4Point
+}
+
+// E4Adaptation drifts the workload focus mid-stream and tracks how the
+// biased impression follows it: queries focus on region A, then shift to
+// region B at load `shiftAt`; the plot shows the fraction of impression
+// tuples near B recovering after the shift.
+func E4Adaptation(loads, rowsPerLoad, sampleSize, shiftAt int, seed uint64) (*E4Result, error) {
+	cfg := skyserver.DefaultConfig(0)
+	cfg.Seed = seed
+	db, err := skyserver.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	logger, err := workload.NewLogger([]workload.AttrSpec{
+		{Name: "ra", Min: 120, Max: 240, Beta: 30},
+	}, false)
+	if err != nil {
+		return nil, err
+	}
+	focusA := []workload.FocalPoint{{Ra: 150, Dec: 20, SigmaRa: 4, SigmaDec: 4, Weight: 1, ConeRadius: 2}}
+	focusB := []workload.FocalPoint{{Ra: 215, Dec: 40, SigmaRa: 4, SigmaDec: 4, Weight: 1, ConeRadius: 2}}
+	gen, err := workload.NewGenerator(focusA, xrand.New(seed+1))
+	if err != nil {
+		return nil, err
+	}
+	im, err := impression.New(db.PhotoObjAll, impression.Config{
+		Name: "adaptive", Size: sampleSize, Policy: impression.Biased,
+		Logger: logger, Attrs: []string{"ra"}, Seed: seed + 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rowGen := db.Generator(xrand.New(seed + 3))
+	out := &E4Result{ShiftAt: shiftAt}
+	for load := 0; load < loads; load++ {
+		if load == shiftAt {
+			if err := gen.Shift(focusB); err != nil {
+				return nil, err
+			}
+			// Age out stale interest so the new focus can dominate
+			// (§3.1 "fast reflexes").
+			logger.Decay(0.1)
+		}
+		// 20 queries per load window.
+		for _, c := range gen.NextN(20) {
+			logger.LogQuery(c)
+		}
+		batch := rowGen.NextBatch(rowsPerLoad)
+		start := db.PhotoObjAll.Len()
+		if err := db.PhotoObjAll.AppendBatch(batch); err != nil {
+			return nil, err
+		}
+		for pos := start; pos < db.PhotoObjAll.Len(); pos++ {
+			im.Offer(int32(pos))
+		}
+		// Focal fraction wrt the CURRENT focus (B after the shift).
+		centre := 150.0
+		if load >= shiftAt {
+			centre = 215.0
+		}
+		t, _, err := im.Table()
+		if err != nil {
+			return nil, err
+		}
+		ra, err := t.Float64("ra")
+		if err != nil {
+			return nil, err
+		}
+		in := 0
+		for _, v := range ra {
+			if math.Abs(v-centre) < 10 {
+				in++
+			}
+		}
+		frac := 0.0
+		if len(ra) > 0 {
+			frac = float64(in) / float64(len(ra))
+		}
+		out.Points = append(out.Points, E4Point{Load: load, FocalFrac: frac})
+	}
+	return out, nil
+}
+
+// Render prints E4.
+func (r *E4Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E4 — adaptation to workload shift (focus moves at load %d)\n", r.ShiftAt)
+	fmt.Fprintf(&b, "%6s %12s\n", "load", "focal frac")
+	for _, p := range r.Points {
+		marker := ""
+		if p.Load == r.ShiftAt {
+			marker = "  <- shift"
+		}
+		fmt.Fprintf(&b, "%6d %12.3f%s\n", p.Load, p.FocalFrac, marker)
+	}
+	return b.String()
+}
+
+// E5Row is one quality-bound escalation outcome.
+type E5Row struct {
+	Eps         float64
+	LayerRows   int
+	LayersTried int
+	Exact       bool
+	AchievedRel float64
+}
+
+// E5Result: which layer satisfies which error bound.
+type E5Result struct {
+	Rows []E5Row
+}
+
+// E5Escalation sweeps error bounds over a 3-layer hierarchy and records
+// the layer that satisfied each (§3.2 escalation).
+func E5Escalation(baseRows int, sizes []int, epss []float64, seed uint64) (*E5Result, error) {
+	f, err := newFixture(baseRows, seed)
+	if err != nil {
+		return nil, err
+	}
+	layers := make([]*impression.Impression, 0, len(sizes))
+	for i, n := range sizes {
+		im, err := impression.New(f.db.PhotoObjAll, impression.Config{
+			Name: fmt.Sprintf("L%d", i), Size: n, Seed: seed + uint64(i) + 60,
+		})
+		if err != nil {
+			return nil, err
+		}
+		layers = append(layers, im)
+	}
+	h, err := impression.NewHierarchy(layers, 1<<30)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < f.db.PhotoObjAll.Len(); i++ {
+		layers[0].Offer(int32(i))
+	}
+	if err := h.Refresh(); err != nil {
+		return nil, err
+	}
+	ex, err := bounded.NewExecutor(f.db.PhotoObjAll, h, engine.DefaultCostModel())
+	if err != nil {
+		return nil, err
+	}
+	out := &E5Result{}
+	q := avgRQuery(skyserver.FGetNearbyObjEq(165, 20, 8))
+	for _, eps := range epss {
+		ans, err := ex.ErrorBounded(q, eps, 0.95)
+		if err != nil {
+			return nil, err
+		}
+		last := ans.Trail[len(ans.Trail)-1]
+		out.Rows = append(out.Rows, E5Row{
+			Eps: eps, LayerRows: last.Rows, LayersTried: len(ans.Trail),
+			Exact: ans.Exact, AchievedRel: ans.Estimates[0].RelError(),
+		})
+	}
+	return out, nil
+}
+
+// Render prints E5.
+func (r *E5Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "E5 — quality-bound escalation across layers")
+	fmt.Fprintf(&b, "%10s %12s %8s %8s %12s\n", "eps", "layer rows", "tried", "exact", "achieved")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%9.3f%% %12d %8d %8t %11.4f%%\n",
+			row.Eps*100, row.LayerRows, row.LayersTried, row.Exact, row.AchievedRel*100)
+	}
+	return b.String()
+}
+
+// E6Row is the recency profile for one k/D setting.
+type E6Row struct {
+	KOverD      float64
+	MeanAge     float64 // mean (stream length − position) of sampled tuples
+	FracLastDay float64 // fraction from the final ingest window
+}
+
+// E6Result: Last Seen recency bias (Figure 3).
+type E6Result struct {
+	Stream int
+	Day    int
+	Rows   []E6Row
+}
+
+// E6LastSeen streams `stream` tuples with daily windows of size `day`
+// and measures the recency profile of Last Seen impressions for several
+// k/D ratios, plus a uniform reservoir baseline.
+func E6LastSeen(stream, day, sampleSize int, ratios []float64, seed uint64) (*E6Result, error) {
+	out := &E6Result{Stream: stream, Day: day}
+	profile := func(items []int32) (meanAge, fracLast float64) {
+		var ageSum float64
+		last := 0
+		for _, p := range items {
+			ageSum += float64(stream - 1 - int(p))
+			if int(p) >= stream-day {
+				last++
+			}
+		}
+		if len(items) == 0 {
+			return 0, 0
+		}
+		return ageSum / float64(len(items)), float64(last) / float64(len(items))
+	}
+	// Uniform baseline (ratio reported as 0).
+	uni, err := reservoir.NewR[int32](sampleSize, xrand.New(seed))
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < stream; i++ {
+		uni.Offer(int32(i))
+	}
+	mu, fu := profile(uni.Items())
+	out.Rows = append(out.Rows, E6Row{KOverD: 0, MeanAge: mu, FracLastDay: fu})
+	for i, ratio := range ratios {
+		ls, err := reservoir.NewLastSeen[int32](sampleSize, ratio*float64(day), float64(day), false, xrand.New(seed+uint64(i)+1))
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < stream; j++ {
+			ls.Offer(int32(j))
+		}
+		m, fr := profile(ls.Items())
+		out.Rows = append(out.Rows, E6Row{KOverD: ratio, MeanAge: m, FracLastDay: fr})
+	}
+	return out, nil
+}
+
+// Render prints E6.
+func (r *E6Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E6 — Last Seen recency bias (stream=%d, day=%d; k/D=0 is the uniform baseline)\n", r.Stream, r.Day)
+	fmt.Fprintf(&b, "%8s %14s %14s\n", "k/D", "mean age", "frac last day")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%8.2f %14.0f %14.3f\n", row.KOverD, row.MeanAge, row.FracLastDay)
+	}
+	return b.String()
+}
+
+// E7Row compares KDE evaluation costs at one predicate-set size.
+type E7Row struct {
+	N        int
+	FullNs   float64 // ns per f̂ evaluation
+	BinnedNs float64 // ns per f̆ evaluation
+	Speedup  float64
+}
+
+// E7Result: f̆ is O(β) while f̂ is O(N).
+type E7Result struct {
+	Beta int
+	Rows []E7Row
+}
+
+// E7KDECost measures per-evaluation cost of f̂ vs f̆ as the predicate set
+// grows.
+func E7KDECost(ns []int, beta int, seed uint64) (*E7Result, error) {
+	out := &E7Result{Beta: beta}
+	r := xrand.New(seed)
+	for _, n := range ns {
+		xs := make([]float64, n)
+		hist := stats.MustNewHistogram(120, 240, beta)
+		for i := range xs {
+			v := 160 + r.NormFloat64()*10
+			xs[i] = v
+			hist.Observe(v)
+		}
+		full, err := kde.NewFull(xs, 4, kde.Gaussian{})
+		if err != nil {
+			return nil, err
+		}
+		binned, err := kde.NewBinned(hist, kde.Gaussian{})
+		if err != nil {
+			return nil, err
+		}
+		timeIt := func(f func(float64) float64) float64 {
+			const evals = 2000
+			start := time.Now()
+			sink := 0.0
+			for i := 0; i < evals; i++ {
+				sink += f(120 + float64(i%120))
+			}
+			_ = sink
+			return float64(time.Since(start).Nanoseconds()) / evals
+		}
+		fullNs := timeIt(full.Eval)
+		binnedNs := timeIt(binned.Eval)
+		sp := 0.0
+		if binnedNs > 0 {
+			sp = fullNs / binnedNs
+		}
+		out.Rows = append(out.Rows, E7Row{N: n, FullNs: fullNs, BinnedNs: binnedNs, Speedup: sp})
+	}
+	return out, nil
+}
+
+// Render prints E7.
+func (r *E7Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E7 — KDE evaluation cost: f̂ is O(N), f̆ is O(β=%d)\n", r.Beta)
+	fmt.Fprintf(&b, "%10s %14s %14s %10s\n", "N", "f̂ ns/eval", "f̆ ns/eval", "speedup")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%10d %14.1f %14.1f %9.1fx\n", row.N, row.FullNs, row.BinnedNs, row.Speedup)
+	}
+	return b.String()
+}
+
+// E8Row compares empirical biased-sample composition against Fisher's
+// noncentral hypergeometric theory at one odds ratio.
+type E8Row struct {
+	Omega         float64
+	TheoryMean    float64
+	EmpiricalMean float64
+	TheoryVar     float64
+	EmpiricalVar  float64
+}
+
+// E8Result: Fisher NCH validation (§4, reference [6]).
+type E8Result struct {
+	M1, M2, N int
+	Trials    int
+	Rows      []E8Row
+}
+
+// E8Fisher draws repeated biased samples over a two-group population
+// with group-1 odds ω and compares the number of group-1 tuples in the
+// sample against the Fisher NCH mean and variance. Sampling follows
+// Fisher's defining construction: every item is drawn independently —
+// group 1 with probability ωc/(1+ωc), group 2 with probability c/(1+c) —
+// and the draw is kept only when exactly n items were selected (the
+// conditioning that distinguishes Fisher's from Wallenius' NCH; see Fog
+// 2008, the paper's reference [6]). c is tuned so E[#selected] = n.
+func E8Fisher(m1, m2, n, trials int, omegas []float64, seed uint64) (*E8Result, error) {
+	out := &E8Result{M1: m1, M2: m2, N: n, Trials: trials}
+	for _, omega := range omegas {
+		dist, err := fisher.New(m1, m2, n, omega)
+		if err != nil {
+			return nil, err
+		}
+		c := tuneBernoulliScale(m1, m2, n, omega)
+		p1 := omega * c / (1 + omega*c)
+		p2 := c / (1 + c)
+		rng := xrand.New(seed + uint64(omega*1000))
+		var sum, sumSq float64
+		for tr := 0; tr < trials; tr++ {
+			var total, x int
+			for {
+				total, x = 0, 0
+				for i := 0; i < m1; i++ {
+					if rng.Float64() < p1 {
+						total++
+						x++
+					}
+				}
+				for i := 0; i < m2; i++ {
+					if rng.Float64() < p2 {
+						total++
+					}
+				}
+				if total == n {
+					break
+				}
+			}
+			sum += float64(x)
+			sumSq += float64(x) * float64(x)
+		}
+		mean := sum / float64(trials)
+		out.Rows = append(out.Rows, E8Row{
+			Omega:         omega,
+			TheoryMean:    dist.Mean(),
+			EmpiricalMean: mean,
+			TheoryVar:     dist.Variance(),
+			EmpiricalVar:  sumSq/float64(trials) - mean*mean,
+		})
+	}
+	return out, nil
+}
+
+// tuneBernoulliScale bisects for the scale c with
+// m1·ωc/(1+ωc) + m2·c/(1+c) = n.
+func tuneBernoulliScale(m1, m2, n int, omega float64) float64 {
+	expected := func(c float64) float64 {
+		return float64(m1)*omega*c/(1+omega*c) + float64(m2)*c/(1+c)
+	}
+	lo, hi := 1e-9, 1e9
+	for i := 0; i < 200; i++ {
+		mid := math.Sqrt(lo * hi) // geometric bisection across decades
+		if expected(mid) < float64(n) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return math.Sqrt(lo * hi)
+}
+
+// Render prints E8.
+func (r *E8Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E8 — biased composition vs Fisher NCH (m1=%d, m2=%d, n=%d, %d trials)\n",
+		r.M1, r.M2, r.N, r.Trials)
+	fmt.Fprintf(&b, "%8s %12s %12s %12s %12s\n", "omega", "E[X] theory", "E[X] emp", "Var theory", "Var emp")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%8.2f %12.2f %12.2f %12.2f %12.2f\n",
+			row.Omega, row.TheoryMean, row.EmpiricalMean, row.TheoryVar, row.EmpiricalVar)
+	}
+	return b.String()
+}

@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment suite is the reproduction's acceptance test: each test
+// asserts the *shape* the paper reports (who wins, where the trends go),
+// not absolute numbers.
+
+func TestFigure4ShapeAndFidelity(t *testing.T) {
+	res, err := Figure4(400, 30, 2011)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Attrs) != 2 || res.Attrs[0].Attr != "ra" || res.Attrs[1].Attr != "dec" {
+		t.Fatalf("attrs = %+v", res.Attrs)
+	}
+	for _, fa := range res.Attrs {
+		if fa.Hist.N != 400 {
+			t.Fatalf("[%s] predicate set size = %d, want 400 (as in the paper)", fa.Attr, fa.Hist.N)
+		}
+		// Paper: f̆ "almost identical" to f̂.
+		if fa.L1 > 0.15 {
+			t.Fatalf("[%s] L1(f̂, f̆) = %v, too far for 'almost identical'", fa.Attr, fa.L1)
+		}
+		// Oversmoothed peak below f̂ peak; undersmoothed above.
+		peak := func(c Curve) float64 {
+			best := 0.0
+			for _, y := range c.Ys {
+				if y > best {
+					best = y
+				}
+			}
+			return best
+		}
+		if peak(fa.Curves[1]) >= peak(fa.Curves[0]) {
+			t.Fatalf("[%s] oversmoothed peak not reduced", fa.Attr)
+		}
+		if peak(fa.Curves[2]) <= peak(fa.Curves[0]) {
+			t.Fatalf("[%s] undersmoothed peak not raised", fa.Attr)
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"Figure 4", "fhat", "fbreve", "[ra]", "[dec]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q", want)
+		}
+	}
+}
+
+func TestFigure7BiasConcentratesFocalMass(t *testing.T) {
+	// Scaled-down Figure 7 (full scale runs in cmd/figures): the biased
+	// impression must carry clearly more focal mass than the uniform
+	// one, which tracks the base distribution.
+	res, err := Figure7(60000, 2000, 30, 2011)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fa := range res.Attrs {
+		if fa.Uniform.N != 2000 || fa.Biased.N != 2000 {
+			t.Fatalf("[%s] sample sizes %d/%d", fa.Attr, fa.Uniform.N, fa.Biased.N)
+		}
+		// Uniform tracks base within a few points.
+		if d := fa.FocalMassUniform - fa.FocalMassBase; d > 0.08 || d < -0.08 {
+			t.Fatalf("[%s] uniform focal mass %v far from base %v",
+				fa.Attr, fa.FocalMassUniform, fa.FocalMassBase)
+		}
+		// Biased concentrates: paper's purple histograms.
+		if fa.FocalMassBiased < fa.FocalMassUniform+0.15 {
+			t.Fatalf("[%s] biased focal mass %v not above uniform %v",
+				fa.Attr, fa.FocalMassBiased, fa.FocalMassUniform)
+		}
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Figure 7") || !strings.Contains(out, "biased") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestE1ErrorShrinksWithLayerSize(t *testing.T) {
+	res, err := E1LayerError(40000, []int{400, 2000, 10000}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// CI relative error must shrink monotonically with layer size.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].PredictedRel >= res.Rows[i-1].PredictedRel {
+			t.Fatalf("error did not shrink: %+v", res.Rows)
+		}
+	}
+	covered := 0
+	for _, r := range res.Rows {
+		if r.Covered {
+			covered++
+		}
+	}
+	if covered < 2 {
+		t.Fatalf("only %d/3 intervals covered the truth", covered)
+	}
+	if !strings.Contains(res.Render(), "E1") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestE2LatencyGrowsWithLayerSize(t *testing.T) {
+	res, err := E2TimeBounds(30000, []int{500, 5000, 20000}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[2].Measured <= res.Rows[0].Measured {
+		t.Fatalf("latency not increasing with layer size: %+v", res.Rows)
+	}
+	if !strings.Contains(res.Render(), "E2") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestE3BiasedWinsOnFocalQueries(t *testing.T) {
+	res, err := E3BiasedVsUniform(60000, 3000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's central trade-off: biased tighter on focal...
+	if res.FocalBiased >= res.FocalUniform {
+		t.Fatalf("biased focal error %v not below uniform %v", res.FocalBiased, res.FocalUniform)
+	}
+	// ...because it holds far more focal tuples...
+	if float64(res.FocalSupportB) < 1.5*float64(res.FocalSupportU) {
+		t.Fatalf("biased focal support %d not well above uniform %d",
+			res.FocalSupportB, res.FocalSupportU)
+	}
+	// ...and looser off-focus.
+	if res.AntiBiased <= res.AntiUniform {
+		t.Fatalf("biased anti-focal error %v not above uniform %v", res.AntiBiased, res.AntiUniform)
+	}
+	if !strings.Contains(res.Render(), "E3") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestE4ImpressionFollowsShift(t *testing.T) {
+	res, err := E4Adaptation(40, 2000, 1500, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 40 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	before := res.Points[19].FocalFrac    // settled on focus A
+	justAfter := res.Points[20].FocalFrac // focus moved: coverage of B low
+	recovered := res.Points[39].FocalFrac // after 20 more loads
+	if before < 0.15 {
+		t.Fatalf("never focused on A: %v", before)
+	}
+	if justAfter >= before {
+		t.Fatalf("shift not visible: before=%v after=%v", before, justAfter)
+	}
+	if recovered < justAfter+0.05 {
+		t.Fatalf("no recovery after shift: %v -> %v", justAfter, recovered)
+	}
+	if !strings.Contains(res.Render(), "shift") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestE5EscalationMonotone(t *testing.T) {
+	res, err := E5Escalation(40000, []int{8000, 2000, 400}, []float64{0.1, 0.02, 0.002, 1e-8}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].LayerRows < res.Rows[i-1].LayerRows {
+			t.Fatalf("tighter bound used smaller layer: %+v", res.Rows)
+		}
+	}
+	last := res.Rows[len(res.Rows)-1]
+	if !last.Exact {
+		t.Fatal("impossible bound did not reach base data")
+	}
+	if !strings.Contains(res.Render(), "E5") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestE6RecencyIncreasesWithKOverD(t *testing.T) {
+	res, err := E6LastSeen(100000, 5000, 1000, []float64{0.1, 0.5, 1.0}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform baseline mean age ≈ stream/2; Last Seen much younger.
+	if res.Rows[0].MeanAge < 40000 {
+		t.Fatalf("uniform baseline mean age = %v", res.Rows[0].MeanAge)
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].MeanAge >= res.Rows[0].MeanAge {
+			t.Fatalf("Last Seen not younger than uniform: %+v", res.Rows)
+		}
+	}
+	// Higher k/D → younger samples.
+	if !(res.Rows[3].MeanAge < res.Rows[1].MeanAge) {
+		t.Fatalf("mean age not decreasing in k/D: %+v", res.Rows)
+	}
+	if !strings.Contains(res.Render(), "E6") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestE7BinnedConstantFullLinear(t *testing.T) {
+	res, err := E7KDECost([]int{200, 2000, 20000}, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f̂ cost grows ~linearly with N.
+	if res.Rows[2].FullNs < 10*res.Rows[0].FullNs {
+		t.Fatalf("f̂ cost not linear in N: %+v", res.Rows)
+	}
+	// f̆ cost does not grow with N (allow 3x noise).
+	if res.Rows[2].BinnedNs > 3*res.Rows[0].BinnedNs+100 {
+		t.Fatalf("f̆ cost grew with N: %+v", res.Rows)
+	}
+	// At N=20000 the speedup is large.
+	if res.Rows[2].Speedup < 20 {
+		t.Fatalf("speedup at N=20000 only %vx", res.Rows[2].Speedup)
+	}
+	if !strings.Contains(res.Render(), "E7") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestE8MatchesFisherTheory(t *testing.T) {
+	res, err := E8Fisher(60, 140, 40, 400, []float64{1, 2, 5}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if d := row.EmpiricalMean - row.TheoryMean; d > 1.0 || d < -1.0 {
+			t.Fatalf("omega=%v: empirical mean %v vs theory %v", row.Omega, row.EmpiricalMean, row.TheoryMean)
+		}
+	}
+	// Mean increases with omega.
+	if !(res.Rows[2].EmpiricalMean > res.Rows[0].EmpiricalMean+5) {
+		t.Fatalf("omega effect missing: %+v", res.Rows)
+	}
+	if !strings.Contains(res.Render(), "E8") {
+		t.Fatal("render incomplete")
+	}
+}

@@ -1,0 +1,398 @@
+// Package expr defines the expression language of the SciBORQ query
+// engine: scalar expressions over table columns and boolean predicates
+// that evaluate to selection vectors, column-at-a-time.
+//
+// Predicates also know how to report the attribute values they request
+// (Points), which is how the workload logger of §4 builds the predicate
+// set that steers biased sampling.
+package expr
+
+import (
+	"fmt"
+	"math"
+
+	"sciborq/internal/column"
+	"sciborq/internal/table"
+	"sciborq/internal/vec"
+)
+
+// Scalar is a numeric expression evaluated over a whole table into a
+// materialised float64 column (the column-at-a-time contract).
+type Scalar interface {
+	// EvalF64 returns the expression value for every row of t.
+	EvalF64(t *table.Table) ([]float64, error)
+	// String renders the expression in SQL-ish syntax.
+	String() string
+}
+
+// Predicate is a boolean expression evaluated into a selection vector.
+type Predicate interface {
+	// Filter returns the subset of sel (nil = all rows) satisfying the
+	// predicate on t.
+	Filter(t *table.Table, sel vec.Sel) (vec.Sel, error)
+	// Points reports the attribute values this predicate requests; the
+	// workload logger feeds them into per-attribute histograms (§4).
+	Points() []Point
+	// String renders the predicate in SQL-ish syntax.
+	String() string
+}
+
+// Point is one logged predicate value: the query asked about Value on
+// attribute Attr.
+type Point struct {
+	Attr  string
+	Value float64
+}
+
+// ColRef is a reference to a numeric column.
+type ColRef struct{ Name string }
+
+// EvalF64 implements Scalar. Int64 columns are widened to float64.
+func (c ColRef) EvalF64(t *table.Table) ([]float64, error) {
+	col, err := t.Col(c.Name)
+	if err != nil {
+		return nil, err
+	}
+	switch cc := col.(type) {
+	case *column.Float64Col:
+		return cc.Data, nil
+	case *column.Int64Col:
+		out := make([]float64, len(cc.Data))
+		for i, v := range cc.Data {
+			out[i] = float64(v)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("expr: column %q has non-numeric type %s", c.Name, col.Type())
+	}
+}
+
+// String implements Scalar.
+func (c ColRef) String() string { return c.Name }
+
+// Const is a numeric literal.
+type Const struct{ V float64 }
+
+// EvalF64 implements Scalar: a constant column.
+func (c Const) EvalF64(t *table.Table) ([]float64, error) {
+	out := make([]float64, t.Len())
+	for i := range out {
+		out[i] = c.V
+	}
+	return out, nil
+}
+
+// String implements Scalar.
+func (c Const) String() string { return fmt.Sprintf("%g", c.V) }
+
+// ArithOp enumerates arithmetic operators.
+type ArithOp int
+
+// Arithmetic operators.
+const (
+	Add ArithOp = iota
+	Sub
+	Mul
+	Div
+)
+
+func (op ArithOp) String() string {
+	switch op {
+	case Add:
+		return "+"
+	case Sub:
+		return "-"
+	case Mul:
+		return "*"
+	case Div:
+		return "/"
+	}
+	return "?"
+}
+
+// Arith applies an arithmetic operator element-wise.
+type Arith struct {
+	Op   ArithOp
+	L, R Scalar
+}
+
+// EvalF64 implements Scalar.
+func (a Arith) EvalF64(t *table.Table) ([]float64, error) {
+	l, err := a.L.EvalF64(t)
+	if err != nil {
+		return nil, err
+	}
+	r, err := a.R.EvalF64(t)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(l))
+	switch a.Op {
+	case Add:
+		for i := range out {
+			out[i] = l[i] + r[i]
+		}
+	case Sub:
+		for i := range out {
+			out[i] = l[i] - r[i]
+		}
+	case Mul:
+		for i := range out {
+			out[i] = l[i] * r[i]
+		}
+	case Div:
+		for i := range out {
+			out[i] = l[i] / r[i] // IEEE semantics: x/0 = ±Inf
+		}
+	default:
+		return nil, fmt.Errorf("expr: unknown arithmetic op %d", a.Op)
+	}
+	return out, nil
+}
+
+// String implements Scalar.
+func (a Arith) String() string {
+	return fmt.Sprintf("(%s %s %s)", a.L, a.Op, a.R)
+}
+
+// Cmp compares a scalar expression against a constant.
+type Cmp struct {
+	Op    vec.CmpOp
+	Left  Scalar
+	Right float64
+}
+
+// Filter implements Predicate. The fast path compares a raw float64
+// column without materialising the expression.
+func (c Cmp) Filter(t *table.Table, sel vec.Sel) (vec.Sel, error) {
+	if ref, ok := c.Left.(ColRef); ok {
+		if data, err := t.Float64(ref.Name); err == nil {
+			return vec.SelectFloat64(data, sel, c.Op, c.Right), nil
+		}
+	}
+	vals, err := c.Left.EvalF64(t)
+	if err != nil {
+		return nil, err
+	}
+	return vec.SelectFloat64(vals, sel, c.Op, c.Right), nil
+}
+
+// Points implements Predicate: the requested value is the comparison
+// constant on the referenced attribute.
+func (c Cmp) Points() []Point {
+	if ref, ok := c.Left.(ColRef); ok {
+		return []Point{{Attr: ref.Name, Value: c.Right}}
+	}
+	return nil
+}
+
+// String implements Predicate.
+func (c Cmp) String() string {
+	return fmt.Sprintf("%s %s %g", c.Left, c.Op, c.Right)
+}
+
+// Between selects lo <= expr <= hi (inclusive, SQL semantics).
+type Between struct {
+	Expr   Scalar
+	Lo, Hi float64
+}
+
+// Filter implements Predicate.
+func (b Between) Filter(t *table.Table, sel vec.Sel) (vec.Sel, error) {
+	vals, err := b.Expr.EvalF64(t)
+	if err != nil {
+		return nil, err
+	}
+	return vec.SelectFunc(len(vals), sel, func(i int32) bool {
+		v := vals[i]
+		return v >= b.Lo && v <= b.Hi
+	}), nil
+}
+
+// Points implements Predicate: a range request logs its midpoint, the
+// centre of the area of interest.
+func (b Between) Points() []Point {
+	if ref, ok := b.Expr.(ColRef); ok {
+		return []Point{{Attr: ref.Name, Value: (b.Lo + b.Hi) / 2}}
+	}
+	return nil
+}
+
+// String implements Predicate.
+func (b Between) String() string {
+	return fmt.Sprintf("%s BETWEEN %g AND %g", b.Expr, b.Lo, b.Hi)
+}
+
+// StrEq selects rows of a VARCHAR column equal to a string constant
+// (dictionary-code comparison; no per-row string compare).
+type StrEq struct {
+	Col   string
+	Value string
+	Neg   bool // true for <>
+}
+
+// Filter implements Predicate.
+func (s StrEq) Filter(t *table.Table, sel vec.Sel) (vec.Sel, error) {
+	col, err := t.Col(s.Col)
+	if err != nil {
+		return nil, err
+	}
+	sc, ok := col.(*column.StringCol)
+	if !ok {
+		return nil, fmt.Errorf("expr: column %q is %s, want VARCHAR", s.Col, col.Type())
+	}
+	code, present := sc.Code(s.Value)
+	if !present {
+		if s.Neg {
+			if sel == nil {
+				return vec.NewSelAll(sc.Len()), nil
+			}
+			return sel, nil
+		}
+		return vec.Sel{}, nil
+	}
+	want := true
+	if s.Neg {
+		want = false
+	}
+	return vec.SelectFunc(sc.Len(), sel, func(i int32) bool {
+		return (sc.Data[i] == code) == want
+	}), nil
+}
+
+// Points implements Predicate: string predicates carry no numeric
+// interest values.
+func (s StrEq) Points() []Point { return nil }
+
+// String implements Predicate.
+func (s StrEq) String() string {
+	op := "="
+	if s.Neg {
+		op = "<>"
+	}
+	return fmt.Sprintf("%s %s '%s'", s.Col, op, s.Value)
+}
+
+// And is predicate conjunction.
+type And struct{ L, R Predicate }
+
+// Filter implements Predicate: evaluate L, then R on the survivors.
+func (a And) Filter(t *table.Table, sel vec.Sel) (vec.Sel, error) {
+	ls, err := a.L.Filter(t, sel)
+	if err != nil {
+		return nil, err
+	}
+	return a.R.Filter(t, ls)
+}
+
+// Points implements Predicate.
+func (a And) Points() []Point { return append(a.L.Points(), a.R.Points()...) }
+
+// String implements Predicate.
+func (a And) String() string { return fmt.Sprintf("(%s AND %s)", a.L, a.R) }
+
+// Or is predicate disjunction.
+type Or struct{ L, R Predicate }
+
+// Filter implements Predicate.
+func (o Or) Filter(t *table.Table, sel vec.Sel) (vec.Sel, error) {
+	ls, err := o.L.Filter(t, sel)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := o.R.Filter(t, sel)
+	if err != nil {
+		return nil, err
+	}
+	return vec.Or(ls, rs, t.Len()), nil
+}
+
+// Points implements Predicate.
+func (o Or) Points() []Point { return append(o.L.Points(), o.R.Points()...) }
+
+// String implements Predicate.
+func (o Or) String() string { return fmt.Sprintf("(%s OR %s)", o.L, o.R) }
+
+// Not is predicate negation.
+type Not struct{ P Predicate }
+
+// Filter implements Predicate.
+func (n Not) Filter(t *table.Table, sel vec.Sel) (vec.Sel, error) {
+	ps, err := n.P.Filter(t, sel)
+	if err != nil {
+		return nil, err
+	}
+	neg := vec.Not(ps, t.Len())
+	return vec.And(neg, sel, t.Len()), nil
+}
+
+// Points implements Predicate: a negated area is still an area the
+// scientist reasoned about, so its points are logged.
+func (n Not) Points() []Point { return n.P.Points() }
+
+// String implements Predicate.
+func (n Not) String() string { return fmt.Sprintf("NOT (%s)", n.P) }
+
+// Cone is the fGetNearbyObjEq(ra, dec, r) predicate of the SkyServer
+// workload: all objects within Radius degrees of (Ra0, Dec0) by angular
+// separation on the celestial sphere.
+type Cone struct {
+	RaCol, DecCol string
+	Ra0, Dec0     float64 // centre, degrees
+	Radius        float64 // degrees
+}
+
+// Filter implements Predicate using the haversine angular separation.
+func (c Cone) Filter(t *table.Table, sel vec.Sel) (vec.Sel, error) {
+	ra, err := t.Float64(c.RaCol)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := t.Float64(c.DecCol)
+	if err != nil {
+		return nil, err
+	}
+	return vec.SelectFunc(len(ra), sel, func(i int32) bool {
+		return AngularSeparation(c.Ra0, c.Dec0, ra[i], dec[i]) <= c.Radius
+	}), nil
+}
+
+// Points implements Predicate: a cone query logs its centre on both
+// positional attributes — exactly the paper's SkyServer example where
+// fGetNearbyObjEq(185, 0, 3) contributes ra=185 and dec=0 to the
+// predicate set.
+func (c Cone) Points() []Point {
+	return []Point{{Attr: c.RaCol, Value: c.Ra0}, {Attr: c.DecCol, Value: c.Dec0}}
+}
+
+// String implements Predicate.
+func (c Cone) String() string {
+	return fmt.Sprintf("fGetNearbyObjEq(%g, %g, %g)", c.Ra0, c.Dec0, c.Radius)
+}
+
+// AngularSeparation returns the great-circle angle in degrees between
+// two sky positions given in degrees (haversine formula).
+func AngularSeparation(ra1, dec1, ra2, dec2 float64) float64 {
+	const d2r = math.Pi / 180
+	phi1, phi2 := dec1*d2r, dec2*d2r
+	dPhi := (dec2 - dec1) * d2r
+	dLam := (ra2 - ra1) * d2r
+	a := math.Sin(dPhi/2)*math.Sin(dPhi/2) +
+		math.Cos(phi1)*math.Cos(phi2)*math.Sin(dLam/2)*math.Sin(dLam/2)
+	if a > 1 {
+		a = 1
+	}
+	return 2 * math.Asin(math.Sqrt(a)) / d2r
+}
+
+// TruePred matches all rows; the WHERE-less query.
+type TruePred struct{}
+
+// Filter implements Predicate.
+func (TruePred) Filter(t *table.Table, sel vec.Sel) (vec.Sel, error) { return sel, nil }
+
+// Points implements Predicate.
+func (TruePred) Points() []Point { return nil }
+
+// String implements Predicate.
+func (TruePred) String() string { return "TRUE" }

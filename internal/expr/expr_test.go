@@ -1,0 +1,301 @@
+package expr
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"sciborq/internal/column"
+	"sciborq/internal/table"
+	"sciborq/internal/vec"
+)
+
+func testTable(t *testing.T) *table.Table {
+	t.Helper()
+	tb := table.MustNew("PhotoObjAll", table.Schema{
+		{Name: "objID", Type: column.Int64},
+		{Name: "ra", Type: column.Float64},
+		{Name: "dec", Type: column.Float64},
+		{Name: "type", Type: column.String},
+	})
+	rows := []table.Row{
+		{int64(1), 185.0, 0.0, "GALAXY"},
+		{int64(2), 185.5, 0.5, "GALAXY"},
+		{int64(3), 190.0, 2.0, "STAR"},
+		{int64(4), 120.0, 45.0, "QSO"},
+		{int64(5), 186.0, -0.5, "GALAXY"},
+	}
+	if err := tb.AppendBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestColRefFloatAndInt(t *testing.T) {
+	tb := testTable(t)
+	ra, err := ColRef{"ra"}.EvalF64(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra[0] != 185.0 {
+		t.Fatalf("ra[0] = %v", ra[0])
+	}
+	ids, err := ColRef{"objID"}.EvalF64(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids[2] != 3.0 {
+		t.Fatalf("widened objID[2] = %v", ids[2])
+	}
+	if _, err := (ColRef{"type"}).EvalF64(tb); err == nil {
+		t.Fatal("string column evaluated as numeric")
+	}
+	if _, err := (ColRef{"missing"}).EvalF64(tb); err == nil {
+		t.Fatal("missing column evaluated")
+	}
+}
+
+func TestConstAndArith(t *testing.T) {
+	tb := testTable(t)
+	c, err := Const{2}.EvalF64(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != 5 || c[4] != 2 {
+		t.Fatalf("const column = %v", c)
+	}
+	sum, err := Arith{Add, ColRef{"ra"}, ColRef{"dec"}}.EvalF64(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum[1] != 186.0 {
+		t.Fatalf("ra+dec = %v", sum[1])
+	}
+	diff, _ := Arith{Sub, ColRef{"ra"}, Const{100}}.EvalF64(tb)
+	if diff[3] != 20 {
+		t.Fatalf("ra-100 = %v", diff[3])
+	}
+	prod, _ := Arith{Mul, Const{2}, ColRef{"dec"}}.EvalF64(tb)
+	if prod[3] != 90 {
+		t.Fatalf("2*dec = %v", prod[3])
+	}
+	quot, _ := Arith{Div, ColRef{"ra"}, Const{0}}.EvalF64(tb)
+	if !math.IsInf(quot[0], 1) {
+		t.Fatalf("x/0 = %v, want +Inf", quot[0])
+	}
+	if s := (Arith{Add, ColRef{"ra"}, Const{1}}).String(); s != "(ra + 1)" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestCmpFilter(t *testing.T) {
+	tb := testTable(t)
+	sel, err := Cmp{vec.Ge, ColRef{"ra"}, 185.5}.Filter(tb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := vec.Sel{1, 2, 4}
+	if !reflect.DeepEqual(sel, want) {
+		t.Fatalf("sel = %v, want %v", sel, want)
+	}
+	// Restricted by an input selection.
+	sel, err = Cmp{vec.Ge, ColRef{"ra"}, 185.5}.Filter(tb, vec.Sel{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sel, vec.Sel{1}) {
+		t.Fatalf("restricted sel = %v", sel)
+	}
+	// Through a computed expression.
+	sel, err = Cmp{vec.Gt, Arith{Add, ColRef{"ra"}, ColRef{"dec"}}, 190}.Filter(tb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sel, vec.Sel{2}) {
+		t.Fatalf("computed predicate sel = %v", sel)
+	}
+}
+
+func TestCmpPointsAndString(t *testing.T) {
+	c := Cmp{vec.Lt, ColRef{"dec"}, 30}
+	pts := c.Points()
+	if len(pts) != 1 || pts[0] != (Point{"dec", 30}) {
+		t.Fatalf("Points = %v", pts)
+	}
+	if c.String() != "dec < 30" {
+		t.Fatalf("String = %q", c.String())
+	}
+	if pts := (Cmp{vec.Lt, Const{1}, 2}).Points(); pts != nil {
+		t.Fatalf("const cmp points = %v", pts)
+	}
+}
+
+func TestBetween(t *testing.T) {
+	tb := testTable(t)
+	b := Between{ColRef{"ra"}, 185.0, 186.0}
+	sel, err := b.Filter(tb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := vec.Sel{0, 1, 4} // inclusive both ends
+	if !reflect.DeepEqual(sel, want) {
+		t.Fatalf("between sel = %v, want %v", sel, want)
+	}
+	pts := b.Points()
+	if len(pts) != 1 || pts[0] != (Point{"ra", 185.5}) {
+		t.Fatalf("between points = %v", pts)
+	}
+	if b.String() != "ra BETWEEN 185 AND 186" {
+		t.Fatalf("String = %q", b.String())
+	}
+}
+
+func TestStrEq(t *testing.T) {
+	tb := testTable(t)
+	sel, err := StrEq{Col: "type", Value: "GALAXY"}.Filter(tb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sel, vec.Sel{0, 1, 4}) {
+		t.Fatalf("galaxy sel = %v", sel)
+	}
+	sel, err = StrEq{Col: "type", Value: "GALAXY", Neg: true}.Filter(tb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sel, vec.Sel{2, 3}) {
+		t.Fatalf("non-galaxy sel = %v", sel)
+	}
+	// Absent value: = gives empty, <> gives everything.
+	sel, _ = StrEq{Col: "type", Value: "NEBULA"}.Filter(tb, nil)
+	if len(sel) != 0 {
+		t.Fatalf("absent value sel = %v", sel)
+	}
+	sel, _ = StrEq{Col: "type", Value: "NEBULA", Neg: true}.Filter(tb, vec.Sel{1, 2})
+	if !reflect.DeepEqual(sel, vec.Sel{1, 2}) {
+		t.Fatalf("absent <> sel = %v", sel)
+	}
+	if _, err := (StrEq{Col: "ra", Value: "x"}).Filter(tb, nil); err == nil {
+		t.Fatal("StrEq on DOUBLE accepted")
+	}
+	if (StrEq{Col: "type", Value: "QSO"}).Points() != nil {
+		t.Fatal("string predicate should log no numeric points")
+	}
+	if s := (StrEq{Col: "type", Value: "QSO", Neg: true}).String(); s != "type <> 'QSO'" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestAndOrNot(t *testing.T) {
+	tb := testTable(t)
+	galaxy := StrEq{Col: "type", Value: "GALAXY"}
+	nearEq := Cmp{vec.Le, ColRef{"dec"}, 0.0}
+
+	and := And{galaxy, nearEq}
+	sel, err := and.Filter(tb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sel, vec.Sel{0, 4}) {
+		t.Fatalf("AND sel = %v", sel)
+	}
+
+	or := Or{Cmp{vec.Gt, ColRef{"dec"}, 40.0}, Cmp{vec.Gt, ColRef{"ra"}, 189.0}}
+	sel, err = or.Filter(tb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sel, vec.Sel{2, 3}) {
+		t.Fatalf("OR sel = %v", sel)
+	}
+
+	not := Not{galaxy}
+	sel, err = not.Filter(tb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sel, vec.Sel{2, 3}) {
+		t.Fatalf("NOT sel = %v", sel)
+	}
+	// NOT respects the incoming selection.
+	sel, err = not.Filter(tb, vec.Sel{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sel, vec.Sel{2}) {
+		t.Fatalf("NOT with sel = %v", sel)
+	}
+}
+
+func TestBooleanPointsAggregation(t *testing.T) {
+	p := And{
+		Cmp{vec.Eq, ColRef{"ra"}, 185},
+		Or{Cmp{vec.Eq, ColRef{"dec"}, 0}, Cmp{vec.Eq, ColRef{"dec"}, 10}},
+	}
+	pts := p.Points()
+	if len(pts) != 3 {
+		t.Fatalf("points = %v", pts)
+	}
+	n := Not{Cmp{vec.Eq, ColRef{"ra"}, 200}}
+	if len(n.Points()) != 1 {
+		t.Fatal("NOT should forward points")
+	}
+}
+
+func TestCone(t *testing.T) {
+	tb := testTable(t)
+	cone := Cone{RaCol: "ra", DecCol: "dec", Ra0: 185, Dec0: 0, Radius: 3}
+	sel, err := cone.Filter(tb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows 0,1,4 are within ~1.1 deg; row 2 is ~5.4 deg away; row 3 far.
+	if !reflect.DeepEqual(sel, vec.Sel{0, 1, 4}) {
+		t.Fatalf("cone sel = %v", sel)
+	}
+	pts := cone.Points()
+	if len(pts) != 2 || pts[0] != (Point{"ra", 185}) || pts[1] != (Point{"dec", 0}) {
+		t.Fatalf("cone points = %v", pts)
+	}
+	if cone.String() != "fGetNearbyObjEq(185, 0, 3)" {
+		t.Fatalf("String = %q", cone.String())
+	}
+	if _, err := (Cone{RaCol: "missing", DecCol: "dec"}).Filter(tb, nil); err == nil {
+		t.Fatal("missing ra column accepted")
+	}
+	if _, err := (Cone{RaCol: "ra", DecCol: "missing"}).Filter(tb, nil); err == nil {
+		t.Fatal("missing dec column accepted")
+	}
+}
+
+func TestAngularSeparation(t *testing.T) {
+	if d := AngularSeparation(0, 0, 0, 0); d != 0 {
+		t.Fatalf("zero separation = %v", d)
+	}
+	if d := AngularSeparation(0, 0, 90, 0); math.Abs(d-90) > 1e-9 {
+		t.Fatalf("quarter turn = %v", d)
+	}
+	if d := AngularSeparation(0, 0, 180, 0); math.Abs(d-180) > 1e-9 {
+		t.Fatalf("half turn = %v", d)
+	}
+	// At dec=60, one degree of ra is ~0.5 degrees of arc.
+	d := AngularSeparation(10, 60, 11, 60)
+	if math.Abs(d-0.5) > 0.01 {
+		t.Fatalf("ra compression at high dec: %v", d)
+	}
+	// Symmetry.
+	if AngularSeparation(1, 2, 3, 4) != AngularSeparation(3, 4, 1, 2) {
+		t.Fatal("separation not symmetric")
+	}
+}
+
+func TestTruePred(t *testing.T) {
+	tb := testTable(t)
+	sel, err := (TruePred{}).Filter(tb, nil)
+	if err != nil || sel != nil {
+		t.Fatalf("TruePred = %v, %v", sel, err)
+	}
+	if (TruePred{}).Points() != nil || (TruePred{}).String() != "TRUE" {
+		t.Fatal("TruePred metadata wrong")
+	}
+}

@@ -1,0 +1,182 @@
+// Package fisher implements Fisher's noncentral hypergeometric
+// distribution, the mathematical tool the paper cites ([6], Fog 2008) for
+// reasoning about biased sampling: when tuples of one group are accepted
+// with odds ω relative to another group, the number of group-1 tuples in
+// the sample follows this distribution. SciBORQ uses it to derive the
+// theoretical mean/variance of biased impressions (experiment E8).
+package fisher
+
+import (
+	"fmt"
+	"math"
+
+	"sciborq/internal/xrand"
+)
+
+// Dist is a Fisher noncentral hypergeometric distribution with population
+// group sizes M1 (weighted) and M2, sample size N, and odds ratio Omega.
+// The support of X (number of group-1 items drawn) is
+// [max(0, N−M2), min(N, M1)].
+type Dist struct {
+	M1, M2 int     // group sizes
+	N      int     // sample size
+	Omega  float64 // odds ratio ω ( > 0 )
+
+	pmf  []float64 // pmf over the support, normalised
+	xmin int       // support lower bound
+}
+
+// New constructs the distribution and precomputes its PMF.
+func New(m1, m2, n int, omega float64) (*Dist, error) {
+	if m1 < 0 || m2 < 0 {
+		return nil, fmt.Errorf("fisher: negative group size (m1=%d, m2=%d)", m1, m2)
+	}
+	if n < 0 || n > m1+m2 {
+		return nil, fmt.Errorf("fisher: sample size %d out of [0, %d]", n, m1+m2)
+	}
+	if !(omega > 0) || math.IsInf(omega, 0) || math.IsNaN(omega) {
+		return nil, fmt.Errorf("fisher: odds ratio must be positive and finite, got %g", omega)
+	}
+	d := &Dist{M1: m1, M2: m2, N: n, Omega: omega}
+	d.xmin = n - m2
+	if d.xmin < 0 {
+		d.xmin = 0
+	}
+	xmax := n
+	if m1 < n {
+		xmax = m1
+	}
+	// Unnormalised log-pmf: log C(m1,x) + log C(m2,n−x) + x·log ω.
+	logs := make([]float64, xmax-d.xmin+1)
+	maxLog := math.Inf(-1)
+	for x := d.xmin; x <= xmax; x++ {
+		l := logChoose(m1, x) + logChoose(m2, n-x) + float64(x)*math.Log(omega)
+		logs[x-d.xmin] = l
+		if l > maxLog {
+			maxLog = l
+		}
+	}
+	// Normalise in a numerically safe way (subtract max before exp).
+	d.pmf = make([]float64, len(logs))
+	var sum float64
+	for i, l := range logs {
+		d.pmf[i] = math.Exp(l - maxLog)
+		sum += d.pmf[i]
+	}
+	for i := range d.pmf {
+		d.pmf[i] /= sum
+	}
+	return d, nil
+}
+
+// logChoose returns log C(n, k) via log-gamma.
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x + 1))
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}
+
+// SupportMin returns the smallest attainable x.
+func (d *Dist) SupportMin() int { return d.xmin }
+
+// SupportMax returns the largest attainable x.
+func (d *Dist) SupportMax() int { return d.xmin + len(d.pmf) - 1 }
+
+// PMF returns P(X = x); 0 outside the support.
+func (d *Dist) PMF(x int) float64 {
+	if x < d.xmin || x > d.SupportMax() {
+		return 0
+	}
+	return d.pmf[x-d.xmin]
+}
+
+// CDF returns P(X <= x).
+func (d *Dist) CDF(x int) float64 {
+	if x < d.xmin {
+		return 0
+	}
+	if x >= d.SupportMax() {
+		return 1
+	}
+	var s float64
+	for i := d.xmin; i <= x; i++ {
+		s += d.pmf[i-d.xmin]
+	}
+	return s
+}
+
+// Mean returns E[X] computed exactly from the PMF.
+func (d *Dist) Mean() float64 {
+	var m float64
+	for i, p := range d.pmf {
+		m += float64(d.xmin+i) * p
+	}
+	return m
+}
+
+// Variance returns Var[X] computed exactly from the PMF.
+func (d *Dist) Variance() float64 {
+	mean := d.Mean()
+	var v float64
+	for i, p := range d.pmf {
+		dlt := float64(d.xmin+i) - mean
+		v += dlt * dlt * p
+	}
+	return v
+}
+
+// Mode returns the most probable x.
+func (d *Dist) Mode() int {
+	best, bx := -1.0, d.xmin
+	for i, p := range d.pmf {
+		if p > best {
+			best, bx = p, d.xmin+i
+		}
+	}
+	return bx
+}
+
+// Sample draws one variate by PMF inversion.
+func (d *Dist) Sample(r *xrand.RNG) int {
+	u := r.Float64()
+	var c float64
+	for i, p := range d.pmf {
+		c += p
+		if u < c {
+			return d.xmin + i
+		}
+	}
+	return d.SupportMax()
+}
+
+// MeanApprox returns the classical approximation to the mean (Fog 2008):
+// the admissible root μ of the quadratic obtained from the odds identity
+// ω·(M1−μ)(N−μ) = μ·(M2−N+μ), i.e.
+//
+//	(ω−1)·μ² − (ω(M1+N) + M2 − N)·μ + ω·M1·N = 0.
+//
+// It cross-checks the exact PMF-based Mean in tests.
+func (d *Dist) MeanApprox() float64 {
+	m1, m2, n := float64(d.M1), float64(d.M2), float64(d.N)
+	w := d.Omega
+	if w == 1 {
+		// Central hypergeometric.
+		if m1+m2 == 0 {
+			return 0
+		}
+		return n * m1 / (m1 + m2)
+	}
+	a := w - 1
+	b := -(w*(m1+n) + m2 - n)
+	c := w * m1 * n
+	disc := b*b - 4*a*c
+	if disc < 0 {
+		disc = 0
+	}
+	return (-b - math.Sqrt(disc)) / (2 * a)
+}

@@ -1,0 +1,201 @@
+package fisher
+
+import (
+	"math"
+	"testing"
+
+	"sciborq/internal/xrand"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(-1, 5, 2, 1); err == nil {
+		t.Fatal("negative m1 accepted")
+	}
+	if _, err := New(5, -1, 2, 1); err == nil {
+		t.Fatal("negative m2 accepted")
+	}
+	if _, err := New(5, 5, 11, 1); err == nil {
+		t.Fatal("n > m1+m2 accepted")
+	}
+	if _, err := New(5, 5, -1, 1); err == nil {
+		t.Fatal("negative n accepted")
+	}
+	for _, w := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := New(5, 5, 2, w); err == nil {
+			t.Fatalf("omega=%v accepted", w)
+		}
+	}
+}
+
+func TestPMFSumsToOne(t *testing.T) {
+	for _, w := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		d, err := New(30, 70, 20, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s float64
+		for x := d.SupportMin(); x <= d.SupportMax(); x++ {
+			p := d.PMF(x)
+			if p < 0 {
+				t.Fatalf("negative pmf at %d", x)
+			}
+			s += p
+		}
+		if math.Abs(s-1) > 1e-12 {
+			t.Fatalf("omega=%v: pmf sums to %v", w, s)
+		}
+	}
+}
+
+func TestSupportBounds(t *testing.T) {
+	d, _ := New(3, 4, 6, 2)
+	// x >= n−m2 = 2, x <= min(n,m1) = 3.
+	if d.SupportMin() != 2 || d.SupportMax() != 3 {
+		t.Fatalf("support [%d, %d], want [2, 3]", d.SupportMin(), d.SupportMax())
+	}
+	if d.PMF(1) != 0 || d.PMF(4) != 0 {
+		t.Fatal("pmf nonzero outside support")
+	}
+}
+
+func TestCentralCaseMatchesHypergeometric(t *testing.T) {
+	// omega=1 must reduce to the central hypergeometric distribution.
+	d, _ := New(10, 20, 12, 1)
+	wantMean := 12.0 * 10.0 / 30.0
+	if math.Abs(d.Mean()-wantMean) > 1e-10 {
+		t.Fatalf("central mean = %v, want %v", d.Mean(), wantMean)
+	}
+	// Var = n·p·(1−p)·(M−n)/(M−1) with p = m1/M.
+	p := 10.0 / 30.0
+	wantVar := 12 * p * (1 - p) * (30.0 - 12.0) / 29.0
+	if math.Abs(d.Variance()-wantVar) > 1e-10 {
+		t.Fatalf("central variance = %v, want %v", d.Variance(), wantVar)
+	}
+}
+
+func TestMeanIncreasesWithOmega(t *testing.T) {
+	prev := -1.0
+	for _, w := range []float64{0.25, 0.5, 1, 2, 4, 8} {
+		d, _ := New(50, 50, 30, w)
+		m := d.Mean()
+		if m <= prev {
+			t.Fatalf("mean not increasing in omega: %v after %v", m, prev)
+		}
+		prev = m
+	}
+}
+
+func TestMeanApproxCloseToExact(t *testing.T) {
+	for _, w := range []float64{0.5, 1, 2, 5, 10} {
+		d, _ := New(60, 140, 40, w)
+		exact, approx := d.Mean(), d.MeanApprox()
+		if math.Abs(exact-approx) > 0.5 {
+			t.Fatalf("omega=%v: exact %v vs approx %v", w, exact, approx)
+		}
+	}
+}
+
+func TestCDF(t *testing.T) {
+	d, _ := New(10, 10, 8, 2)
+	if d.CDF(d.SupportMin()-1) != 0 {
+		t.Fatal("CDF below support not 0")
+	}
+	if d.CDF(d.SupportMax()) != 1 {
+		t.Fatal("CDF at max not 1")
+	}
+	prev := 0.0
+	for x := d.SupportMin(); x <= d.SupportMax(); x++ {
+		c := d.CDF(x)
+		if c < prev-1e-12 {
+			t.Fatal("CDF not monotone")
+		}
+		prev = c
+	}
+}
+
+func TestModeNearMean(t *testing.T) {
+	d, _ := New(40, 60, 30, 3)
+	mode := d.Mode()
+	if math.Abs(float64(mode)-d.Mean()) > 2 {
+		t.Fatalf("mode %d far from mean %v", mode, d.Mean())
+	}
+}
+
+func TestSampleMomentsMatchTheory(t *testing.T) {
+	d, _ := New(30, 70, 25, 4)
+	r := xrand.New(5)
+	const trials = 50000
+	var sum, sumSq float64
+	for i := 0; i < trials; i++ {
+		x := float64(d.Sample(r))
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / trials
+	variance := sumSq/trials - mean*mean
+	if math.Abs(mean-d.Mean()) > 0.05 {
+		t.Fatalf("sample mean %v vs exact %v", mean, d.Mean())
+	}
+	if math.Abs(variance-d.Variance()) > 0.2 {
+		t.Fatalf("sample variance %v vs exact %v", variance, d.Variance())
+	}
+}
+
+func TestSampleWithinSupport(t *testing.T) {
+	d, _ := New(5, 5, 7, 0.3)
+	r := xrand.New(9)
+	for i := 0; i < 10000; i++ {
+		x := d.Sample(r)
+		if x < d.SupportMin() || x > d.SupportMax() {
+			t.Fatalf("sample %d outside support [%d,%d]", x, d.SupportMin(), d.SupportMax())
+		}
+	}
+}
+
+func TestDegenerateCases(t *testing.T) {
+	// Sample everything: X = m1 always.
+	d, _ := New(3, 4, 7, 2)
+	if d.SupportMin() != 3 || d.SupportMax() != 3 {
+		t.Fatalf("census support [%d,%d]", d.SupportMin(), d.SupportMax())
+	}
+	if d.Mean() != 3 || d.Variance() != 0 {
+		t.Fatalf("census mean/var = %v/%v", d.Mean(), d.Variance())
+	}
+	// Empty sample.
+	d0, _ := New(3, 4, 0, 2)
+	if d0.Mean() != 0 || d0.Variance() != 0 {
+		t.Fatalf("empty-sample moments = %v/%v", d0.Mean(), d0.Variance())
+	}
+	// One group empty.
+	d1, _ := New(0, 10, 5, 2)
+	if d1.Mean() != 0 {
+		t.Fatalf("m1=0 mean = %v", d1.Mean())
+	}
+}
+
+func TestLogChoose(t *testing.T) {
+	if got := logChoose(5, 2); math.Abs(got-math.Log(10)) > 1e-12 {
+		t.Fatalf("logC(5,2) = %v", got)
+	}
+	if !math.IsInf(logChoose(3, 5), -1) || !math.IsInf(logChoose(3, -1), -1) {
+		t.Fatal("out-of-range choose not -Inf")
+	}
+	if logChoose(7, 0) != 0 || logChoose(7, 7) != 0 {
+		t.Fatal("edge binomials wrong")
+	}
+}
+
+func TestLargePopulationStability(t *testing.T) {
+	// Large parameters must not overflow (log-space computation).
+	d, err := New(500000, 1500000, 10000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.Mean()
+	if math.IsNaN(m) || m <= 0 || m > 10000 {
+		t.Fatalf("large-population mean = %v", m)
+	}
+	if math.Abs(m-d.MeanApprox()) > 1.0 {
+		t.Fatalf("exact %v vs approx %v diverge", m, d.MeanApprox())
+	}
+}

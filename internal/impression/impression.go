@@ -1,0 +1,477 @@
+// Package impression implements the paper's primary contribution:
+// impressions — large, workload-biased, incrementally maintained samples
+// of a science warehouse, organised in multi-layer hierarchies (§3).
+//
+// An impression samples row positions of an append-only base table while
+// the data is loaded (the construction "resides in the load process",
+// §3.3). It never revisits base data: positions are stable because
+// tables are append-only. Three focus policies are provided:
+//
+//   - Uniform: the classical reservoir of Figure 2.
+//   - LastSeen: the recency-focused reservoir of Figure 3.
+//   - Biased: the workload-steered reservoir of Figure 6, whose bias
+//     factor is the binned KDE f̆ (package kde) over the predicate-set
+//     histograms maintained by the workload logger.
+//
+// Hierarchies (see hierarchy.go) stack impressions of decreasing size;
+// each smaller layer is refreshed exclusively from the layer below it.
+package impression
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"sciborq/internal/kde"
+	"sciborq/internal/reservoir"
+	"sciborq/internal/table"
+	"sciborq/internal/vec"
+	"sciborq/internal/workload"
+	"sciborq/internal/xrand"
+)
+
+// Policy selects the sampling focus of an impression.
+type Policy int
+
+// Focus policies.
+const (
+	Uniform Policy = iota
+	LastSeen
+	Biased
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case Uniform:
+		return "uniform"
+	case LastSeen:
+		return "last-seen"
+	case Biased:
+		return "biased"
+	}
+	return "unknown"
+}
+
+// Config configures one impression.
+type Config struct {
+	Name   string
+	Size   int
+	Policy Policy
+	Seed   uint64
+
+	// Biased policy: Logger supplies the predicate-set histograms and
+	// Attrs names the interesting attributes (must be DOUBLE columns of
+	// the base table). The bias factor of a tuple is the product of
+	// f̆_a(t.a)·N_a over the attributes — the paper's combine function
+	// c(t) = f̆(t.att1) ◦ ... ◦ f̆(t.attm).
+	Logger *workload.Logger
+	Attrs  []string
+
+	// Joint selects the multi-dimensional bias of the paper's future
+	// work (§6): with exactly two Attrs whose pair is jointly tracked
+	// on the Logger (workload.TrackJoint), the bias factor is the joint
+	// binned KDE f̆(x, y) — preserving the correlation between the
+	// attributes instead of multiplying marginals, so interest at
+	// (a₁, b₁) and (a₂, b₂) does not leak onto the phantom
+	// cross-products (a₁, b₂) and (a₂, b₁).
+	Joint bool
+
+	// LastSeen policy: acceptance probability K/D (Figure 3); D is
+	// tuned to the expected daily ingest.
+	K, D float64
+
+	// UniformMix λ adds a defensive uniform component to the bias
+	// factor: w = (1−λ)·Π f̆_a·N_a + λ, guaranteeing every tuple at
+	// least λ times the uniform sampling rate so that estimates over
+	// anti-focal regions keep finite variance (defensive importance
+	// sampling). 0 selects the default of 0.10 — the smallest mix at
+	// which anti-focal estimates keep nominal interval coverage in the
+	// acceptance tests; PureBias disables it (the verbatim paper
+	// behaviour).
+	UniformMix float64
+	PureBias   bool
+
+	// Faithful selects the verbatim pseudo-code of Figures 3/6
+	// including the shared-random victim slot; experiments use the
+	// corrected variant (false).
+	Faithful bool
+}
+
+// mix returns the effective uniform-mix λ.
+func (c Config) mix() float64 {
+	if c.PureBias {
+		return 0
+	}
+	if c.UniformMix <= 0 {
+		return 0.10
+	}
+	return c.UniformMix
+}
+
+// Sample is one sampled row with its two estimation weights (both 1 for
+// uniform policies):
+//
+//   - Weight is the clamp-corrected bias factor, smooth within a region;
+//     ratio estimators (AVG) use it because their variance depends on
+//     weight dispersion and they are robust to weight misspecification.
+//   - Pi is the estimated inclusion probability (acceptance × survival);
+//     share estimators (COUNT, SUM) need it because the clamped
+//     reservoir's composition is a nonlinear function of the bias
+//     factor that only the inclusion model captures.
+type Sample struct {
+	Pos    int32
+	Weight float64
+	Pi     float64
+}
+
+// Impression is a single-layer sample over a base table.
+type Impression struct {
+	mu   sync.Mutex
+	cfg  Config
+	base *table.Table
+	rng  *xrand.RNG
+
+	uni  *reservoir.R[int32]
+	last *reservoir.LastSeen[int32]
+	bias *reservoir.Biased[int32]
+
+	// derived holds the sample set of a layer rebuilt from its parent
+	// (hierarchy maintenance); when non-nil it shadows the stream
+	// samplers. A direct Offer clears it and resumes stream sampling.
+	derived []Sample
+
+	// cache of the materialised layer table; invalidated on change
+	cached  *table.Table
+	weights []float64 // ratio weights aligned with cached rows
+	pis     []float64 // inclusion weights aligned with cached rows
+	dirty   bool
+	offered int64
+}
+
+// New builds an impression over base.
+func New(base *table.Table, cfg Config) (*Impression, error) {
+	if base == nil {
+		return nil, fmt.Errorf("impression: nil base table")
+	}
+	if cfg.Size <= 0 {
+		return nil, fmt.Errorf("impression %q: size must be positive, got %d", cfg.Name, cfg.Size)
+	}
+	if cfg.Name == "" {
+		cfg.Name = fmt.Sprintf("impression(%s,%s,%d)", base.Name(), cfg.Policy, cfg.Size)
+	}
+	im := &Impression{cfg: cfg, base: base, rng: xrand.New(cfg.Seed ^ 0x5c1b09c9), dirty: true}
+	var err error
+	switch cfg.Policy {
+	case Uniform:
+		im.uni, err = reservoir.NewR[int32](cfg.Size, im.rng)
+	case LastSeen:
+		im.last, err = reservoir.NewLastSeen[int32](cfg.Size, cfg.K, cfg.D, cfg.Faithful, im.rng)
+	case Biased:
+		if cfg.Logger == nil || len(cfg.Attrs) == 0 {
+			return nil, fmt.Errorf("impression %q: biased policy needs a workload logger and attributes", cfg.Name)
+		}
+		// Validate the attributes now; per-offer lookups then cannot fail.
+		for _, a := range cfg.Attrs {
+			if _, err := cfg.Logger.Live(a); err != nil {
+				return nil, fmt.Errorf("impression %q: %w", cfg.Name, err)
+			}
+			if _, err := base.Float64(a); err != nil {
+				return nil, fmt.Errorf("impression %q: %w", cfg.Name, err)
+			}
+		}
+		factor := im.biasFactor
+		if cfg.Joint {
+			if len(cfg.Attrs) != 2 {
+				return nil, fmt.Errorf("impression %q: joint bias needs exactly 2 attributes, got %d", cfg.Name, len(cfg.Attrs))
+			}
+			if _, err := cfg.Logger.LiveJoint(cfg.Attrs[0], cfg.Attrs[1]); err != nil {
+				return nil, fmt.Errorf("impression %q: %w", cfg.Name, err)
+			}
+			factor = im.jointBiasFactor
+		}
+		im.bias, err = reservoir.NewBiased[int32](cfg.Size, factor, cfg.Faithful, im.rng)
+	default:
+		return nil, fmt.Errorf("impression %q: unknown policy %d", cfg.Name, cfg.Policy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return im, nil
+}
+
+// biasFactor computes the Figure-6 acceptance weight for the base row at
+// pos. Per attribute the factor is f̆_a(t.a)·N_a — the expected number of
+// predicate values near the tuple. Multiple attributes are combined by
+// geometric mean (the paper's combine function c(t) = f̆(att1)◦…◦f̆(attm)
+// leaves ◦ open; the geometric mean keeps the combined factor on the
+// same scale as a single attribute's, so the acceptance probability
+// n·w/cnt stays meaningfully below 1 instead of clamping). The result is
+// defensively mixed with a uniform floor (see Config.UniformMix).
+func (im *Impression) biasFactor(pos int32) float64 {
+	logW := 0.0
+	for _, attr := range im.cfg.Attrs {
+		data, err := im.base.Float64(attr)
+		if err != nil || int(pos) >= len(data) {
+			return 0
+		}
+		h, err := im.cfg.Logger.Live(attr)
+		if err != nil {
+			return 0
+		}
+		b, err := kde.NewBinned(h, nil)
+		if err != nil {
+			return 0
+		}
+		// f̆(v)·N: expected number of predicate values near v.
+		f := b.Eval(data[pos]) * float64(h.N)
+		if f <= 0 {
+			logW = math.Inf(-1)
+			break
+		}
+		logW += math.Log(f)
+	}
+	w := 0.0
+	if !math.IsInf(logW, -1) && len(im.cfg.Attrs) > 0 {
+		w = math.Exp(logW / float64(len(im.cfg.Attrs)))
+	}
+	lambda := im.cfg.mix()
+	return (1-lambda)*w + lambda
+}
+
+// jointBiasFactor computes the acceptance weight from the joint binned
+// KDE: the smoothed expected number of workload predicate points in the
+// tuple's grid cell, f̆(x, y)·N·wx·wy — the same "how interesting is this
+// neighbourhood" scale as the 1-D factor, but correlation-aware.
+func (im *Impression) jointBiasFactor(pos int32) float64 {
+	xs, err := im.base.Float64(im.cfg.Attrs[0])
+	if err != nil || int(pos) >= len(xs) {
+		return 0
+	}
+	ys, err := im.base.Float64(im.cfg.Attrs[1])
+	if err != nil || int(pos) >= len(ys) {
+		return 0
+	}
+	h, err := im.cfg.Logger.LiveJoint(im.cfg.Attrs[0], im.cfg.Attrs[1])
+	if err != nil {
+		return 0
+	}
+	b, err := kde.NewBinned2D(h, nil)
+	if err != nil {
+		return 0
+	}
+	w := b.Eval(xs[pos], ys[pos]) * float64(h.N) * h.WidthX * h.WidthY
+	lambda := im.cfg.mix()
+	return (1-lambda)*w + lambda
+}
+
+// Name returns the impression name.
+func (im *Impression) Name() string { return im.cfg.Name }
+
+// Policy returns the focus policy.
+func (im *Impression) Policy() Policy { return im.cfg.Policy }
+
+// Cap returns the configured sample size n.
+func (im *Impression) Cap() int { return im.cfg.Size }
+
+// Base returns the base table.
+func (im *Impression) Base() *table.Table { return im.base }
+
+// Offered returns the number of base rows offered so far.
+func (im *Impression) Offered() int64 {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	return im.offered
+}
+
+// Offer presents the base row at position pos to the impression; the
+// loader calls this for every appended row (construction during load,
+// §3.3).
+func (im *Impression) Offer(pos int32) {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	im.offered++
+	im.dirty = true
+	im.derived = nil // direct offers resume stream sampling
+	switch im.cfg.Policy {
+	case Uniform:
+		im.uni.Offer(pos)
+	case LastSeen:
+		im.last.Offer(pos)
+	case Biased:
+		im.bias.Offer(pos)
+	}
+}
+
+// Samples returns the current sample set (positions and weights).
+func (im *Impression) Samples() []Sample {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	return im.samplesLocked()
+}
+
+func (im *Impression) samplesLocked() []Sample {
+	if im.derived != nil {
+		out := make([]Sample, len(im.derived))
+		copy(out, im.derived)
+		return out
+	}
+	switch im.cfg.Policy {
+	case Uniform:
+		items := im.uni.Items()
+		out := make([]Sample, len(items))
+		for i, p := range items {
+			out[i] = Sample{Pos: p, Weight: 1, Pi: 1}
+		}
+		return out
+	case LastSeen:
+		items := im.last.Items()
+		out := make([]Sample, len(items))
+		for i, p := range items {
+			out[i] = Sample{Pos: p, Weight: 1, Pi: 1}
+		}
+		return out
+	case Biased:
+		items := im.bias.Items()
+		out := make([]Sample, len(items))
+		// Estimation weights: the bias factor, clamp-corrected. The
+		// Figure-6 acceptance probability is min(1, n·w/cnt), so every
+		// tuple with w >= cnt/n is accepted identically — its effective
+		// weight is cnt/n, not w. Capping at cnt/n makes the weights
+		// proportional to the steady-state acceptance flux. The lower
+		// end is bounded by the defensive uniform mix λ, so importance
+		// ratios stay finite. (The survival-corrected per-tuple Pi in
+		// the reservoir is exact but its orders-of-magnitude dispersion
+		// destroys the Hájek estimator's effective sample size.)
+		cap := float64(im.offered) / float64(im.cfg.Size)
+		if cap < 1 {
+			cap = 1
+		}
+		for i, it := range items {
+			w := it.Weight
+			if w > cap {
+				w = cap
+			}
+			out[i] = Sample{Pos: it.Item, Weight: w, Pi: it.Pi}
+		}
+		return out
+	}
+	return nil
+}
+
+// Len returns the current number of sampled rows.
+func (im *Impression) Len() int {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	if im.derived != nil {
+		return len(im.derived)
+	}
+	switch im.cfg.Policy {
+	case Uniform:
+		return len(im.uni.Items())
+	case LastSeen:
+		return len(im.last.Items())
+	case Biased:
+		return len(im.bias.Items())
+	}
+	return 0
+}
+
+// Materialized is an impression rendered as a standalone table with its
+// row-aligned estimation weight vectors.
+type Materialized struct {
+	Table *table.Table
+	// RatioWeights feed ratio estimators (AVG): the clamp-corrected
+	// bias factors.
+	RatioWeights []float64
+	// InclusionWeights feed share estimators (COUNT, SUM): estimated
+	// inclusion probabilities.
+	InclusionWeights []float64
+}
+
+// Materialize renders the impression; the result is cached until the
+// sample changes.
+func (im *Impression) Materialize() (*Materialized, error) {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	if !im.dirty && im.cached != nil {
+		return &Materialized{Table: im.cached, RatioWeights: im.weights, InclusionWeights: im.pis}, nil
+	}
+	samples := im.samplesLocked()
+	sel := make(vec.Sel, len(samples))
+	weights := make([]float64, len(samples))
+	pis := make([]float64, len(samples))
+	for i, s := range samples {
+		sel[i] = s.Pos
+		weights[i] = s.Weight
+		pis[i] = s.Pi
+	}
+	t, err := im.base.Project(im.cfg.Name, im.base.Schema().Names(), sel)
+	if err != nil {
+		return nil, err
+	}
+	im.cached, im.weights, im.pis, im.dirty = t, weights, pis, false
+	return &Materialized{Table: t, RatioWeights: weights, InclusionWeights: pis}, nil
+}
+
+// Table materialises the impression into a standalone table whose row i
+// corresponds to the returned ratio weights[i]. See Materialize for the
+// full weight set.
+func (im *Impression) Table() (*table.Table, []float64, error) {
+	m, err := im.Materialize()
+	if err != nil {
+		return nil, nil, err
+	}
+	return m.Table, m.RatioWeights, nil
+}
+
+// SampleFraction returns n/offered — the effective sampling rate.
+func (im *Impression) SampleFraction() float64 {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	if im.offered == 0 {
+		return 0
+	}
+	n := float64(im.cfg.Size)
+	if int64(im.cfg.Size) > im.offered {
+		n = float64(im.offered)
+	}
+	return n / float64(im.offered)
+}
+
+// ReplaceFrom rebuilds this impression by subsampling the given parent
+// samples (the layer below in a hierarchy) uniformly without
+// replacement. The parent's focal point is inherited through its
+// composition (§3.1), and uniform thinning keeps the inclusion weights
+// valid: each chosen sample keeps weight parentWeight · n/len(parent),
+// its inclusion probability through both stages.
+func (im *Impression) ReplaceFrom(parent []Sample) error {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	im.dirty = true
+	if len(parent) == 0 {
+		im.derived = []Sample{}
+		return nil
+	}
+	r, err := reservoir.NewR[Sample](im.cfg.Size, im.rng)
+	if err != nil {
+		return err
+	}
+	for _, s := range parent {
+		r.Offer(s)
+	}
+	chosen := r.Items()
+	thin := float64(len(chosen)) / float64(len(parent))
+	if thin > 1 {
+		thin = 1
+	}
+	derived := make([]Sample, len(chosen))
+	for i, s := range chosen {
+		// Uniform thinning multiplies inclusion probabilities by the
+		// thinning rate; ratio weights are scale-free, so they carry
+		// the same factor purely for interpretability.
+		derived[i] = Sample{Pos: s.Pos, Weight: s.Weight * thin, Pi: s.Pi * thin}
+	}
+	im.derived = derived
+	return nil
+}

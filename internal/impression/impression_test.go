@@ -1,0 +1,402 @@
+package impression
+
+import (
+	"math"
+	"testing"
+
+	"sciborq/internal/column"
+	"sciborq/internal/expr"
+	"sciborq/internal/table"
+	"sciborq/internal/workload"
+	"sciborq/internal/xrand"
+)
+
+// buildBase creates a base table with a bimodal ra distribution and
+// appends rows through the impression, as the loader would.
+func buildBase(t *testing.T, n int, seed uint64) *table.Table {
+	t.Helper()
+	tb := table.MustNew("PhotoObjAll", table.Schema{
+		{Name: "objID", Type: column.Int64},
+		{Name: "ra", Type: column.Float64},
+		{Name: "dec", Type: column.Float64},
+	})
+	r := xrand.New(seed)
+	rows := make([]table.Row, 0, n)
+	for i := 0; i < n; i++ {
+		ra := 120 + r.Float64()*120 // uniform [120, 240)
+		dec := r.Float64() * 60
+		rows = append(rows, table.Row{int64(i), ra, dec})
+	}
+	if err := tb.AppendBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func focusedLogger(t *testing.T) *workload.Logger {
+	t.Helper()
+	l, err := workload.NewLogger([]workload.AttrSpec{
+		{Name: "ra", Min: 120, Max: 240, Beta: 30},
+		{Name: "dec", Min: 0, Max: 60, Beta: 30},
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(77)
+	for i := 0; i < 400; i++ {
+		// Interest focused tightly on ra≈160.
+		l.LogQuery(expr.Cone{RaCol: "ra", DecCol: "dec",
+			Ra0: 160 + r.NormFloat64()*4, Dec0: 30 + r.NormFloat64()*4, Radius: 2})
+	}
+	return l
+}
+
+func TestNewValidation(t *testing.T) {
+	base := buildBase(t, 10, 1)
+	if _, err := New(nil, Config{Size: 5}); err == nil {
+		t.Fatal("nil base accepted")
+	}
+	if _, err := New(base, Config{Size: 0}); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+	if _, err := New(base, Config{Size: 5, Policy: Biased}); err == nil {
+		t.Fatal("biased without logger accepted")
+	}
+	l := focusedLogger(t)
+	if _, err := New(base, Config{Size: 5, Policy: Biased, Logger: l, Attrs: []string{"zzz"}}); err == nil {
+		t.Fatal("untracked bias attribute accepted")
+	}
+	if _, err := New(base, Config{Size: 5, Policy: Policy(99)}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := New(base, Config{Size: 5, Policy: LastSeen, K: 5, D: 2}); err == nil {
+		t.Fatal("k > D accepted")
+	}
+}
+
+func TestDefaultName(t *testing.T) {
+	base := buildBase(t, 10, 1)
+	im, err := New(base, Config{Size: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Name() == "" || im.Policy() != Uniform || im.Cap() != 5 {
+		t.Fatalf("metadata: %q %v %d", im.Name(), im.Policy(), im.Cap())
+	}
+}
+
+func TestUniformImpression(t *testing.T) {
+	base := buildBase(t, 5000, 2)
+	im, err := New(base, Config{Name: "u", Size: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < base.Len(); i++ {
+		im.Offer(int32(i))
+	}
+	if im.Len() != 500 || im.Offered() != 5000 {
+		t.Fatalf("len=%d offered=%d", im.Len(), im.Offered())
+	}
+	if got := im.SampleFraction(); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("fraction = %v", got)
+	}
+	tb, weights, err := im.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 500 || len(weights) != 500 {
+		t.Fatalf("materialised %d rows, %d weights", tb.Len(), len(weights))
+	}
+	for _, w := range weights {
+		if w != 1 {
+			t.Fatalf("uniform weight = %v", w)
+		}
+	}
+	// Sample mean of ra should approximate the population mean (~180).
+	ra, err := tb.Float64("ra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range ra {
+		sum += v
+	}
+	if mean := sum / float64(len(ra)); math.Abs(mean-180) > 5 {
+		t.Fatalf("uniform sample ra mean = %v", mean)
+	}
+}
+
+func TestTableCaching(t *testing.T) {
+	base := buildBase(t, 100, 4)
+	im, _ := New(base, Config{Size: 10, Seed: 1})
+	for i := 0; i < 50; i++ {
+		im.Offer(int32(i))
+	}
+	t1, _, err := im.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, _, _ := im.Table()
+	if t1 != t2 {
+		t.Fatal("cache miss without mutation")
+	}
+	im.Offer(50)
+	t3, _, _ := im.Table()
+	if t3 == t1 {
+		t.Fatal("stale cache after mutation")
+	}
+}
+
+func TestBiasedImpressionFocus(t *testing.T) {
+	base := buildBase(t, 60000, 5)
+	logger := focusedLogger(t)
+	im, err := New(base, Config{
+		Name: "b", Size: 2000, Policy: Biased,
+		Logger: logger, Attrs: []string{"ra"}, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < base.Len(); i++ {
+		im.Offer(int32(i))
+	}
+	tb, weights, err := im.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, _ := tb.Float64("ra")
+	// The base is uniform on [120,240); interest is at ra≈160±4. The
+	// biased impression must hold far more focal tuples than the 6.7%
+	// a uniform sample would give for the window [152,168].
+	focal := 0
+	for _, v := range ra {
+		if v >= 152 && v <= 168 {
+			focal++
+		}
+	}
+	frac := float64(focal) / float64(len(ra))
+	if frac < 0.3 {
+		t.Fatalf("focal fraction = %v, want >> 0.067 (uniform rate)", frac)
+	}
+	// Weights of focal tuples must exceed weights of anti-focal ones.
+	var wFocal, wAnti, nFocal, nAnti float64
+	for i, v := range ra {
+		if v >= 152 && v <= 168 {
+			wFocal += weights[i]
+			nFocal++
+		} else if v >= 200 {
+			wAnti += weights[i]
+			nAnti++
+		}
+	}
+	if nFocal > 0 && nAnti > 0 && wFocal/nFocal <= wAnti/nAnti {
+		t.Fatalf("focal weight %v not above anti-focal %v", wFocal/nFocal, wAnti/nAnti)
+	}
+}
+
+func TestBiasedMultiAttribute(t *testing.T) {
+	base := buildBase(t, 20000, 6)
+	logger := focusedLogger(t)
+	im, err := New(base, Config{
+		Name: "b2", Size: 1000, Policy: Biased,
+		Logger: logger, Attrs: []string{"ra", "dec"}, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < base.Len(); i++ {
+		im.Offer(int32(i))
+	}
+	tb, _, err := im.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, _ := tb.Float64("ra")
+	dec, _ := tb.Float64("dec")
+	both := 0
+	for i := range ra {
+		if math.Abs(ra[i]-160) < 10 && math.Abs(dec[i]-30) < 10 {
+			both++
+		}
+	}
+	// Uniform rate for that square is (20/120)*(20/60) ≈ 5.6%.
+	if frac := float64(both) / float64(len(ra)); frac < 0.2 {
+		t.Fatalf("2-D focal fraction = %v", frac)
+	}
+}
+
+func TestLastSeenImpression(t *testing.T) {
+	base := buildBase(t, 30000, 9)
+	im, err := New(base, Config{
+		Name: "ls", Size: 300, Policy: LastSeen, K: 150, D: 1000, Seed: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < base.Len(); i++ {
+		im.Offer(int32(i))
+	}
+	recent := 0
+	for _, s := range im.Samples() {
+		if s.Pos >= 15000 {
+			recent++
+		}
+	}
+	if frac := float64(recent) / 300; frac < 0.9 {
+		t.Fatalf("recent fraction = %v; Last Seen must favour fresh tuples", frac)
+	}
+}
+
+func TestSamplesWeightAlignment(t *testing.T) {
+	base := buildBase(t, 1000, 11)
+	logger := focusedLogger(t)
+	im, _ := New(base, Config{
+		Name: "align", Size: 100, Policy: Biased,
+		Logger: logger, Attrs: []string{"ra"}, Seed: 12,
+	})
+	for i := 0; i < base.Len(); i++ {
+		im.Offer(int32(i))
+	}
+	samples := im.Samples()
+	tb, weights, _ := im.Table()
+	ra, _ := tb.Float64("ra")
+	baseRa, _ := base.Float64("ra")
+	for i, s := range samples {
+		if ra[i] != baseRa[s.Pos] {
+			t.Fatalf("row %d: materialised %v != base[%d]=%v", i, ra[i], s.Pos, baseRa[s.Pos])
+		}
+		if weights[i] != s.Weight {
+			t.Fatalf("row %d: weight %v != sample weight %v", i, weights[i], s.Weight)
+		}
+	}
+}
+
+func TestHierarchyValidation(t *testing.T) {
+	base := buildBase(t, 100, 13)
+	l0, _ := New(base, Config{Name: "l0", Size: 50, Seed: 1})
+	l1, _ := New(base, Config{Name: "l1", Size: 50, Seed: 2})
+	if _, err := NewHierarchy(nil, 0); err == nil {
+		t.Fatal("empty hierarchy accepted")
+	}
+	if _, err := NewHierarchy([]*Impression{l0, l1}, 0); err == nil {
+		t.Fatal("non-decreasing sizes accepted")
+	}
+	other := buildBase(t, 100, 14)
+	o1, _ := New(other, Config{Name: "o1", Size: 10, Seed: 3})
+	if _, err := NewHierarchy([]*Impression{l0, o1}, 0); err == nil {
+		t.Fatal("mixed base tables accepted")
+	}
+}
+
+func TestHierarchyOfferAndRefresh(t *testing.T) {
+	base := buildBase(t, 20000, 15)
+	l0, _ := New(base, Config{Name: "l0", Size: 2000, Seed: 1})
+	l1, _ := New(base, Config{Name: "l1", Size: 200, Seed: 2})
+	l2, _ := New(base, Config{Name: "l2", Size: 20, Seed: 3})
+	h, err := NewHierarchy([]*Impression{l0, l1, l2}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Depth() != 3 {
+		t.Fatalf("depth = %d", h.Depth())
+	}
+	for i := 0; i < base.Len(); i++ {
+		h.Offer(int32(i))
+	}
+	if l0.Len() != 2000 {
+		t.Fatalf("layer0 len = %d", l0.Len())
+	}
+	if l1.Len() != 200 || l2.Len() != 20 {
+		t.Fatalf("derived layers: %d, %d", l1.Len(), l2.Len())
+	}
+	// Derived layers must contain only positions present in their parent.
+	parent := make(map[int32]bool)
+	for _, s := range l0.Samples() {
+		parent[s.Pos] = true
+	}
+	for _, s := range l1.Samples() {
+		if !parent[s.Pos] {
+			t.Fatalf("layer1 holds position %d absent from layer0", s.Pos)
+		}
+	}
+}
+
+func TestHierarchyAscending(t *testing.T) {
+	base := buildBase(t, 1000, 16)
+	l0, _ := New(base, Config{Name: "l0", Size: 500, Seed: 1})
+	l1, _ := New(base, Config{Name: "l1", Size: 50, Seed: 2})
+	h, _ := NewHierarchy([]*Impression{l0, l1}, 100)
+	asc := h.Ascending()
+	if asc[0].Cap() != 50 || asc[1].Cap() != 500 {
+		t.Fatalf("ascending order wrong: %d, %d", asc[0].Cap(), asc[1].Cap())
+	}
+}
+
+func TestHierarchyLargestWithin(t *testing.T) {
+	base := buildBase(t, 10000, 17)
+	l0, _ := New(base, Config{Name: "l0", Size: 1000, Seed: 1})
+	l1, _ := New(base, Config{Name: "l1", Size: 100, Seed: 2})
+	h, _ := NewHierarchy([]*Impression{l0, l1}, 500)
+	for i := 0; i < base.Len(); i++ {
+		h.Offer(int32(i))
+	}
+	if _, ok := h.LargestWithin(50); ok {
+		t.Fatal("found layer under impossible budget")
+	}
+	got, ok := h.LargestWithin(100)
+	if !ok || got.Cap() != 100 {
+		t.Fatalf("LargestWithin(100) = %v, %v", got, ok)
+	}
+	got, ok = h.LargestWithin(1_000_000)
+	if !ok || got.Cap() != 1000 {
+		t.Fatalf("LargestWithin(1M) picked %d", got.Cap())
+	}
+}
+
+func TestBiasedHierarchyInheritsFocus(t *testing.T) {
+	// §3.1: "the focal point of the larger impression is inherited by
+	// the smaller". The small derived layer must still over-represent
+	// the focal region.
+	base := buildBase(t, 40000, 18)
+	logger := focusedLogger(t)
+	mk := func(name string, size int, seed uint64) *Impression {
+		im, err := New(base, Config{
+			Name: name, Size: size, Policy: Biased,
+			Logger: logger, Attrs: []string{"ra"}, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return im
+	}
+	l0 := mk("l0", 4000, 1)
+	l1 := mk("l1", 400, 2)
+	h, _ := NewHierarchy([]*Impression{l0, l1}, 2000)
+	for i := 0; i < base.Len(); i++ {
+		h.Offer(int32(i))
+	}
+	if err := h.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	tb, _, err := l1.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, _ := tb.Float64("ra")
+	focal := 0
+	for _, v := range ra {
+		if v >= 152 && v <= 168 {
+			focal++
+		}
+	}
+	if frac := float64(focal) / float64(len(ra)); frac < 0.25 {
+		t.Fatalf("derived layer focal fraction = %v", frac)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Uniform.String() != "uniform" || LastSeen.String() != "last-seen" ||
+		Biased.String() != "biased" || Policy(9).String() != "unknown" {
+		t.Fatal("policy names wrong")
+	}
+}

@@ -1,0 +1,89 @@
+package kde
+
+import (
+	"math"
+	"testing"
+
+	"sciborq/internal/stats"
+	"sciborq/internal/xrand"
+)
+
+func TestNewBinned2DValidation(t *testing.T) {
+	if _, err := NewBinned2D(nil, nil); err == nil {
+		t.Fatal("nil histogram accepted")
+	}
+	h := stats.MustNewHistogram2D(0, 1, 2, 0, 1, 2)
+	b, err := NewBinned2D(h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Eval(0.5, 0.5) != 0 {
+		t.Fatal("empty estimator nonzero")
+	}
+}
+
+func TestBinned2DIntegratesToOne(t *testing.T) {
+	h := stats.MustNewHistogram2D(0, 10, 10, 0, 10, 10)
+	r := xrand.New(7)
+	for i := 0; i < 5000; i++ {
+		h.Observe(3+r.NormFloat64(), 7+r.NormFloat64())
+	}
+	b, _ := NewBinned2D(h, Gaussian{})
+	// 2-D Simpson via nested 1-D integration.
+	inner := func(x float64) float64 {
+		return Integrate(func(y float64) float64 { return b.Eval(x, y) }, -5, 15, 200)
+	}
+	total := Integrate(inner, -5, 15, 200)
+	if math.Abs(total-1) > 0.01 {
+		t.Fatalf("joint density integral = %v", total)
+	}
+}
+
+func TestBinned2DPreservesCorrelation(t *testing.T) {
+	// Interest at (2, 2) and (8, 8) only. The joint f̆ must be high at
+	// the true foci and low at the cross-products (2, 8) / (8, 2); the
+	// product of the marginals cannot tell them apart.
+	h := stats.MustNewHistogram2D(0, 10, 10, 0, 10, 10)
+	r := xrand.New(9)
+	for i := 0; i < 2000; i++ {
+		if i%2 == 0 {
+			h.Observe(2+r.NormFloat64()*0.5, 2+r.NormFloat64()*0.5)
+		} else {
+			h.Observe(8+r.NormFloat64()*0.5, 8+r.NormFloat64()*0.5)
+		}
+	}
+	joint, _ := NewBinned2D(h, Gaussian{})
+	mx := h.MarginalX()
+	// The data is symmetric, so the Y marginal equals the X marginal.
+	bx, _ := NewBinned(mx, Gaussian{})
+
+	focusJoint := joint.Eval(2, 2)
+	crossJoint := joint.Eval(2, 8)
+	if focusJoint < 20*crossJoint {
+		t.Fatalf("joint estimator leaks onto cross-product: focus %v vs cross %v", focusJoint, crossJoint)
+	}
+	// Product of marginals: cross-product indistinguishable from focus.
+	prodFocus := bx.Eval(2) * bx.Eval(2)
+	prodCross := bx.Eval(2) * bx.Eval(8)
+	if prodCross < prodFocus/4 {
+		t.Fatalf("marginal product unexpectedly separated the foci: %v vs %v", prodFocus, prodCross)
+	}
+}
+
+func TestBinned2DConstantInN(t *testing.T) {
+	// Eval cost depends on non-empty cells, not N: correctness proxy —
+	// density at the focus stays stable as N grows.
+	mk := func(n int) float64 {
+		h := stats.MustNewHistogram2D(0, 10, 10, 0, 10, 10)
+		r := xrand.New(11)
+		for i := 0; i < n; i++ {
+			h.Observe(5+r.NormFloat64(), 5+r.NormFloat64())
+		}
+		b, _ := NewBinned2D(h, Gaussian{})
+		return b.Eval(5, 5)
+	}
+	small, big := mk(500), mk(50000)
+	if math.Abs(small-big) > 0.3*big {
+		t.Fatalf("density estimate unstable across N: %v vs %v", small, big)
+	}
+}

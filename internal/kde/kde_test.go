@@ -1,0 +1,312 @@
+package kde
+
+import (
+	"math"
+	"testing"
+
+	"sciborq/internal/stats"
+	"sciborq/internal/xrand"
+)
+
+// bimodal draws from the two-cluster shape of the paper's Figure 4
+// predicate sets (interest around two sky regions).
+func bimodal(r *xrand.RNG, n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		if r.Float64() < 0.6 {
+			xs[i] = 160 + r.NormFloat64()*8
+		} else {
+			xs[i] = 210 + r.NormFloat64()*5
+		}
+	}
+	return xs
+}
+
+func TestGaussianKernel(t *testing.T) {
+	g := Gaussian{}
+	if math.Abs(g.Density(0)-1/math.Sqrt(2*math.Pi)) > 1e-15 {
+		t.Fatalf("phi(0) = %v", g.Density(0))
+	}
+	if !math.IsInf(g.Support(), 1) {
+		t.Fatal("gaussian support should be unbounded")
+	}
+	if g.Name() != "gaussian" {
+		t.Fatal("name")
+	}
+	// Integrates to 1.
+	got := Integrate(g.Density, -8, 8, 2000)
+	if math.Abs(got-1) > 1e-6 {
+		t.Fatalf("gaussian integral = %v", got)
+	}
+}
+
+func TestEpanechnikovKernel(t *testing.T) {
+	e := Epanechnikov{}
+	if e.Density(-1.5) != 0 || e.Density(1.5) != 0 {
+		t.Fatal("nonzero outside support")
+	}
+	if math.Abs(e.Density(0)-0.75) > 1e-15 {
+		t.Fatalf("K(0) = %v", e.Density(0))
+	}
+	if e.Support() != 1 || e.Name() != "epanechnikov" {
+		t.Fatal("metadata wrong")
+	}
+	got := Integrate(e.Density, -1, 1, 2000)
+	if math.Abs(got-1) > 1e-6 {
+		t.Fatalf("epanechnikov integral = %v", got)
+	}
+}
+
+func TestNewFullValidation(t *testing.T) {
+	if _, err := NewFull(nil, 1, nil); err == nil {
+		t.Fatal("empty data accepted")
+	}
+	if _, err := NewFull([]float64{1}, 0, nil); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	if _, err := NewFull([]float64{1}, -1, nil); err == nil {
+		t.Fatal("negative bandwidth accepted")
+	}
+	f, err := NewFull([]float64{1}, 1, nil)
+	if err != nil || f.K.Name() != "gaussian" {
+		t.Fatal("default kernel should be gaussian")
+	}
+}
+
+func TestFullIntegratesToOne(t *testing.T) {
+	r := xrand.New(42)
+	xs := bimodal(r, 400)
+	h, err := SilvermanBandwidth(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFull(xs, h, Gaussian{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Integrate(f.Eval, 60, 320, 4000)
+	if math.Abs(got-1) > 1e-3 {
+		t.Fatalf("full KDE integral = %v", got)
+	}
+}
+
+func TestFullSinglePoint(t *testing.T) {
+	f, err := NewFull([]float64{5}, 2, Gaussian{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f̂(x) = φ((x-5)/2)/2.
+	want := stats.NormPDF(0) / 2
+	if got := f.Eval(5); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("Eval(5) = %v, want %v", got, want)
+	}
+}
+
+func TestBinnedIntegratesToOne(t *testing.T) {
+	// The paper proves ∫f̆ = 1; check numerically.
+	r := xrand.New(7)
+	xs := bimodal(r, 400)
+	hist := stats.MustNewHistogram(120, 240, 30)
+	hist.ObserveAll(xs)
+	b, err := NewBinned(hist, Gaussian{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Integrate(b.Eval, 60, 320, 4000)
+	if math.Abs(got-1) > 1e-3 {
+		t.Fatalf("binned KDE integral = %v (paper: exactly 1)", got)
+	}
+}
+
+func TestBinnedMatchesFullOnFigure4Workload(t *testing.T) {
+	// Figure 4's key claim: f̆ is "almost identical" to f̂ with a
+	// carefully chosen bandwidth. Check L1 distance is small.
+	r := xrand.New(11)
+	xs := bimodal(r, 400)
+	hist := stats.MustNewHistogram(120, 240, 30)
+	hist.ObserveAll(xs)
+	b, _ := NewBinned(hist, Gaussian{})
+
+	hFull := hist.Width // compare at the same bandwidth
+	f, _ := NewFull(xs, hFull, Gaussian{})
+
+	l1 := L1Distance(f.Eval, b.Eval, 100, 260, 2000)
+	if l1 > 0.08 {
+		t.Fatalf("L1(f̂, f̆) = %v; paper claims near-identical curves", l1)
+	}
+}
+
+func TestBinnedEmptyHistogram(t *testing.T) {
+	hist := stats.MustNewHistogram(0, 1, 4)
+	b, err := NewBinned(hist, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Eval(0.5) != 0 {
+		t.Fatal("empty histogram should evaluate to 0")
+	}
+	if b.Beta() != 4 {
+		t.Fatalf("Beta = %d", b.Beta())
+	}
+}
+
+func TestBinnedNilHistogramRejected(t *testing.T) {
+	if _, err := NewBinned(nil, nil); err == nil {
+		t.Fatal("nil histogram accepted")
+	}
+}
+
+func TestOversmoothFlattensModes(t *testing.T) {
+	// Oversmoothing must reduce peak height; undersmoothing must raise
+	// local roughness. This mirrors the green/blue curves of Figure 4.
+	r := xrand.New(13)
+	xs := bimodal(r, 400)
+	href, err := SilvermanBandwidth(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := NewFull(xs, href, Gaussian{})
+	over, _ := NewFull(xs, href*OversmoothFactor, Gaussian{})
+
+	peak := func(f *Full) float64 {
+		best := 0.0
+		for x := 120.0; x <= 240; x += 0.5 {
+			if v := f.Eval(x); v > best {
+				best = v
+			}
+		}
+		return best
+	}
+	if peak(over) >= peak(ref) {
+		t.Fatalf("oversmoothed peak %v not below reference %v", peak(over), peak(ref))
+	}
+}
+
+func TestUndersmoothIncreasesRoughness(t *testing.T) {
+	r := xrand.New(17)
+	xs := bimodal(r, 400)
+	href, _ := SilvermanBandwidth(xs)
+	ref, _ := NewFull(xs, href, Gaussian{})
+	under, _ := NewFull(xs, href*UndersmoothFactor, Gaussian{})
+
+	roughness := func(f *Full) float64 {
+		// Total variation over a grid.
+		var tv, prev float64
+		first := true
+		for x := 120.0; x <= 240; x += 0.5 {
+			v := f.Eval(x)
+			if !first {
+				tv += math.Abs(v - prev)
+			}
+			prev, first = v, false
+		}
+		return tv
+	}
+	if roughness(under) <= roughness(ref) {
+		t.Fatalf("undersmoothed TV %v not above reference %v", roughness(under), roughness(ref))
+	}
+}
+
+func TestSilvermanAndScott(t *testing.T) {
+	r := xrand.New(19)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	hs, err := SilvermanBandwidth(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, err := ScottBandwidth(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For standard normal data, both rules give roughly 1.06·n^(-1/5)·σ
+	// (Scott) and 0.9·n^(-1/5)·min(σ, IQR/1.34) (Silverman).
+	nPow := math.Pow(1000, -0.2)
+	if math.Abs(hc-1.06*nPow) > 0.05 {
+		t.Fatalf("Scott bandwidth = %v", hc)
+	}
+	if hs <= 0 || hs >= hc {
+		t.Fatalf("Silverman %v should be below Scott %v for normal data", hs, hc)
+	}
+}
+
+func TestBandwidthErrors(t *testing.T) {
+	if _, err := SilvermanBandwidth([]float64{1}); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := SilvermanBandwidth([]float64{2, 2, 2}); err == nil {
+		t.Fatal("zero-spread data accepted")
+	}
+	if _, err := ScottBandwidth([]float64{3, 3}); err == nil {
+		t.Fatal("zero-spread data accepted by Scott")
+	}
+}
+
+func TestIQRAndQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Quantile(xs, 0.5); math.Abs(got-5.5) > 1e-12 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 10 {
+		t.Fatalf("q1 = %v", got)
+	}
+	iqr := IQR(xs)
+	if math.Abs(iqr-4.5) > 1e-12 {
+		t.Fatalf("IQR = %v", iqr)
+	}
+	if IQR([]float64{7}) != 0 {
+		t.Fatal("IQR of singleton should be 0")
+	}
+}
+
+func TestIntegrateKnown(t *testing.T) {
+	got := Integrate(func(x float64) float64 { return x * x }, 0, 1, 100)
+	if math.Abs(got-1.0/3.0) > 1e-9 {
+		t.Fatalf("∫x² = %v", got)
+	}
+	// Odd steps are rounded up; tiny steps clamped.
+	got = Integrate(func(x float64) float64 { return 1 }, 0, 2, 1)
+	if math.Abs(got-2) > 1e-12 {
+		t.Fatalf("∫1 = %v", got)
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	g := func(x float64) float64 { return x + 0.5 }
+	if got := MaxAbsDiff(f, g, 0, 1, 11); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("MaxAbsDiff = %v", got)
+	}
+	if got := MaxAbsDiff(f, f, 0, 1, 1); got != 0 {
+		t.Fatalf("self diff = %v", got)
+	}
+}
+
+func TestBinnedConstantTimeInBeta(t *testing.T) {
+	// f̆ cost must not depend on N: evaluating with N=100 vs N=100000
+	// observed values touches the same β bins. We check correctness of
+	// the independence, not wall time (bench E7 measures time).
+	histSmall := stats.MustNewHistogram(0, 1, 16)
+	histBig := stats.MustNewHistogram(0, 1, 16)
+	r := xrand.New(23)
+	for i := 0; i < 100; i++ {
+		histSmall.Observe(r.Float64())
+	}
+	for i := 0; i < 100000; i++ {
+		histBig.Observe(r.Float64())
+	}
+	bs, _ := NewBinned(histSmall, nil)
+	bb, _ := NewBinned(histBig, nil)
+	// Densities should both be near uniform 1.0 on [0,1].
+	if math.Abs(bb.Eval(0.5)-1) > 0.15 {
+		t.Fatalf("big-N uniform density at 0.5 = %v", bb.Eval(0.5))
+	}
+	if math.Abs(bs.Eval(0.5)-1) > 0.5 {
+		t.Fatalf("small-N uniform density at 0.5 = %v", bs.Eval(0.5))
+	}
+}

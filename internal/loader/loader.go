@@ -1,0 +1,101 @@
+// Package loader implements the ingest pipeline of §3.3: nightly batches
+// stream into the base table, and impressions are constructed and
+// maintained inside the load path, "considering each tuple as it is
+// being loaded, much like a stream" — base tables are never revisited.
+package loader
+
+import (
+	"fmt"
+	"sync"
+
+	"sciborq/internal/impression"
+	"sciborq/internal/table"
+)
+
+// Sink receives the positions of freshly loaded rows. Both
+// *impression.Impression and *impression.Hierarchy satisfy it.
+type Sink interface {
+	Offer(pos int32)
+}
+
+var (
+	_ Sink = (*impression.Impression)(nil)
+	_ Sink = (*impression.Hierarchy)(nil)
+)
+
+// Loader appends batches to a base table and feeds every appended row to
+// the registered sinks.
+type Loader struct {
+	mu      sync.Mutex
+	base    *table.Table
+	sinks   []Sink
+	batches int64
+	rows    int64
+}
+
+// New builds a loader for base.
+func New(base *table.Table) (*Loader, error) {
+	if base == nil {
+		return nil, fmt.Errorf("loader: nil base table")
+	}
+	return &Loader{base: base}, nil
+}
+
+// Attach registers a sink. Rows already present in the base table are
+// NOT replayed: impressions attach before loading starts (the paper's
+// deployment) or are extracted from an existing database with Backfill.
+func (l *Loader) Attach(s Sink) error {
+	if s == nil {
+		return fmt.Errorf("loader: nil sink")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sinks = append(l.sinks, s)
+	return nil
+}
+
+// Backfill offers every existing base row to the sink — the paper's
+// second deployment mode, "extracted from an existing database" (§3.3).
+func (l *Loader) Backfill(s Sink) {
+	n := l.base.Len()
+	for i := 0; i < n; i++ {
+		s.Offer(int32(i))
+	}
+}
+
+// LoadBatch appends one nightly batch and streams its positions to all
+// sinks. The append is atomic; on error no sink sees any row.
+func (l *Loader) LoadBatch(rows []table.Row) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	start := l.base.Len()
+	if err := l.base.AppendBatch(rows); err != nil {
+		return fmt.Errorf("loader: %w", err)
+	}
+	end := l.base.Len()
+	for pos := start; pos < end; pos++ {
+		for _, s := range l.sinks {
+			s.Offer(int32(pos))
+		}
+	}
+	l.batches++
+	l.rows += int64(end - start)
+	return nil
+}
+
+// Batches returns the number of loaded batches (nights).
+func (l *Loader) Batches() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.batches
+}
+
+// Rows returns the number of rows loaded through this loader.
+func (l *Loader) Rows() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rows
+}
+
+// Base returns the base table.
+func (l *Loader) Base() *table.Table { return l.base }

@@ -1,0 +1,128 @@
+// Package recycler implements an intermediate-result cache in the style
+// of the MonetDB recycler the paper builds on ([13], §3.3): selection
+// vectors of recently evaluated predicates are memoised so that repeated
+// exploration queries (the dominant SkyServer pattern) skip re-scanning,
+// and so that predicate logging for impressions stays cheap.
+//
+// The cache is keyed by (table identity, table length, predicate
+// rendering): because tables are append-only, a cached selection is
+// valid exactly while the table length is unchanged.
+package recycler
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"sciborq/internal/expr"
+	"sciborq/internal/table"
+	"sciborq/internal/vec"
+)
+
+// Stats reports cache effectiveness.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+}
+
+// HitRate returns hits / (hits + misses), 0 when empty.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Recycler memoises predicate selections with LRU eviction.
+type Recycler struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recent
+	stats   Stats
+}
+
+type entry struct {
+	key string
+	sel vec.Sel
+}
+
+// New returns a recycler holding at most capacity selections.
+func New(capacity int) (*Recycler, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("recycler: capacity must be positive, got %d", capacity)
+	}
+	return &Recycler{
+		cap:     capacity,
+		entries: make(map[string]*list.Element, capacity),
+		order:   list.New(),
+	}, nil
+}
+
+// key builds the cache key; table length participates so appends
+// invalidate implicitly.
+func key(t *table.Table, pred expr.Predicate) string {
+	return fmt.Sprintf("%s|%d|%s", t.Name(), t.Len(), pred)
+}
+
+// Filter evaluates pred over all rows of t, serving repeated predicates
+// from the cache.
+func (r *Recycler) Filter(t *table.Table, pred expr.Predicate) (vec.Sel, error) {
+	if pred == nil {
+		pred = expr.TruePred{}
+	}
+	k := key(t, pred)
+	r.mu.Lock()
+	if el, ok := r.entries[k]; ok {
+		r.order.MoveToFront(el)
+		r.stats.Hits++
+		sel := el.Value.(*entry).sel
+		r.mu.Unlock()
+		return sel, nil
+	}
+	r.stats.Misses++
+	r.mu.Unlock()
+
+	sel, err := pred.Filter(t, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if el, ok := r.entries[k]; ok {
+		// Raced with another evaluation of the same predicate; keep one.
+		r.order.MoveToFront(el)
+		return el.Value.(*entry).sel, nil
+	}
+	el := r.order.PushFront(&entry{key: k, sel: sel})
+	r.entries[k] = el
+	if r.order.Len() > r.cap {
+		oldest := r.order.Back()
+		r.order.Remove(oldest)
+		delete(r.entries, oldest.Value.(*entry).key)
+		r.stats.Evictions++
+	}
+	return sel, nil
+}
+
+// Stats returns a snapshot of cache statistics.
+func (r *Recycler) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.stats
+	s.Entries = r.order.Len()
+	return s
+}
+
+// Reset clears the cache and statistics.
+func (r *Recycler) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries = make(map[string]*list.Element, r.cap)
+	r.order = list.New()
+	r.stats = Stats{}
+}

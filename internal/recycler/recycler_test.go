@@ -1,0 +1,156 @@
+package recycler
+
+import (
+	"reflect"
+	"testing"
+
+	"sciborq/internal/column"
+	"sciborq/internal/expr"
+	"sciborq/internal/table"
+	"sciborq/internal/vec"
+)
+
+func testTable(t *testing.T) *table.Table {
+	t.Helper()
+	tb := table.MustNew("t", table.Schema{{Name: "x", Type: column.Float64}})
+	for i := 0; i < 10; i++ {
+		if err := tb.AppendRow(table.Row{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+}
+
+func TestHitAndMiss(t *testing.T) {
+	tb := testTable(t)
+	r, _ := New(4)
+	pred := expr.Cmp{Op: vec.Ge, Left: expr.ColRef{Name: "x"}, Right: 5}
+	s1, err := r.Filter(tb, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := r.Filter(tb, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("cached selection differs")
+	}
+	st := r.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v", st.HitRate())
+	}
+}
+
+func TestAppendInvalidates(t *testing.T) {
+	tb := testTable(t)
+	r, _ := New(4)
+	pred := expr.Cmp{Op: vec.Ge, Left: expr.ColRef{Name: "x"}, Right: 5}
+	s1, _ := r.Filter(tb, pred)
+	if err := tb.AppendRow(table.Row{50.0}); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := r.Filter(tb, pred)
+	if len(s2) != len(s1)+1 {
+		t.Fatalf("append not reflected: %v -> %v", s1, s2)
+	}
+	if r.Stats().Hits != 0 {
+		t.Fatal("stale entry served after append")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	tb := testTable(t)
+	r, _ := New(2)
+	preds := []expr.Predicate{
+		expr.Cmp{Op: vec.Ge, Left: expr.ColRef{Name: "x"}, Right: 1},
+		expr.Cmp{Op: vec.Ge, Left: expr.ColRef{Name: "x"}, Right: 2},
+		expr.Cmp{Op: vec.Ge, Left: expr.ColRef{Name: "x"}, Right: 3},
+	}
+	for _, p := range preds {
+		if _, err := r.Filter(tb, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := r.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// preds[0] was evicted: filtering it again is a miss.
+	_, _ = r.Filter(tb, preds[0])
+	if r.Stats().Hits != 0 {
+		t.Fatal("evicted entry served")
+	}
+	// preds[2] is still cached.
+	_, _ = r.Filter(tb, preds[2])
+	if r.Stats().Hits != 1 {
+		t.Fatal("resident entry not served")
+	}
+}
+
+func TestNilPredicate(t *testing.T) {
+	tb := testTable(t)
+	r, _ := New(2)
+	sel, err := r.Filter(tb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel != nil {
+		t.Fatalf("TRUE predicate sel = %v, want nil (all rows)", sel)
+	}
+}
+
+func TestErrorNotCached(t *testing.T) {
+	tb := testTable(t)
+	r, _ := New(2)
+	bad := expr.Cmp{Op: vec.Ge, Left: expr.ColRef{Name: "missing"}, Right: 1}
+	if _, err := r.Filter(tb, bad); err == nil {
+		t.Fatal("bad predicate succeeded")
+	}
+	if r.Stats().Entries != 0 {
+		t.Fatal("error result cached")
+	}
+}
+
+func TestReset(t *testing.T) {
+	tb := testTable(t)
+	r, _ := New(2)
+	pred := expr.Cmp{Op: vec.Ge, Left: expr.ColRef{Name: "x"}, Right: 5}
+	_, _ = r.Filter(tb, pred)
+	r.Reset()
+	st := r.Stats()
+	if st.Entries != 0 || st.Misses != 0 {
+		t.Fatalf("reset incomplete: %+v", st)
+	}
+}
+
+func TestHitRateEmpty(t *testing.T) {
+	if (Stats{}).HitRate() != 0 {
+		t.Fatal("empty hit rate not 0")
+	}
+}
+
+func TestDistinctTablesDistinctKeys(t *testing.T) {
+	ta := testTable(t)
+	tb := table.MustNew("other", table.Schema{{Name: "x", Type: column.Float64}})
+	_ = tb.AppendBatch([]table.Row{{100.0}})
+	r, _ := New(4)
+	pred := expr.Cmp{Op: vec.Ge, Left: expr.ColRef{Name: "x"}, Right: 5}
+	sa, _ := r.Filter(ta, pred)
+	sb, _ := r.Filter(tb, pred)
+	if len(sa) == len(sb) {
+		t.Fatalf("selections suspiciously identical: %v vs %v", sa, sb)
+	}
+	if r.Stats().Misses != 2 {
+		t.Fatal("different tables shared a cache entry")
+	}
+}

@@ -1,0 +1,335 @@
+// Package reservoir implements the sampling algorithms of SciBORQ §3.3–§4:
+//
+//   - R: the classical reservoir algorithm (paper Figure 2, Vitter [24]).
+//   - X: Vitter's skip-based Algorithm X — identical distribution to R with
+//     O(expected skips) RNG calls; used on large ingests.
+//   - LastSeen: the recency-biased reservoir of Figure 3 — acceptance with
+//     fixed probability k/D so recently loaded tuples dominate.
+//   - Biased: the workload-biased reservoir of Figure 6 — acceptance
+//     probability f̆(t)·N·n/cnt steered by the binned KDE over the
+//     workload's predicate set.
+//
+// Figures 3 and 6 of the paper reuse one random draw for both the
+// acceptance test and the victim slot, which conditions the slot on
+// acceptance and skews eviction toward low slots. Each sampler is
+// provided in a Faithful variant (paper pseudo-code, verbatim semantics)
+// and a corrected variant drawing an independent slot; the ablation bench
+// quantifies the difference and all experiments use the corrected form.
+package reservoir
+
+import (
+	"fmt"
+	"math"
+
+	"sciborq/internal/xrand"
+)
+
+// R is the classical reservoir sampler of Figure 2: after cnt offers,
+// every offered item is in the sample with probability n/cnt.
+type R[T any] struct {
+	cap   int
+	cnt   int64
+	items []T
+	rng   *xrand.RNG
+}
+
+// NewR returns a reservoir of capacity n seeded by rng.
+func NewR[T any](n int, rng *xrand.RNG) (*R[T], error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("reservoir: capacity must be positive, got %d", n)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("reservoir: nil rng")
+	}
+	return &R[T]{cap: n, items: make([]T, 0, n), rng: rng}, nil
+}
+
+// Offer presents one item to the reservoir.
+func (r *R[T]) Offer(item T) {
+	r.cnt++
+	if len(r.items) < r.cap {
+		r.items = append(r.items, item)
+		return
+	}
+	// Accept with probability n/cnt; the accepted item replaces a
+	// uniformly random victim. Using one draw for both is correct here
+	// (this is exactly Figure 2: rnd := floor(cnt*random()); accept and
+	// place at rnd when rnd < n — the slot is uniform given acceptance).
+	if j := r.rng.Uint64n(uint64(r.cnt)); j < uint64(r.cap) {
+		r.items[j] = item
+	}
+}
+
+// Items returns the current sample (live storage; do not mutate).
+func (r *R[T]) Items() []T { return r.items }
+
+// Count returns the number of items offered so far.
+func (r *R[T]) Count() int64 { return r.cnt }
+
+// Cap returns the reservoir capacity n.
+func (r *R[T]) Cap() int { return r.cap }
+
+// X is Vitter's Algorithm X: statistically identical to R but it draws
+// one variate per *accepted* item by computing how many offers to skip.
+type X[T any] struct {
+	cap   int
+	cnt   int64
+	skip  int64 // offers to ignore before the next acceptance
+	items []T
+	rng   *xrand.RNG
+}
+
+// NewX returns a skip-based reservoir of capacity n.
+func NewX[T any](n int, rng *xrand.RNG) (*X[T], error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("reservoir: capacity must be positive, got %d", n)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("reservoir: nil rng")
+	}
+	return &X[T]{cap: n, items: make([]T, 0, n), rng: rng}, nil
+}
+
+// Offer presents one item.
+func (x *X[T]) Offer(item T) {
+	x.cnt++
+	if len(x.items) < x.cap {
+		x.items = append(x.items, item)
+		if len(x.items) == x.cap {
+			x.computeSkip()
+		}
+		return
+	}
+	if x.skip > 0 {
+		x.skip--
+		return
+	}
+	x.items[x.rng.Intn(x.cap)] = item
+	x.computeSkip()
+}
+
+// computeSkip draws the number of subsequent offers to reject, using the
+// inverse-CDF of the skip distribution: after cnt offers the next
+// acceptance happens at the smallest s >= 0 with
+// prod_{i=1..s+1} (1 - n/(cnt+i)) < u.
+func (x *X[T]) computeSkip() {
+	u := x.rng.Float64()
+	var s int64
+	prod := 1.0
+	cnt := float64(x.cnt)
+	n := float64(x.cap)
+	for {
+		prod *= 1 - n/(cnt+float64(s)+1)
+		if prod <= u || prod <= 0 {
+			break
+		}
+		s++
+	}
+	x.skip = s
+}
+
+// Items returns the current sample (live storage; do not mutate).
+func (x *X[T]) Items() []T { return x.items }
+
+// Count returns the number of items offered so far.
+func (x *X[T]) Count() int64 { return x.cnt }
+
+// Cap returns the capacity.
+func (x *X[T]) Cap() int { return x.cap }
+
+// LastSeen is the recency-focused impression builder of Figure 3. Once
+// the reservoir is full, each arriving tuple is accepted with the fixed
+// probability k/D — where D is tuned to the expected daily ingest and
+// k <= n sets the desired fraction of fresh tuples — so old tuples decay
+// geometrically.
+type LastSeen[T any] struct {
+	cap      int
+	k, d     float64
+	cnt      int64
+	items    []T
+	rng      *xrand.RNG
+	faithful bool
+}
+
+// NewLastSeen builds a Last Seen reservoir of capacity n with acceptance
+// probability k/D. faithful selects the verbatim Figure-3 victim rule
+// (slot = floor(n·rnd) with the same rnd as the acceptance test).
+func NewLastSeen[T any](n int, k, d float64, faithful bool, rng *xrand.RNG) (*LastSeen[T], error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("reservoir: capacity must be positive, got %d", n)
+	}
+	if !(d > 0) || k < 0 || k > d {
+		return nil, fmt.Errorf("reservoir: need 0 <= k <= D and D > 0, got k=%g D=%g", k, d)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("reservoir: nil rng")
+	}
+	return &LastSeen[T]{cap: n, k: k, d: d, items: make([]T, 0, n), rng: rng, faithful: faithful}, nil
+}
+
+// Offer presents one item.
+func (l *LastSeen[T]) Offer(item T) {
+	l.cnt++
+	if len(l.items) < l.cap {
+		l.items = append(l.items, item)
+		return
+	}
+	rnd := l.rng.Float64()
+	if l.d*rnd >= l.k {
+		return
+	}
+	var slot int
+	if l.faithful {
+		// Figure 3 verbatim: smp[floor(n*rnd)] := tpl. Given acceptance,
+		// rnd ∈ [0, k/D), so slots are confined to [0, n·k/D).
+		slot = int(float64(l.cap) * rnd)
+		if slot >= l.cap {
+			slot = l.cap - 1
+		}
+	} else {
+		slot = l.rng.Intn(l.cap)
+	}
+	l.items[slot] = item
+}
+
+// Items returns the current sample (live storage; do not mutate).
+func (l *LastSeen[T]) Items() []T { return l.items }
+
+// Count returns the number of items offered so far.
+func (l *LastSeen[T]) Count() int64 { return l.cnt }
+
+// Cap returns the capacity.
+func (l *LastSeen[T]) Cap() int { return l.cap }
+
+// AcceptProb returns the fixed acceptance probability k/D.
+func (l *LastSeen[T]) AcceptProb() float64 { return l.k / l.d }
+
+// Weighted holds one sampled item together with the bias weight in force
+// when it was accepted and an estimate of its inclusion probability.
+type Weighted[T any] struct {
+	Item T
+	// Weight is the bias factor f̆(t)·N used in the acceptance test: the
+	// expected number of workload predicate values near the tuple.
+	Weight float64
+	// Pi estimates the probability that this tuple is in the final
+	// sample: its acceptance probability at offer time multiplied by its
+	// survival probability through the evictions that followed,
+	// (1 − 1/n)^(K − k). Estimators invert Pi (Horvitz–Thompson style);
+	// it accounts for the fill phase (acceptance 1) and for acceptance-
+	// probability clamping, which the raw bias factor cannot.
+	Pi float64
+	// Seq is the 1-based offer sequence number (arrival order).
+	Seq int64
+}
+
+// Biased is the workload-biased reservoir of Figure 6. The acceptance
+// probability for tuple t at offer cnt is
+//
+//	P(accept t) = f̆(t) · N · n / cnt
+//
+// (clamped to 1), where f̆ is the binned KDE over the predicate set, N is
+// the number of logged predicate values, and n the impression size.
+type Biased[T any] struct {
+	cap      int
+	cnt      int64
+	accepts  int64 // replacement acceptances (evictions) so far, K
+	items    []biasedItem[T]
+	rng      *xrand.RNG
+	weight   func(T) float64 // returns f̆(t)·N, the bias factor
+	faithful bool
+}
+
+// biasedItem records the acceptance metadata needed to reconstruct the
+// item's inclusion probability.
+type biasedItem[T any] struct {
+	item    T
+	weight  float64 // bias factor at offer time
+	pAccept float64 // acceptance probability used (1 in the fill phase)
+	kAt     int64   // eviction counter right after this item entered
+	seq     int64
+}
+
+// NewBiased builds a biased reservoir of capacity n. weight must return
+// the bias factor f̆(t)·N for a tuple (>= 0). faithful selects the
+// verbatim Figure-6 victim rule.
+func NewBiased[T any](n int, weight func(T) float64, faithful bool, rng *xrand.RNG) (*Biased[T], error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("reservoir: capacity must be positive, got %d", n)
+	}
+	if weight == nil {
+		return nil, fmt.Errorf("reservoir: nil weight function")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("reservoir: nil rng")
+	}
+	return &Biased[T]{cap: n, items: make([]biasedItem[T], 0, n), rng: rng, weight: weight, faithful: faithful}, nil
+}
+
+// Offer presents one item.
+func (b *Biased[T]) Offer(item T) {
+	b.cnt++
+	w := b.weight(item)
+	if w < 0 || math.IsNaN(w) {
+		w = 0
+	}
+	if len(b.items) < b.cap {
+		b.items = append(b.items, biasedItem[T]{item: item, weight: w, pAccept: 1, kAt: b.accepts, seq: b.cnt})
+		return
+	}
+	rnd := b.rng.Float64()
+	// Figure 6: accept iff cnt·rnd < n·N·f̆(t), i.e. rnd < n·w/cnt.
+	if float64(b.cnt)*rnd >= float64(b.cap)*w {
+		return
+	}
+	var slot int
+	if b.faithful {
+		// Figure 6 verbatim: smp[floor(rnd·n)] := tpl.
+		slot = int(rnd * float64(b.cap))
+		if slot >= b.cap {
+			slot = b.cap - 1
+		}
+	} else {
+		slot = b.rng.Intn(b.cap)
+	}
+	b.accepts++
+	p := float64(b.cap) * w / float64(b.cnt)
+	if p > 1 {
+		p = 1
+	}
+	b.items[slot] = biasedItem[T]{item: item, weight: w, pAccept: p, kAt: b.accepts, seq: b.cnt}
+}
+
+// Items returns the current weighted sample. Pi is reconstructed as
+// pAccept · (1 − 1/n)^(K − k): the probability the item was accepted
+// times the probability it survived every later eviction.
+func (b *Biased[T]) Items() []Weighted[T] {
+	out := make([]Weighted[T], len(b.items))
+	logSurvive := math.Log1p(-1 / float64(b.cap))
+	for i, it := range b.items {
+		pi := it.pAccept * math.Exp(float64(b.accepts-it.kAt)*logSurvive)
+		out[i] = Weighted[T]{Item: it.item, Weight: it.weight, Pi: pi, Seq: it.seq}
+	}
+	return out
+}
+
+// Count returns the number of items offered so far.
+func (b *Biased[T]) Count() int64 { return b.cnt }
+
+// Cap returns the capacity.
+func (b *Biased[T]) Cap() int { return b.cap }
+
+// AcceptProb returns the clamped acceptance probability the sampler
+// would use for bias factor w at the current count.
+func (b *Biased[T]) AcceptProb(w float64) float64 {
+	if b.cnt < int64(b.cap) {
+		return 1
+	}
+	p := float64(b.cap) * w / float64(b.cnt)
+	if p > 1 {
+		return 1
+	}
+	if p < 0 {
+		return 0
+	}
+	return p
+}

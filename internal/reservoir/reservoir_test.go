@@ -1,0 +1,418 @@
+package reservoir
+
+import (
+	"math"
+	"testing"
+
+	"sciborq/internal/xrand"
+)
+
+func TestNewRValidation(t *testing.T) {
+	if _, err := NewR[int](0, xrand.New(1)); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+	if _, err := NewR[int](5, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+func TestRFillPhase(t *testing.T) {
+	r, _ := NewR[int](5, xrand.New(1))
+	for i := 0; i < 3; i++ {
+		r.Offer(i)
+	}
+	if len(r.Items()) != 3 || r.Count() != 3 {
+		t.Fatalf("fill phase: %d items, count %d", len(r.Items()), r.Count())
+	}
+	for i := 3; i < 100; i++ {
+		r.Offer(i)
+	}
+	if len(r.Items()) != 5 || r.Cap() != 5 {
+		t.Fatalf("reservoir size %d after overflow", len(r.Items()))
+	}
+}
+
+// inclusionRates offers stream [0, streamN) `trials` times and returns
+// per-item inclusion frequencies.
+func inclusionRates(t *testing.T, makeSampler func(seed uint64) interface {
+	Offer(int)
+	Items() []int
+}, streamN, trials int) []float64 {
+	t.Helper()
+	counts := make([]float64, streamN)
+	for tr := 0; tr < trials; tr++ {
+		s := makeSampler(uint64(tr) + 1)
+		for i := 0; i < streamN; i++ {
+			s.Offer(i)
+		}
+		for _, v := range s.Items() {
+			counts[v]++
+		}
+	}
+	for i := range counts {
+		counts[i] /= float64(trials)
+	}
+	return counts
+}
+
+func TestRUniformInclusion(t *testing.T) {
+	// Property of Figure 2: every stream position is included with
+	// probability n/cnt.
+	const n, streamN, trials = 20, 200, 3000
+	rates := inclusionRates(t, func(seed uint64) interface {
+		Offer(int)
+		Items() []int
+	} {
+		r, _ := NewR[int](n, xrand.New(seed))
+		return r
+	}, streamN, trials)
+	want := float64(n) / float64(streamN)
+	for i, got := range rates {
+		if math.Abs(got-want) > 0.025 {
+			t.Fatalf("position %d inclusion %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestXMatchesRDistribution(t *testing.T) {
+	// Vitter's X must give the same uniform inclusion probabilities.
+	const n, streamN, trials = 20, 200, 3000
+	rates := inclusionRates(t, func(seed uint64) interface {
+		Offer(int)
+		Items() []int
+	} {
+		x, _ := NewX[int](n, xrand.New(seed))
+		return x
+	}, streamN, trials)
+	want := float64(n) / float64(streamN)
+	for i, got := range rates {
+		if math.Abs(got-want) > 0.025 {
+			t.Fatalf("position %d inclusion %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestXSmallStream(t *testing.T) {
+	x, _ := NewX[int](10, xrand.New(3))
+	for i := 0; i < 5; i++ {
+		x.Offer(i)
+	}
+	if len(x.Items()) != 5 {
+		t.Fatalf("underfull X has %d items", len(x.Items()))
+	}
+	if x.Cap() != 10 || x.Count() != 5 {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestNewXValidation(t *testing.T) {
+	if _, err := NewX[int](-1, xrand.New(1)); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+	if _, err := NewX[int](5, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+func TestNewLastSeenValidation(t *testing.T) {
+	r := xrand.New(1)
+	if _, err := NewLastSeen[int](0, 1, 10, false, r); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+	if _, err := NewLastSeen[int](5, -1, 10, false, r); err == nil {
+		t.Fatal("negative k accepted")
+	}
+	if _, err := NewLastSeen[int](5, 11, 10, false, r); err == nil {
+		t.Fatal("k > D accepted")
+	}
+	if _, err := NewLastSeen[int](5, 1, 0, false, r); err == nil {
+		t.Fatal("D=0 accepted")
+	}
+	if _, err := NewLastSeen[int](5, 1, 10, false, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+func TestLastSeenRecencyBias(t *testing.T) {
+	// With acceptance probability k/D, recent arrivals must be far more
+	// frequent in the sample than old ones: the expected survival of an
+	// item accepted at time s decays as (1 - (k/D)/n)^(arrivals after s).
+	const n, streamN, trials = 50, 5000, 200
+	oldCount, newCount := 0, 0
+	for tr := 0; tr < trials; tr++ {
+		ls, err := NewLastSeen[int](n, 500, 1000, false, xrand.New(uint64(tr)+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < streamN; i++ {
+			ls.Offer(i)
+		}
+		for _, v := range ls.Items() {
+			if v < streamN/2 {
+				oldCount++
+			} else {
+				newCount++
+			}
+		}
+	}
+	if newCount < 10*oldCount {
+		t.Fatalf("recency bias too weak: old=%d new=%d", oldCount, newCount)
+	}
+}
+
+func TestLastSeenAcceptProb(t *testing.T) {
+	ls, _ := NewLastSeen[int](10, 250, 1000, false, xrand.New(1))
+	if got := ls.AcceptProb(); got != 0.25 {
+		t.Fatalf("AcceptProb = %v", got)
+	}
+}
+
+func TestLastSeenFaithfulSlotSkew(t *testing.T) {
+	// The verbatim Figure-3 rule confines victims to slots
+	// [0, n·k/D): with k/D = 0.25 and n = 100, slots >= 25 never change
+	// after the fill phase. The corrected variant replaces everywhere.
+	const n = 100
+	faithful, _ := NewLastSeen[int](n, 250, 1000, true, xrand.New(7))
+	for i := 0; i < 100000; i++ {
+		faithful.Offer(i)
+	}
+	for slot := 30; slot < n; slot++ {
+		if faithful.Items()[slot] != slot {
+			t.Fatalf("faithful variant replaced slot %d; expected fill-phase item to survive", slot)
+		}
+	}
+	corrected, _ := NewLastSeen[int](n, 250, 1000, false, xrand.New(7))
+	for i := 0; i < 100000; i++ {
+		corrected.Offer(i)
+	}
+	surviving := 0
+	for slot := 0; slot < n; slot++ {
+		if corrected.Items()[slot] == slot {
+			surviving++
+		}
+	}
+	if surviving > n/2 {
+		t.Fatalf("corrected variant left %d fill-phase items in place", surviving)
+	}
+}
+
+func TestNewBiasedValidation(t *testing.T) {
+	w := func(int) float64 { return 1 }
+	if _, err := NewBiased[int](0, w, false, xrand.New(1)); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+	if _, err := NewBiased[int](5, nil, false, xrand.New(1)); err == nil {
+		t.Fatal("nil weight accepted")
+	}
+	if _, err := NewBiased[int](5, w, false, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+func TestBiasedFavoursHeavyItems(t *testing.T) {
+	// Items in the "focal" half get bias weight 9x the rest; they must
+	// be oversampled by roughly that odds ratio.
+	const n, streamN, trials = 100, 10000, 60
+	heavy, light := 0, 0
+	weight := func(v int) float64 {
+		if v%2 == 0 {
+			return 9
+		}
+		return 1
+	}
+	for tr := 0; tr < trials; tr++ {
+		b, err := NewBiased[int](n, weight, false, xrand.New(uint64(tr)+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < streamN; i++ {
+			b.Offer(i)
+		}
+		for _, it := range b.Items() {
+			if it.Item%2 == 0 {
+				heavy++
+			} else {
+				light++
+			}
+		}
+	}
+	ratio := float64(heavy) / float64(light)
+	if ratio < 3 {
+		t.Fatalf("bias ratio %v too weak (heavy=%d light=%d)", ratio, heavy, light)
+	}
+}
+
+func TestBiasedZeroWeightNeverAccepted(t *testing.T) {
+	// After the fill phase, zero-weight items must never enter.
+	weight := func(v int) float64 {
+		if v < 10 {
+			return 1
+		}
+		return 0
+	}
+	b, _ := NewBiased[int](10, weight, false, xrand.New(5))
+	for i := 0; i < 10000; i++ {
+		b.Offer(i)
+	}
+	for _, it := range b.Items() {
+		if it.Item >= 10 {
+			t.Fatalf("zero-weight item %d entered the sample", it.Item)
+		}
+	}
+}
+
+func TestBiasedNegativeAndNaNWeightsClamped(t *testing.T) {
+	weight := func(v int) float64 {
+		switch v % 3 {
+		case 0:
+			return -5
+		case 1:
+			return math.NaN()
+		}
+		return 1
+	}
+	b, _ := NewBiased[int](5, weight, false, xrand.New(5))
+	for i := 0; i < 1000; i++ {
+		b.Offer(i)
+	}
+	for _, it := range b.Items() {
+		if it.Weight < 0 || math.IsNaN(it.Weight) {
+			t.Fatalf("unclamped weight %v", it.Weight)
+		}
+	}
+}
+
+func TestBiasedRecordsSeqAndWeight(t *testing.T) {
+	b, _ := NewBiased[int](3, func(int) float64 { return 2 }, false, xrand.New(1))
+	b.Offer(7)
+	items := b.Items()
+	if items[0].Item != 7 || items[0].Weight != 2 || items[0].Seq != 1 {
+		t.Fatalf("recorded %+v", items[0])
+	}
+}
+
+func TestBiasedAcceptProb(t *testing.T) {
+	b, _ := NewBiased[int](10, func(int) float64 { return 1 }, false, xrand.New(1))
+	if b.AcceptProb(0.5) != 1 {
+		t.Fatal("fill phase should accept with probability 1")
+	}
+	for i := 0; i < 100; i++ {
+		b.Offer(i)
+	}
+	// p = n*w/cnt = 10*0.5/100.
+	if got := b.AcceptProb(0.5); math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("AcceptProb = %v", got)
+	}
+	if b.AcceptProb(1000) != 1 {
+		t.Fatal("probability must clamp to 1")
+	}
+	if b.AcceptProb(-1) != 0 {
+		t.Fatal("negative weight must clamp to 0")
+	}
+}
+
+func TestBiasedUniformWeightMatchesR(t *testing.T) {
+	// With a constant bias factor w = cnt/... the Figure-6 rule with
+	// w=1 gives acceptance n/cnt — identical to Algorithm R. Inclusion
+	// probabilities must then be uniform.
+	const n, streamN, trials = 20, 200, 3000
+	counts := make([]float64, streamN)
+	for tr := 0; tr < trials; tr++ {
+		b, _ := NewBiased[int](n, func(int) float64 { return 1 }, false, xrand.New(uint64(tr)+1))
+		for i := 0; i < streamN; i++ {
+			b.Offer(i)
+		}
+		for _, it := range b.Items() {
+			counts[it.Item]++
+		}
+	}
+	want := float64(n) / float64(streamN)
+	for i := range counts {
+		got := counts[i] / trials
+		if math.Abs(got-want) > 0.025 {
+			t.Fatalf("position %d inclusion %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestFaithfulBiasedSlotSkew(t *testing.T) {
+	// Figure-6 verbatim: victim slot floor(rnd·n) with rnd < n·w/cnt.
+	// As cnt grows the acceptance threshold shrinks, so victims
+	// concentrate near slot 0; high slots almost never change.
+	const n = 100
+	b, _ := NewBiased[int](n, func(int) float64 { return 1 }, true, xrand.New(11))
+	for i := 0; i < 100000; i++ {
+		b.Offer(i)
+	}
+	stale := 0
+	for slot := n / 2; slot < n; slot++ {
+		if b.Items()[slot].Item == slot {
+			stale++
+		}
+	}
+	if stale < n/4 {
+		t.Fatalf("expected upper slots to stay stale under faithful rule, got %d stale", stale)
+	}
+}
+
+func TestESValidation(t *testing.T) {
+	if _, err := NewES[int](0, xrand.New(1)); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+	if _, err := NewES[int](3, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+func TestESWeightedInclusion(t *testing.T) {
+	// With weights 9:1 on two halves, heavy items must dominate.
+	const n, streamN, trials = 50, 2000, 100
+	heavy, light := 0, 0
+	for tr := 0; tr < trials; tr++ {
+		es, _ := NewES[int](n, xrand.New(uint64(tr)+1))
+		for i := 0; i < streamN; i++ {
+			w := 1.0
+			if i%2 == 0 {
+				w = 9.0
+			}
+			es.Offer(i, w)
+		}
+		for _, it := range es.Items() {
+			if it.Item%2 == 0 {
+				heavy++
+			} else {
+				light++
+			}
+		}
+	}
+	if float64(heavy)/float64(light) < 4 {
+		t.Fatalf("ES weighting too weak: heavy=%d light=%d", heavy, light)
+	}
+}
+
+func TestESIgnoresNonPositiveWeights(t *testing.T) {
+	es, _ := NewES[int](5, xrand.New(3))
+	es.Offer(1, 0)
+	es.Offer(2, -4)
+	es.Offer(3, math.NaN())
+	if len(es.Items()) != 0 {
+		t.Fatalf("non-positive weights sampled: %v", es.Items())
+	}
+	es.Offer(4, 1)
+	if len(es.Items()) != 1 || es.Count() != 4 {
+		t.Fatalf("items=%d count=%d", len(es.Items()), es.Count())
+	}
+	if es.Cap() != 5 {
+		t.Fatal("cap wrong")
+	}
+}
+
+func TestESKeepsCapacity(t *testing.T) {
+	es, _ := NewES[int](10, xrand.New(4))
+	for i := 0; i < 1000; i++ {
+		es.Offer(i, 1)
+	}
+	if len(es.Items()) != 10 {
+		t.Fatalf("ES holds %d items", len(es.Items()))
+	}
+}

@@ -1,0 +1,85 @@
+package reservoir
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"sciborq/internal/xrand"
+)
+
+// ES is the Efraimidis–Spirakis weighted reservoir (A-Res): each offered
+// item receives key u^(1/w) and the n largest keys are kept. It yields
+// exact probability-proportional-to-size sampling without replacement and
+// serves as the reference baseline against the paper's Figure-6 sampler
+// in the ablation benchmarks.
+type ES[T any] struct {
+	cap int
+	cnt int64
+	h   esHeap[T]
+	rng *xrand.RNG
+}
+
+type esEntry[T any] struct {
+	item   T
+	weight float64
+	key    float64
+}
+
+type esHeap[T any] []esEntry[T]
+
+func (h esHeap[T]) Len() int           { return len(h) }
+func (h esHeap[T]) Less(i, j int) bool { return h[i].key < h[j].key }
+func (h esHeap[T]) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *esHeap[T]) Push(x any)        { *h = append(*h, x.(esEntry[T])) }
+func (h *esHeap[T]) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// NewES returns a weighted reservoir of capacity n.
+func NewES[T any](n int, rng *xrand.RNG) (*ES[T], error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("reservoir: capacity must be positive, got %d", n)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("reservoir: nil rng")
+	}
+	return &ES[T]{cap: n, h: make(esHeap[T], 0, n), rng: rng}, nil
+}
+
+// Offer presents one item with weight w (> 0; items with w <= 0 are
+// never sampled).
+func (e *ES[T]) Offer(item T, w float64) {
+	e.cnt++
+	if !(w > 0) || math.IsNaN(w) {
+		return
+	}
+	key := math.Pow(e.rng.Float64(), 1/w)
+	if len(e.h) < e.cap {
+		heap.Push(&e.h, esEntry[T]{item: item, weight: w, key: key})
+		return
+	}
+	if key > e.h[0].key {
+		e.h[0] = esEntry[T]{item: item, weight: w, key: key}
+		heap.Fix(&e.h, 0)
+	}
+}
+
+// Items returns the sampled items with their weights.
+func (e *ES[T]) Items() []Weighted[T] {
+	out := make([]Weighted[T], len(e.h))
+	for i, en := range e.h {
+		out[i] = Weighted[T]{Item: en.item, Weight: en.weight}
+	}
+	return out
+}
+
+// Count returns the number of items offered so far.
+func (e *ES[T]) Count() int64 { return e.cnt }
+
+// Cap returns the capacity.
+func (e *ES[T]) Cap() int { return e.cap }

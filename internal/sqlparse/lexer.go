@@ -1,0 +1,124 @@
+// Package sqlparse implements the SQL front-end of SciBORQ: a lexer and
+// recursive-descent parser for the query subset the paper's workload
+// needs (single-table aggregates, cone search, boolean predicates,
+// GROUP BY / ORDER BY / LIMIT) plus the bounded-query extensions of §3.2:
+//
+//	... WITHIN ERROR 0.05 CONFIDENCE 0.95   -- quality bound
+//	... WITHIN TIME 5ms                     -- runtime bound
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString // single-quoted literal
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokKind
+	text string // identifiers are kept verbatim; keywords matched case-insensitively
+	pos  int    // byte offset in the input, for error messages
+}
+
+// lex splits input into tokens. It returns an error for unterminated
+// strings or unexpected characters.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '\'':
+			j := i + 1
+			for j < n && input[j] != '\'' {
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("sqlparse: unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{kind: tokString, text: input[i+1 : j], pos: i})
+			i = j + 1
+		case unicode.IsDigit(c) || (c == '.' && i+1 < n && unicode.IsDigit(rune(input[i+1]))):
+			j := i
+			seenDot, seenExp := false, false
+			for j < n {
+				d := input[j]
+				if unicode.IsDigit(rune(d)) {
+					j++
+					continue
+				}
+				if d == '.' && !seenDot && !seenExp {
+					seenDot = true
+					j++
+					continue
+				}
+				if (d == 'e' || d == 'E') && !seenExp && j > i {
+					seenExp = true
+					j++
+					if j < n && (input[j] == '+' || input[j] == '-') {
+						j++
+					}
+					continue
+				}
+				break
+			}
+			// Duration suffixes (5ms, 2s, 100us) lex as one number token
+			// with the unit attached; the parser splits them.
+			for j < n && (unicode.IsLetter(rune(input[j]))) {
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[i:j], pos: i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < n && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_' || input[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: input[i:j], pos: i})
+			i = j
+		case strings.ContainsRune("(),*=+-/", c):
+			toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
+			i++
+		case c == '<':
+			if i+1 < n && (input[i+1] == '=' || input[i+1] == '>') {
+				toks = append(toks, token{kind: tokSymbol, text: input[i : i+2], pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokSymbol, text: "<", pos: i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{kind: tokSymbol, text: ">=", pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokSymbol, text: ">", pos: i})
+				i++
+			}
+		case c == ';':
+			i++ // trailing semicolons are tolerated
+		default:
+			return nil, fmt.Errorf("sqlparse: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+// isKeyword reports whether tok is the given keyword (case-insensitive).
+func (t token) isKeyword(kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

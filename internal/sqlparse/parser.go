@@ -1,0 +1,587 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"sciborq/internal/engine"
+	"sciborq/internal/expr"
+	"sciborq/internal/vec"
+)
+
+// Bounds carries the SciBORQ bounded-query clauses parsed from the
+// WITHIN extensions; zero values mean "no bound requested".
+type Bounds struct {
+	// MaxRelError is the requested relative error ε (WITHIN ERROR ε).
+	MaxRelError float64
+	// Confidence is the requested confidence level (CONFIDENCE c),
+	// defaulting to 0.95 when an error bound is present.
+	Confidence float64
+	// MaxTime is the requested runtime budget (WITHIN TIME d).
+	MaxTime time.Duration
+}
+
+// HasErrorBound reports whether a quality bound was requested.
+func (b Bounds) HasErrorBound() bool { return b.MaxRelError > 0 }
+
+// HasTimeBound reports whether a runtime bound was requested.
+func (b Bounds) HasTimeBound() bool { return b.MaxTime > 0 }
+
+// Statement is a parsed SQL statement: the engine query plus bounds.
+type Statement struct {
+	Query  engine.Query
+	Bounds Bounds
+}
+
+// Parse parses one SELECT statement.
+func Parse(sql string) (*Statement, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, input: sql}
+	st, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.cur().isKeyword("") && p.cur().kind != tokEOF {
+		return nil, p.errorf("unexpected trailing input %q", p.cur().text)
+	}
+	return st, nil
+}
+
+// MustParse is Parse but panics on error; for tests and examples.
+func MustParse(sql string) *Statement {
+	st, err := Parse(sql)
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+type parser struct {
+	toks  []token
+	pos   int
+	input string
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sqlparse: %s (near offset %d in %q)",
+		fmt.Sprintf(format, args...), p.cur().pos, truncate(p.input, 60))
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.cur().isKeyword(kw) {
+		return p.errorf("expected %s, got %q", strings.ToUpper(kw), p.cur().text)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if p.cur().kind != tokSymbol || p.cur().text != sym {
+		return p.errorf("expected %q, got %q", sym, p.cur().text)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.cur().isKeyword(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptSymbol(sym string) bool {
+	if p.cur().kind == tokSymbol && p.cur().text == sym {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// parseSelect parses:
+//
+//	SELECT list FROM ident [WHERE pred] [GROUP BY ident]
+//	[ORDER BY ident [ASC|DESC]] [LIMIT n]
+//	[WITHIN ERROR num [CONFIDENCE num]] [WITHIN TIME dur]
+func (p *parser) parseSelect() (*Statement, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	var st Statement
+	if err := p.parseSelectList(&st.Query); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokIdent {
+		return nil, p.errorf("expected table name, got %q", p.cur().text)
+	}
+	st.Query.Table = p.next().text
+
+	if p.acceptKeyword("WHERE") {
+		pred, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		st.Query.Where = pred
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		if p.cur().kind != tokIdent {
+			return nil, p.errorf("expected GROUP BY column, got %q", p.cur().text)
+		}
+		st.Query.GroupBy = p.next().text
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		if p.cur().kind != tokIdent {
+			return nil, p.errorf("expected ORDER BY column, got %q", p.cur().text)
+		}
+		st.Query.OrderBy = p.next().text
+		if p.acceptKeyword("DESC") {
+			st.Query.Desc = true
+		} else {
+			p.acceptKeyword("ASC")
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		n, err := p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+		st.Query.Limit = n
+	}
+	for p.acceptKeyword("WITHIN") {
+		switch {
+		case p.acceptKeyword("ERROR"):
+			v, err := p.parseNumber()
+			if err != nil {
+				return nil, err
+			}
+			if v <= 0 || v >= 1 {
+				return nil, p.errorf("WITHIN ERROR wants a relative error in (0,1), got %g", v)
+			}
+			st.Bounds.MaxRelError = v
+			st.Bounds.Confidence = 0.95
+			if p.acceptKeyword("CONFIDENCE") {
+				c, err := p.parseNumber()
+				if err != nil {
+					return nil, err
+				}
+				if c <= 0 || c >= 1 {
+					return nil, p.errorf("CONFIDENCE wants a level in (0,1), got %g", c)
+				}
+				st.Bounds.Confidence = c
+			}
+		case p.acceptKeyword("TIME"):
+			d, err := p.parseDuration()
+			if err != nil {
+				return nil, err
+			}
+			st.Bounds.MaxTime = d
+		default:
+			return nil, p.errorf("WITHIN must be followed by ERROR or TIME")
+		}
+	}
+	if err := st.Query.Validate(); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// parseSelectList fills either Aggs or Select.
+func (p *parser) parseSelectList(q *engine.Query) error {
+	if p.acceptSymbol("*") {
+		q.Select = []string{"*"}
+		return nil
+	}
+	for {
+		if fn, ok := aggKeyword(p.cur()); ok {
+			spec, err := p.parseAgg(fn)
+			if err != nil {
+				return err
+			}
+			q.Aggs = append(q.Aggs, spec)
+		} else if p.cur().kind == tokIdent {
+			q.Select = append(q.Select, p.next().text)
+		} else {
+			return p.errorf("expected select item, got %q", p.cur().text)
+		}
+		if !p.acceptSymbol(",") {
+			return nil
+		}
+	}
+}
+
+// aggKeyword maps a token to an aggregate function.
+func aggKeyword(t token) (engine.AggFunc, bool) {
+	if t.kind != tokIdent {
+		return 0, false
+	}
+	switch strings.ToUpper(t.text) {
+	case "COUNT":
+		return engine.Count, true
+	case "SUM":
+		return engine.Sum, true
+	case "AVG":
+		return engine.Avg, true
+	case "MIN":
+		return engine.Min, true
+	case "MAX":
+		return engine.Max, true
+	case "STDDEV":
+		return engine.StdDev, true
+	}
+	return 0, false
+}
+
+// parseAgg parses FN(arg) [AS alias].
+func (p *parser) parseAgg(fn engine.AggFunc) (engine.AggSpec, error) {
+	p.pos++ // consume function name
+	var spec engine.AggSpec
+	spec.Func = fn
+	if err := p.expectSymbol("("); err != nil {
+		return spec, err
+	}
+	if fn == engine.Count && p.acceptSymbol("*") {
+		// COUNT(*): nil Arg.
+	} else {
+		arg, err := p.parseScalar()
+		if err != nil {
+			return spec, err
+		}
+		spec.Arg = arg
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return spec, err
+	}
+	if p.acceptKeyword("AS") {
+		if p.cur().kind != tokIdent {
+			return spec, p.errorf("expected alias after AS, got %q", p.cur().text)
+		}
+		spec.Alias = p.next().text
+	}
+	return spec, nil
+}
+
+// parseScalar parses term (('+'|'-') term)*.
+func (p *parser) parseScalar() (expr.Scalar, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptSymbol("+"):
+			right, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = expr.Arith{Op: expr.Add, L: left, R: right}
+		case p.acceptSymbol("-"):
+			right, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = expr.Arith{Op: expr.Sub, L: left, R: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+// parseTerm parses factor (('*'|'/') factor)*.
+func (p *parser) parseTerm() (expr.Scalar, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptSymbol("*"):
+			right, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			left = expr.Arith{Op: expr.Mul, L: left, R: right}
+		case p.acceptSymbol("/"):
+			right, err := p.parseFactor()
+			if err != nil {
+				return nil, err
+			}
+			left = expr.Arith{Op: expr.Div, L: left, R: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+// parseFactor parses number | ident | '(' scalar ')' | '-' factor.
+func (p *parser) parseFactor() (expr.Scalar, error) {
+	switch {
+	case p.cur().kind == tokNumber:
+		v, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Const{V: v}, nil
+	case p.cur().kind == tokIdent && !isReserved(p.cur().text):
+		return expr.ColRef{Name: p.next().text}, nil
+	case p.acceptSymbol("("):
+		inner, err := p.parseScalar()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case p.acceptSymbol("-"):
+		inner, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Arith{Op: expr.Sub, L: expr.Const{V: 0}, R: inner}, nil
+	}
+	return nil, p.errorf("expected scalar expression, got %q", p.cur().text)
+}
+
+// parseOr parses and-expr (OR and-expr)*.
+func (p *parser) parseOr() (expr.Predicate, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.Or{L: left, R: right}
+	}
+	return left, nil
+}
+
+// parseAnd parses unary (AND unary)*.
+func (p *parser) parseAnd() (expr.Predicate, error) {
+	left, err := p.parseUnaryPred()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		right, err := p.parseUnaryPred()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.And{L: left, R: right}
+	}
+	return left, nil
+}
+
+// parseUnaryPred parses NOT pred | '(' pred ')' | primary predicate.
+func (p *parser) parseUnaryPred() (expr.Predicate, error) {
+	if p.acceptKeyword("NOT") {
+		inner, err := p.parseUnaryPred()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Not{P: inner}, nil
+	}
+	// Lookahead for a parenthesised predicate vs a parenthesised scalar:
+	// try predicate first, backtrack to scalar comparison on failure.
+	if p.cur().kind == tokSymbol && p.cur().text == "(" {
+		save := p.pos
+		p.pos++
+		inner, err := p.parseOr()
+		if err == nil && p.acceptSymbol(")") {
+			return inner, nil
+		}
+		p.pos = save
+	}
+	return p.parsePrimaryPred()
+}
+
+// parsePrimaryPred parses cone search, BETWEEN, string equality, and
+// scalar comparisons.
+func (p *parser) parsePrimaryPred() (expr.Predicate, error) {
+	if p.cur().isKeyword("fGetNearbyObjEq") {
+		return p.parseCone()
+	}
+	left, err := p.parseScalar()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("BETWEEN") {
+		lo, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseNumber()
+		if err != nil {
+			return nil, err
+		}
+		return expr.Between{Expr: left, Lo: lo, Hi: hi}, nil
+	}
+	op, err := p.parseCmpOp()
+	if err != nil {
+		return nil, err
+	}
+	// String comparison: only ident = 'str' or ident <> 'str'.
+	if p.cur().kind == tokString {
+		ref, ok := left.(expr.ColRef)
+		if !ok {
+			return nil, p.errorf("string comparison requires a plain column on the left")
+		}
+		if op != vec.Eq && op != vec.Ne {
+			return nil, p.errorf("strings support only = and <>")
+		}
+		return expr.StrEq{Col: ref.Name, Value: p.next().text, Neg: op == vec.Ne}, nil
+	}
+	rhs, err := p.parseNumber()
+	if err != nil {
+		return nil, err
+	}
+	return expr.Cmp{Op: op, Left: left, Right: rhs}, nil
+}
+
+// parseCone parses fGetNearbyObjEq(ra, dec, radius), binding to the
+// conventional SkyServer position columns ra/dec.
+func (p *parser) parseCone() (expr.Predicate, error) {
+	p.pos++ // consume function name
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	ra, err := p.parseNumber()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(","); err != nil {
+		return nil, err
+	}
+	dec, err := p.parseNumber()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(","); err != nil {
+		return nil, err
+	}
+	radius, err := p.parseNumber()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return expr.Cone{RaCol: "ra", DecCol: "dec", Ra0: ra, Dec0: dec, Radius: radius}, nil
+}
+
+// parseCmpOp parses a comparison operator token.
+func (p *parser) parseCmpOp() (vec.CmpOp, error) {
+	if p.cur().kind != tokSymbol {
+		return 0, p.errorf("expected comparison operator, got %q", p.cur().text)
+	}
+	var op vec.CmpOp
+	switch p.cur().text {
+	case "=":
+		op = vec.Eq
+	case "<>":
+		op = vec.Ne
+	case "<":
+		op = vec.Lt
+	case "<=":
+		op = vec.Le
+	case ">":
+		op = vec.Gt
+	case ">=":
+		op = vec.Ge
+	default:
+		return 0, p.errorf("unknown operator %q", p.cur().text)
+	}
+	p.pos++
+	return op, nil
+}
+
+// parseNumber parses a plain numeric literal (with optional leading -).
+func (p *parser) parseNumber() (float64, error) {
+	neg := false
+	if p.acceptSymbol("-") {
+		neg = true
+	}
+	if p.cur().kind != tokNumber {
+		return 0, p.errorf("expected number, got %q", p.cur().text)
+	}
+	text := p.next().text
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return 0, p.errorf("bad number %q: %v", text, err)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+// parseInt parses a non-negative integer literal.
+func (p *parser) parseInt() (int, error) {
+	v, err := p.parseNumber()
+	if err != nil {
+		return 0, err
+	}
+	n := int(v)
+	if float64(n) != v || n < 0 {
+		return 0, p.errorf("expected non-negative integer, got %g", v)
+	}
+	return n, nil
+}
+
+// parseDuration parses a Go-style duration literal (5ms, 2s, 100us, 1m).
+func (p *parser) parseDuration() (time.Duration, error) {
+	if p.cur().kind != tokNumber {
+		return 0, p.errorf("expected duration, got %q", p.cur().text)
+	}
+	text := p.next().text
+	d, err := time.ParseDuration(text)
+	if err != nil {
+		return 0, p.errorf("bad duration %q: %v", text, err)
+	}
+	if d <= 0 {
+		return 0, p.errorf("duration must be positive, got %v", d)
+	}
+	return d, nil
+}
+
+// isReserved reports whether an identifier is a grammar keyword and so
+// cannot be a column reference inside expressions.
+func isReserved(s string) bool {
+	switch strings.ToUpper(s) {
+	case "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "LIMIT",
+		"AND", "OR", "NOT", "BETWEEN", "AS", "ASC", "DESC",
+		"WITHIN", "ERROR", "TIME", "CONFIDENCE":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,76 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sciborq/internal/xrand"
+)
+
+// TestParseNeverPanics feeds the parser random token soup; it must
+// return errors, never panic.
+func TestParseNeverPanics(t *testing.T) {
+	words := []string{
+		"SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "LIMIT",
+		"AND", "OR", "NOT", "BETWEEN", "AS", "WITHIN", "ERROR", "TIME",
+		"CONFIDENCE", "COUNT", "AVG", "SUM", "(", ")", "*", ",", "=",
+		"<", ">", "<=", ">=", "<>", "+", "-", "/", "ra", "dec", "t",
+		"'GALAXY'", "185", "0.05", "5ms", "fGetNearbyObjEq",
+	}
+	r := xrand.New(99)
+	for trial := 0; trial < 5000; trial++ {
+		n := 1 + r.Intn(20)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = words[r.Intn(len(words))]
+		}
+		sql := strings.Join(parts, " ")
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("panic on %q: %v", sql, rec)
+				}
+			}()
+			_, _ = Parse(sql)
+		}()
+	}
+}
+
+// TestLexNeverPanics feeds the lexer arbitrary strings.
+func TestLexNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		defer func() {
+			if rec := recover(); rec != nil {
+				t.Fatalf("lex panic on %q: %v", s, rec)
+			}
+		}()
+		_, _ = lex(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseValidQueriesAlwaysValidate: whatever Parse accepts must pass
+// Query.Validate (the parser's output contract).
+func TestParseValidQueriesAlwaysValidate(t *testing.T) {
+	valid := []string{
+		"SELECT * FROM t",
+		"SELECT a, b, c FROM t WHERE a > 1 AND b < 2 OR NOT c = 3",
+		"SELECT COUNT(*), SUM(a), AVG(b), MIN(c), MAX(d), STDDEV(e) FROM t",
+		"SELECT AVG(a + b * c - 2 / d) AS x FROM t GROUP BY g ORDER BY x DESC LIMIT 7",
+		"SELECT COUNT(*) FROM t WHERE fGetNearbyObjEq(1, -2, 0.5) WITHIN ERROR 0.5 WITHIN TIME 10ms",
+		"select avg(a) from t where a between -1 and 1 within error 0.1 confidence 0.5",
+	}
+	for _, sql := range valid {
+		st, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("%q rejected: %v", sql, err)
+		}
+		if err := st.Query.Validate(); err != nil {
+			t.Fatalf("%q produced invalid query: %v", sql, err)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package stats provides the statistical substrate of SciBORQ: the
+// equi-width histogram with per-bin count and mean from Figure 5 of the
+// paper, streaming moments, normal quantiles, and the confidence-interval
+// helpers used by the estimators in package estimate.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bin holds the two statistics the paper maintains per histogram bin
+// (Figure 5): the count of observed values and their running mean.
+type Bin struct {
+	Count int64
+	Mean  float64
+}
+
+// Histogram is the paper's equi-width histogram over a predicate set
+// (Figure 5): the attribute domain [Min, Min+Beta*Width) is divided into
+// Beta bins; each bin tracks only count and mean — the histogram is never
+// materialised as a full value list.
+//
+// Values below Min clamp into bin 0 and values at or above the upper edge
+// clamp into the last bin, so a drifting workload cannot lose mass.
+type Histogram struct {
+	Min   float64
+	Width float64
+	Bins  []Bin
+	N     int64 // total observed values (the paper's N)
+}
+
+// NewHistogram builds a histogram with beta equal-width bins covering
+// [min, max). It returns an error for degenerate parameters.
+func NewHistogram(min, max float64, beta int) (*Histogram, error) {
+	if beta <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs beta > 0, got %d", beta)
+	}
+	if !(max > min) {
+		return nil, fmt.Errorf("stats: histogram needs max > min, got [%g, %g)", min, max)
+	}
+	return &Histogram{
+		Min:   min,
+		Width: (max - min) / float64(beta),
+		Bins:  make([]Bin, beta),
+	}, nil
+}
+
+// MustNewHistogram is NewHistogram but panics on error.
+func MustNewHistogram(min, max float64, beta int) *Histogram {
+	h, err := NewHistogram(min, max, beta)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Beta returns the number of bins.
+func (h *Histogram) Beta() int { return len(h.Bins) }
+
+// Max returns the upper edge of the histogram domain.
+func (h *Histogram) Max() float64 { return h.Min + h.Width*float64(len(h.Bins)) }
+
+// BinIndex returns the bin for value v, clamped to [0, beta).
+func (h *Histogram) BinIndex(v float64) int {
+	i := int(math.Floor((v - h.Min) / h.Width))
+	if i < 0 {
+		return 0
+	}
+	if i >= len(h.Bins) {
+		return len(h.Bins) - 1
+	}
+	return i
+}
+
+// Observe records one value, maintaining the running per-bin count and
+// mean exactly as Figure 5 of the paper:
+//
+//	hs[i].c++;
+//	hs[i].m = (hs[i].m*(hs[i].c-1) + v) / hs[i].c;
+func (h *Histogram) Observe(v float64) {
+	h.N++
+	b := &h.Bins[h.BinIndex(v)]
+	b.Count++
+	b.Mean = (b.Mean*float64(b.Count-1) + v) / float64(b.Count)
+}
+
+// ObserveAll records each value in vs.
+func (h *Histogram) ObserveAll(vs []float64) {
+	for _, v := range vs {
+		h.Observe(v)
+	}
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Min + (float64(i)+0.5)*h.Width
+}
+
+// BinLow returns the lower edge of bin i.
+func (h *Histogram) BinLow(i int) float64 {
+	return h.Min + float64(i)*h.Width
+}
+
+// Counts returns the per-bin counts as a slice.
+func (h *Histogram) Counts() []int64 {
+	out := make([]int64, len(h.Bins))
+	for i, b := range h.Bins {
+		out[i] = b.Count
+	}
+	return out
+}
+
+// Density returns the normalised density of bin i: count / (N * width),
+// so that the histogram integrates to one.
+func (h *Histogram) Density(i int) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Bins[i].Count) / (float64(h.N) * h.Width)
+}
+
+// Merge adds the contents of other (same geometry) into h.
+func (h *Histogram) Merge(other *Histogram) error {
+	if other.Min != h.Min || other.Width != h.Width || len(other.Bins) != len(h.Bins) {
+		return fmt.Errorf("stats: merge of incompatible histograms ([%g w=%g beta=%d] vs [%g w=%g beta=%d])",
+			h.Min, h.Width, len(h.Bins), other.Min, other.Width, len(other.Bins))
+	}
+	for i := range h.Bins {
+		a, b := h.Bins[i], other.Bins[i]
+		n := a.Count + b.Count
+		if n > 0 {
+			h.Bins[i].Mean = (a.Mean*float64(a.Count) + b.Mean*float64(b.Count)) / float64(n)
+		}
+		h.Bins[i].Count = n
+	}
+	h.N += other.N
+	return nil
+}
+
+// Decay multiplies all bin counts (and N) by factor in [0, 1]; used by
+// adaptive impressions to age out stale workload interest so the focal
+// point can shift (paper §3.1 "fast reflexes").
+func (h *Histogram) Decay(factor float64) {
+	if factor < 0 || factor > 1 {
+		panic(fmt.Sprintf("stats: decay factor %g out of [0,1]", factor))
+	}
+	var total int64
+	for i := range h.Bins {
+		c := int64(math.Floor(float64(h.Bins[i].Count) * factor))
+		h.Bins[i].Count = c
+		if c == 0 {
+			h.Bins[i].Mean = 0
+		}
+		total += c
+	}
+	h.N = total
+}
+
+// Clone returns a deep copy.
+func (h *Histogram) Clone() *Histogram {
+	out := &Histogram{Min: h.Min, Width: h.Width, N: h.N, Bins: make([]Bin, len(h.Bins))}
+	copy(out.Bins, h.Bins)
+	return out
+}
+
+// TotalCount returns the sum of bin counts (equals N absent decay rounding).
+func (h *Histogram) TotalCount() int64 {
+	var t int64
+	for _, b := range h.Bins {
+		t += b.Count
+	}
+	return t
+}

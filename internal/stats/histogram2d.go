@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bin2D holds the Figure-5 statistics for one two-dimensional bin: the
+// count and the running mean of each coordinate.
+type Bin2D struct {
+	Count int64
+	MeanX float64
+	MeanY float64
+}
+
+// Histogram2D is the multi-dimensional extension the paper names as
+// future work (§6 and footnote 3): an equi-width grid over two
+// attributes maintaining only per-cell count and mean, so that the
+// binned KDE can capture the *joint* distribution of interest — two
+// focal points at (ra₁, dec₁) and (ra₂, dec₂) are distinguishable from
+// their cross-products, which independent per-attribute histograms
+// cannot tell apart.
+type Histogram2D struct {
+	MinX, MinY     float64
+	WidthX, WidthY float64
+	BinsX, BinsY   int
+	Cells          []Bin2D // row-major: cell(ix, iy) = Cells[iy*BinsX+ix]
+	N              int64
+}
+
+// NewHistogram2D builds a grid of binsX × binsY equal-width cells over
+// [minX, maxX) × [minY, maxY).
+func NewHistogram2D(minX, maxX float64, binsX int, minY, maxY float64, binsY int) (*Histogram2D, error) {
+	if binsX <= 0 || binsY <= 0 {
+		return nil, fmt.Errorf("stats: 2D histogram needs positive bin counts, got %d×%d", binsX, binsY)
+	}
+	if !(maxX > minX) || !(maxY > minY) {
+		return nil, fmt.Errorf("stats: 2D histogram needs non-empty ranges")
+	}
+	return &Histogram2D{
+		MinX: minX, MinY: minY,
+		WidthX: (maxX - minX) / float64(binsX),
+		WidthY: (maxY - minY) / float64(binsY),
+		BinsX:  binsX, BinsY: binsY,
+		Cells: make([]Bin2D, binsX*binsY),
+	}, nil
+}
+
+// MustNewHistogram2D is NewHistogram2D but panics on error.
+func MustNewHistogram2D(minX, maxX float64, binsX int, minY, maxY float64, binsY int) *Histogram2D {
+	h, err := NewHistogram2D(minX, maxX, binsX, minY, maxY, binsY)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// cellIndex returns the clamped cell coordinates for (x, y).
+func (h *Histogram2D) cellIndex(x, y float64) (int, int) {
+	ix := int(math.Floor((x - h.MinX) / h.WidthX))
+	iy := int(math.Floor((y - h.MinY) / h.WidthY))
+	if ix < 0 {
+		ix = 0
+	}
+	if ix >= h.BinsX {
+		ix = h.BinsX - 1
+	}
+	if iy < 0 {
+		iy = 0
+	}
+	if iy >= h.BinsY {
+		iy = h.BinsY - 1
+	}
+	return ix, iy
+}
+
+// Cell returns the statistics of cell (ix, iy).
+func (h *Histogram2D) Cell(ix, iy int) Bin2D { return h.Cells[iy*h.BinsX+ix] }
+
+// Observe records one point, maintaining per-cell count and running
+// means exactly as Figure 5 does per dimension.
+func (h *Histogram2D) Observe(x, y float64) {
+	h.N++
+	ix, iy := h.cellIndex(x, y)
+	c := &h.Cells[iy*h.BinsX+ix]
+	c.Count++
+	c.MeanX = (c.MeanX*float64(c.Count-1) + x) / float64(c.Count)
+	c.MeanY = (c.MeanY*float64(c.Count-1) + y) / float64(c.Count)
+}
+
+// Density returns the normalised joint density of cell (ix, iy).
+func (h *Histogram2D) Density(ix, iy int) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Cell(ix, iy).Count) / (float64(h.N) * h.WidthX * h.WidthY)
+}
+
+// Decay ages all cell counts by factor in [0, 1] (see Histogram.Decay).
+func (h *Histogram2D) Decay(factor float64) {
+	if factor < 0 || factor > 1 {
+		panic(fmt.Sprintf("stats: decay factor %g out of [0,1]", factor))
+	}
+	var total int64
+	for i := range h.Cells {
+		c := int64(math.Floor(float64(h.Cells[i].Count) * factor))
+		h.Cells[i].Count = c
+		if c == 0 {
+			h.Cells[i].MeanX, h.Cells[i].MeanY = 0, 0
+		}
+		total += c
+	}
+	h.N = total
+}
+
+// Clone returns a deep copy.
+func (h *Histogram2D) Clone() *Histogram2D {
+	out := *h
+	out.Cells = make([]Bin2D, len(h.Cells))
+	copy(out.Cells, h.Cells)
+	return &out
+}
+
+// MarginalX collapses the grid onto the X axis as a 1-D histogram.
+func (h *Histogram2D) MarginalX() *Histogram {
+	out := MustNewHistogram(h.MinX, h.MinX+h.WidthX*float64(h.BinsX), h.BinsX)
+	for iy := 0; iy < h.BinsY; iy++ {
+		for ix := 0; ix < h.BinsX; ix++ {
+			c := h.Cell(ix, iy)
+			if c.Count == 0 {
+				continue
+			}
+			b := &out.Bins[ix]
+			n := b.Count + c.Count
+			b.Mean = (b.Mean*float64(b.Count) + c.MeanX*float64(c.Count)) / float64(n)
+			b.Count = n
+		}
+	}
+	out.N = h.N
+	return out
+}

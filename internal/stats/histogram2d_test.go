@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"sciborq/internal/xrand"
+)
+
+func TestNewHistogram2DValidation(t *testing.T) {
+	if _, err := NewHistogram2D(0, 1, 0, 0, 1, 5); err == nil {
+		t.Fatal("zero binsX accepted")
+	}
+	if _, err := NewHistogram2D(0, 1, 5, 0, 1, -1); err == nil {
+		t.Fatal("negative binsY accepted")
+	}
+	if _, err := NewHistogram2D(1, 1, 5, 0, 1, 5); err == nil {
+		t.Fatal("empty X range accepted")
+	}
+	if _, err := NewHistogram2D(0, 1, 5, 3, 2, 5); err == nil {
+		t.Fatal("inverted Y range accepted")
+	}
+}
+
+func TestHistogram2DObserveAndCellStats(t *testing.T) {
+	h := MustNewHistogram2D(0, 10, 5, 0, 10, 5) // 2×2 cells of width 2
+	h.Observe(1, 1)
+	h.Observe(1.5, 1.5)
+	h.Observe(9, 9)
+	if h.N != 3 {
+		t.Fatalf("N = %d", h.N)
+	}
+	c := h.Cell(0, 0)
+	if c.Count != 2 || math.Abs(c.MeanX-1.25) > 1e-12 || math.Abs(c.MeanY-1.25) > 1e-12 {
+		t.Fatalf("cell(0,0) = %+v", c)
+	}
+	c = h.Cell(4, 4)
+	if c.Count != 1 || c.MeanX != 9 || c.MeanY != 9 {
+		t.Fatalf("cell(4,4) = %+v", c)
+	}
+}
+
+func TestHistogram2DClamping(t *testing.T) {
+	h := MustNewHistogram2D(0, 10, 2, 0, 10, 2)
+	h.Observe(-100, 100)
+	c := h.Cell(0, 1)
+	if c.Count != 1 {
+		t.Fatalf("out-of-range point not clamped: %+v", h.Cells)
+	}
+}
+
+func TestHistogram2DDensityIntegratesToOne(t *testing.T) {
+	h := MustNewHistogram2D(0, 4, 8, 0, 2, 4)
+	r := xrand.New(3)
+	for i := 0; i < 20000; i++ {
+		h.Observe(r.Float64()*4, r.Float64()*2)
+	}
+	var sum float64
+	for iy := 0; iy < h.BinsY; iy++ {
+		for ix := 0; ix < h.BinsX; ix++ {
+			sum += h.Density(ix, iy) * h.WidthX * h.WidthY
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("density integral = %v", sum)
+	}
+	empty := MustNewHistogram2D(0, 1, 2, 0, 1, 2)
+	if empty.Density(0, 0) != 0 {
+		t.Fatal("empty density not 0")
+	}
+}
+
+func TestHistogram2DCapturesCorrelation(t *testing.T) {
+	// Points only on the diagonal: off-diagonal cells must stay empty —
+	// the property the product of marginals destroys.
+	h := MustNewHistogram2D(0, 10, 10, 0, 10, 10)
+	r := xrand.New(5)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64() * 10
+		h.Observe(v, v)
+	}
+	if h.Cell(2, 2).Count == 0 || h.Cell(7, 7).Count == 0 {
+		t.Fatal("diagonal cells empty")
+	}
+	if h.Cell(2, 7).Count != 0 || h.Cell(7, 2).Count != 0 {
+		t.Fatal("off-diagonal cells populated by diagonal data")
+	}
+}
+
+func TestHistogram2DDecay(t *testing.T) {
+	h := MustNewHistogram2D(0, 10, 2, 0, 10, 2)
+	for i := 0; i < 100; i++ {
+		h.Observe(1, 1)
+	}
+	h.Decay(0.5)
+	if h.Cell(0, 0).Count != 50 || h.N != 50 {
+		t.Fatalf("decayed: count=%d N=%d", h.Cell(0, 0).Count, h.N)
+	}
+	h.Decay(0)
+	if h.N != 0 || h.Cell(0, 0).MeanX != 0 {
+		t.Fatal("full decay incomplete")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad decay factor did not panic")
+		}
+	}()
+	h.Decay(2)
+}
+
+func TestHistogram2DCloneIsolation(t *testing.T) {
+	h := MustNewHistogram2D(0, 10, 2, 0, 10, 2)
+	h.Observe(1, 1)
+	c := h.Clone()
+	c.Observe(9, 9)
+	if h.N != 1 || c.N != 2 {
+		t.Fatal("clone shares state")
+	}
+}
+
+func TestHistogram2DMarginalX(t *testing.T) {
+	h := MustNewHistogram2D(0, 10, 5, 0, 10, 5)
+	h.Observe(1, 1)
+	h.Observe(1.5, 9)
+	h.Observe(9, 5)
+	m := h.MarginalX()
+	if m.N != 3 {
+		t.Fatalf("marginal N = %d", m.N)
+	}
+	if m.Bins[0].Count != 2 || math.Abs(m.Bins[0].Mean-1.25) > 1e-12 {
+		t.Fatalf("marginal bin0 = %+v", m.Bins[0])
+	}
+	if m.Bins[4].Count != 1 || m.Bins[4].Mean != 9 {
+		t.Fatalf("marginal bin4 = %+v", m.Bins[4])
+	}
+}

@@ -1,0 +1,80 @@
+package stats
+
+import "math"
+
+// Interval is a symmetric confidence interval around a point estimate.
+type Interval struct {
+	Estimate  float64
+	HalfWidth float64 // z * standard error
+	Level     float64 // confidence level, e.g. 0.95
+}
+
+// Lo returns the lower bound.
+func (iv Interval) Lo() float64 { return iv.Estimate - iv.HalfWidth }
+
+// Hi returns the upper bound.
+func (iv Interval) Hi() float64 { return iv.Estimate + iv.HalfWidth }
+
+// Contains reports whether v lies inside the interval.
+func (iv Interval) Contains(v float64) bool {
+	return v >= iv.Lo() && v <= iv.Hi()
+}
+
+// RelativeError returns half-width / |estimate|; +Inf when the estimate
+// is zero but the half-width is not, 0 when both are zero. This is the
+// quantity the bounded executor compares against the user's ε.
+func (iv Interval) RelativeError() float64 {
+	if iv.Estimate == 0 {
+		if iv.HalfWidth == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return iv.HalfWidth / math.Abs(iv.Estimate)
+}
+
+// FPC returns the finite-population correction sqrt((N-n)/(N-1)) applied
+// to standard errors when sampling a fraction of a finite base table
+// without replacement. It is 1 when N <= 1 or n >= N.
+func FPC(n, N int64) float64 {
+	if N <= 1 {
+		return 1 // unknown or degenerate population: no correction
+	}
+	if n >= N {
+		return 0 // census: no sampling error
+	}
+	return math.Sqrt(float64(N-n) / float64(N-1))
+}
+
+// MeanInterval returns the CLT confidence interval for a population mean
+// from a uniform sample: mean ± z * (s/√n) * fpc.
+func MeanInterval(mean, stddev float64, n, N int64, level float64) Interval {
+	if n <= 0 {
+		return Interval{Estimate: mean, HalfWidth: math.Inf(1), Level: level}
+	}
+	se := stddev / math.Sqrt(float64(n))
+	if N > 0 {
+		se *= FPC(n, N)
+	}
+	return Interval{Estimate: mean, HalfWidth: ZForConfidence(level) * se, Level: level}
+}
+
+// ProportionInterval returns the CLT interval for a population proportion
+// (used for COUNT estimates: count = N * p̂).
+func ProportionInterval(k, n, N int64, level float64) Interval {
+	if n <= 0 {
+		return Interval{HalfWidth: math.Inf(1), Level: level}
+	}
+	p := float64(k) / float64(n)
+	se := math.Sqrt(p * (1 - p) / float64(n))
+	if N > 0 {
+		se *= FPC(n, N)
+	}
+	return Interval{Estimate: p, HalfWidth: ZForConfidence(level) * se, Level: level}
+}
+
+// Scale multiplies both the estimate and half-width by f (e.g. to turn a
+// proportion interval into a count interval).
+func (iv Interval) Scale(f float64) Interval {
+	return Interval{Estimate: iv.Estimate * f, HalfWidth: iv.HalfWidth * math.Abs(f), Level: iv.Level}
+}

@@ -1,0 +1,84 @@
+package stats
+
+import "math"
+
+// Moments accumulates count, mean and variance in one pass using
+// Welford's algorithm; numerically stable for the long streams produced
+// by nightly ingests.
+type Moments struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Observe adds one value.
+func (m *Moments) Observe(v float64) {
+	m.n++
+	if m.n == 1 {
+		m.min, m.max = v, v
+	} else {
+		if v < m.min {
+			m.min = v
+		}
+		if v > m.max {
+			m.max = v
+		}
+	}
+	d := v - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (v - m.mean)
+}
+
+// ObserveAll adds each value of vs.
+func (m *Moments) ObserveAll(vs []float64) {
+	for _, v := range vs {
+		m.Observe(v)
+	}
+}
+
+// N returns the number of observations.
+func (m *Moments) N() int64 { return m.n }
+
+// Mean returns the sample mean (0 for empty).
+func (m *Moments) Mean() float64 { return m.mean }
+
+// Min returns the smallest observation (0 for empty).
+func (m *Moments) Min() float64 { return m.min }
+
+// Max returns the largest observation (0 for empty).
+func (m *Moments) Max() float64 { return m.max }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (m *Moments) Variance() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (m *Moments) StdDev() float64 { return math.Sqrt(m.Variance()) }
+
+// Merge combines another accumulator into m (Chan et al. parallel update).
+func (m *Moments) Merge(o Moments) {
+	if o.n == 0 {
+		return
+	}
+	if m.n == 0 {
+		*m = o
+		return
+	}
+	n := m.n + o.n
+	d := o.mean - m.mean
+	m.m2 += o.m2 + d*d*float64(m.n)*float64(o.n)/float64(n)
+	m.mean += d * float64(o.n) / float64(n)
+	if o.min < m.min {
+		m.min = o.min
+	}
+	if o.max > m.max {
+		m.max = o.max
+	}
+	m.n = n
+}

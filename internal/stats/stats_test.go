@@ -1,0 +1,393 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sciborq/internal/xrand"
+)
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Fatal("beta=0 accepted")
+	}
+	if _, err := NewHistogram(10, 10, 5); err == nil {
+		t.Fatal("min==max accepted")
+	}
+	if _, err := NewHistogram(10, 5, 5); err == nil {
+		t.Fatal("min>max accepted")
+	}
+}
+
+func TestHistogramBinIndexAndClamp(t *testing.T) {
+	h := MustNewHistogram(0, 10, 5) // width 2
+	cases := map[float64]int{
+		-5: 0, 0: 0, 1.9: 0, 2: 1, 9.99: 4, 10: 4, 100: 4,
+	}
+	for v, want := range cases {
+		if got := h.BinIndex(v); got != want {
+			t.Errorf("BinIndex(%v) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestHistogramObserveFigure5Semantics(t *testing.T) {
+	// Bin statistics must be exactly count and running mean per bin.
+	h := MustNewHistogram(0, 10, 5)
+	for _, v := range []float64{1, 1.5, 3, 9, 9.5, 8.5} {
+		h.Observe(v)
+	}
+	if h.N != 6 {
+		t.Fatalf("N = %d", h.N)
+	}
+	if h.Bins[0].Count != 2 || math.Abs(h.Bins[0].Mean-1.25) > 1e-12 {
+		t.Fatalf("bin0 = %+v", h.Bins[0])
+	}
+	if h.Bins[1].Count != 1 || h.Bins[1].Mean != 3 {
+		t.Fatalf("bin1 = %+v", h.Bins[1])
+	}
+	if h.Bins[4].Count != 3 || math.Abs(h.Bins[4].Mean-9) > 1e-12 {
+		t.Fatalf("bin4 = %+v", h.Bins[4])
+	}
+	if h.TotalCount() != 6 {
+		t.Fatalf("TotalCount = %d", h.TotalCount())
+	}
+}
+
+func TestHistogramBinMeanEqualsTrueMean(t *testing.T) {
+	// Property: per-bin running mean equals the true mean of values
+	// assigned to that bin.
+	f := func(raw []float64) bool {
+		h := MustNewHistogram(0, 1, 7)
+		sums := make([]float64, 7)
+		counts := make([]int64, 7)
+		for _, r := range raw {
+			v := math.Abs(math.Mod(r, 1))
+			if math.IsNaN(v) {
+				v = 0
+			}
+			h.Observe(v)
+			i := h.BinIndex(v)
+			sums[i] += v
+			counts[i]++
+		}
+		for i := range sums {
+			if counts[i] != h.Bins[i].Count {
+				return false
+			}
+			if counts[i] > 0 {
+				want := sums[i] / float64(counts[i])
+				if math.Abs(want-h.Bins[i].Mean) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramDensityIntegratesToOne(t *testing.T) {
+	h := MustNewHistogram(0, 100, 20)
+	r := xrand.New(1)
+	for i := 0; i < 10000; i++ {
+		h.Observe(r.Float64() * 100)
+	}
+	sum := 0.0
+	for i := range h.Bins {
+		sum += h.Density(i) * h.Width
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("density integral = %v", sum)
+	}
+	empty := MustNewHistogram(0, 1, 3)
+	if empty.Density(0) != 0 {
+		t.Fatal("empty histogram density not 0")
+	}
+}
+
+func TestHistogramGeometry(t *testing.T) {
+	h := MustNewHistogram(120, 240, 30)
+	if h.Beta() != 30 {
+		t.Fatalf("Beta = %d", h.Beta())
+	}
+	if h.Max() != 240 {
+		t.Fatalf("Max = %v", h.Max())
+	}
+	if h.BinLow(0) != 120 || math.Abs(h.BinCenter(0)-122) > 1e-12 {
+		t.Fatalf("bin0 low=%v center=%v", h.BinLow(0), h.BinCenter(0))
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := MustNewHistogram(0, 10, 2)
+	b := MustNewHistogram(0, 10, 2)
+	a.ObserveAll([]float64{1, 2})    // bin0 mean 1.5
+	b.ObserveAll([]float64{3, 7, 9}) // bin0: 3; bin1: 8
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N != 5 {
+		t.Fatalf("merged N = %d", a.N)
+	}
+	if a.Bins[0].Count != 3 || math.Abs(a.Bins[0].Mean-2) > 1e-12 {
+		t.Fatalf("merged bin0 = %+v", a.Bins[0])
+	}
+	if a.Bins[1].Count != 2 || a.Bins[1].Mean != 8 {
+		t.Fatalf("merged bin1 = %+v", a.Bins[1])
+	}
+	c := MustNewHistogram(0, 20, 2)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("incompatible merge accepted")
+	}
+}
+
+func TestHistogramDecay(t *testing.T) {
+	h := MustNewHistogram(0, 10, 2)
+	for i := 0; i < 100; i++ {
+		h.Observe(1)
+	}
+	h.Decay(0.5)
+	if h.Bins[0].Count != 50 || h.N != 50 {
+		t.Fatalf("decayed count=%d N=%d", h.Bins[0].Count, h.N)
+	}
+	h.Decay(0)
+	if h.N != 0 || h.Bins[0].Mean != 0 {
+		t.Fatal("full decay did not clear")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("decay factor > 1 did not panic")
+		}
+	}()
+	h.Decay(1.5)
+}
+
+func TestHistogramClone(t *testing.T) {
+	h := MustNewHistogram(0, 10, 2)
+	h.Observe(1)
+	c := h.Clone()
+	c.Observe(9)
+	if h.N != 1 || c.N != 2 {
+		t.Fatal("clone shares state")
+	}
+}
+
+func TestMomentsAgainstClosedForm(t *testing.T) {
+	var m Moments
+	vs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	m.ObserveAll(vs)
+	if m.N() != 8 || m.Mean() != 5 {
+		t.Fatalf("n=%d mean=%v", m.N(), m.Mean())
+	}
+	// Unbiased variance of this classic dataset is 32/7.
+	if math.Abs(m.Variance()-32.0/7.0) > 1e-12 {
+		t.Fatalf("variance = %v", m.Variance())
+	}
+	if m.Min() != 2 || m.Max() != 9 {
+		t.Fatalf("min=%v max=%v", m.Min(), m.Max())
+	}
+}
+
+func TestMomentsEmptyAndSingle(t *testing.T) {
+	var m Moments
+	if m.Variance() != 0 || m.StdDev() != 0 {
+		t.Fatal("empty variance not 0")
+	}
+	m.Observe(3)
+	if m.Variance() != 0 || m.Mean() != 3 {
+		t.Fatal("single-value moments wrong")
+	}
+}
+
+func TestMomentsMergeEqualsSequential(t *testing.T) {
+	f := func(raw1, raw2 []float64) bool {
+		clean := func(raw []float64) []float64 {
+			out := make([]float64, 0, len(raw))
+			for _, v := range raw {
+				if !math.IsNaN(v) && !math.IsInf(v, 0) {
+					out = append(out, math.Mod(v, 1e6))
+				}
+			}
+			return out
+		}
+		a, b := clean(raw1), clean(raw2)
+		var seq, m1, m2 Moments
+		seq.ObserveAll(a)
+		seq.ObserveAll(b)
+		m1.ObserveAll(a)
+		m2.ObserveAll(b)
+		m1.Merge(m2)
+		if seq.N() != m1.N() {
+			return false
+		}
+		if seq.N() == 0 {
+			return true
+		}
+		tol := 1e-7 * (1 + math.Abs(seq.Mean()))
+		return math.Abs(seq.Mean()-m1.Mean()) < tol &&
+			math.Abs(seq.Variance()-m1.Variance()) < 1e-6*(1+seq.Variance())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormPDF(t *testing.T) {
+	if math.Abs(NormPDF(0)-0.3989422804014327) > 1e-15 {
+		t.Fatalf("phi(0) = %v", NormPDF(0))
+	}
+	if NormPDF(3) >= NormPDF(0) {
+		t.Fatal("pdf not decreasing away from 0")
+	}
+	if math.Abs(NormPDF(1.5)-NormPDF(-1.5)) > 1e-15 {
+		t.Fatal("pdf not symmetric")
+	}
+}
+
+func TestNormCDFKnownValues(t *testing.T) {
+	cases := map[float64]float64{
+		0:      0.5,
+		1.96:   0.9750021,
+		-1.96:  0.0249979,
+		2.5758: 0.995,
+	}
+	for x, want := range cases {
+		if got := NormCDF(x); math.Abs(got-want) > 1e-4 {
+			t.Errorf("Phi(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestNormQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{0.001, 0.01, 0.025, 0.1, 0.5, 0.9, 0.975, 0.99, 0.999} {
+		x := NormQuantile(p)
+		if got := NormCDF(x); math.Abs(got-p) > 1e-8 {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestNormQuantilePanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NormQuantile(%v) did not panic", p)
+				}
+			}()
+			NormQuantile(p)
+		}()
+	}
+}
+
+func TestZForConfidence(t *testing.T) {
+	if z := ZForConfidence(0.95); math.Abs(z-1.959964) > 1e-5 {
+		t.Fatalf("z95 = %v", z)
+	}
+	if z := ZForConfidence(0.99); math.Abs(z-2.575829) > 1e-5 {
+		t.Fatalf("z99 = %v", z)
+	}
+}
+
+func TestInterval(t *testing.T) {
+	iv := Interval{Estimate: 10, HalfWidth: 2, Level: 0.95}
+	if iv.Lo() != 8 || iv.Hi() != 12 {
+		t.Fatalf("bounds %v %v", iv.Lo(), iv.Hi())
+	}
+	if !iv.Contains(9) || iv.Contains(13) {
+		t.Fatal("Contains wrong")
+	}
+	if iv.RelativeError() != 0.2 {
+		t.Fatalf("rel err = %v", iv.RelativeError())
+	}
+	z := Interval{Estimate: 0, HalfWidth: 1}
+	if !math.IsInf(z.RelativeError(), 1) {
+		t.Fatal("zero estimate should give +Inf relative error")
+	}
+	zz := Interval{}
+	if zz.RelativeError() != 0 {
+		t.Fatal("zero/zero relative error should be 0")
+	}
+	s := iv.Scale(5)
+	if s.Estimate != 50 || s.HalfWidth != 10 {
+		t.Fatalf("scaled = %+v", s)
+	}
+	sn := iv.Scale(-5)
+	if sn.Estimate != -50 || sn.HalfWidth != 10 {
+		t.Fatalf("negative scale = %+v", sn)
+	}
+}
+
+func TestFPC(t *testing.T) {
+	if FPC(10, 0) != 1 || FPC(10, 1) != 1 {
+		t.Fatal("degenerate N should give 1")
+	}
+	if FPC(100, 100) != 0 {
+		t.Fatal("census should give 0")
+	}
+	got := FPC(50, 100)
+	want := math.Sqrt(50.0 / 99.0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("FPC = %v, want %v", got, want)
+	}
+}
+
+func TestMeanIntervalCoverage(t *testing.T) {
+	// Empirical coverage of the 95% CLT interval over repeated samples
+	// must be near nominal.
+	r := xrand.New(99)
+	const N = 20000
+	pop := make([]float64, N)
+	var popMean float64
+	for i := range pop {
+		pop[i] = r.NormFloat64()*3 + 10
+		popMean += pop[i]
+	}
+	popMean /= N
+	const trials, n = 400, 500
+	covered := 0
+	for tr := 0; tr < trials; tr++ {
+		var m Moments
+		for i := 0; i < n; i++ {
+			m.Observe(pop[r.Intn(N)])
+		}
+		iv := MeanInterval(m.Mean(), m.StdDev(), n, N, 0.95)
+		if iv.Contains(popMean) {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.90 || rate > 0.99 {
+		t.Fatalf("95%% interval covered %.3f of trials", rate)
+	}
+}
+
+func TestMeanIntervalDegenerate(t *testing.T) {
+	iv := MeanInterval(5, 1, 0, 100, 0.95)
+	if !math.IsInf(iv.HalfWidth, 1) {
+		t.Fatal("n=0 interval should be infinite")
+	}
+}
+
+func TestProportionInterval(t *testing.T) {
+	iv := ProportionInterval(25, 100, 0, 0.95)
+	if math.Abs(iv.Estimate-0.25) > 1e-12 {
+		t.Fatalf("p̂ = %v", iv.Estimate)
+	}
+	se := math.Sqrt(0.25 * 0.75 / 100)
+	if math.Abs(iv.HalfWidth-1.959964*se) > 1e-4 {
+		t.Fatalf("half width = %v", iv.HalfWidth)
+	}
+	inf := ProportionInterval(0, 0, 0, 0.95)
+	if !math.IsInf(inf.HalfWidth, 1) {
+		t.Fatal("n=0 proportion interval should be infinite")
+	}
+	count := iv.Scale(1000)
+	if count.Estimate != 250 {
+		t.Fatalf("count estimate = %v", count.Estimate)
+	}
+}

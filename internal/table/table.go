@@ -1,0 +1,344 @@
+// Package table implements relational tables over the SciBORQ column
+// store: a schema, append-only columnar storage, typed row append, and
+// consistent length bookkeeping across daily ingests.
+//
+// Tables are append-only by design — the paper's setting is a science
+// warehouse filled by nightly loads; impressions are maintained during the
+// append path (package loader), never by revisiting base data.
+package table
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sciborq/internal/column"
+	"sciborq/internal/vec"
+)
+
+// ColumnDef describes one column of a schema.
+type ColumnDef struct {
+	Name string
+	Type column.Type
+}
+
+// Schema is an ordered set of column definitions.
+type Schema []ColumnDef
+
+// Index returns the position of the named column, or -1.
+func (s Schema) Index(name string) int {
+	for i, c := range s {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the column names in schema order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Table is a named, append-only columnar table.
+type Table struct {
+	mu     sync.RWMutex
+	name   string
+	schema Schema
+	cols   []column.Column
+	byName map[string]int
+}
+
+// New creates an empty table with the given schema.
+func New(name string, schema Schema) (*Table, error) {
+	if len(schema) == 0 {
+		return nil, fmt.Errorf("table %q: empty schema", name)
+	}
+	t := &Table{
+		name:   name,
+		schema: schema,
+		cols:   make([]column.Column, len(schema)),
+		byName: make(map[string]int, len(schema)),
+	}
+	for i, def := range schema {
+		if def.Name == "" {
+			return nil, fmt.Errorf("table %q: column %d has empty name", name, i)
+		}
+		if _, dup := t.byName[def.Name]; dup {
+			return nil, fmt.Errorf("table %q: duplicate column %q", name, def.Name)
+		}
+		t.cols[i] = column.New(def.Name, def.Type)
+		t.byName[def.Name] = i
+	}
+	return t, nil
+}
+
+// MustNew is New but panics on error; for static schemas.
+func MustNew(name string, schema Schema) *Table {
+	t, err := New(name, schema)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema (shared; callers must not mutate).
+func (t *Table) Schema() Schema { return t.schema }
+
+// Len returns the number of rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.cols[0].Len()
+}
+
+// Col returns the named column, or an error if absent. The returned
+// column is live storage: callers must treat it as read-only.
+func (t *Table) Col(name string) (column.Column, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	i, ok := t.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("table %q: no column %q (have %v)", t.name, name, t.schema.Names())
+	}
+	return t.cols[i], nil
+}
+
+// MustCol is Col but panics on error.
+func (t *Table) MustCol(name string) column.Column {
+	c, err := t.Col(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Float64 returns the raw data slice of a DOUBLE column.
+func (t *Table) Float64(name string) ([]float64, error) {
+	c, err := t.Col(name)
+	if err != nil {
+		return nil, err
+	}
+	fc, ok := c.(*column.Float64Col)
+	if !ok {
+		return nil, fmt.Errorf("table %q: column %q is %s, want DOUBLE", t.name, name, c.Type())
+	}
+	return fc.Data, nil
+}
+
+// Int64 returns the raw data slice of a BIGINT column.
+func (t *Table) Int64(name string) ([]int64, error) {
+	c, err := t.Col(name)
+	if err != nil {
+		return nil, err
+	}
+	ic, ok := c.(*column.Int64Col)
+	if !ok {
+		return nil, fmt.Errorf("table %q: column %q is %s, want BIGINT", t.name, name, c.Type())
+	}
+	return ic.Data, nil
+}
+
+// Row is one tuple in schema order. Values must match the column types:
+// float64, int64, string, or bool.
+type Row []any
+
+// AppendRow appends one tuple. It validates arity and types.
+func (t *Table) AppendRow(r Row) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.appendRowLocked(r)
+}
+
+func (t *Table) appendRowLocked(r Row) error {
+	if len(r) != len(t.cols) {
+		return fmt.Errorf("table %q: row arity %d, want %d", t.name, len(r), len(t.cols))
+	}
+	// Validate the whole row before touching any column so a bad row
+	// never leaves columns with unequal lengths.
+	for i, v := range r {
+		ok := false
+		switch t.cols[i].(type) {
+		case *column.Float64Col:
+			_, ok = v.(float64)
+		case *column.Int64Col:
+			_, ok = v.(int64)
+		case *column.StringCol:
+			_, ok = v.(string)
+		case *column.BoolCol:
+			_, ok = v.(bool)
+		}
+		if !ok {
+			return fmt.Errorf("table %q: column %q wants %s, got %T",
+				t.name, t.schema[i].Name, t.schema[i].Type, v)
+		}
+	}
+	for i, v := range r {
+		switch c := t.cols[i].(type) {
+		case *column.Float64Col:
+			c.Append(v.(float64))
+		case *column.Int64Col:
+			c.Append(v.(int64))
+		case *column.StringCol:
+			c.Append(v.(string))
+		case *column.BoolCol:
+			c.Append(v.(bool))
+		}
+	}
+	return nil
+}
+
+// AppendBatch appends a batch of rows atomically: if any row fails
+// validation, nothing is appended.
+func (t *Table) AppendBatch(rows []Row) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	before := t.cols[0].Len()
+	for k, r := range rows {
+		if err := t.appendRowLocked(r); err != nil {
+			t.truncateLocked(before)
+			return fmt.Errorf("batch row %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// AppendColumns appends whole column chunks. All chunks must have equal
+// length and match the schema order and types.
+func (t *Table) AppendColumns(chunks []column.Column) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(chunks) != len(t.cols) {
+		return fmt.Errorf("table %q: %d chunks, want %d", t.name, len(chunks), len(t.cols))
+	}
+	n := chunks[0].Len()
+	for i, ch := range chunks {
+		if ch.Len() != n {
+			return fmt.Errorf("table %q: chunk %d length %d, want %d", t.name, i, ch.Len(), n)
+		}
+	}
+	before := t.cols[0].Len()
+	for i, ch := range chunks {
+		if err := t.cols[i].AppendFrom(ch, nil); err != nil {
+			t.truncateLocked(before)
+			return err
+		}
+	}
+	return nil
+}
+
+// truncateLocked drops rows beyond n; used only to roll back failed batches.
+func (t *Table) truncateLocked(n int) {
+	for i, c := range t.cols {
+		if c.Len() <= n {
+			continue
+		}
+		keep := vec.Sel(nil)
+		if n > 0 {
+			keep = vec.NewSelAll(n)
+		} else {
+			keep = vec.Sel{}
+		}
+		t.cols[i] = c.Slice(keep)
+	}
+}
+
+// Project returns a new table containing the named columns restricted to
+// sel, fully materialised.
+func (t *Table) Project(name string, colNames []string, sel vec.Sel) (*Table, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	schema := make(Schema, 0, len(colNames))
+	cols := make([]column.Column, 0, len(colNames))
+	for _, cn := range colNames {
+		i, ok := t.byName[cn]
+		if !ok {
+			return nil, fmt.Errorf("table %q: no column %q", t.name, cn)
+		}
+		schema = append(schema, t.schema[i])
+		cols = append(cols, t.cols[i].Slice(sel))
+	}
+	out := &Table{name: name, schema: schema, cols: cols, byName: make(map[string]int, len(schema))}
+	for i, def := range schema {
+		out.byName[def.Name] = i
+	}
+	return out, nil
+}
+
+// RowStrings renders row i for display, in schema order.
+func (t *Table) RowStrings(i int32) []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, len(t.cols))
+	for k, c := range t.cols {
+		out[k] = c.ValueString(i)
+	}
+	return out
+}
+
+// Catalog is a named collection of tables (the "database").
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Add registers a table; the name must be unused.
+func (c *Catalog) Add(t *Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.tables[t.Name()]; dup {
+		return fmt.Errorf("catalog: table %q already exists", t.Name())
+	}
+	c.tables[t.Name()] = t
+	return nil
+}
+
+// Get returns the named table.
+func (c *Catalog) Get(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: no table %q (have %v)", name, c.namesLocked())
+	}
+	return t, nil
+}
+
+// Names returns the registered table names, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.namesLocked()
+}
+
+func (c *Catalog) namesLocked() []string {
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Drop removes the named table.
+func (c *Catalog) Drop(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[name]; !ok {
+		return fmt.Errorf("catalog: no table %q", name)
+	}
+	delete(c.tables, name)
+	return nil
+}

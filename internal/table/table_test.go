@@ -1,0 +1,233 @@
+package table
+
+import (
+	"strings"
+	"testing"
+
+	"sciborq/internal/column"
+	"sciborq/internal/vec"
+)
+
+func photoSchema() Schema {
+	return Schema{
+		{Name: "objID", Type: column.Int64},
+		{Name: "ra", Type: column.Float64},
+		{Name: "dec", Type: column.Float64},
+		{Name: "type", Type: column.String},
+		{Name: "clean", Type: column.Bool},
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("t", nil); err == nil {
+		t.Fatal("empty schema accepted")
+	}
+	if _, err := New("t", Schema{{Name: "", Type: column.Int64}}); err == nil {
+		t.Fatal("empty column name accepted")
+	}
+	dup := Schema{{Name: "a", Type: column.Int64}, {Name: "a", Type: column.Float64}}
+	if _, err := New("t", dup); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+}
+
+func TestAppendRowAndAccess(t *testing.T) {
+	tb := MustNew("PhotoObjAll", photoSchema())
+	rows := []Row{
+		{int64(1), 185.0, 0.5, "GALAXY", true},
+		{int64(2), 186.0, -0.5, "STAR", false},
+	}
+	for _, r := range rows {
+		if err := tb.AppendRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	ra, err := tb.Float64("ra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra[0] != 185.0 || ra[1] != 186.0 {
+		t.Fatalf("ra = %v", ra)
+	}
+	ids, err := tb.Int64("objID")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids[1] != 2 {
+		t.Fatalf("objID = %v", ids)
+	}
+}
+
+func TestAppendRowTypeErrors(t *testing.T) {
+	tb := MustNew("t", photoSchema())
+	cases := []Row{
+		{int64(1), 185.0, 0.5, "GALAXY"},              // arity
+		{1, 185.0, 0.5, "GALAXY", true},               // int not int64
+		{int64(1), float32(185), 0.5, "GALAXY", true}, // float32
+		{int64(1), 185.0, 0.5, 42, true},              // not string
+		{int64(1), 185.0, 0.5, "GALAXY", "yes"},       // not bool
+		{int64(1), 185.0, "x", "GALAXY", true},        // wrong slot type
+	}
+	for i, r := range cases {
+		if err := tb.AppendRow(r); err == nil {
+			t.Fatalf("case %d: bad row accepted", i)
+		}
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("failed appends left %d rows", tb.Len())
+	}
+}
+
+func TestAppendBatchAtomicity(t *testing.T) {
+	tb := MustNew("t", photoSchema())
+	good := Row{int64(1), 1.0, 2.0, "GALAXY", true}
+	bad := Row{int64(2), "oops", 2.0, "STAR", true}
+	if err := tb.AppendBatch([]Row{good, bad, good}); err == nil {
+		t.Fatal("batch with bad row accepted")
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("failed batch left %d rows, want 0", tb.Len())
+	}
+	if err := tb.AppendBatch([]Row{good, good}); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+}
+
+func TestAppendBatchRollbackKeepsPrefix(t *testing.T) {
+	tb := MustNew("t", Schema{{Name: "x", Type: column.Float64}})
+	if err := tb.AppendBatch([]Row{{1.0}, {2.0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AppendBatch([]Row{{3.0}, {"bad"}}); err == nil {
+		t.Fatal("bad batch accepted")
+	}
+	x, _ := tb.Float64("x")
+	if len(x) != 2 || x[0] != 1 || x[1] != 2 {
+		t.Fatalf("rollback corrupted prefix: %v", x)
+	}
+}
+
+func TestAppendColumns(t *testing.T) {
+	tb := MustNew("t", Schema{
+		{Name: "a", Type: column.Float64},
+		{Name: "b", Type: column.Int64},
+	})
+	chunks := []column.Column{
+		column.NewFloat64From("a", []float64{1, 2, 3}),
+		column.NewInt64From("b", []int64{10, 20, 30}),
+	}
+	if err := tb.AppendColumns(chunks); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 3 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	uneven := []column.Column{
+		column.NewFloat64From("a", []float64{1}),
+		column.NewInt64From("b", []int64{}),
+	}
+	if err := tb.AppendColumns(uneven); err == nil {
+		t.Fatal("uneven chunks accepted")
+	}
+	if err := tb.AppendColumns(chunks[:1]); err == nil {
+		t.Fatal("wrong chunk count accepted")
+	}
+}
+
+func TestColErrors(t *testing.T) {
+	tb := MustNew("t", photoSchema())
+	if _, err := tb.Col("nope"); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("missing column error unhelpful: %v", err)
+	}
+	if _, err := tb.Float64("objID"); err == nil {
+		t.Fatal("Float64 on BIGINT column accepted")
+	}
+	if _, err := tb.Int64("ra"); err == nil {
+		t.Fatal("Int64 on DOUBLE column accepted")
+	}
+}
+
+func TestProject(t *testing.T) {
+	tb := MustNew("t", photoSchema())
+	for i := 0; i < 5; i++ {
+		err := tb.AppendRow(Row{int64(i), float64(i), -float64(i), "GALAXY", true})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := tb.Project("p", []string{"ra", "objID"}, vec.Sel{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("projected Len = %d", p.Len())
+	}
+	ra, _ := p.Float64("ra")
+	if ra[0] != 1 || ra[1] != 3 {
+		t.Fatalf("projected ra = %v", ra)
+	}
+	if _, err := tb.Project("p", []string{"missing"}, nil); err == nil {
+		t.Fatal("projection of missing column accepted")
+	}
+}
+
+func TestRowStrings(t *testing.T) {
+	tb := MustNew("t", photoSchema())
+	if err := tb.AppendRow(Row{int64(7), 1.5, -2.5, "QSO", false}); err != nil {
+		t.Fatal(err)
+	}
+	got := tb.RowStrings(0)
+	want := []string{"7", "1.5", "-2.5", "QSO", "false"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RowStrings = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSchemaHelpers(t *testing.T) {
+	s := photoSchema()
+	if s.Index("dec") != 2 {
+		t.Fatalf("Index(dec) = %d", s.Index("dec"))
+	}
+	if s.Index("zzz") != -1 {
+		t.Fatal("Index of missing column should be -1")
+	}
+	names := s.Names()
+	if names[0] != "objID" || names[4] != "clean" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	c := NewCatalog()
+	tb := MustNew("PhotoObjAll", photoSchema())
+	if err := c.Add(tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(tb); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+	got, err := c.Get("PhotoObjAll")
+	if err != nil || got != tb {
+		t.Fatalf("Get = %v, %v", got, err)
+	}
+	if _, err := c.Get("missing"); err == nil {
+		t.Fatal("missing table lookup succeeded")
+	}
+	if names := c.Names(); len(names) != 1 || names[0] != "PhotoObjAll" {
+		t.Fatalf("Names = %v", names)
+	}
+	if err := c.Drop("PhotoObjAll"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drop("PhotoObjAll"); err == nil {
+		t.Fatal("double drop succeeded")
+	}
+}

@@ -1,0 +1,247 @@
+package vec
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSelAll(t *testing.T) {
+	s := NewSelAll(4)
+	want := Sel{0, 1, 2, 3}
+	if !reflect.DeepEqual(s, want) {
+		t.Fatalf("NewSelAll(4) = %v, want %v", s, want)
+	}
+}
+
+func TestSelLen(t *testing.T) {
+	if got := Sel(nil).Len(7); got != 7 {
+		t.Fatalf("nil Sel Len = %d, want 7", got)
+	}
+	if got := (Sel{1, 3}).Len(7); got != 2 {
+		t.Fatalf("Sel{1,3} Len = %d, want 2", got)
+	}
+}
+
+func TestAnd(t *testing.T) {
+	a := Sel{0, 2, 4, 6}
+	b := Sel{2, 3, 4, 5}
+	got := And(a, b, 8)
+	want := Sel{2, 4}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("And = %v, want %v", got, want)
+	}
+	if got := And(nil, b, 8); !reflect.DeepEqual(got, b) {
+		t.Fatalf("And(nil, b) = %v, want %v", got, b)
+	}
+	if got := And(a, nil, 8); !reflect.DeepEqual(got, a) {
+		t.Fatalf("And(a, nil) = %v, want %v", got, a)
+	}
+}
+
+func TestOr(t *testing.T) {
+	a := Sel{0, 2}
+	b := Sel{1, 2, 5}
+	got := Or(a, b, 8)
+	want := Sel{0, 1, 2, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Or = %v, want %v", got, want)
+	}
+	if got := Or(nil, b, 8); got != nil {
+		t.Fatalf("Or(nil, b) = %v, want nil (all rows)", got)
+	}
+}
+
+func TestNot(t *testing.T) {
+	a := Sel{1, 3}
+	got := Not(a, 5)
+	want := Sel{0, 2, 4}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Not = %v, want %v", got, want)
+	}
+	if got := Not(nil, 3); len(got) != 0 {
+		t.Fatalf("Not(nil) = %v, want empty", got)
+	}
+}
+
+func TestDeMorganProperty(t *testing.T) {
+	// not(a and b) == not(a) or not(b) over a fixed domain.
+	f := func(am, bm uint16) bool {
+		const n = 16
+		var a, b Sel
+		for i := int32(0); i < n; i++ {
+			if am&(1<<uint(i)) != 0 {
+				a = append(a, i)
+			}
+			if bm&(1<<uint(i)) != 0 {
+				b = append(b, i)
+			}
+		}
+		lhs := Not(And(a, b, n), n)
+		rhs := Or(Not(a, n), Not(b, n), n)
+		if rhs == nil {
+			rhs = NewSelAll(n)
+		}
+		if len(lhs) != len(rhs) {
+			return false
+		}
+		for i := range lhs {
+			if lhs[i] != rhs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectFloat64(t *testing.T) {
+	data := []float64{1, 5, 3, 5, 2}
+	cases := []struct {
+		op   CmpOp
+		c    float64
+		want Sel
+	}{
+		{Eq, 5, Sel{1, 3}},
+		{Ne, 5, Sel{0, 2, 4}},
+		{Lt, 3, Sel{0, 4}},
+		{Le, 3, Sel{0, 2, 4}},
+		{Gt, 3, Sel{1, 3}},
+		{Ge, 3, Sel{1, 2, 3}},
+	}
+	for _, c := range cases {
+		got := SelectFloat64(data, nil, c.op, c.c)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("SelectFloat64(%v, %v) = %v, want %v", c.op, c.c, got, c.want)
+		}
+	}
+}
+
+func TestSelectFloat64WithSel(t *testing.T) {
+	data := []float64{1, 5, 3, 5, 2}
+	got := SelectFloat64(data, Sel{1, 2, 4}, Ge, 3)
+	want := Sel{1, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestSelectInt64(t *testing.T) {
+	data := []int64{10, 20, 30}
+	got := SelectInt64(data, nil, Gt, 15)
+	want := Sel{1, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestSelectRangeFloat64(t *testing.T) {
+	data := []float64{0, 1, 2, 3, 4}
+	got := SelectRangeFloat64(data, nil, 1, 3)
+	want := Sel{1, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v (half-open)", got, want)
+	}
+	got = SelectRangeFloat64(data, Sel{0, 2, 4}, 1, 5)
+	want = Sel{2, 4}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("with sel: got %v, want %v", got, want)
+	}
+}
+
+func TestSelectBool(t *testing.T) {
+	data := []bool{true, false, true}
+	got := SelectBool(data, nil, true)
+	want := Sel{0, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestSelectFunc(t *testing.T) {
+	data := []float64{1, 2, 3, 4}
+	got := SelectFunc(len(data), nil, func(i int32) bool { return data[i] > 2 })
+	want := Sel{2, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestGather(t *testing.T) {
+	f := []float64{10, 11, 12, 13}
+	if got := GatherFloat64(f, Sel{0, 3}); !reflect.DeepEqual(got, []float64{10, 13}) {
+		t.Fatalf("GatherFloat64 = %v", got)
+	}
+	got := GatherFloat64(f, nil)
+	if !reflect.DeepEqual(got, f) {
+		t.Fatalf("GatherFloat64 nil sel = %v", got)
+	}
+	got[0] = -1
+	if f[0] == -1 {
+		t.Fatal("GatherFloat64 with nil sel must copy, not alias")
+	}
+	i := []int64{1, 2, 3}
+	if got := GatherInt64(i, Sel{2}); !reflect.DeepEqual(got, []int64{3}) {
+		t.Fatalf("GatherInt64 = %v", got)
+	}
+	x := []int32{5, 6, 7}
+	if got := GatherInt32(x, Sel{1}); !reflect.DeepEqual(got, []int32{6}) {
+		t.Fatalf("GatherInt32 = %v", got)
+	}
+}
+
+func TestSums(t *testing.T) {
+	f := []float64{1, 2, 3}
+	if got := SumFloat64(f, nil); got != 6 {
+		t.Fatalf("SumFloat64 = %v", got)
+	}
+	if got := SumFloat64(f, Sel{0, 2}); got != 4 {
+		t.Fatalf("SumFloat64 sel = %v", got)
+	}
+	i := []int64{1, 2, 3}
+	if got := SumInt64(i, nil); got != 6 {
+		t.Fatalf("SumInt64 = %v", got)
+	}
+	if got := SumInt64(i, Sel{1}); got != 2 {
+		t.Fatalf("SumInt64 sel = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	f := []float64{3, 1, 4, 1, 5}
+	lo, hi, ok := MinMaxFloat64(f, nil)
+	if !ok || lo != 1 || hi != 5 {
+		t.Fatalf("MinMax = %v %v %v", lo, hi, ok)
+	}
+	lo, hi, ok = MinMaxFloat64(f, Sel{0, 2})
+	if !ok || lo != 3 || hi != 4 {
+		t.Fatalf("MinMax sel = %v %v %v", lo, hi, ok)
+	}
+	if _, _, ok := MinMaxFloat64(f, Sel{}); ok {
+		t.Fatal("MinMax of empty selection reported ok")
+	}
+}
+
+func TestSelectResultSorted(t *testing.T) {
+	// All Select kernels must return sorted selections so And/Or merges work.
+	data := make([]float64, 100)
+	for i := range data {
+		data[i] = float64(i % 7)
+	}
+	got := SelectFloat64(data, nil, Eq, 3)
+	if !sort.SliceIsSorted(got, func(a, b int) bool { return got[a] < got[b] }) {
+		t.Fatal("selection not sorted")
+	}
+}
+
+func TestCmpOpString(t *testing.T) {
+	ops := map[CmpOp]string{Eq: "=", Ne: "<>", Lt: "<", Le: "<=", Gt: ">", Ge: ">="}
+	for op, s := range ops {
+		if op.String() != s {
+			t.Fatalf("op %d String = %q, want %q", op, op.String(), s)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"fmt"
+
+	"sciborq/internal/expr"
+	"sciborq/internal/xrand"
+)
+
+// FocalPoint is a centre of scientific interest on the sky with a
+// dispersion (how tightly queries cluster around it) and a weight (how
+// often it is queried relative to other focal points).
+type FocalPoint struct {
+	Ra, Dec    float64
+	SigmaRa    float64
+	SigmaDec   float64
+	Weight     float64
+	ConeRadius float64 // radius of generated cone queries, degrees
+}
+
+// Generator produces SkyServer-style cone queries clustered around focal
+// points, reproducing the multi-modal predicate sets of Figure 4.
+type Generator struct {
+	focals []FocalPoint
+	total  float64
+	rng    *xrand.RNG
+}
+
+// NewGenerator builds a generator over the given focal points.
+func NewGenerator(focals []FocalPoint, rng *xrand.RNG) (*Generator, error) {
+	if len(focals) == 0 {
+		return nil, fmt.Errorf("workload: generator needs at least one focal point")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("workload: nil rng")
+	}
+	g := &Generator{focals: append([]FocalPoint(nil), focals...), rng: rng}
+	for i, f := range g.focals {
+		if f.Weight <= 0 {
+			return nil, fmt.Errorf("workload: focal point %d has non-positive weight %g", i, f.Weight)
+		}
+		if f.ConeRadius <= 0 {
+			g.focals[i].ConeRadius = 1
+		}
+		g.total += f.Weight
+	}
+	return g, nil
+}
+
+// Next returns one cone query predicate drawn from the workload mix.
+func (g *Generator) Next() expr.Cone {
+	u := g.rng.Float64() * g.total
+	var f FocalPoint
+	for _, cand := range g.focals {
+		if u < cand.Weight {
+			f = cand
+			break
+		}
+		u -= cand.Weight
+		f = cand // fall through to last on numeric edge
+	}
+	return expr.Cone{
+		RaCol:  "ra",
+		DecCol: "dec",
+		Ra0:    f.Ra + g.rng.NormFloat64()*f.SigmaRa,
+		Dec0:   f.Dec + g.rng.NormFloat64()*f.SigmaDec,
+		Radius: f.ConeRadius,
+	}
+}
+
+// NextN returns n generated predicates.
+func (g *Generator) NextN(n int) []expr.Cone {
+	out := make([]expr.Cone, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Shift replaces the focal points — the workload drift of experiment E4
+// (the scientist's attention moves to a different sky region).
+func (g *Generator) Shift(focals []FocalPoint) error {
+	ng, err := NewGenerator(focals, g.rng)
+	if err != nil {
+		return err
+	}
+	g.focals = ng.focals
+	g.total = ng.total
+	return nil
+}
+
+// Figure4Focals returns the focal-point mix used to regenerate Figure 4:
+// predicate values for ra concentrated near 160 and 210 within [120,240],
+// and for dec near 15 and 45 within [0,60] — the paper's two-humped
+// predicate-set histograms.
+func Figure4Focals() []FocalPoint {
+	return []FocalPoint{
+		{Ra: 160, Dec: 15, SigmaRa: 8, SigmaDec: 4, Weight: 0.6, ConeRadius: 2},
+		{Ra: 210, Dec: 45, SigmaRa: 5, SigmaDec: 5, Weight: 0.4, ConeRadius: 2},
+	}
+}

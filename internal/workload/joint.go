@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"fmt"
+
+	"sciborq/internal/stats"
+)
+
+// pairKey identifies an ordered attribute pair.
+type pairKey struct{ a, b string }
+
+// TrackJoint starts joint (two-dimensional) predicate logging for an
+// attribute pair — the multi-dimensional histograms the paper names as
+// future work (§6). Both attributes must already be tracked; the joint
+// grid reuses their declared ranges. After TrackJoint, every query that
+// requests values on both attributes contributes one point to the joint
+// histogram, so correlated interest ((ra₁, dec₁) and (ra₂, dec₂)) is
+// distinguishable from its cross-products.
+func (l *Logger) TrackJoint(attrA, attrB string, binsA, binsB int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ha, ok := l.hists[attrA]
+	if !ok {
+		return fmt.Errorf("workload: joint tracking needs tracked attribute %q", attrA)
+	}
+	hb, ok := l.hists[attrB]
+	if !ok {
+		return fmt.Errorf("workload: joint tracking needs tracked attribute %q", attrB)
+	}
+	if attrA == attrB {
+		return fmt.Errorf("workload: joint tracking needs two distinct attributes")
+	}
+	if l.joints == nil {
+		l.joints = make(map[pairKey]*stats.Histogram2D)
+	}
+	k := pairKey{attrA, attrB}
+	if _, dup := l.joints[k]; dup {
+		return fmt.Errorf("workload: joint tracking already enabled for (%s, %s)", attrA, attrB)
+	}
+	h2, err := stats.NewHistogram2D(ha.Min, ha.Max(), binsA, hb.Min, hb.Max(), binsB)
+	if err != nil {
+		return err
+	}
+	l.joints[k] = h2
+	return nil
+}
+
+// LiveJoint returns the live joint histogram for the pair (not a copy);
+// callers must not mutate it.
+func (l *Logger) LiveJoint(attrA, attrB string) (*stats.Histogram2D, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	h, ok := l.joints[pairKey{attrA, attrB}]
+	if !ok {
+		return nil, fmt.Errorf("workload: pair (%s, %s) is not jointly tracked", attrA, attrB)
+	}
+	return h, nil
+}
+
+// Joint returns a snapshot (clone) of the joint histogram for the pair.
+func (l *Logger) Joint(attrA, attrB string) (*stats.Histogram2D, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	h, ok := l.joints[pairKey{attrA, attrB}]
+	if !ok {
+		return nil, fmt.Errorf("workload: pair (%s, %s) is not jointly tracked", attrA, attrB)
+	}
+	return h.Clone(), nil
+}
+
+// observeJointsLocked records joint points for every tracked pair whose
+// two attributes both appear in the query's predicate points. When an
+// attribute appears several times in one query, each cross pairing is
+// recorded (the predicate set semantics of §4 applied per dimension
+// pair).
+func (l *Logger) observeJointsLocked(pts []point) {
+	if len(l.joints) == 0 {
+		return
+	}
+	for k, h := range l.joints {
+		for _, pa := range pts {
+			if pa.attr != k.a {
+				continue
+			}
+			for _, pb := range pts {
+				if pb.attr != k.b {
+					continue
+				}
+				h.Observe(pa.value, pb.value)
+			}
+		}
+	}
+}
+
+// point mirrors expr.Point without the import (avoiding a cycle is not
+// an issue here; the alias keeps observeJointsLocked decoupled).
+type point struct {
+	attr  string
+	value float64
+}

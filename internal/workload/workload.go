@@ -1,0 +1,168 @@
+// Package workload implements SciBORQ's query-workload infrastructure
+// (§4): a logger that extracts the predicate set — the attribute values
+// requested by queries — into per-attribute Figure-5 histograms, and
+// generators that produce SkyServer-like exploration workloads with
+// static, drifting, or mixed focal points.
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sciborq/internal/expr"
+	"sciborq/internal/stats"
+)
+
+// AttrSpec declares one attribute whose predicate values are tracked.
+type AttrSpec struct {
+	Name string
+	// Min, Max bound the histogram domain (values outside clamp).
+	Min, Max float64
+	// Beta is the number of equal-width bins (β in the paper).
+	Beta int
+}
+
+// Logger maintains, per interesting attribute, the Figure-5 histogram
+// over the predicate set, plus the raw logged values (used only by the
+// full-KDE reference in Figure 4 — a real deployment would keep just the
+// histograms).
+type Logger struct {
+	mu      sync.Mutex
+	hists   map[string]*stats.Histogram
+	joints  map[pairKey]*stats.Histogram2D
+	raw     map[string][]float64
+	keepRaw bool
+	queries int64
+}
+
+// NewLogger builds a logger for the given attributes. keepRaw retains
+// the raw predicate values for the f̂ reference estimator.
+func NewLogger(attrs []AttrSpec, keepRaw bool) (*Logger, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("workload: logger needs at least one attribute")
+	}
+	l := &Logger{
+		hists:   make(map[string]*stats.Histogram, len(attrs)),
+		raw:     make(map[string][]float64),
+		keepRaw: keepRaw,
+	}
+	for _, a := range attrs {
+		h, err := stats.NewHistogram(a.Min, a.Max, a.Beta)
+		if err != nil {
+			return nil, fmt.Errorf("workload: attribute %q: %w", a.Name, err)
+		}
+		if _, dup := l.hists[a.Name]; dup {
+			return nil, fmt.Errorf("workload: duplicate attribute %q", a.Name)
+		}
+		l.hists[a.Name] = h
+	}
+	return l, nil
+}
+
+// LogQuery extracts the predicate points of pred and records them.
+// Points on untracked attributes are ignored.
+func (l *Logger) LogQuery(pred expr.Predicate) {
+	if pred == nil {
+		return
+	}
+	l.LogPoints(pred.Points())
+}
+
+// LogPoints records pre-extracted predicate points.
+func (l *Logger) LogPoints(pts []expr.Point) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.queries++
+	tracked := make([]point, 0, len(pts))
+	for _, pt := range pts {
+		h, ok := l.hists[pt.Attr]
+		if !ok {
+			continue
+		}
+		h.Observe(pt.Value)
+		tracked = append(tracked, point{attr: pt.Attr, value: pt.Value})
+		if l.keepRaw {
+			l.raw[pt.Attr] = append(l.raw[pt.Attr], pt.Value)
+		}
+	}
+	l.observeJointsLocked(tracked)
+}
+
+// Histogram returns a snapshot (clone) of the predicate-set histogram
+// for attr, or an error for untracked attributes.
+func (l *Logger) Histogram(attr string) (*stats.Histogram, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	h, ok := l.hists[attr]
+	if !ok {
+		return nil, fmt.Errorf("workload: attribute %q is not tracked (have %v)", attr, l.attrsLocked())
+	}
+	return h.Clone(), nil
+}
+
+// Live returns the live histogram for attr (not a copy); the impression
+// maintenance path reads it on every ingested tuple and must not pay a
+// clone per tuple. Callers must not mutate it.
+func (l *Logger) Live(attr string) (*stats.Histogram, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	h, ok := l.hists[attr]
+	if !ok {
+		return nil, fmt.Errorf("workload: attribute %q is not tracked", attr)
+	}
+	return h, nil
+}
+
+// RawValues returns a copy of the raw predicate values for attr
+// (empty unless keepRaw was set).
+func (l *Logger) RawValues(attr string) []float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]float64, len(l.raw[attr]))
+	copy(out, l.raw[attr])
+	return out
+}
+
+// Queries returns the number of logged queries.
+func (l *Logger) Queries() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.queries
+}
+
+// Attrs returns the tracked attribute names, sorted.
+func (l *Logger) Attrs() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.attrsLocked()
+}
+
+func (l *Logger) attrsLocked() []string {
+	out := make([]string, 0, len(l.hists))
+	for a := range l.hists {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Decay ages all histograms by factor (see stats.Histogram.Decay); used
+// by adaptive impressions to track workload shift.
+func (l *Logger) Decay(factor float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, h := range l.hists {
+		h.Decay(factor)
+	}
+	for _, h := range l.joints {
+		h.Decay(factor)
+	}
+	if l.keepRaw {
+		// Raw values are reference-only; drop them on decay so the f̂
+		// reference follows the same recency horizon.
+		for k := range l.raw {
+			l.raw[k] = nil
+		}
+	}
+}

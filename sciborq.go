@@ -1,0 +1,274 @@
+// Package sciborq is a reproduction of "SciBORQ: Scientific data
+// management with Bounds On Runtime and Quality" (Sidirourgos, Kersten,
+// Boncz — CIDR 2011): a data-exploration engine for append-only science
+// warehouses that answers queries from multi-layer, workload-biased
+// samples called impressions, under user-specified bounds on runtime
+// ("WITHIN TIME 5ms") or result quality ("WITHIN ERROR 0.05 CONFIDENCE
+// 0.95").
+//
+// The DB type is the public façade. A typical session:
+//
+//	db := sciborq.Open()
+//	db.AttachTable(factTable)
+//	db.TrackWorkload("PhotoObjAll",
+//	    sciborq.Attr{Name: "ra", Min: 0, Max: 360, Beta: 30},
+//	    sciborq.Attr{Name: "dec", Min: -90, Max: 90, Beta: 30})
+//	db.BuildImpressions("PhotoObjAll", sciborq.ImpressionConfig{
+//	    Sizes: []int{100000, 10000, 1000}, Policy: sciborq.Biased,
+//	    Attrs: []string{"ra", "dec"},
+//	})
+//	db.Load("PhotoObjAll", nightlyRows) // impressions maintained in-line
+//	res, err := db.Exec(`SELECT AVG(r) FROM PhotoObjAll
+//	    WHERE fGetNearbyObjEq(185, 0, 3) WITHIN ERROR 0.05`)
+package sciborq
+
+import (
+	"fmt"
+	"sync"
+
+	"sciborq/internal/bounded"
+	"sciborq/internal/column"
+	"sciborq/internal/engine"
+	"sciborq/internal/impression"
+	"sciborq/internal/loader"
+	"sciborq/internal/recycler"
+	"sciborq/internal/table"
+	"sciborq/internal/workload"
+)
+
+// Re-exported names so that library users need only this package for
+// common flows.
+type (
+	// Schema describes a table's columns.
+	Schema = table.Schema
+	// ColumnDef is one column of a Schema.
+	ColumnDef = table.ColumnDef
+	// Row is one tuple (float64, int64, string, or bool per column).
+	Row = table.Row
+	// Attr declares a tracked workload attribute.
+	Attr = workload.AttrSpec
+	// Policy selects an impression's sampling focus.
+	Policy = impression.Policy
+)
+
+// Impression focus policies.
+const (
+	Uniform  = impression.Uniform
+	LastSeen = impression.LastSeen
+	Biased   = impression.Biased
+)
+
+// Column types.
+const (
+	Float64 = column.Float64
+	Int64   = column.Int64
+	String  = column.String
+	Bool    = column.Bool
+)
+
+// DB is a SciBORQ database: a catalog of append-only tables, per-table
+// workload loggers, impression hierarchies maintained during loads, and
+// a bounded query executor.
+type DB struct {
+	mu       sync.Mutex
+	catalog  *table.Catalog
+	loaders  map[string]*loader.Loader
+	loggers  map[string]*workload.Logger
+	hiers    map[string]*impression.Hierarchy
+	execs    map[string]*bounded.Executor
+	recycler *recycler.Recycler
+	cost     engine.CostModel
+	seed     uint64
+}
+
+// Option customises Open.
+type Option func(*DB)
+
+// WithCostModel installs a pre-calibrated cost model (the default runs a
+// quick on-machine calibration).
+func WithCostModel(m engine.CostModel) Option {
+	return func(db *DB) { db.cost = m }
+}
+
+// WithSeed fixes the seed for all impression sampling.
+func WithSeed(seed uint64) Option {
+	return func(db *DB) { db.seed = seed }
+}
+
+// Open creates an empty database.
+func Open(opts ...Option) *DB {
+	rec, err := recycler.New(256)
+	if err != nil {
+		panic(err) // constant capacity; cannot happen
+	}
+	db := &DB{
+		catalog:  table.NewCatalog(),
+		loaders:  make(map[string]*loader.Loader),
+		loggers:  make(map[string]*workload.Logger),
+		hiers:    make(map[string]*impression.Hierarchy),
+		execs:    make(map[string]*bounded.Executor),
+		recycler: rec,
+		seed:     1,
+	}
+	for _, o := range opts {
+		o(db)
+	}
+	if db.cost.NsPerRow <= 0 {
+		db.cost = engine.Calibrate(100_000)
+	}
+	return db
+}
+
+// CreateTable adds a new empty table.
+func (db *DB) CreateTable(name string, schema Schema) (*table.Table, error) {
+	t, err := table.New(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.AttachTable(t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// AttachTable registers an existing table (e.g. a generated SkyServer
+// catalogue).
+func (db *DB) AttachTable(t *table.Table) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.catalog.Add(t); err != nil {
+		return err
+	}
+	l, err := loader.New(t)
+	if err != nil {
+		return err
+	}
+	db.loaders[t.Name()] = l
+	return nil
+}
+
+// Table returns a registered table.
+func (db *DB) Table(name string) (*table.Table, error) {
+	return db.catalog.Get(name)
+}
+
+// Tables lists the registered table names.
+func (db *DB) Tables() []string { return db.catalog.Names() }
+
+// TrackWorkload starts predicate-set logging for the named table (§4).
+// Must be called before BuildImpressions with a Biased policy.
+func (db *DB) TrackWorkload(tableName string, attrs ...Attr) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, err := db.catalog.Get(tableName); err != nil {
+		return err
+	}
+	if _, dup := db.loggers[tableName]; dup {
+		return fmt.Errorf("sciborq: workload tracking already enabled for %q", tableName)
+	}
+	lg, err := workload.NewLogger(attrs, true)
+	if err != nil {
+		return err
+	}
+	db.loggers[tableName] = lg
+	return nil
+}
+
+// Logger returns the workload logger of a table (nil if untracked).
+func (db *DB) Logger(tableName string) *workload.Logger {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.loggers[tableName]
+}
+
+// ImpressionConfig configures a table's impression hierarchy.
+type ImpressionConfig struct {
+	// Sizes are the layer sizes, largest first (strictly decreasing).
+	Sizes []int
+	// Policy applies to every layer.
+	Policy Policy
+	// Attrs are the bias attributes (Biased policy).
+	Attrs []string
+	// K, D parameterise the LastSeen policy (acceptance K/D).
+	K, D float64
+	// RefreshEvery controls how often smaller layers are rebuilt from
+	// their parent (offers between refreshes; 0 = default 4096).
+	RefreshEvery int64
+	// Backfill offers all pre-existing rows to the hierarchy.
+	Backfill bool
+}
+
+// BuildImpressions creates and attaches an impression hierarchy for the
+// named table; it is maintained automatically by subsequent Load calls.
+func (db *DB) BuildImpressions(tableName string, cfg ImpressionConfig) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	base, err := db.catalog.Get(tableName)
+	if err != nil {
+		return err
+	}
+	if _, dup := db.hiers[tableName]; dup {
+		return fmt.Errorf("sciborq: impressions already built for %q", tableName)
+	}
+	if len(cfg.Sizes) == 0 {
+		return fmt.Errorf("sciborq: impression config needs at least one layer size")
+	}
+	layers := make([]*impression.Impression, 0, len(cfg.Sizes))
+	for i, size := range cfg.Sizes {
+		imCfg := impression.Config{
+			Name:   fmt.Sprintf("%s/L%d(%s,%d)", tableName, i, cfg.Policy, size),
+			Size:   size,
+			Policy: cfg.Policy,
+			Seed:   db.seed + uint64(i)*7919,
+			Attrs:  cfg.Attrs,
+			K:      cfg.K,
+			D:      cfg.D,
+			Logger: db.loggers[tableName],
+		}
+		im, err := impression.New(base, imCfg)
+		if err != nil {
+			return err
+		}
+		layers = append(layers, im)
+	}
+	h, err := impression.NewHierarchy(layers, cfg.RefreshEvery)
+	if err != nil {
+		return err
+	}
+	if cfg.Backfill {
+		db.loaders[tableName].Backfill(h)
+		if err := h.Refresh(); err != nil {
+			return err
+		}
+	}
+	if err := db.loaders[tableName].Attach(h); err != nil {
+		return err
+	}
+	db.hiers[tableName] = h
+	// Any cached bounded executor predates the hierarchy; rebuild it on
+	// next use so bounded queries see the new layers.
+	delete(db.execs, tableName)
+	return nil
+}
+
+// Hierarchy returns a table's impression hierarchy (nil if absent).
+func (db *DB) Hierarchy(tableName string) *impression.Hierarchy {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.hiers[tableName]
+}
+
+// Load appends one batch (a "nightly ingest") to the named table,
+// maintaining its impressions in the load path.
+func (db *DB) Load(tableName string, rows []Row) error {
+	db.mu.Lock()
+	l, ok := db.loaders[tableName]
+	db.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("sciborq: no table %q", tableName)
+	}
+	return l.LoadBatch(rows)
+}
+
+// CostModel returns the active cost model.
+func (db *DB) CostModel() engine.CostModel { return db.cost }
