@@ -1,0 +1,37 @@
+# Mirrors .github/workflows/ci.yml: a green `make ci` locally means a
+# green pipeline.
+
+GO ?= go
+
+.PHONY: all build test race bench fmt vet ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the packages with concurrent execution paths
+# (the morsel worker pool and the bounded executor built on it).
+race:
+	$(GO) test -race ./internal/engine/... ./internal/bounded/... .
+
+# One-iteration benchmark smoke: fails loudly if the hot scan path
+# regresses to an error, without paying full benchmark time.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+fmt:
+	@diff=$$(gofmt -l .); \
+	if [ -n "$$diff" ]; then \
+		echo "gofmt needed on:" >&2; \
+		echo "$$diff" >&2; \
+		exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ci: build vet fmt test race bench

@@ -12,9 +12,11 @@ package sciborq
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
+	"sciborq/internal/column"
 	"sciborq/internal/engine"
 	"sciborq/internal/experiments"
 	"sciborq/internal/expr"
@@ -25,6 +27,8 @@ import (
 	"sciborq/internal/skyserver"
 	"sciborq/internal/sqlparse"
 	"sciborq/internal/stats"
+	"sciborq/internal/table"
+	"sciborq/internal/vec"
 	"sciborq/internal/workload"
 	"sciborq/internal/xrand"
 )
@@ -445,6 +449,119 @@ func BenchmarkLoadPath(b *testing.B) {
 	if b.N > 0 {
 		perRow := float64(time.Since(start).Nanoseconds()) / float64(b.N*batchSize)
 		b.ReportMetric(perRow, "ns/row")
+	}
+}
+
+// --- Morsel-driven parallel executor ---------------------------------
+
+// scanTable builds the 1M-row synthetic scan target shared by the
+// parallel-executor benchmarks (built once per benchmark binary).
+var scanTable = struct {
+	once sync.Once
+	tb   *table.Table
+}{}
+
+func benchScanTable(b *testing.B) *table.Table {
+	b.Helper()
+	scanTable.once.Do(func() {
+		const n = 1_000_000
+		xs := make([]float64, n)
+		vs := make([]float64, n)
+		gs := make([]int64, n)
+		state := uint64(0x9E3779B97F4A7C15)
+		for i := 0; i < n; i++ {
+			state = state*6364136223846793005 + 1442695040888963407
+			xs[i] = float64(state%1_000_003) / 1_000_003
+			vs[i] = float64(int64(state>>20)%2001-1000) / 7
+			gs[i] = int64(state>>61) % 8
+		}
+		tb := table.MustNew("scan", table.Schema{
+			{Name: "x", Type: column.Float64},
+			{Name: "v", Type: column.Float64},
+			{Name: "g", Type: column.Int64},
+		})
+		if err := tb.AppendColumns([]column.Column{
+			column.NewFloat64From("x", xs),
+			column.NewFloat64From("v", vs),
+			column.NewInt64From("g", gs),
+		}); err != nil {
+			panic(err)
+		}
+		scanTable.tb = tb
+	})
+	return scanTable.tb
+}
+
+// BenchmarkParallelFilteredAgg measures the tentpole hot path — a
+// filtered AVG over 1M rows — at 1/2/4/8 workers. The workers1 case is
+// the sequential baseline; speedup at workersN vs workers1 is the
+// morsel executor's scaling figure (bounded by available cores).
+func BenchmarkParallelFilteredAgg(b *testing.B) {
+	tb := benchScanTable(b)
+	q := engine.Query{
+		Table: "scan",
+		Where: expr.Between{Expr: expr.ColRef{Name: "x"}, Lo: 0.25, Hi: 0.75},
+		Aggs:  []engine.AggSpec{{Func: engine.Avg, Arg: expr.ColRef{Name: "v"}, Alias: "m"}},
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			opts := engine.ExecOptions{Parallelism: workers}
+			b.SetBytes(int64(tb.Len()) * 16) // two float64 columns touched
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.RunOnOpts(tb, q, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelGroupBy measures the per-morsel hash-grouping path
+// (filter + GROUP BY + two aggregates over 1M rows) at 1/2/4/8 workers.
+func BenchmarkParallelGroupBy(b *testing.B) {
+	tb := benchScanTable(b)
+	q := engine.Query{
+		Table:   "scan",
+		Where:   expr.Cmp{Op: vec.Gt, Left: expr.ColRef{Name: "x"}, Right: 0.1},
+		GroupBy: "g",
+		Aggs: []engine.AggSpec{
+			{Func: engine.Count},
+			{Func: engine.Avg, Arg: expr.ColRef{Name: "v"}, Alias: "m"},
+		},
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			opts := engine.ExecOptions{Parallelism: workers}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.RunOnOpts(tb, q, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelProjectionFilter measures the parallel-filter +
+// sequential-materialise projection path at 1/2/4/8 workers.
+func BenchmarkParallelProjectionFilter(b *testing.B) {
+	tb := benchScanTable(b)
+	q := engine.Query{
+		Table:  "scan",
+		Where:  expr.Between{Expr: expr.ColRef{Name: "x"}, Lo: 0.495, Hi: 0.505},
+		Select: []string{"x", "v"},
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			opts := engine.ExecOptions{Parallelism: workers}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.RunOnOpts(tb, q, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

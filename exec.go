@@ -130,7 +130,7 @@ func (db *DB) ExecStatement(st *sqlparse.Statement, sql string) (*Result, error)
 		}
 		return &Result{Rows: res, Elapsed: time.Since(start), SQL: sql}, nil
 	}
-	res, err := engine.RunOn(base, st.Query)
+	res, err := engine.RunOnOpts(base, st.Query, db.opts)
 	if err != nil {
 		return nil, err
 	}
@@ -145,7 +145,7 @@ func (db *DB) boundedExecutor(name string, base *table.Table) (*bounded.Executor
 	if ex, ok := db.execs[name]; ok {
 		return ex, nil
 	}
-	ex, err := bounded.NewExecutor(base, db.hiers[name], db.cost)
+	ex, err := bounded.NewExecutorOpts(base, db.hiers[name], db.cost, db.opts)
 	if err != nil {
 		return nil, err
 	}
@@ -176,5 +176,5 @@ func (db *DB) boundedProjection(base *table.Table, st *sqlparse.Statement) (*eng
 	_ = layerName
 	q := st.Query
 	q.Table = target.Name()
-	return engine.RunOn(target, q)
+	return engine.RunOnOpts(target, q, db.opts)
 }

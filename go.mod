@@ -1,0 +1,3 @@
+module sciborq
+
+go 1.24

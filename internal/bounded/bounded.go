@@ -35,6 +35,7 @@ import (
 type Executor struct {
 	base *table.Table
 	hier *impression.Hierarchy
+	opts engine.ExecOptions
 
 	mu   sync.Mutex
 	cost engine.CostModel
@@ -43,16 +44,26 @@ type Executor struct {
 // learningRate is the EWMA weight of a new latency observation.
 const learningRate = 0.3
 
-// NewExecutor builds a bounded executor. hier may be nil, in which case
-// every query runs on base data (exact, but unbounded in time).
+// NewExecutor builds a bounded executor with default (parallel)
+// execution options. hier may be nil, in which case every query runs on
+// base data (exact, but unbounded in time).
 func NewExecutor(base *table.Table, hier *impression.Hierarchy, cost engine.CostModel) (*Executor, error) {
+	return NewExecutorOpts(base, hier, cost, engine.DefaultExecOptions())
+}
+
+// NewExecutorOpts is NewExecutor with explicit execution options. The
+// supplied cost model must be calibrated for the same options (see
+// engine.CalibrateOpts) — a sequentially calibrated model under a
+// parallel executor would pessimistically pick impression layers that
+// are smaller than the time bound affords.
+func NewExecutorOpts(base *table.Table, hier *impression.Hierarchy, cost engine.CostModel, opts engine.ExecOptions) (*Executor, error) {
 	if base == nil {
 		return nil, fmt.Errorf("bounded: nil base table")
 	}
 	if cost.NsPerRow <= 0 {
 		cost = engine.DefaultCostModel()
 	}
-	return &Executor{base: base, hier: hier, cost: cost}, nil
+	return &Executor{base: base, hier: hier, cost: cost, opts: opts}, nil
 }
 
 // LayerResult records one layer attempt during escalation.
@@ -135,7 +146,7 @@ func (e *Executor) exact(q engine.Query) (*Answer, error) {
 		Name: "base:" + e.base.Name(), Table: e.base,
 		BaseRows: int64(e.base.Len()), Exact: true,
 	}
-	ests, err := estimate.AggregateOn(layer, q, 0.95)
+	ests, err := estimate.AggregateOnOpts(layer, q, 0.95, e.opts)
 	if err != nil {
 		return nil, err
 	}
@@ -164,7 +175,7 @@ func (e *Executor) ErrorBounded(q engine.Query, eps, confidence float64) (*Answe
 	ans := &Answer{}
 	for _, l := range layers {
 		ls := time.Now()
-		ests, err := estimate.AggregateOn(l, q, confidence)
+		ests, err := estimate.AggregateOnOpts(l, q, confidence, e.opts)
 		if err != nil {
 			return nil, err
 		}
@@ -225,7 +236,7 @@ func (e *Executor) TimeBounded(q engine.Query, budget time.Duration, b sqlparse.
 	}
 	promised := model.Predict(pick.Table.Len())
 	start := time.Now()
-	ests, err := estimate.AggregateOn(pick, q, confidence)
+	ests, err := estimate.AggregateOnOpts(pick, q, confidence, e.opts)
 	if err != nil {
 		return nil, err
 	}

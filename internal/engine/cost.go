@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"sciborq/internal/column"
+	"sciborq/internal/expr"
 	"sciborq/internal/table"
 	"sciborq/internal/vec"
 )
@@ -46,13 +47,44 @@ func (c CostModel) MaxRowsWithin(budget time.Duration) int {
 // Calibrate measures the per-row cost of a representative
 // filter+aggregate pipeline on this machine and returns a fitted model.
 // rows controls the calibration table size (>= 2 sizes are probed).
+// It calibrates the default (parallel) execution configuration, so the
+// time-bound layer picker sees the rows/sec the morsel-driven executor
+// actually delivers rather than a pessimistic single-core figure.
 func Calibrate(rows int) CostModel {
+	return CalibrateOpts(rows, DefaultExecOptions())
+}
+
+// CalibrateOpts is Calibrate for an explicit execution configuration.
+// The probe runs the real morsel pipeline (RunOnOpts with a filter +
+// SUM query), so goroutine fan-out and merge overheads are priced in.
+func CalibrateOpts(rows int, opts ExecOptions) CostModel {
 	if rows < 4096 {
 		rows = 4096
 	}
+	// BOTH probes must run in the fully parallel regime at the caller's
+	// real morsel granule: probing a shrunken granule would over-promise
+	// small scans, and mixing a partially parallel small probe with a
+	// fully parallel big probe would corrupt the secant fit (with
+	// near-linear scaling the two wall times converge and the fitted
+	// per-row rate collapses toward zero — an over-promise of orders of
+	// magnitude). small = rows/4, so rows >= 4·workers·granule keeps
+	// even the small probe spanning every worker. Capped so calibration
+	// stays cheap on very wide machines; beyond the cap the probe spans
+	// fewer morsels than workers and errs toward under-promising, the
+	// safe direction for WITHIN TIME.
+	if w := opts.workers(); w > 1 {
+		span := 4 * w * opts.morselRows()
+		const maxCalibrationRows = 4 << 20
+		if span > maxCalibrationRows {
+			span = maxCalibrationRows
+		}
+		if rows < span {
+			rows = span
+		}
+	}
 	small := rows / 4
-	tSmall := calibrationRun(small)
-	tBig := calibrationRun(rows)
+	tSmall := calibrationRun(small, opts)
+	tBig := calibrationRun(rows, opts)
 	perRow := float64(tBig-tSmall) / float64(rows-small)
 	if perRow <= 0 {
 		perRow = 1
@@ -64,9 +96,9 @@ func Calibrate(rows int) CostModel {
 	return CostModel{NsPerRow: perRow, FixedNs: fixed}
 }
 
-// calibrationRun times one scan+filter+sum over n synthetic rows and
-// returns nanoseconds (the median of three runs).
-func calibrationRun(n int) int64 {
+// calibrationRun times one scan+filter+sum over n synthetic rows under
+// opts and returns nanoseconds (the median of three runs).
+func calibrationRun(n int, opts ExecOptions) int64 {
 	data := make([]float64, n)
 	for i := range data {
 		data[i] = float64(i%997) / 997
@@ -75,11 +107,17 @@ func calibrationRun(n int) int64 {
 	if err := tb.AppendColumns([]column.Column{column.NewFloat64From("x", data)}); err != nil {
 		panic(err)
 	}
+	q := Query{
+		Table: "calibration",
+		Where: expr.Cmp{Op: vec.Lt, Left: expr.ColRef{Name: "x"}, Right: 0.5},
+		Aggs:  []AggSpec{{Func: Sum, Arg: expr.ColRef{Name: "x"}}},
+	}
 	var times []int64
 	for r := 0; r < 3; r++ {
 		start := time.Now()
-		sel := vec.SelectFloat64(data, nil, vec.Lt, 0.5)
-		_ = vec.SumFloat64(data, sel)
+		if _, err := RunOnOpts(tb, q, opts); err != nil {
+			panic(err) // static query over a static schema; cannot happen
+		}
 		times = append(times, time.Since(start).Nanoseconds())
 	}
 	// median of 3

@@ -40,11 +40,18 @@ func (r *Result) Scalar(name string) (float64, error) {
 
 // Executor evaluates queries against a catalog.
 type Executor struct {
-	cat *table.Catalog
+	cat  *table.Catalog
+	opts ExecOptions
 }
 
-// NewExecutor returns an executor over the given catalog.
+// NewExecutor returns an executor over the given catalog with default
+// (parallel) execution options.
 func NewExecutor(cat *table.Catalog) *Executor { return &Executor{cat: cat} }
+
+// NewExecutorOpts returns an executor with explicit execution options.
+func NewExecutorOpts(cat *table.Catalog, opts ExecOptions) *Executor {
+	return &Executor{cat: cat, opts: opts}
+}
 
 // Run evaluates q against its table in the catalog.
 func (e *Executor) Run(q Query) (*Result, error) {
@@ -55,24 +62,33 @@ func (e *Executor) Run(q Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return RunOn(t, q)
+	return RunOnOpts(t, q, e.opts)
 }
 
 // RunOn evaluates q against an explicit table — the hook the bounded
 // executor uses to aim one logical query at different impression layers.
+// It uses the default execution options (parallel, one worker per CPU).
 func RunOn(t *table.Table, q Query) (*Result, error) {
+	return RunOnOpts(t, q, DefaultExecOptions())
+}
+
+// RunOnOpts is RunOn with explicit execution options. Aggregates run
+// through the fused morsel pipeline (filter + partial aggregation per
+// morsel, deterministic morsel-order merge); projections filter in
+// parallel and materialise sequentially.
+func RunOnOpts(t *table.Table, q Query, opts ExecOptions) (*Result, error) {
 	if err := q.Validate(); err != nil {
-		return nil, err
-	}
-	sel, err := q.Pred().Filter(t, nil)
-	if err != nil {
 		return nil, err
 	}
 	if len(q.Aggs) > 0 {
 		if q.GroupBy != "" {
-			return groupByAggregate(t, sel, q)
+			return groupByAggregate(t, q, opts)
 		}
-		return aggregate(t, sel, q)
+		return aggregate(t, q, opts)
+	}
+	sel, err := Filter(t, q.Pred(), opts)
+	if err != nil {
+		return nil, err
 	}
 	return project(t, sel, q)
 }
@@ -171,17 +187,65 @@ func AggregateStates(t *table.Table, sel vec.Sel, aggs []AggSpec) ([]AggState, e
 	return states, nil
 }
 
-// aggregate evaluates a global (ungrouped) aggregate query.
-func aggregate(t *table.Table, sel vec.Sel, q Query) (*Result, error) {
-	states, err := AggregateStates(t, sel, q.Aggs)
+// aggArgs materialises every aggregate argument column once, before the
+// morsel fan-out; workers then only read the shared slices.
+func aggArgs(t *table.Table, aggs []AggSpec) ([][]float64, error) {
+	args := make([][]float64, len(aggs))
+	for i, a := range aggs {
+		if a.Arg == nil {
+			continue
+		}
+		vals, err := a.Arg.EvalF64(t)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = vals
+	}
+	return args, nil
+}
+
+// aggregate evaluates a global (ungrouped) aggregate query with the
+// fused morsel pipeline: each morsel filters its row range and folds
+// per-aggregate moments, and the partials merge in morsel order.
+func aggregate(t *table.Table, q Query, opts ExecOptions) (*Result, error) {
+	// Capture n before materialising shared inputs so every morsel
+	// index stays bounded by the input slice lengths (see scanMorsels
+	// for the ordering contract and its limits).
+	n := t.Len()
+	args, err := aggArgs(t, q.Aggs)
 	if err != nil {
 		return nil, err
+	}
+	partials := make([][]stats.Moments, opts.morselCount(n))
+	err = scanMorsels(t, n, q.Pred(), opts, func(m, lo, hi int, sel vec.Sel) error {
+		ms := make([]stats.Moments, len(q.Aggs))
+		forSel(sel, lo, hi, func(row int32) {
+			for i := range q.Aggs {
+				if args[i] == nil {
+					ms[i].Observe(1) // COUNT(*)
+				} else {
+					ms[i].Observe(args[i][row])
+				}
+			}
+		})
+		partials[m] = ms
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	states := make([]AggState, len(q.Aggs))
+	for i, a := range q.Aggs {
+		states[i].Spec = a
+		for m := range partials {
+			states[i].Moments.Merge(partials[m][i])
+		}
 	}
 	res, err := ResultFromStates(q, states)
 	if err != nil {
 		return nil, err
 	}
-	res.ScannedRows = t.Len()
+	res.ScannedRows = n
 	return res, nil
 }
 
@@ -224,44 +288,67 @@ func groupKeys(t *table.Table, name string) (func(i int32) string, error) {
 	}
 }
 
-// groupByAggregate evaluates a grouped aggregate query via hash grouping.
-func groupByAggregate(t *table.Table, sel vec.Sel, q Query) (*Result, error) {
+// groupPartial is one morsel's hash-grouped partial state.
+type groupPartial struct {
+	groups map[string][]stats.Moments
+	order  []string // first-seen order within the morsel
+}
+
+// groupByAggregate evaluates a grouped aggregate query via per-morsel
+// hash grouping. Each morsel builds its own small hash table; the
+// coordinator merges tables in ascending morsel order, so the global
+// first-seen group order (and every floating-point merge) matches the
+// sequential scan order exactly.
+func groupByAggregate(t *table.Table, q Query, opts ExecOptions) (*Result, error) {
+	// n first — see aggregate for the concurrent-Load bounds argument.
+	n := t.Len()
 	key, err := groupKeys(t, q.GroupBy)
 	if err != nil {
 		return nil, err
 	}
-	// Materialise every aggregate argument once.
-	args := make([][]float64, len(q.Aggs))
-	for i, a := range q.Aggs {
-		if a.Arg == nil {
-			continue
-		}
-		vals, err := a.Arg.EvalF64(t)
-		if err != nil {
-			return nil, err
-		}
-		args[i] = vals
+	args, err := aggArgs(t, q.Aggs)
+	if err != nil {
+		return nil, err
 	}
-	if sel == nil {
-		sel = vec.NewSelAll(t.Len())
+	partials := make([]groupPartial, opts.morselCount(n))
+	err = scanMorsels(t, n, q.Pred(), opts, func(m, lo, hi int, sel vec.Sel) error {
+		p := groupPartial{groups: make(map[string][]stats.Moments)}
+		forSel(sel, lo, hi, func(row int32) {
+			k := key(row)
+			ms, ok := p.groups[k]
+			if !ok {
+				ms = make([]stats.Moments, len(q.Aggs))
+				p.order = append(p.order, k)
+			}
+			for i := range q.Aggs {
+				if args[i] == nil {
+					ms[i].Observe(1)
+				} else {
+					ms[i].Observe(args[i][row])
+				}
+			}
+			p.groups[k] = ms
+		})
+		partials[m] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	groups := make(map[string][]stats.Moments)
 	order := make([]string, 0, 16) // deterministic first-seen order
-	for _, row := range sel {
-		k := key(row)
-		ms, ok := groups[k]
-		if !ok {
-			ms = make([]stats.Moments, len(q.Aggs))
-			order = append(order, k)
-		}
-		for i := range q.Aggs {
-			if args[i] == nil {
-				ms[i].Observe(1)
-			} else {
-				ms[i].Observe(args[i][row])
+	for _, p := range partials {
+		for _, k := range p.order {
+			ms, ok := groups[k]
+			if !ok {
+				groups[k] = p.groups[k]
+				order = append(order, k)
+				continue
+			}
+			for i := range ms {
+				ms[i].Merge(p.groups[k][i])
 			}
 		}
-		groups[k] = ms
 	}
 	schema := make(table.Schema, 0, len(q.Aggs)+1)
 	schema = append(schema, table.ColumnDef{Name: q.GroupBy, Type: column.String})

@@ -15,7 +15,16 @@ import (
 //
 // The build side is the right (dimension) table; the probe side streams
 // the left (fact) table, the standard column-store FK-join shape.
+// HashJoin probes with the default (parallel) execution options.
 func HashJoin(left, right *table.Table, leftKey, rightKey string) (*table.Table, error) {
+	return HashJoinOpts(left, right, leftKey, rightKey, DefaultExecOptions())
+}
+
+// HashJoinOpts is HashJoin with explicit execution options: the build
+// side is hashed once, then probe morsels over the left table run on
+// the worker pool. Per-morsel match lists concatenate in morsel order,
+// so the output row order is identical to a sequential probe.
+func HashJoinOpts(left, right *table.Table, leftKey, rightKey string, opts ExecOptions) (*table.Table, error) {
 	lk, err := left.Int64(leftKey)
 	if err != nil {
 		return nil, fmt.Errorf("engine: join left key: %w", err)
@@ -29,13 +38,27 @@ func HashJoin(left, right *table.Table, leftKey, rightKey string) (*table.Table,
 	for i, k := range rk {
 		build[k] = append(build[k], int32(i))
 	}
-	// Probe: collect matching row pairs.
-	var lsel, rsel vec.Sel
-	for i, k := range lk {
-		for _, rrow := range build[k] {
-			lsel = append(lsel, int32(i))
-			rsel = append(rsel, rrow)
+	// Probe: collect matching row pairs per morsel, concatenate in
+	// morsel order.
+	type matches struct{ l, r vec.Sel }
+	parts := make([]matches, opts.morselCount(len(lk)))
+	if err := forEachMorsel(len(lk), opts, func(m, lo, hi int) error {
+		var p matches
+		for i := lo; i < hi; i++ {
+			for _, rrow := range build[lk[i]] {
+				p.l = append(p.l, int32(i))
+				p.r = append(p.r, rrow)
+			}
 		}
+		parts[m] = p
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var lsel, rsel vec.Sel
+	for _, p := range parts {
+		lsel = append(lsel, p.l...)
+		rsel = append(rsel, p.r...)
 	}
 	// Assemble output schema: left columns, then right minus its key.
 	leftNames := left.Schema().Names()

@@ -1,0 +1,291 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sciborq/internal/column"
+	"sciborq/internal/expr"
+	"sciborq/internal/table"
+	"sciborq/internal/vec"
+)
+
+// DefaultMorselRows is the default morsel size: the number of base rows
+// each scheduling unit covers. Morsel boundaries depend only on this
+// value (never on the worker count), which is what makes results
+// reproducible across parallelism levels.
+const DefaultMorselRows = 64 * 1024
+
+// ExecOptions controls morsel-driven parallel execution.
+//
+// A scan over n rows is split into ⌈n/MorselRows⌉ contiguous morsels;
+// Parallelism workers pull morsel indices from a shared counter,
+// evaluate the predicate and fold per-morsel partial aggregate states,
+// and the coordinator merges the partials in ascending morsel order.
+// Because the merge order is fixed by the morsel layout, every result —
+// including floating-point SUM/AVG/STDDEV — is bit-identical for any
+// Parallelism value; only wall-clock time changes. Tables no larger
+// than one morsel take the original single-pass column-at-a-time path,
+// so small-table results are also bit-identical to pre-morsel builds.
+type ExecOptions struct {
+	// Parallelism is the number of scan workers. Zero or negative means
+	// GOMAXPROCS; 1 forces sequential execution.
+	Parallelism int
+	// MorselRows is the rows-per-morsel granule. Zero or negative means
+	// DefaultMorselRows. It determines floating-point merge layout, so
+	// fix it when bit-reproducibility across configurations matters.
+	MorselRows int
+}
+
+// DefaultExecOptions returns the default configuration: one worker per
+// available CPU, DefaultMorselRows-row morsels.
+func DefaultExecOptions() ExecOptions { return ExecOptions{} }
+
+// workers resolves the effective worker count.
+func (o ExecOptions) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// morselRows resolves the effective morsel granule.
+func (o ExecOptions) morselRows() int {
+	if o.MorselRows > 0 {
+		return o.MorselRows
+	}
+	return DefaultMorselRows
+}
+
+// morselCount returns the number of morsels covering n rows.
+func (o ExecOptions) morselCount(n int) int {
+	mr := o.morselRows()
+	return (n + mr - 1) / mr
+}
+
+// forEachMorsel runs fn(m, lo, hi) for every morsel m covering [0, n),
+// fanning out to min(workers, morsels) goroutines. fn must only write
+// state owned by morsel m (typically partials[m]); shared inputs are
+// read-only for the duration of the scan — queries never mutate tables,
+// and running a Load concurrently with a query on the same table is not
+// synchronised by the engine (callers serialise them). The first error
+// in morsel order is returned, so error reporting is deterministic too.
+func forEachMorsel(n int, opts ExecOptions, fn func(m, lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	mr := opts.morselRows()
+	morsels := opts.morselCount(n)
+	workers := opts.workers()
+	if workers > morsels {
+		workers = morsels
+	}
+	if workers <= 1 {
+		for m := 0; m < morsels; m++ {
+			lo := m * mr
+			hi := min(lo+mr, n)
+			if err := fn(m, lo, hi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, morsels)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				m := int(next.Add(1)) - 1
+				if m >= morsels {
+					return
+				}
+				lo := m * mr
+				hi := min(lo+mr, n)
+				errs[m] = fn(m, lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// isTruePred reports whether pred is the constant-true predicate.
+func isTruePred(pred expr.Predicate) bool {
+	if pred == nil {
+		return true
+	}
+	_, ok := pred.(expr.TruePred)
+	return ok
+}
+
+// preparePred rewrites pred so that every scalar argument whose
+// evaluation allocates (Int64 widening, Arith intermediates, Const
+// columns) is materialised exactly once before the morsel fan-out;
+// without this, each morsel's pred.Filter call would re-materialise
+// the full column, making the parallel path O(n × morsels). Raw
+// float64 column references are left alone — they already evaluate to
+// shared storage (and keep the Cmp fast path). Unknown predicate
+// shapes pass through unchanged.
+func preparePred(t *table.Table, pred expr.Predicate) (expr.Predicate, error) {
+	switch p := pred.(type) {
+	case expr.And:
+		l, err := preparePred(t, p.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := preparePred(t, p.R)
+		if err != nil {
+			return nil, err
+		}
+		return expr.And{L: l, R: r}, nil
+	case expr.Or:
+		l, err := preparePred(t, p.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := preparePred(t, p.R)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Or{L: l, R: r}, nil
+	case expr.Not:
+		inner, err := preparePred(t, p.P)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Not{P: inner}, nil
+	case expr.Cmp:
+		left, err := prepareScalar(t, p.Left)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Cmp{Op: p.Op, Left: left, Right: p.Right}, nil
+	case expr.Between:
+		e, err := prepareScalar(t, p.Expr)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Between{Expr: e, Lo: p.Lo, Hi: p.Hi}, nil
+	default:
+		// StrEq (dictionary compare), Cone (raw column reads),
+		// TruePred, and user-defined predicates: per-morsel cost is
+		// already proportional to the morsel.
+		return pred, nil
+	}
+}
+
+// prepareScalar materialises s once unless it already evaluates to
+// shared storage (a float64 column reference).
+func prepareScalar(t *table.Table, s expr.Scalar) (expr.Scalar, error) {
+	if ref, ok := s.(expr.ColRef); ok {
+		if c, err := t.Col(ref.Name); err == nil {
+			if _, isF64 := c.(*column.Float64Col); isF64 {
+				return s, nil
+			}
+		}
+		// Missing columns fall through so the error surfaces with the
+		// original expression rendering.
+	}
+	vals, err := s.EvalF64(t)
+	if err != nil {
+		return nil, err
+	}
+	return expr.Materialized{Vals: vals, Desc: s.String()}, nil
+}
+
+// filterMorsel evaluates pred restricted to rows [lo, hi) of t. A nil
+// return means every row of the morsel matched: the single-morsel case
+// ([0, n)) passes a nil base selection so that its output is identical
+// to an unrestricted sequential filter, and the TRUE predicate skips
+// the per-morsel index-vector allocation entirely (forSel iterates the
+// range directly).
+func filterMorsel(t *table.Table, pred expr.Predicate, lo, hi, n int) (vec.Sel, error) {
+	if isTruePred(pred) {
+		return nil, nil
+	}
+	var base vec.Sel
+	if lo != 0 || hi != n {
+		base = vec.NewSelRange(lo, hi)
+	}
+	return pred.Filter(t, base)
+}
+
+// scanMorsels is the shared scan prologue of aggregation, grouping and
+// filtering: prepare pred once for multi-morsel scans, then run
+// perMorsel over every morsel of [0, n) with its filtered selection
+// (nil sel = every row of the morsel). n is passed by the caller, NOT
+// read here: capturing t.Len() before materialising shared input
+// slices keeps every morsel index bounded by those slices' lengths
+// (defence in depth — an append-only Load can only grow them). This
+// ordering is NOT a licence for concurrent Load during a query: slice
+// headers are re-read outside the table lock, so callers serialise
+// loads against queries on the same table.
+func scanMorsels(t *table.Table, n int, pred expr.Predicate, opts ExecOptions, perMorsel func(m, lo, hi int, sel vec.Sel) error) error {
+	if opts.morselCount(n) > 1 {
+		var err error
+		if pred, err = preparePred(t, pred); err != nil {
+			return err
+		}
+	}
+	return forEachMorsel(n, opts, func(m, lo, hi int) error {
+		sel, err := filterMorsel(t, pred, lo, hi, n)
+		if err != nil {
+			return err
+		}
+		return perMorsel(m, lo, hi, sel)
+	})
+}
+
+// forSel invokes fn for every selected row; a nil sel means all rows of
+// [lo, hi).
+func forSel(sel vec.Sel, lo, hi int, fn func(row int32)) {
+	if sel == nil {
+		for i := int32(lo); i < int32(hi); i++ {
+			fn(i)
+		}
+		return
+	}
+	for _, i := range sel {
+		fn(i)
+	}
+}
+
+// Filter evaluates pred over t with morsel-driven parallelism and
+// returns the combined selection in ascending row order — exactly the
+// rows a sequential pred.Filter(t, nil) would return. A nil return
+// means "all rows" (TRUE predicate).
+func Filter(t *table.Table, pred expr.Predicate, opts ExecOptions) (vec.Sel, error) {
+	if isTruePred(pred) {
+		return nil, nil
+	}
+	n := t.Len()
+	if opts.morselCount(n) <= 1 {
+		return pred.Filter(t, nil)
+	}
+	parts := make([]vec.Sel, opts.morselCount(n))
+	err := scanMorsels(t, n, pred, opts, func(m, lo, hi int, sel vec.Sel) error {
+		parts[m] = sel
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make(vec.Sel, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}

@@ -3,6 +3,14 @@
 // columns, and every intermediate is materialised — the property the
 // paper relies on to re-target an in-flight query at a different
 // impression layer (§3.2).
+//
+// Execution is morsel-driven and parallel: scans split into fixed-size
+// contiguous morsels (ExecOptions.MorselRows, default 64K rows) that a
+// worker pool sized by ExecOptions.Parallelism pulls from a shared
+// queue. Each morsel filters its row range and folds partial aggregate
+// states; partials merge in ascending morsel order, so every result is
+// bit-for-bit reproducible at any parallelism level — Parallelism
+// changes latency, never values. See ExecOptions for details.
 package engine
 
 import (

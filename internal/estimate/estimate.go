@@ -94,8 +94,17 @@ func (l Layer) Validate() error {
 
 // AggregateOn evaluates the aggregates of q against the layer and
 // returns one Estimate per aggregate with intervals at the given
-// confidence level.
+// confidence level. The layer scan uses the default (parallel)
+// execution options.
 func AggregateOn(l Layer, q engine.Query, level float64) ([]Estimate, error) {
+	return AggregateOnOpts(l, q, level, engine.DefaultExecOptions())
+}
+
+// AggregateOnOpts is AggregateOn with explicit execution options: the
+// predicate scan over the layer runs on the morsel-driven worker pool,
+// which is what lets time-bounded execution promise the parallel
+// executor's rows/sec rather than a single core's.
+func AggregateOnOpts(l Layer, q engine.Query, level float64, opts engine.ExecOptions) ([]Estimate, error) {
 	if err := l.Validate(); err != nil {
 		return nil, err
 	}
@@ -105,7 +114,7 @@ func AggregateOn(l Layer, q engine.Query, level float64) ([]Estimate, error) {
 	if q.GroupBy != "" {
 		return nil, fmt.Errorf("estimate: grouped bounded queries are not supported (run one query per group)")
 	}
-	sel, err := q.Pred().Filter(l.Table, nil)
+	sel, err := engine.Filter(l.Table, q.Pred(), opts)
 	if err != nil {
 		return nil, err
 	}

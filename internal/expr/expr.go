@@ -85,6 +85,22 @@ func (c Const) EvalF64(t *table.Table) ([]float64, error) {
 // String implements Scalar.
 func (c Const) String() string { return fmt.Sprintf("%g", c.V) }
 
+// Materialized is a scalar whose values were evaluated once up front.
+// The morsel-parallel executor rewrites predicate scalars into this
+// form so one materialisation (e.g. an Int64 widening or an Arith
+// intermediate) is shared by every morsel instead of being recomputed
+// per morsel.
+type Materialized struct {
+	Vals []float64
+	Desc string // original expression rendering, kept for messages
+}
+
+// EvalF64 implements Scalar.
+func (m Materialized) EvalF64(t *table.Table) ([]float64, error) { return m.Vals, nil }
+
+// String implements Scalar.
+func (m Materialized) String() string { return m.Desc }
+
 // ArithOp enumerates arithmetic operators.
 type ArithOp int
 
@@ -316,14 +332,19 @@ func (o Or) String() string { return fmt.Sprintf("(%s OR %s)", o.L, o.R) }
 // Not is predicate negation.
 type Not struct{ P Predicate }
 
-// Filter implements Predicate.
+// Filter implements Predicate. With a restricted selection the
+// complement stays within sel (sel \ ps), so the cost is O(|sel|)
+// rather than a full-table complement per call — the property the
+// morsel-parallel executor relies on.
 func (n Not) Filter(t *table.Table, sel vec.Sel) (vec.Sel, error) {
 	ps, err := n.P.Filter(t, sel)
 	if err != nil {
 		return nil, err
 	}
-	neg := vec.Not(ps, t.Len())
-	return vec.And(neg, sel, t.Len()), nil
+	if sel == nil {
+		return vec.Not(ps, t.Len()), nil
+	}
+	return vec.Diff(sel, ps), nil
 }
 
 // Points implements Predicate: a negated area is still an area the

@@ -21,6 +21,19 @@ func NewSelAll(n int) Sel {
 	return s
 }
 
+// NewSelRange returns a selection covering rows [lo, hi) — the base
+// selection of one morsel in the parallel executor.
+func NewSelRange(lo, hi int) Sel {
+	if hi < lo {
+		hi = lo
+	}
+	s := make(Sel, hi-lo)
+	for i := range s {
+		s[i] = int32(lo + i)
+	}
+	return s
+}
+
 // Len returns the number of selected rows, given the column length n
 // (needed because a nil Sel means all n rows).
 func (s Sel) Len(n int) int {
@@ -80,6 +93,24 @@ func Or(a, b Sel, n int) Sel {
 	}
 	out = append(out, a[i:]...)
 	out = append(out, b[j:]...)
+	return out
+}
+
+// Diff returns the sorted set difference a \ b of two sorted selection
+// vectors (neither may be nil).
+func Diff(a, b Sel) Sel {
+	out := make(Sel, 0, len(a)-min(len(a), len(b))+4)
+	j := 0
+	for _, v := range a {
+		for j < len(b) && b[j] < v {
+			j++
+		}
+		if j < len(b) && b[j] == v {
+			j++
+			continue
+		}
+		out = append(out, v)
+	}
 	return out
 }
 

@@ -65,6 +65,27 @@ func TestNot(t *testing.T) {
 	}
 }
 
+func TestDiff(t *testing.T) {
+	a := Sel{0, 2, 4, 6, 8}
+	b := Sel{2, 6, 7}
+	got := Diff(a, b)
+	want := Sel{0, 4, 8}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Diff = %v, want %v", got, want)
+	}
+	if got := Diff(a, Sel{}); !reflect.DeepEqual(got, a) {
+		t.Fatalf("Diff(a, empty) = %v, want %v", got, a)
+	}
+	if got := Diff(a, a); len(got) != 0 {
+		t.Fatalf("Diff(a, a) = %v, want empty", got)
+	}
+	// Diff must agree with the complement-then-intersect formulation
+	// the Not predicate previously used.
+	if got, want := Diff(a, b), And(Not(b, 9), a, 9); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Diff = %v, And(Not) = %v", got, want)
+	}
+}
+
 func TestDeMorganProperty(t *testing.T) {
 	// not(a and b) == not(a) or not(b) over a fixed domain.
 	f := func(am, bm uint16) bool {

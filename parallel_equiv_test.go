@@ -1,0 +1,120 @@
+package sciborq
+
+import (
+	"testing"
+
+	"sciborq/internal/engine"
+	"sciborq/internal/skyserver"
+)
+
+// equivDB builds a deterministic SkyServer-loaded DB at the given
+// parallelism. Identical seeds everywhere, so any result divergence
+// between two instances can only come from the executor.
+func equivDB(t *testing.T, workers int) *DB {
+	t.Helper()
+	db := Open(
+		WithCostModel(engine.CostModel{NsPerRow: 15, FixedNs: 5000}),
+		WithSeed(42),
+		WithExecOptions(engine.ExecOptions{Parallelism: workers, MorselRows: 4096}),
+	)
+	sky, err := skyserver.New(skyserver.DefaultConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fact, err := sky.Catalog.Get("PhotoObjAll")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AttachTable(fact); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildImpressions("PhotoObjAll", ImpressionConfig{
+		Sizes: []int{4000, 400}, Policy: Uniform,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	gen := sky.Generator(nil)
+	if err := db.Load("PhotoObjAll", gen.NextBatch(40_000)); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestExecParallelSequentialEquivalence runs exact SQL through two DBs
+// that differ only in parallelism and requires identical rendered
+// results (String() is exact for identical floating-point bits).
+func TestExecParallelSequentialEquivalence(t *testing.T) {
+	seqDB := equivDB(t, 1)
+	parDB := equivDB(t, 4)
+	queries := []string{
+		"SELECT COUNT(*) FROM PhotoObjAll",
+		"SELECT COUNT(*), AVG(r) AS m, SUM(r) AS s FROM PhotoObjAll WHERE ra BETWEEN 150 AND 180",
+		"SELECT MIN(r) AS lo, MAX(r) AS hi FROM PhotoObjAll WHERE dec > 10",
+		"SELECT AVG(r) AS m FROM PhotoObjAll WHERE type = 'GALAXY'",
+		"SELECT COUNT(*), AVG(r) AS m FROM PhotoObjAll WHERE ra BETWEEN 120 AND 240 GROUP BY type",
+		"SELECT objID, ra FROM PhotoObjAll WHERE ra BETWEEN 170 AND 171 ORDER BY ra LIMIT 25",
+	}
+	for _, sql := range queries {
+		seq, err := seqDB.Exec(sql)
+		if err != nil {
+			t.Fatalf("sequential %q: %v", sql, err)
+		}
+		par, err := parDB.Exec(sql)
+		if err != nil {
+			t.Fatalf("parallel %q: %v", sql, err)
+		}
+		if seq.String() != par.String() {
+			t.Errorf("%q diverged:\nsequential:\n%s\nparallel:\n%s", sql, seq, par)
+		}
+	}
+}
+
+// TestErrorBoundedParallelSequentialEquivalence runs a WITHIN ERROR
+// query on both DBs; impression layers are seed-identical, so the
+// bounded estimates must match exactly too.
+func TestErrorBoundedParallelSequentialEquivalence(t *testing.T) {
+	seqDB := equivDB(t, 1)
+	parDB := equivDB(t, 4)
+	const sql = "SELECT AVG(r) AS m FROM PhotoObjAll WHERE ra BETWEEN 120 AND 240 WITHIN ERROR 0.2"
+	seq, err := seqDB.Exec(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := parDB.Exec(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Bounded == nil || par.Bounded == nil {
+		t.Fatal("expected bounded answers")
+	}
+	if seq.Bounded.Layer != par.Bounded.Layer {
+		t.Fatalf("layer diverged: %s vs %s", seq.Bounded.Layer, par.Bounded.Layer)
+	}
+	sv, err := seq.Scalar("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv, err := par.Scalar("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv != pv {
+		t.Fatalf("bounded estimate diverged: %v vs %v", sv, pv)
+	}
+}
+
+// TestWithParallelismOption pins the façade default (parallel on) and
+// the option plumbing.
+func TestWithParallelismOption(t *testing.T) {
+	db := Open(WithCostModel(engine.CostModel{NsPerRow: 15, FixedNs: 5000}))
+	if got := db.ExecOptions().Parallelism; got != 0 {
+		t.Fatalf("default Parallelism = %d, want 0 (= GOMAXPROCS)", got)
+	}
+	db = Open(
+		WithCostModel(engine.CostModel{NsPerRow: 15, FixedNs: 5000}),
+		WithParallelism(3),
+	)
+	if got := db.ExecOptions().Parallelism; got != 3 {
+		t.Fatalf("WithParallelism(3) → %d", got)
+	}
+}

@@ -20,6 +20,27 @@
 //	db.Load("PhotoObjAll", nightlyRows) // impressions maintained in-line
 //	res, err := db.Exec(`SELECT AVG(r) FROM PhotoObjAll
 //	    WHERE fGetNearbyObjEq(185, 0, 3) WITHIN ERROR 0.05`)
+//
+// # Concurrency model
+//
+// Query execution is morsel-driven and parallel by default: every scan
+// is split into fixed-size morsels (64K rows), a worker pool sized by
+// GOMAXPROCS pulls morsels from a shared queue, evaluates the predicate
+// and folds partial aggregate states (COUNT/SUM/AVG/MIN/MAX/STDDEV and
+// per-morsel GROUP BY hash tables), and the partials merge in ascending
+// morsel order. Because the merge order depends only on the morsel
+// layout — never on worker scheduling — results are bit-for-bit
+// reproducible at every parallelism level, floating point included.
+// WithParallelism(1) forces sequential execution; the cost model that
+// drives WITHIN TIME layer picking is calibrated for the configured
+// parallelism so time promises track the executor's real rows/sec.
+//
+// # Local verification
+//
+// The Makefile mirrors CI exactly: `make build`, `make test`,
+// `make race`, `make bench`, `make fmt`, and `make vet` run the same
+// commands as .github/workflows/ci.yml, so a green local run means a
+// green pipeline.
 package sciborq
 
 import (
@@ -78,6 +99,7 @@ type DB struct {
 	execs    map[string]*bounded.Executor
 	recycler *recycler.Recycler
 	cost     engine.CostModel
+	opts     engine.ExecOptions
 	seed     uint64
 }
 
@@ -93,6 +115,20 @@ func WithCostModel(m engine.CostModel) Option {
 // WithSeed fixes the seed for all impression sampling.
 func WithSeed(seed uint64) Option {
 	return func(db *DB) { db.seed = seed }
+}
+
+// WithParallelism sets the number of scan workers for query execution.
+// The default (0) is one worker per CPU (GOMAXPROCS); 1 forces
+// sequential execution. Results are identical at every setting — only
+// latency changes.
+func WithParallelism(workers int) Option {
+	return func(db *DB) { db.opts.Parallelism = workers }
+}
+
+// WithExecOptions installs a full execution configuration (worker count
+// and morsel granule) for query execution and cost calibration.
+func WithExecOptions(opts engine.ExecOptions) Option {
+	return func(db *DB) { db.opts = opts }
 }
 
 // Open creates an empty database.
@@ -114,7 +150,9 @@ func Open(opts ...Option) *DB {
 		o(db)
 	}
 	if db.cost.NsPerRow <= 0 {
-		db.cost = engine.Calibrate(100_000)
+		// Calibrate the configured execution options, so WITHIN TIME
+		// layer picks reflect parallel scan throughput.
+		db.cost = engine.CalibrateOpts(100_000, db.opts)
 	}
 	return db
 }
@@ -272,3 +310,6 @@ func (db *DB) Load(tableName string, rows []Row) error {
 
 // CostModel returns the active cost model.
 func (db *DB) CostModel() engine.CostModel { return db.cost }
+
+// ExecOptions returns the active execution options.
+func (db *DB) ExecOptions() engine.ExecOptions { return db.opts }
