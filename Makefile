@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet ci
+.PHONY: all build test race bench bench-json fmt vet ci
 
 all: build
 
@@ -22,6 +22,14 @@ race:
 # regresses to an error, without paying full benchmark time.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# Machine-readable record of the scan-path benchmarks (test2json
+# stream): the perf trajectory one point per PR. Commit the refreshed
+# BENCH_scan.json alongside scan-path changes.
+bench-json:
+	$(GO) test -json -run='^$$' -benchmem -benchtime=5x \
+		-bench='^(BenchmarkSelectiveFilterSweep|BenchmarkZoneMapPruning|BenchmarkParallelFilteredAgg)$$' \
+		. > BENCH_scan.json
 
 fmt:
 	@diff=$$(gofmt -l .); \

@@ -223,25 +223,34 @@ func (e *Executor) TimeBounded(q engine.Query, budget time.Duration, b sqlparse.
 	}
 	model := e.CostModel()
 	maxRows := model.MaxRowsWithin(budget)
-	// Pick the largest layer that fits; fall back to the smallest.
+	// Pick the largest layer whose PRUNED scan fits the budget; fall
+	// back to the smallest. EstimateScanRows consults the same zone
+	// maps the scan itself will, so a layer whose morsels are mostly
+	// skippable for this predicate admits under a budget its raw row
+	// count would blow — pruning-aware rows/sec, per layer.
 	pick := layers[0]
-	for _, l := range layers {
-		if l.Table.Len() <= maxRows && l.Table.Len() >= pick.Table.Len() {
-			pick = l
+	pickRows := 0
+	for i, l := range layers {
+		rows := engine.EstimateScanRows(l.Table, q.Pred(), e.opts)
+		if i == 0 {
+			pickRows = rows // smallest-layer fallback when nothing fits
+		}
+		if rows <= maxRows && l.Table.Len() >= pick.Table.Len() {
+			pick, pickRows = l, rows
 		}
 	}
 	confidence := b.Confidence
 	if confidence == 0 {
 		confidence = 0.95
 	}
-	promised := model.Predict(pick.Table.Len())
+	promised := model.Predict(pickRows)
 	start := time.Now()
 	ests, err := estimate.AggregateOnOpts(pick, q, confidence, e.opts)
 	if err != nil {
 		return nil, err
 	}
 	elapsed := time.Since(start)
-	e.observe(pick.Table.Len(), elapsed)
+	e.observe(pickRows, elapsed)
 	ans := &Answer{
 		Estimates: ests,
 		Layer:     pick.Name,
@@ -297,6 +306,7 @@ func (e *Executor) observe(rows int, elapsed time.Duration) {
 // demonstrate why impressions answer LIMIT queries representatively.
 func LimitFirstN(base *table.Table, q engine.Query, n int) (*engine.Result, error) {
 	q.Limit = 0
+	base = base.Snapshot() // selection and aggregation must agree on length
 	sel, err := q.Pred().Filter(base, nil)
 	if err != nil {
 		return nil, err

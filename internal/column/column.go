@@ -52,18 +52,29 @@ type Column interface {
 	AppendFrom(src Column, sel vec.Sel) error
 	// Slice returns a column containing only the rows in sel (materialised).
 	Slice(sel vec.Sel) Column
+	// SnapshotView returns a read-only view of the first n rows sharing
+	// the value storage but owning every header the appender mutates
+	// (slice headers, zone-map granules, string dictionaries), so the
+	// view stays race-free while the source column keeps appending.
+	// Callers must not append to the view.
+	SnapshotView(n int) Column
 }
 
 // Float64Col is a column of float64 values.
 type Float64Col struct {
-	name string
-	Data []float64
+	name  string
+	Data  []float64
+	zones zoneMapF64
 }
 
 // NewFloat64 returns an empty float64 column.
 func NewFloat64(name string) *Float64Col { return &Float64Col{name: name} }
 
 // NewFloat64From returns a float64 column wrapping data (not copied).
+// The wrapper carries no zone map: From-columns are transient chunks —
+// appending one into a table (AppendFrom) observes the values into the
+// destination's zones, and Slice builds zones on its output — so an
+// eager build here would be a dead second pass.
 func NewFloat64From(name string, data []float64) *Float64Col {
 	return &Float64Col{name: name, Data: data}
 }
@@ -78,7 +89,10 @@ func (c *Float64Col) Type() Type { return Float64 }
 func (c *Float64Col) Len() int { return len(c.Data) }
 
 // Append adds one value.
-func (c *Float64Col) Append(v float64) { c.Data = append(c.Data, v) }
+func (c *Float64Col) Append(v float64) {
+	c.zones.observe(len(c.Data), v)
+	c.Data = append(c.Data, v)
+}
 
 // ValueString implements Column.
 func (c *Float64Col) ValueString(i int32) string { return fmt.Sprintf("%g", c.Data[i]) }
@@ -89,31 +103,45 @@ func (c *Float64Col) AppendFrom(src Column, sel vec.Sel) error {
 	if !ok {
 		return fmt.Errorf("column %q: cannot append %s into DOUBLE", c.name, src.Type())
 	}
+	before := len(c.Data)
 	if sel == nil {
 		c.Data = append(c.Data, s.Data...)
-		return nil
+	} else {
+		for _, i := range sel {
+			c.Data = append(c.Data, s.Data[i])
+		}
 	}
-	for _, i := range sel {
-		c.Data = append(c.Data, s.Data[i])
-	}
+	c.zones.rebuildF64(c.Data, before)
 	return nil
 }
 
-// Slice implements Column.
+// Slice implements Column. The output gets its own zone map: sliced
+// columns become queryable tables (Project results, impression
+// layers), where granule pruning pays off on every re-scan.
 func (c *Float64Col) Slice(sel vec.Sel) Column {
-	return NewFloat64From(c.name, vec.GatherFloat64(c.Data, sel))
+	out := &Float64Col{name: c.name, Data: vec.GatherFloat64(c.Data, sel)}
+	out.zones.rebuildF64(out.Data, 0)
+	return out
+}
+
+// SnapshotView implements Column.
+func (c *Float64Col) SnapshotView(n int) Column {
+	return &Float64Col{name: c.name, Data: c.Data[:n:n], zones: c.zones.snapshot(n)}
 }
 
 // Int64Col is a column of int64 values.
 type Int64Col struct {
-	name string
-	Data []int64
+	name  string
+	Data  []int64
+	zones zoneMapF64
 }
 
 // NewInt64 returns an empty int64 column.
 func NewInt64(name string) *Int64Col { return &Int64Col{name: name} }
 
 // NewInt64From returns an int64 column wrapping data (not copied).
+// No zone map, as with NewFloat64From — the destination of AppendFrom
+// or the output of Slice builds its own.
 func NewInt64From(name string, data []int64) *Int64Col {
 	return &Int64Col{name: name, Data: data}
 }
@@ -128,7 +156,10 @@ func (c *Int64Col) Type() Type { return Int64 }
 func (c *Int64Col) Len() int { return len(c.Data) }
 
 // Append adds one value.
-func (c *Int64Col) Append(v int64) { c.Data = append(c.Data, v) }
+func (c *Int64Col) Append(v int64) {
+	c.zones.observe(len(c.Data), float64(v))
+	c.Data = append(c.Data, v)
+}
 
 // ValueString implements Column.
 func (c *Int64Col) ValueString(i int32) string { return fmt.Sprintf("%d", c.Data[i]) }
@@ -139,19 +170,28 @@ func (c *Int64Col) AppendFrom(src Column, sel vec.Sel) error {
 	if !ok {
 		return fmt.Errorf("column %q: cannot append %s into BIGINT", c.name, src.Type())
 	}
+	before := len(c.Data)
 	if sel == nil {
 		c.Data = append(c.Data, s.Data...)
-		return nil
+	} else {
+		for _, i := range sel {
+			c.Data = append(c.Data, s.Data[i])
+		}
 	}
-	for _, i := range sel {
-		c.Data = append(c.Data, s.Data[i])
-	}
+	c.zones.rebuildI64(c.Data, before)
 	return nil
 }
 
-// Slice implements Column.
+// Slice implements Column; see Float64Col.Slice for the zone rebuild.
 func (c *Int64Col) Slice(sel vec.Sel) Column {
-	return NewInt64From(c.name, vec.GatherInt64(c.Data, sel))
+	out := &Int64Col{name: c.name, Data: vec.GatherInt64(c.Data, sel)}
+	out.zones.rebuildI64(out.Data, 0)
+	return out
+}
+
+// SnapshotView implements Column.
+func (c *Int64Col) SnapshotView(n int) Column {
+	return &Int64Col{name: c.name, Data: c.Data[:n:n], zones: c.zones.snapshot(n)}
 }
 
 // BoolCol is a column of bool values.
@@ -192,6 +232,11 @@ func (c *BoolCol) AppendFrom(src Column, sel vec.Sel) error {
 		c.Data = append(c.Data, s.Data[i])
 	}
 	return nil
+}
+
+// SnapshotView implements Column.
+func (c *BoolCol) SnapshotView(n int) Column {
+	return &BoolCol{name: c.name, Data: c.Data[:n:n]}
 }
 
 // Slice implements Column.
@@ -274,6 +319,23 @@ func (c *StringCol) AppendFrom(src Column, sel vec.Sel) error {
 		c.Append(s.Value(i))
 	}
 	return nil
+}
+
+// SnapshotView implements Column.
+func (c *StringCol) SnapshotView(n int) Column {
+	// Codes and the dictionary prefix are immutable once written; only
+	// the dictionary map is mutated in place by future interning, so the
+	// view clones it (dictionaries are low-cardinality by design).
+	codes := make(map[string]int32, len(c.codes))
+	for v, code := range c.codes {
+		codes[v] = code
+	}
+	return &StringCol{
+		name:  c.name,
+		dict:  c.dict[:len(c.dict):len(c.dict)],
+		codes: codes,
+		Data:  c.Data[:n:n],
+	}
 }
 
 // Slice implements Column.

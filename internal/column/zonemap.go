@@ -1,0 +1,118 @@
+package column
+
+// Zone maps: per-granule min/max summaries over the numeric column
+// types, maintained incrementally on every append path. The scan
+// engine consults them per morsel to skip granules that provably
+// cannot satisfy a predicate's column bounds.
+//
+// NaN handling: the zone min/max comparisons ignore NaN values, so a
+// granule's bounds describe only its non-NaN rows. That is safe for
+// pruning because every predicate shape that reports bounds
+// (=, <, <=, >, >=, BETWEEN, cone) evaluates to false on NaN — a
+// pruned granule can only hide NaN rows that would not have matched
+// anyway.
+
+// ZoneRows is the zone-map granule: one min/max pair summarises this
+// many consecutive rows. It matches the default morsel size of the
+// executor, so in the common configuration one morsel consults exactly
+// one granule; other morsel sizes combine the covering granules
+// (conservative, still correct).
+const ZoneRows = 64 * 1024
+
+// zoneMapF64 is the incremental per-granule min/max state shared by
+// the float64 and int64 columns (int64 granules are tracked in float64
+// space; exact for |v| < 2^53, conservative beyond).
+type zoneMapF64 struct {
+	zmin []float64
+	zmax []float64
+}
+
+// observe folds value v at row index i into its granule.
+func (z *zoneMapF64) observe(i int, v float64) {
+	g := i / ZoneRows
+	if g == len(z.zmin) {
+		z.zmin = append(z.zmin, v)
+		z.zmax = append(z.zmax, v)
+		return
+	}
+	if v < z.zmin[g] {
+		z.zmin[g] = v
+	}
+	if v > z.zmax[g] {
+		z.zmax[g] = v
+	}
+}
+
+// bounds returns conservative min/max over rows [lo, hi): the combined
+// bounds of every granule overlapping the window. ok is false when the
+// window is empty or extends past the zone-mapped prefix (callers must
+// then scan unconditionally).
+func (z *zoneMapF64) bounds(lo, hi int) (mn, mx float64, ok bool) {
+	if hi <= lo || lo < 0 {
+		return 0, 0, false
+	}
+	g0, g1 := lo/ZoneRows, (hi-1)/ZoneRows
+	if g1 >= len(z.zmin) {
+		return 0, 0, false
+	}
+	mn, mx = z.zmin[g0], z.zmax[g0]
+	for g := g0 + 1; g <= g1; g++ {
+		if z.zmin[g] < mn {
+			mn = z.zmin[g]
+		}
+		if z.zmax[g] > mx {
+			mx = z.zmax[g]
+		}
+	}
+	return mn, mx, true
+}
+
+// snapshot returns a value copy of the granule arrays. The last
+// (partial) granule of a live column is updated in place by concurrent
+// appends, so snapshots must not share the backing arrays.
+func (z *zoneMapF64) snapshot(nRows int) zoneMapF64 {
+	g := (nRows + ZoneRows - 1) / ZoneRows
+	if g > len(z.zmin) {
+		g = len(z.zmin)
+	}
+	return zoneMapF64{
+		zmin: append([]float64(nil), z.zmin[:g]...),
+		zmax: append([]float64(nil), z.zmax[:g]...),
+	}
+}
+
+// rebuild recomputes granules for rows [from, len(data)) of a float64
+// column; used by bulk appends and wrap-existing-data constructors.
+func (z *zoneMapF64) rebuildF64(data []float64, from int) {
+	for i := from; i < len(data); i++ {
+		z.observe(i, data[i])
+	}
+}
+
+// rebuildI64 is rebuildF64 for int64 data.
+func (z *zoneMapF64) rebuildI64(data []int64, from int) {
+	for i := from; i < len(data); i++ {
+		z.observe(i, float64(data[i]))
+	}
+}
+
+// ZoneBounds returns conservative min/max over rows [lo, hi) of the
+// column. ok is false when the window has no zone coverage.
+func (c *Float64Col) ZoneBounds(lo, hi int) (mn, mx float64, ok bool) {
+	return c.zones.bounds(lo, hi)
+}
+
+// ZoneBounds returns conservative min/max (in float64 space) over rows
+// [lo, hi) of the column. ok is false when the window has no zone
+// coverage.
+func (c *Int64Col) ZoneBounds(lo, hi int) (mn, mx float64, ok bool) {
+	return c.zones.bounds(lo, hi)
+}
+
+// ZoneMapped is implemented by columns that maintain per-granule
+// min/max summaries; the engine's morsel pruning consults it.
+type ZoneMapped interface {
+	// ZoneBounds returns conservative min/max over rows [lo, hi);
+	// ok is false when the window has no zone coverage.
+	ZoneBounds(lo, hi int) (mn, mx float64, ok bool)
+}

@@ -1,0 +1,127 @@
+package column
+
+import (
+	"math"
+	"testing"
+)
+
+// TestZoneMapObserveAndBounds exercises granule construction across
+// the ZoneRows boundary and the conservative multi-granule combine.
+func TestZoneMapObserveAndBounds(t *testing.T) {
+	var z zoneMapF64
+	n := 2*ZoneRows + 100 // two full granules plus a partial one
+	for i := 0; i < n; i++ {
+		z.observe(i, float64(i))
+	}
+	if len(z.zmin) != 3 {
+		t.Fatalf("granules = %d, want 3", len(z.zmin))
+	}
+	mn, mx, ok := z.bounds(0, ZoneRows)
+	if !ok || mn != 0 || mx != float64(ZoneRows-1) {
+		t.Fatalf("granule 0 bounds = %v..%v ok=%v", mn, mx, ok)
+	}
+	// Sub-granule windows report the covering granule (conservative).
+	mn, mx, ok = z.bounds(10, 20)
+	if !ok || mn != 0 || mx != float64(ZoneRows-1) {
+		t.Fatalf("sub-granule bounds = %v..%v ok=%v", mn, mx, ok)
+	}
+	// A window spanning granules combines them.
+	mn, mx, ok = z.bounds(ZoneRows-1, ZoneRows+1)
+	if !ok || mn != 0 || mx != float64(2*ZoneRows-1) {
+		t.Fatalf("spanning bounds = %v..%v ok=%v", mn, mx, ok)
+	}
+	// Beyond the zone-mapped prefix: no coverage.
+	if _, _, ok := z.bounds(0, n+ZoneRows); ok {
+		t.Fatal("bounds past the mapped prefix reported ok")
+	}
+	if _, _, ok := z.bounds(5, 5); ok {
+		t.Fatal("empty window reported ok")
+	}
+}
+
+// TestZoneMapIgnoresNaN documents that NaN rows are invisible to the
+// granule min/max — safe because every bounds-reporting predicate
+// rejects NaN anyway.
+func TestZoneMapIgnoresNaN(t *testing.T) {
+	var z zoneMapF64
+	z.observe(0, 1)
+	z.observe(1, math.NaN())
+	z.observe(2, 3)
+	mn, mx, ok := z.bounds(0, 3)
+	if !ok || mn != 1 || mx != 3 {
+		t.Fatalf("bounds = %v..%v ok=%v", mn, mx, ok)
+	}
+}
+
+// TestZoneMapAppendPaths checks that row-wise Append, bulk AppendFrom,
+// and Slice all build identical granule state, while the transient
+// wrap-constructor carries none (AppendFrom's destination builds its
+// own — no double pass on ingest).
+func TestZoneMapAppendPaths(t *testing.T) {
+	n := ZoneRows + 50
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = float64((i * 7919) % 1000)
+	}
+	rowWise := NewFloat64("a")
+	for _, v := range data {
+		rowWise.Append(v)
+	}
+	wrapped := NewFloat64From("b", data)
+	if _, _, ok := wrapped.ZoneBounds(0, n); ok {
+		t.Fatal("wrap-constructor built a zone map; it should stay transient")
+	}
+	bulk := NewFloat64("c")
+	if err := bulk.AppendFrom(wrapped, nil); err != nil {
+		t.Fatal(err)
+	}
+	sliced := rowWise.Slice(nil).(*Float64Col)
+	for g := 0; g < 2; g++ {
+		lo, hi := g*ZoneRows, (g+1)*ZoneRows
+		if hi > n {
+			hi = n
+		}
+		rm, rx, rok := rowWise.ZoneBounds(lo, hi)
+		bm, bx, bok := bulk.ZoneBounds(lo, hi)
+		sm, sx, sok := sliced.ZoneBounds(lo, hi)
+		if !rok || !bok || !sok {
+			t.Fatalf("granule %d missing coverage: row=%v bulk=%v slice=%v", g, rok, bok, sok)
+		}
+		if rm != bm || rx != bx || rm != sm || rx != sx {
+			t.Fatalf("granule %d diverges: row(%v,%v) bulk(%v,%v) slice(%v,%v)", g, rm, rx, bm, bx, sm, sx)
+		}
+	}
+}
+
+// TestZoneMapInt64 checks the int64 column tracks bounds in float64
+// space.
+func TestZoneMapInt64(t *testing.T) {
+	c := NewInt64("id")
+	for i := 0; i < 100; i++ {
+		c.Append(int64(i - 50))
+	}
+	mn, mx, ok := c.ZoneBounds(0, 100)
+	if !ok || mn != -50 || mx != 49 {
+		t.Fatalf("bounds = %v..%v ok=%v", mn, mx, ok)
+	}
+}
+
+// TestSnapshotViewZoneIndependence proves a snapshot's zone map is
+// decoupled from the live column's in-place partial-granule updates.
+func TestSnapshotViewZoneIndependence(t *testing.T) {
+	c := NewFloat64("x")
+	for i := 0; i < 100; i++ {
+		c.Append(float64(i))
+	}
+	snap := c.SnapshotView(100).(*Float64Col)
+	c.Append(1e9) // updates the live partial granule in place
+	if _, mx, ok := snap.ZoneBounds(0, 100); !ok || mx != 99 {
+		t.Fatalf("snapshot zone max = %v (ok=%v), want 99", mx, ok)
+	}
+	if _, mx, ok := c.ZoneBounds(0, 101); !ok || mx != 1e9 {
+		t.Fatalf("live zone max = %v (ok=%v), want 1e9", mx, ok)
+	}
+	if snap.Len() != 100 {
+		t.Fatalf("snapshot len = %d", snap.Len())
+	}
+}

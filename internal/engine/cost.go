@@ -83,13 +83,19 @@ func CalibrateOpts(rows int, opts ExecOptions) CostModel {
 		}
 	}
 	small := rows / 4
-	tSmall := calibrationRun(small, opts)
-	tBig := calibrationRun(rows, opts)
-	perRow := float64(tBig-tSmall) / float64(rows-small)
+	tSmall, scannedSmall := calibrationRun(small, opts)
+	tBig, scannedBig := calibrationRun(rows, opts)
+	if scannedBig <= scannedSmall {
+		// Zone maps cannot prune the uniform calibration data, so this
+		// is unreachable; guarded so a future probe change cannot make
+		// the fit divide by zero.
+		scannedSmall, scannedBig = small, rows
+	}
+	perRow := float64(tBig-tSmall) / float64(scannedBig-scannedSmall)
 	if perRow <= 0 {
 		perRow = 1
 	}
-	fixed := float64(tSmall) - perRow*float64(small)
+	fixed := float64(tSmall) - perRow*float64(scannedSmall)
 	if fixed < 0 {
 		fixed = 0
 	}
@@ -97,8 +103,10 @@ func CalibrateOpts(rows int, opts ExecOptions) CostModel {
 }
 
 // calibrationRun times one scan+filter+sum over n synthetic rows under
-// opts and returns nanoseconds (the median of three runs).
-func calibrationRun(n int, opts ExecOptions) int64 {
+// opts and returns nanoseconds (the median of three runs) plus the
+// rows the executor actually evaluated (after zone-map pruning), so
+// the secant fit prices pruning-aware rows/sec.
+func calibrationRun(n int, opts ExecOptions) (int64, int) {
 	data := make([]float64, n)
 	for i := range data {
 		data[i] = float64(i%997) / 997
@@ -113,21 +121,24 @@ func calibrationRun(n int, opts ExecOptions) int64 {
 		Aggs:  []AggSpec{{Func: Sum, Arg: expr.ColRef{Name: "x"}}},
 	}
 	var times []int64
+	scanned := n
 	for r := 0; r < 3; r++ {
 		start := time.Now()
-		if _, err := RunOnOpts(tb, q, opts); err != nil {
+		res, err := RunOnOpts(tb, q, opts)
+		if err != nil {
 			panic(err) // static query over a static schema; cannot happen
 		}
 		times = append(times, time.Since(start).Nanoseconds())
+		scanned = res.ScannedRows
 	}
 	// median of 3
 	a, b, c := times[0], times[1], times[2]
 	switch {
 	case (a >= b && a <= c) || (a <= b && a >= c):
-		return a
+		return a, scanned
 	case (b >= a && b <= c) || (b <= a && b >= c):
-		return b
+		return b, scanned
 	default:
-		return c
+		return c, scanned
 	}
 }

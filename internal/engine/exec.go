@@ -14,9 +14,12 @@ import (
 // Result is a fully materialised query result.
 type Result struct {
 	Table *table.Table
-	// ScannedRows is the number of base rows the executor touched;
-	// the cost model calibrates against it.
+	// ScannedRows is the number of base rows the executor touched
+	// (zone-map-pruned morsels excluded); the cost model calibrates
+	// against it.
 	ScannedRows int
+	// Stats reports the scan's morsel layout and zone-map pruning.
+	Stats ScanStats
 }
 
 // Len returns the number of result rows.
@@ -75,27 +78,30 @@ func RunOn(t *table.Table, q Query) (*Result, error) {
 // RunOnOpts is RunOn with explicit execution options. Aggregates run
 // through the fused morsel pipeline (filter + partial aggregation per
 // morsel, deterministic morsel-order merge); projections filter in
-// parallel and materialise sequentially.
+// parallel and materialise sequentially. The whole query runs over a
+// snapshot of t taken here, so concurrent Loads on the source table
+// are safe and invisible to the query.
 func RunOnOpts(t *table.Table, q Query, opts ExecOptions) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	t = t.Snapshot()
 	if len(q.Aggs) > 0 {
 		if q.GroupBy != "" {
 			return groupByAggregate(t, q, opts)
 		}
 		return aggregate(t, q, opts)
 	}
-	sel, err := Filter(t, q.Pred(), opts)
+	sel, stats, err := filterSnapshot(t, q.Pred(), opts)
 	if err != nil {
 		return nil, err
 	}
-	return project(t, sel, q)
+	return project(t, sel, q, stats)
 }
 
 // project materialises the selected columns, applying ORDER BY / LIMIT.
 // A single "*" projection expands to the full schema.
-func project(t *table.Table, sel vec.Sel, q Query) (*Result, error) {
+func project(t *table.Table, sel vec.Sel, q Query, stats ScanStats) (*Result, error) {
 	if len(q.Select) == 1 && q.Select[0] == "*" {
 		q.Select = t.Schema().Names()
 	}
@@ -107,7 +113,7 @@ func project(t *table.Table, sel vec.Sel, q Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Table: out, ScannedRows: t.Len()}, nil
+	return &Result{Table: out, ScannedRows: stats.ScannedRows, Stats: stats}, nil
 }
 
 // orderAndLimit sorts sel by the ORDER BY column and truncates to LIMIT.
@@ -206,18 +212,16 @@ func aggArgs(t *table.Table, aggs []AggSpec) ([][]float64, error) {
 
 // aggregate evaluates a global (ungrouped) aggregate query with the
 // fused morsel pipeline: each morsel filters its row range and folds
-// per-aggregate moments, and the partials merge in morsel order.
+// per-aggregate moments, and the partials merge in morsel order. t is
+// the query snapshot taken by RunOnOpts.
 func aggregate(t *table.Table, q Query, opts ExecOptions) (*Result, error) {
-	// Capture n before materialising shared inputs so every morsel
-	// index stays bounded by the input slice lengths (see scanMorsels
-	// for the ordering contract and its limits).
 	n := t.Len()
 	args, err := aggArgs(t, q.Aggs)
 	if err != nil {
 		return nil, err
 	}
 	partials := make([][]stats.Moments, opts.morselCount(n))
-	err = scanMorsels(t, n, q.Pred(), opts, func(m, lo, hi int, sel vec.Sel) error {
+	scan, err := scanMorsels(t, n, q.Pred(), opts, func(m, lo, hi int, sel vec.Sel) error {
 		ms := make([]stats.Moments, len(q.Aggs))
 		forSel(sel, lo, hi, func(row int32) {
 			for i := range q.Aggs {
@@ -238,6 +242,9 @@ func aggregate(t *table.Table, q Query, opts ExecOptions) (*Result, error) {
 	for i, a := range q.Aggs {
 		states[i].Spec = a
 		for m := range partials {
+			if partials[m] == nil {
+				continue // zone-map-pruned morsel: no partial state
+			}
 			states[i].Moments.Merge(partials[m][i])
 		}
 	}
@@ -245,7 +252,8 @@ func aggregate(t *table.Table, q Query, opts ExecOptions) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.ScannedRows = n
+	res.ScannedRows = scan.ScannedRows
+	res.Stats = scan
 	return res, nil
 }
 
@@ -298,9 +306,9 @@ type groupPartial struct {
 // hash grouping. Each morsel builds its own small hash table; the
 // coordinator merges tables in ascending morsel order, so the global
 // first-seen group order (and every floating-point merge) matches the
-// sequential scan order exactly.
+// sequential scan order exactly. Zone-map-pruned morsels leave empty
+// partials, which merge as no-ops. t is the query snapshot.
 func groupByAggregate(t *table.Table, q Query, opts ExecOptions) (*Result, error) {
-	// n first — see aggregate for the concurrent-Load bounds argument.
 	n := t.Len()
 	key, err := groupKeys(t, q.GroupBy)
 	if err != nil {
@@ -311,7 +319,7 @@ func groupByAggregate(t *table.Table, q Query, opts ExecOptions) (*Result, error
 		return nil, err
 	}
 	partials := make([]groupPartial, opts.morselCount(n))
-	err = scanMorsels(t, n, q.Pred(), opts, func(m, lo, hi int, sel vec.Sel) error {
+	scan, err := scanMorsels(t, n, q.Pred(), opts, func(m, lo, hi int, sel vec.Sel) error {
 		p := groupPartial{groups: make(map[string][]stats.Moments)}
 		forSel(sel, lo, hi, func(row int32) {
 			k := key(row)
@@ -370,7 +378,7 @@ func groupByAggregate(t *table.Table, q Query, opts ExecOptions) (*Result, error
 			return nil, err
 		}
 	}
-	res := &Result{Table: out, ScannedRows: t.Len()}
+	res := &Result{Table: out, ScannedRows: scan.ScannedRows, Stats: scan}
 	return sortGroupedResult(res, q)
 }
 
@@ -399,7 +407,7 @@ func sortGroupedResult(res *Result, q Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Table: out, ScannedRows: res.ScannedRows}, nil
+	return &Result{Table: out, ScannedRows: res.ScannedRows, Stats: res.Stats}, nil
 }
 
 func resultName(q Query) string { return "result(" + q.Table + ")" }

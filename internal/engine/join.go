@@ -23,8 +23,10 @@ func HashJoin(left, right *table.Table, leftKey, rightKey string) (*table.Table,
 // HashJoinOpts is HashJoin with explicit execution options: the build
 // side is hashed once, then probe morsels over the left table run on
 // the worker pool. Per-morsel match lists concatenate in morsel order,
-// so the output row order is identical to a sequential probe.
+// so the output row order is identical to a sequential probe. Both
+// sides are snapshotted on entry, so concurrent Loads are safe.
 func HashJoinOpts(left, right *table.Table, leftKey, rightKey string, opts ExecOptions) (*table.Table, error) {
+	left, right = left.Snapshot(), right.Snapshot()
 	lk, err := left.Int64(leftKey)
 	if err != nil {
 		return nil, fmt.Errorf("engine: join left key: %w", err)

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -67,10 +68,10 @@ func (o ExecOptions) morselCount(n int) int {
 // forEachMorsel runs fn(m, lo, hi) for every morsel m covering [0, n),
 // fanning out to min(workers, morsels) goroutines. fn must only write
 // state owned by morsel m (typically partials[m]); shared inputs are
-// read-only for the duration of the scan — queries never mutate tables,
-// and running a Load concurrently with a query on the same table is not
-// synchronised by the engine (callers serialise them). The first error
-// in morsel order is returned, so error reporting is deterministic too.
+// read-only for the duration of the scan — scans run over table
+// snapshots (see scanMorsels), so a concurrent Load on the source
+// table only writes rows the scan cannot see. The first error in
+// morsel order is returned, so error reporting is deterministic too.
 func forEachMorsel(n int, opts ExecOptions, fn func(m, lo, hi int) error) error {
 	if n <= 0 {
 		return nil
@@ -202,47 +203,225 @@ func prepareScalar(t *table.Table, s expr.Scalar) (expr.Scalar, error) {
 	return expr.Materialized{Vals: vals, Desc: s.String()}, nil
 }
 
-// filterMorsel evaluates pred restricted to rows [lo, hi) of t. A nil
-// return means every row of the morsel matched: the single-morsel case
-// ([0, n)) passes a nil base selection so that its output is identical
-// to an unrestricted sequential filter, and the TRUE predicate skips
-// the per-morsel index-vector allocation entirely (forSel iterates the
-// range directly).
-func filterMorsel(t *table.Table, pred expr.Predicate, lo, hi, n int) (vec.Sel, error) {
+// filterMorsel evaluates pred over rows [lo, hi) of t through the
+// range-native predicate path: no [lo, hi) index vector is
+// materialised, and the returned selection lives in vec's scratch pool
+// (pooled reports whether the caller must release it with vec.PutSel
+// after use). A nil selection (TRUE predicate) means every row of the
+// morsel matched.
+func filterMorsel(t *table.Table, pred expr.Predicate, lo, hi int) (sel vec.Sel, pooled bool, err error) {
 	if isTruePred(pred) {
-		return nil, nil
+		return nil, false, nil
 	}
-	var base vec.Sel
-	if lo != 0 || hi != n {
-		base = vec.NewSelRange(lo, hi)
-	}
-	return pred.Filter(t, base)
+	sel, err = expr.FilterRange(t, pred, lo, hi)
+	return sel, true, err
 }
 
-// scanMorsels is the shared scan prologue of aggregation, grouping and
-// filtering: prepare pred once for multi-morsel scans, then run
-// perMorsel over every morsel of [0, n) with its filtered selection
-// (nil sel = every row of the morsel). n is passed by the caller, NOT
-// read here: capturing t.Len() before materialising shared input
-// slices keeps every morsel index bounded by those slices' lengths
-// (defence in depth — an append-only Load can only grow them). This
-// ordering is NOT a licence for concurrent Load during a query: slice
-// headers are re-read outside the table lock, so callers serialise
-// loads against queries on the same table.
-func scanMorsels(t *table.Table, n int, pred expr.Predicate, opts ExecOptions, perMorsel func(m, lo, hi int, sel vec.Sel) error) error {
-	if opts.morselCount(n) > 1 {
-		var err error
-		if pred, err = preparePred(t, pred); err != nil {
-			return err
+// ScanStats reports what a morsel scan actually did: how many morsels
+// the layout produced, how many zone-map pruning skipped outright, and
+// the row counts on either side of that cut. ScannedRows is what the
+// cost model should price — pruned morsels cost (almost) nothing.
+type ScanStats struct {
+	// Morsels is the number of morsels covering the scanned table.
+	Morsels int
+	// SkippedMorsels is how many of them zone maps proved empty of
+	// matches, skipping predicate evaluation entirely.
+	SkippedMorsels int
+	// ScannedRows is the number of base rows actually evaluated.
+	ScannedRows int
+	// SkippedRows is the number of base rows in skipped morsels.
+	SkippedRows int
+}
+
+// zoneCheck pairs one necessary predicate bound with the zone-mapped
+// column it constrains.
+type zoneCheck struct {
+	zm     column.ZoneMapped
+	lo, hi float64
+}
+
+// canSkip reports whether rows [lo, hi) provably contain no value
+// inside the bound interval.
+func (z zoneCheck) canSkip(lo, hi int) bool {
+	mn, mx, ok := z.zm.ZoneBounds(lo, hi)
+	return ok && (mx < z.lo || mn > z.hi)
+}
+
+// zoneChecks resolves pred's necessary column bounds (expr.BoundsOf)
+// against t's zone-mapped columns. Bounds must come from the original
+// predicate — preparePred rewrites scalars to Materialized, which
+// erases the attribute names — so callers extract checks before
+// preparing.
+func zoneChecks(t *table.Table, pred expr.Predicate) []zoneCheck {
+	bounds := expr.BoundsOf(pred)
+	if len(bounds) == 0 {
+		return nil
+	}
+	out := make([]zoneCheck, 0, len(bounds))
+	for _, b := range bounds {
+		col, err := t.Col(b.Attr)
+		if err != nil {
+			continue // unknown attr: the filter itself will report it
+		}
+		if zm, ok := col.(column.ZoneMapped); ok {
+			out = append(out, zoneCheck{zm: zm, lo: b.Lo, hi: b.Hi})
 		}
 	}
-	return forEachMorsel(n, opts, func(m, lo, hi int) error {
-		sel, err := filterMorsel(t, pred, lo, hi, n)
+	return out
+}
+
+// validatePred checks pred's column references against t without
+// touching row data. Zone-map pruning can skip every morsel — and with
+// them the predicate evaluation that would normally surface a bad
+// reference — so pruned scans validate up front to keep error
+// reporting independent of the stored values. Unknown predicate and
+// scalar shapes pass (they report no bounds, so a conjunct of them
+// alone never prunes without evaluating).
+func validatePred(t *table.Table, pred expr.Predicate) error {
+	switch p := pred.(type) {
+	case expr.And:
+		if err := validatePred(t, p.L); err != nil {
+			return err
+		}
+		return validatePred(t, p.R)
+	case expr.Or:
+		if err := validatePred(t, p.L); err != nil {
+			return err
+		}
+		return validatePred(t, p.R)
+	case expr.Not:
+		return validatePred(t, p.P)
+	case expr.Cmp:
+		return validateScalar(t, p.Left)
+	case expr.Between:
+		return validateScalar(t, p.Expr)
+	case expr.StrEq:
+		col, err := t.Col(p.Col)
 		if err != nil {
 			return err
 		}
-		return perMorsel(m, lo, hi, sel)
+		if _, ok := col.(*column.StringCol); !ok {
+			return fmt.Errorf("expr: column %q is %s, want VARCHAR", p.Col, col.Type())
+		}
+		return nil
+	case expr.Cone:
+		if _, err := t.Float64(p.RaCol); err != nil {
+			return err
+		}
+		_, err := t.Float64(p.DecCol)
+		return err
+	default:
+		return nil
+	}
+}
+
+// validateScalar is validatePred for scalar sub-expressions.
+func validateScalar(t *table.Table, s expr.Scalar) error {
+	switch e := s.(type) {
+	case expr.ColRef:
+		col, err := t.Col(e.Name)
+		if err != nil {
+			return err
+		}
+		switch col.(type) {
+		case *column.Float64Col, *column.Int64Col:
+			return nil
+		}
+		return fmt.Errorf("expr: column %q has non-numeric type %s", e.Name, col.Type())
+	case expr.Arith:
+		if err := validateScalar(t, e.L); err != nil {
+			return err
+		}
+		return validateScalar(t, e.R)
+	default:
+		return nil
+	}
+}
+
+// scanMorsels is the shared scan prologue of aggregation, grouping and
+// filtering: extract zone-map checks from the original predicate,
+// prepare it once for multi-morsel scans, then run perMorsel over every
+// morsel of [0, n) with its filtered selection (nil sel = every row of
+// the morsel). Morsels whose zone maps prove no row can match are
+// skipped without evaluating the predicate; perMorsel never sees them.
+// The selection handed to perMorsel is pool-backed scratch valid only
+// for the duration of the call — perMorsel copies if it retains.
+//
+// t must be a table snapshot (callers go through Table.Snapshot), which
+// is what makes concurrent Load-vs-query on the source table safe: n
+// and every column header were captured together under the table lock,
+// and appenders only touch rows beyond them.
+func scanMorsels(t *table.Table, n int, pred expr.Predicate, opts ExecOptions, perMorsel func(m, lo, hi int, sel vec.Sel) error) (ScanStats, error) {
+	stats := ScanStats{Morsels: opts.morselCount(n), ScannedRows: n}
+	checks := zoneChecks(t, pred)
+	if len(checks) > 0 {
+		// Pruning may skip every evaluation; surface bad references
+		// deterministically first.
+		if err := validatePred(t, pred); err != nil {
+			return stats, err
+		}
+	}
+	if opts.morselCount(n) > 1 {
+		var err error
+		if pred, err = preparePred(t, pred); err != nil {
+			return stats, err
+		}
+	}
+	var skippedMorsels, skippedRows atomic.Int64
+	err := forEachMorsel(n, opts, func(m, lo, hi int) error {
+		for _, zc := range checks {
+			if zc.canSkip(lo, hi) {
+				skippedMorsels.Add(1)
+				skippedRows.Add(int64(hi - lo))
+				return nil
+			}
+		}
+		sel, pooled, err := filterMorsel(t, pred, lo, hi)
+		if err != nil {
+			return err
+		}
+		err = perMorsel(m, lo, hi, sel)
+		if pooled {
+			vec.PutSel(sel)
+		}
+		return err
 	})
+	stats.SkippedMorsels = int(skippedMorsels.Load())
+	stats.SkippedRows = int(skippedRows.Load())
+	stats.ScannedRows = n - stats.SkippedRows
+	return stats, err
+}
+
+// EstimateScanRows predicts how many base rows a scan of pred over t
+// will actually evaluate after zone-map pruning, without executing it —
+// the prune-aware input to cost-model layer picking. The walk costs
+// O(morsels), not O(rows).
+func EstimateScanRows(t *table.Table, pred expr.Predicate, opts ExecOptions) int {
+	t = t.Snapshot()
+	n := t.Len()
+	if isTruePred(pred) {
+		return n
+	}
+	checks := zoneChecks(t, pred)
+	if len(checks) == 0 {
+		return n
+	}
+	mr := opts.morselRows()
+	scanned := 0
+	for lo := 0; lo < n; lo += mr {
+		hi := min(lo+mr, n)
+		skip := false
+		for _, zc := range checks {
+			if zc.canSkip(lo, hi) {
+				skip = true
+				break
+			}
+		}
+		if !skip {
+			scanned += hi - lo
+		}
+	}
+	return scanned
 }
 
 // forSel invokes fn for every selected row; a nil sel means all rows of
@@ -262,22 +441,46 @@ func forSel(sel vec.Sel, lo, hi int, fn func(row int32)) {
 // Filter evaluates pred over t with morsel-driven parallelism and
 // returns the combined selection in ascending row order — exactly the
 // rows a sequential pred.Filter(t, nil) would return. A nil return
-// means "all rows" (TRUE predicate).
+// means "all rows" (TRUE predicate). The scan runs over a snapshot of
+// t, so it is safe against concurrent appends; positions refer to the
+// snapshotted prefix.
 func Filter(t *table.Table, pred expr.Predicate, opts ExecOptions) (vec.Sel, error) {
-	if isTruePred(pred) {
-		return nil, nil
-	}
+	sel, _, err := filterSnapshot(t.Snapshot(), pred, opts)
+	return sel, err
+}
+
+// filterSnapshot is Filter over an already-snapshotted table, also
+// reporting the scan statistics. The single-morsel case keeps the
+// unrestricted sequential path (bit-identical to pre-morsel builds);
+// everything larger runs the range-native pruned scan.
+func filterSnapshot(t *table.Table, pred expr.Predicate, opts ExecOptions) (vec.Sel, ScanStats, error) {
 	n := t.Len()
+	stats := ScanStats{Morsels: opts.morselCount(n), ScannedRows: n}
+	if isTruePred(pred) {
+		return nil, stats, nil
+	}
 	if opts.morselCount(n) <= 1 {
-		return pred.Filter(t, nil)
+		// Zone maps can still veto the whole (single-morsel) scan; an
+		// explicit empty selection, NOT nil — nil means "all rows".
+		for _, zc := range zoneChecks(t, pred) {
+			if zc.canSkip(0, n) {
+				if err := validatePred(t, pred); err != nil {
+					return nil, stats, err
+				}
+				stats.SkippedMorsels, stats.SkippedRows, stats.ScannedRows = 1, n, 0
+				return vec.Sel{}, stats, nil
+			}
+		}
+		sel, err := pred.Filter(t, nil)
+		return sel, stats, err
 	}
 	parts := make([]vec.Sel, opts.morselCount(n))
-	err := scanMorsels(t, n, pred, opts, func(m, lo, hi int, sel vec.Sel) error {
-		parts[m] = sel
+	stats, err := scanMorsels(t, n, pred, opts, func(m, lo, hi int, sel vec.Sel) error {
+		parts[m] = append(vec.Sel(nil), sel...) // sel is pooled scratch
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	total := 0
 	for _, p := range parts {
@@ -287,5 +490,5 @@ func Filter(t *table.Table, pred expr.Predicate, opts ExecOptions) (vec.Sel, err
 	for _, p := range parts {
 		out = append(out, p...)
 	}
-	return out, nil
+	return out, stats, nil
 }

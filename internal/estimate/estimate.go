@@ -114,6 +114,11 @@ func AggregateOnOpts(l Layer, q engine.Query, level float64, opts engine.ExecOpt
 	if q.GroupBy != "" {
 		return nil, fmt.Errorf("estimate: grouped bounded queries are not supported (run one query per group)")
 	}
+	// One snapshot for the whole estimation: the filter selection, the
+	// materialised aggregate arguments, and every Len() must describe
+	// the same row prefix even while the layer's source table is being
+	// loaded concurrently.
+	l.Table = l.Table.Snapshot()
 	sel, err := engine.Filter(l.Table, q.Pred(), opts)
 	if err != nil {
 		return nil, err

@@ -32,6 +32,9 @@ func GroupedAggregateOn(l Layer, q engine.Query, level float64) ([]GroupEstimate
 	if len(q.Aggs) == 0 {
 		return nil, fmt.Errorf("estimate: grouped query has no aggregates")
 	}
+	// Snapshot once so the selection, partitioning, and argument
+	// materialisation all see the same row prefix under concurrent load.
+	l.Table = l.Table.Snapshot()
 	sel, err := q.Pred().Filter(l.Table, nil)
 	if err != nil {
 		return nil, err

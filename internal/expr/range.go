@@ -1,0 +1,276 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+
+	"sciborq/internal/column"
+	"sciborq/internal/table"
+	"sciborq/internal/vec"
+)
+
+// Range-native predicate evaluation. The morsel executor evaluates each
+// predicate directly over its contiguous row window [lo, hi) through
+// RangeFilterer instead of materialising a [lo, hi) index vector and
+// taking the sel-gather path; together with the scratch pool in package
+// vec this makes steady-state filtering allocation free.
+
+// RangeFilterer is the optional fast path of Predicate: evaluate the
+// predicate over the contiguous row window [lo, hi) of t.
+//
+// Contract: the result is sorted, contains only positions in [lo, hi),
+// and is never nil (an empty selection means no match — unlike Filter,
+// nil does not mean "all rows"). The returned selection is backed by
+// vec's scratch pool: the caller owns it until it calls vec.PutSel, and
+// must copy it before retaining it beyond that.
+type RangeFilterer interface {
+	FilterRange(t *table.Table, lo, hi int) (vec.Sel, error)
+}
+
+// FilterRange evaluates pred over rows [lo, hi) of t, using the
+// predicate's range fast path when it has one and falling back to
+// Filter over a materialised index vector otherwise (user-defined
+// predicate types). The pool-ownership contract of RangeFilterer
+// applies to the result either way.
+func FilterRange(t *table.Table, pred Predicate, lo, hi int) (vec.Sel, error) {
+	if rf, ok := pred.(RangeFilterer); ok {
+		return rf.FilterRange(t, lo, hi)
+	}
+	sel, err := pred.Filter(t, vec.NewSelRange(lo, hi))
+	if err != nil {
+		return nil, err
+	}
+	if sel == nil { // "all rows" from a sel-path predicate
+		sel = vec.NewSelRange(lo, hi)
+	}
+	return sel, nil
+}
+
+// scalarVals resolves a scalar to a shared full-column float64 slice
+// without copying when possible: raw DOUBLE column references and
+// already-materialised expressions. Anything else (Int64 widening,
+// Arith, Const) evaluates — the morsel executor avoids hitting this per
+// morsel by rewriting such scalars to Materialized up front.
+func scalarVals(t *table.Table, s Scalar) ([]float64, error) {
+	switch e := s.(type) {
+	case ColRef:
+		if data, err := t.Float64(e.Name); err == nil {
+			return data, nil
+		}
+	case Materialized:
+		return e.Vals, nil
+	}
+	return s.EvalF64(t)
+}
+
+// FilterRange implements RangeFilterer.
+func (c Cmp) FilterRange(t *table.Table, lo, hi int) (vec.Sel, error) {
+	vals, err := scalarVals(t, c.Left)
+	if err != nil {
+		return nil, err
+	}
+	return vec.SelectFloat64Range(vec.GetSel(hi-lo), vals, lo, hi, c.Op, c.Right), nil
+}
+
+// FilterRange implements RangeFilterer.
+func (b Between) FilterRange(t *table.Table, lo, hi int) (vec.Sel, error) {
+	vals, err := scalarVals(t, b.Expr)
+	if err != nil {
+		return nil, err
+	}
+	return vec.SelectBetweenFloat64Range(vec.GetSel(hi-lo), vals, lo, hi, b.Lo, b.Hi), nil
+}
+
+// FilterRange implements RangeFilterer.
+func (s StrEq) FilterRange(t *table.Table, lo, hi int) (vec.Sel, error) {
+	col, err := t.Col(s.Col)
+	if err != nil {
+		return nil, err
+	}
+	sc, ok := col.(*column.StringCol)
+	if !ok {
+		return nil, fmt.Errorf("expr: column %q is %s, want VARCHAR", s.Col, col.Type())
+	}
+	code, present := sc.Code(s.Value)
+	if !present {
+		if s.Neg {
+			return vec.FillSelRange(vec.GetSel(hi-lo), lo, hi), nil
+		}
+		return vec.GetSel(0), nil
+	}
+	return vec.SelectEqInt32Range(vec.GetSel(hi-lo), sc.Data, lo, hi, code, !s.Neg), nil
+}
+
+// FilterRange implements RangeFilterer.
+func (c Cone) FilterRange(t *table.Table, lo, hi int) (vec.Sel, error) {
+	ra, err := t.Float64(c.RaCol)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := t.Float64(c.DecCol)
+	if err != nil {
+		return nil, err
+	}
+	// Inline loop rather than SelectFuncRange: a closure over ra/dec
+	// would heap-allocate once per morsel.
+	out := vec.GetSel(hi - lo)
+	for i := lo; i < hi; i++ {
+		if AngularSeparation(c.Ra0, c.Dec0, ra[i], dec[i]) <= c.Radius {
+			out = append(out, int32(i))
+		}
+	}
+	return out, nil
+}
+
+// FilterRange implements RangeFilterer. Unlike the sel path — which
+// evaluates R only on L's survivors — both conjuncts evaluate over the
+// whole window with branchless kernels and intersect; for contiguous
+// windows the sequential scan beats the gather unless L is extremely
+// selective, in which case the len(ls)==0 shortcut skips R entirely.
+func (a And) FilterRange(t *table.Table, lo, hi int) (vec.Sel, error) {
+	ls, err := FilterRange(t, a.L, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	if len(ls) == 0 {
+		return ls, nil
+	}
+	if len(ls) == hi-lo { // L matched the whole window
+		vec.PutSel(ls)
+		return FilterRange(t, a.R, lo, hi)
+	}
+	rs, err := FilterRange(t, a.R, lo, hi)
+	if err != nil {
+		vec.PutSel(ls)
+		return nil, err
+	}
+	out := vec.AndInto(vec.GetSel(min(len(ls), len(rs))), ls, rs)
+	vec.PutSel(ls)
+	vec.PutSel(rs)
+	return out, nil
+}
+
+// FilterRange implements RangeFilterer.
+func (o Or) FilterRange(t *table.Table, lo, hi int) (vec.Sel, error) {
+	ls, err := FilterRange(t, o.L, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := FilterRange(t, o.R, lo, hi)
+	if err != nil {
+		vec.PutSel(ls)
+		return nil, err
+	}
+	out := vec.OrInto(vec.GetSel(len(ls)+len(rs)), ls, rs)
+	vec.PutSel(ls)
+	vec.PutSel(rs)
+	return out, nil
+}
+
+// FilterRange implements RangeFilterer: the complement of the inner
+// selection against the window itself, never the full table.
+func (n Not) FilterRange(t *table.Table, lo, hi int) (vec.Sel, error) {
+	ps, err := FilterRange(t, n.P, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	out := vec.DiffRangeInto(vec.GetSel(hi-lo), lo, hi, ps)
+	vec.PutSel(ps)
+	return out, nil
+}
+
+// FilterRange implements RangeFilterer.
+func (TruePred) FilterRange(t *table.Table, lo, hi int) (vec.Sel, error) {
+	return vec.FillSelRange(vec.GetSel(hi-lo), lo, hi), nil
+}
+
+// --- Zone-map bounds --------------------------------------------------
+
+// Bound is a necessary per-attribute interval: a row can satisfy the
+// reporting predicate only if the attribute's value lies in [Lo, Hi]
+// (closed; unbounded sides are ±Inf). Bounds are conservative — they
+// may admit rows the predicate rejects, never the reverse — which is
+// exactly what zone-map pruning needs: a storage granule whose min/max
+// interval is disjoint from a bound cannot contain a match.
+type Bound struct {
+	Attr   string
+	Lo, Hi float64
+}
+
+// Bounder is the optional Predicate interface reporting necessary
+// column bounds (the zone-map analogue of Points). All returned bounds
+// hold conjunctively for every matching row.
+type Bounder interface {
+	Bounds() []Bound
+}
+
+// BoundsOf returns pred's necessary column bounds, or nil when the
+// predicate shape supports none.
+func BoundsOf(p Predicate) []Bound {
+	if b, ok := p.(Bounder); ok {
+		return b.Bounds()
+	}
+	return nil
+}
+
+// Bounds implements Bounder: the comparison constant bounds the column
+// from one side (both for equality). NOT-EQUAL excludes a point, which
+// bounds nothing.
+func (c Cmp) Bounds() []Bound {
+	ref, ok := c.Left.(ColRef)
+	if !ok {
+		return nil
+	}
+	switch c.Op {
+	case vec.Eq:
+		return []Bound{{Attr: ref.Name, Lo: c.Right, Hi: c.Right}}
+	case vec.Lt, vec.Le:
+		return []Bound{{Attr: ref.Name, Lo: math.Inf(-1), Hi: c.Right}}
+	case vec.Gt, vec.Ge:
+		return []Bound{{Attr: ref.Name, Lo: c.Right, Hi: math.Inf(1)}}
+	}
+	return nil
+}
+
+// Bounds implements Bounder.
+func (b Between) Bounds() []Bound {
+	ref, ok := b.Expr.(ColRef)
+	if !ok {
+		return nil
+	}
+	return []Bound{{Attr: ref.Name, Lo: b.Lo, Hi: b.Hi}}
+}
+
+// Bounds implements Bounder: angular separation <= Radius implies
+// |dec - Dec0| <= Radius, so the cone bounds its declination column.
+// (Right ascension wraps at 0/360 and shrinks with cos(dec), so it is
+// left unbounded.)
+func (c Cone) Bounds() []Bound {
+	return []Bound{{Attr: c.DecCol, Lo: c.Dec0 - c.Radius, Hi: c.Dec0 + c.Radius}}
+}
+
+// Bounds implements Bounder: a conjunction's matches satisfy both
+// sides' bounds.
+func (a And) Bounds() []Bound {
+	return append(BoundsOf(a.L), BoundsOf(a.R)...)
+}
+
+// Bounds implements Bounder: a disjunction's matches satisfy L or R, so
+// only the interval hull of bounds present on BOTH sides is necessary.
+func (o Or) Bounds() []Bound {
+	lb, rb := BoundsOf(o.L), BoundsOf(o.R)
+	var out []Bound
+	for _, l := range lb {
+		for _, r := range rb {
+			if l.Attr != r.Attr {
+				continue
+			}
+			out = append(out, Bound{
+				Attr: l.Attr,
+				Lo:   math.Min(l.Lo, r.Lo),
+				Hi:   math.Max(l.Hi, r.Hi),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"sciborq/internal/column"
+	"sciborq/internal/table"
+	"sciborq/internal/vec"
+)
+
+// rangeTestTable builds a mixed-type table exercising every predicate
+// shape: DOUBLE (ra/dec/r), BIGINT (objID), VARCHAR (type).
+func rangeTestTable(t *testing.T, n int) *table.Table {
+	t.Helper()
+	tb := table.MustNew("objects", table.Schema{
+		{Name: "ra", Type: column.Float64},
+		{Name: "dec", Type: column.Float64},
+		{Name: "r", Type: column.Float64},
+		{Name: "objID", Type: column.Int64},
+		{Name: "type", Type: column.String},
+	})
+	rng := rand.New(rand.NewSource(7))
+	kinds := []string{"GALAXY", "STAR", "QSO"}
+	for i := 0; i < n; i++ {
+		if err := tb.AppendRow(table.Row{
+			120 + rng.Float64()*120,
+			rng.Float64() * 60,
+			14 + rng.Float64()*10,
+			int64(i),
+			kinds[rng.Intn(len(kinds))],
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+// rangePredicates enumerates one instance of every predicate type,
+// including nested compositions.
+func rangePredicates() []Predicate {
+	return []Predicate{
+		TruePred{},
+		Cmp{Op: vec.Lt, Left: ColRef{Name: "ra"}, Right: 180},
+		Cmp{Op: vec.Ge, Left: ColRef{Name: "dec"}, Right: 30},
+		Cmp{Op: vec.Eq, Left: ColRef{Name: "objID"}, Right: 41}, // Int64 widening path
+		Cmp{Op: vec.Ne, Left: ColRef{Name: "r"}, Right: 15},
+		Cmp{Op: vec.Gt, Left: Arith{Op: Add, L: ColRef{Name: "ra"}, R: ColRef{Name: "dec"}}, Right: 200},
+		Between{Expr: ColRef{Name: "ra"}, Lo: 150, Hi: 170},
+		Between{Expr: ColRef{Name: "r"}, Lo: 0, Hi: 1}, // empty match
+		StrEq{Col: "type", Value: "GALAXY"},
+		StrEq{Col: "type", Value: "GALAXY", Neg: true},
+		StrEq{Col: "type", Value: "NEBULA"},            // absent value
+		StrEq{Col: "type", Value: "NEBULA", Neg: true}, // absent value, negated: all rows
+		Cone{RaCol: "ra", DecCol: "dec", Ra0: 185, Dec0: 30, Radius: 10},
+		And{L: Between{Expr: ColRef{Name: "ra"}, Lo: 140, Hi: 200}, R: StrEq{Col: "type", Value: "STAR"}},
+		And{L: TruePred{}, R: Cmp{Op: vec.Lt, Left: ColRef{Name: "dec"}, Right: 20}},
+		Or{L: Cmp{Op: vec.Lt, Left: ColRef{Name: "ra"}, Right: 130}, R: Cmp{Op: vec.Gt, Left: ColRef{Name: "ra"}, Right: 230}},
+		Not{P: Between{Expr: ColRef{Name: "dec"}, Lo: 10, Hi: 50}},
+		Not{P: And{
+			L: Cmp{Op: vec.Gt, Left: ColRef{Name: "ra"}, Right: 160},
+			R: Or{L: StrEq{Col: "type", Value: "QSO"}, R: Cmp{Op: vec.Lt, Left: ColRef{Name: "dec"}, Right: 5}},
+		}},
+	}
+}
+
+// TestFilterRangeEquivalence is the tentpole property test: for every
+// predicate type and random morsel boundaries,
+// FilterRange(t, lo, hi) ≡ Filter(t, NewSelRange(lo, hi)).
+func TestFilterRangeEquivalence(t *testing.T) {
+	const n = 2000
+	tb := rangeTestTable(t, n)
+	rng := rand.New(rand.NewSource(99))
+	windows := [][2]int{{0, n}, {0, 0}, {n, n}, {0, 1}, {n - 1, n}}
+	for i := 0; i < 40; i++ {
+		lo := rng.Intn(n + 1)
+		hi := lo + rng.Intn(n+1-lo)
+		windows = append(windows, [2]int{lo, hi})
+	}
+	for _, pred := range rangePredicates() {
+		if _, ok := pred.(RangeFilterer); !ok {
+			t.Errorf("%s does not implement RangeFilterer", pred)
+			continue
+		}
+		for _, w := range windows {
+			lo, hi := w[0], w[1]
+			want, err := pred.Filter(tb, vec.NewSelRange(lo, hi))
+			if err != nil {
+				t.Fatalf("%s Filter[%d,%d): %v", pred, lo, hi, err)
+			}
+			got, err := FilterRange(tb, pred, lo, hi)
+			if err != nil {
+				t.Fatalf("%s FilterRange[%d,%d): %v", pred, lo, hi, err)
+			}
+			if got == nil {
+				t.Fatalf("%s FilterRange[%d,%d) returned nil; the contract requires explicit selections", pred, lo, hi)
+			}
+			if !sameSel(want, got) {
+				t.Errorf("%s [%d,%d): range=%v sel-gather=%v", pred, lo, hi, got, want)
+			}
+			// Copy-free results are pool-owned; release like the engine does.
+			vec.PutSel(got)
+		}
+	}
+}
+
+// sameSel compares selections by content, treating nil as empty on the
+// sel-gather side (TruePred returns its input unchanged).
+func sameSel(want, got vec.Sel) bool {
+	if len(want) != len(got) {
+		return false
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFilterRangeFallback exercises the non-RangeFilterer fallback of
+// the package-level FilterRange helper.
+type oddRows struct{}
+
+func (oddRows) Filter(t *table.Table, sel vec.Sel) (vec.Sel, error) {
+	return vec.SelectFunc(t.Len(), sel, func(i int32) bool { return i%2 == 1 }), nil
+}
+func (oddRows) Points() []Point { return nil }
+func (oddRows) String() string  { return "odd(rowid)" }
+
+func TestFilterRangeFallback(t *testing.T) {
+	tb := rangeTestTable(t, 64)
+	got, err := FilterRange(tb, oddRows{}, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := oddRows{}.Filter(tb, vec.NewSelRange(10, 20))
+	if !sameSel(want, got) {
+		t.Fatalf("fallback = %v, want %v", got, want)
+	}
+}
+
+// TestBounds pins the necessary-interval reporting per predicate shape.
+func TestBounds(t *testing.T) {
+	if b := BoundsOf(Cmp{Op: vec.Eq, Left: ColRef{Name: "x"}, Right: 3}); len(b) != 1 || b[0].Lo != 3 || b[0].Hi != 3 {
+		t.Fatalf("Eq bounds = %v", b)
+	}
+	if b := BoundsOf(Cmp{Op: vec.Ne, Left: ColRef{Name: "x"}, Right: 3}); b != nil {
+		t.Fatalf("Ne bounds = %v, want none", b)
+	}
+	if b := BoundsOf(Between{Expr: ColRef{Name: "x"}, Lo: 1, Hi: 2}); len(b) != 1 || b[0].Lo != 1 || b[0].Hi != 2 {
+		t.Fatalf("Between bounds = %v", b)
+	}
+	if b := BoundsOf(Cone{RaCol: "ra", DecCol: "dec", Dec0: 10, Radius: 3}); len(b) != 1 || b[0].Attr != "dec" || b[0].Lo != 7 || b[0].Hi != 13 {
+		t.Fatalf("Cone bounds = %v", b)
+	}
+	and := And{
+		L: Between{Expr: ColRef{Name: "x"}, Lo: 1, Hi: 2},
+		R: Cmp{Op: vec.Gt, Left: ColRef{Name: "y"}, Right: 5},
+	}
+	if b := BoundsOf(and); len(b) != 2 {
+		t.Fatalf("And bounds = %v", b)
+	}
+	or := Or{
+		L: Between{Expr: ColRef{Name: "x"}, Lo: 1, Hi: 2},
+		R: Between{Expr: ColRef{Name: "x"}, Lo: 8, Hi: 9},
+	}
+	if b := BoundsOf(or); len(b) != 1 || b[0].Lo != 1 || b[0].Hi != 9 {
+		t.Fatalf("Or hull bounds = %v", b)
+	}
+	// One-sided Or: the y bound exists only on one branch → no bound.
+	mixed := Or{
+		L: Between{Expr: ColRef{Name: "x"}, Lo: 1, Hi: 2},
+		R: Cmp{Op: vec.Gt, Left: ColRef{Name: "y"}, Right: 5},
+	}
+	if b := BoundsOf(mixed); b != nil {
+		t.Fatalf("mixed Or bounds = %v, want none", b)
+	}
+	if b := BoundsOf(Not{P: and}); b != nil {
+		t.Fatalf("Not bounds = %v, want none", b)
+	}
+	if b := BoundsOf(StrEq{Col: "type", Value: "GALAXY"}); b != nil {
+		t.Fatalf("StrEq bounds = %v, want none", b)
+	}
+}

@@ -74,6 +74,8 @@ func (r *Recycler) Filter(t *table.Table, pred expr.Predicate) (vec.Sel, error) 
 	if pred == nil {
 		pred = expr.TruePred{}
 	}
+	// The hit path reads only name+length from the live table — no
+	// snapshot cost for the dominant repeated-query case.
 	k := key(t, pred)
 	r.mu.Lock()
 	if el, ok := r.entries[k]; ok {
@@ -86,6 +88,11 @@ func (r *Recycler) Filter(t *table.Table, pred expr.Predicate) (vec.Sel, error) 
 	r.stats.Misses++
 	r.mu.Unlock()
 
+	// Miss: evaluate on a snapshot and re-key from it, so the stored
+	// length and the cached selection describe the same row prefix even
+	// if a load slipped in since the lookup.
+	t = t.Snapshot()
+	k = key(t, pred)
 	sel, err := pred.Filter(t, nil)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,98 @@
+package table
+
+import (
+	"testing"
+
+	"sciborq/internal/column"
+)
+
+func snapTestTable(t *testing.T) *Table {
+	t.Helper()
+	tb := MustNew("snap", Schema{
+		{Name: "x", Type: column.Float64},
+		{Name: "id", Type: column.Int64},
+		{Name: "kind", Type: column.String},
+		{Name: "ok", Type: column.Bool},
+	})
+	for i := 0; i < 10; i++ {
+		if err := tb.AppendRow(Row{float64(i), int64(i), "a", i%2 == 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+// TestSnapshotIsolation proves a snapshot pins length and values while
+// the source table keeps growing — including new string dictionary
+// entries, which mutate shared interning state on the live column.
+func TestSnapshotIsolation(t *testing.T) {
+	tb := snapTestTable(t)
+	snap := tb.Snapshot()
+	if snap.Len() != 10 {
+		t.Fatalf("snapshot len = %d, want 10", snap.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if err := tb.AppendRow(Row{float64(100 + i), int64(100 + i), "fresh", false}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if snap.Len() != 10 {
+		t.Fatalf("snapshot len moved to %d after appends", snap.Len())
+	}
+	if tb.Len() != 110 {
+		t.Fatalf("source len = %d, want 110", tb.Len())
+	}
+	xs, err := snap.Float64("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xs) != 10 || xs[9] != 9 {
+		t.Fatalf("snapshot x = %v", xs)
+	}
+	// The value interned only after the snapshot is invisible to it.
+	sc := snap.MustCol("kind").(*column.StringCol)
+	if _, present := sc.Code("fresh"); present {
+		t.Fatal("snapshot sees post-snapshot dictionary entry")
+	}
+	if got := sc.Value(3); got != "a" {
+		t.Fatalf("snapshot kind[3] = %q", got)
+	}
+}
+
+// TestSnapshotRejectsAppends pins the append guard on all three append
+// paths.
+func TestSnapshotRejectsAppends(t *testing.T) {
+	tb := snapTestTable(t)
+	snap := tb.Snapshot()
+	row := Row{float64(1), int64(1), "a", true}
+	if err := snap.AppendRow(row); err == nil {
+		t.Fatal("AppendRow on snapshot succeeded")
+	}
+	if err := snap.AppendBatch([]Row{row}); err == nil {
+		t.Fatal("AppendBatch on snapshot succeeded")
+	}
+	chunks := []column.Column{
+		column.NewFloat64From("x", []float64{1}),
+		column.NewInt64From("id", []int64{1}),
+		column.New("kind", column.String),
+		column.New("ok", column.Bool),
+	}
+	chunks[2].(*column.StringCol).Append("a")
+	chunks[3].(*column.BoolCol).Append(true)
+	if err := snap.AppendColumns(chunks); err == nil {
+		t.Fatal("AppendColumns on snapshot succeeded")
+	}
+	if snap.Len() != 10 {
+		t.Fatalf("snapshot len = %d after rejected appends", snap.Len())
+	}
+}
+
+// TestSnapshotOfSnapshot pins idempotence: snapshotting a snapshot is
+// free and returns the same view.
+func TestSnapshotOfSnapshot(t *testing.T) {
+	tb := snapTestTable(t)
+	s1 := tb.Snapshot()
+	if s2 := s1.Snapshot(); s2 != s1 {
+		t.Fatal("Snapshot of a snapshot returned a new table")
+	}
+}

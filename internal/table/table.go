@@ -51,6 +51,9 @@ type Table struct {
 	schema Schema
 	cols   []column.Column
 	byName map[string]int
+	// snap marks point-in-time views produced by Snapshot: reads share
+	// the source's value storage, appends are rejected.
+	snap bool
 }
 
 // New creates an empty table with the given schema.
@@ -146,6 +149,27 @@ func (t *Table) Int64(name string) ([]int64, error) {
 	return ic.Data, nil
 }
 
+// Snapshot returns an immutable point-in-time view of the table: the
+// row count and every column header are captured under the table lock,
+// so scans over the snapshot are safe against concurrent appends to the
+// source table (appenders only write rows the snapshot cannot see).
+// Value storage is shared, not copied — a snapshot costs a few slice
+// headers plus the string dictionaries. Snapshots reject appends, and
+// snapshotting a snapshot returns it unchanged.
+func (t *Table) Snapshot() *Table {
+	if t.snap {
+		return t
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.cols[0].Len()
+	cols := make([]column.Column, len(t.cols))
+	for i, c := range t.cols {
+		cols[i] = c.SnapshotView(n)
+	}
+	return &Table{name: t.name, schema: t.schema, cols: cols, byName: t.byName, snap: true}
+}
+
 // Row is one tuple in schema order. Values must match the column types:
 // float64, int64, string, or bool.
 type Row []any
@@ -158,6 +182,9 @@ func (t *Table) AppendRow(r Row) error {
 }
 
 func (t *Table) appendRowLocked(r Row) error {
+	if t.snap {
+		return fmt.Errorf("table %q: cannot append to a snapshot", t.name)
+	}
 	if len(r) != len(t.cols) {
 		return fmt.Errorf("table %q: row arity %d, want %d", t.name, len(r), len(t.cols))
 	}
@@ -215,6 +242,9 @@ func (t *Table) AppendBatch(rows []Row) error {
 func (t *Table) AppendColumns(chunks []column.Column) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.snap {
+		return fmt.Errorf("table %q: cannot append to a snapshot", t.name)
+	}
 	if len(chunks) != len(t.cols) {
 		return fmt.Errorf("table %q: %d chunks, want %d", t.name, len(chunks), len(t.cols))
 	}
