@@ -14,22 +14,29 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the packages with concurrent execution paths
-# (the morsel worker pool and the bounded executor built on it).
+# (the morsel worker pool, the bounded executor built on it, and the
+# pooled hash infrastructure shared across scan workers).
 race:
-	$(GO) test -race ./internal/engine/... ./internal/bounded/... .
+	$(GO) test -race ./internal/engine/... ./internal/bounded/... ./internal/hashtab/... .
 
 # One-iteration benchmark smoke: fails loudly if the hot scan path
 # regresses to an error, without paying full benchmark time.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
-# Machine-readable record of the scan-path benchmarks (test2json
-# stream): the perf trajectory one point per PR. Commit the refreshed
-# BENCH_scan.json alongside scan-path changes.
+# Machine-readable record of the scan-path and hash-path benchmarks
+# (test2json streams): the perf trajectory one point per PR. Commit the
+# refreshed BENCH_scan.json / BENCH_hash.json alongside changes to the
+# respective paths. The hash benchmarks carry their own map-based
+# reference arms (*/mapref), so BENCH_hash.json always contains the
+# flat-vs-map comparison measured on the same machine.
 bench-json:
 	$(GO) test -json -run='^$$' -benchmem -benchtime=5x \
 		-bench='^(BenchmarkSelectiveFilterSweep|BenchmarkZoneMapPruning|BenchmarkParallelFilteredAgg)$$' \
 		. > BENCH_scan.json
+	$(GO) test -json -run='^$$' -benchmem -benchtime=5x \
+		-bench='^(BenchmarkGroupByHash|BenchmarkHashJoinProbe|BenchmarkHashJoinBuild|BenchmarkHashJoinEngine)$$' \
+		. > BENCH_hash.json
 
 fmt:
 	@diff=$$(gofmt -l .); \

@@ -291,6 +291,10 @@ func (c *StringCol) Append(v string) {
 // Value returns the string at row i.
 func (c *StringCol) Value(i int32) string { return c.dict[c.Data[i]] }
 
+// Word returns the dictionary string for a code — the decode step of
+// dict-coded grouping, paid once per group instead of once per row.
+func (c *StringCol) Word(code int32) string { return c.dict[code] }
+
 // Code returns the dictionary code for v and whether v is present.
 func (c *StringCol) Code(v string) (int32, bool) {
 	code, ok := c.codes[v]

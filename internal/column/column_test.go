@@ -106,6 +106,13 @@ func TestStringColDictionary(t *testing.T) {
 	if _, ok := c.Code("NEBULA"); ok {
 		t.Fatal("Code found absent value")
 	}
+	// Word decodes a code back to its dictionary string — the once-per-
+	// group decode of dict-coded grouping.
+	for i := int32(0); i < int32(c.Len()); i++ {
+		if c.Word(c.Data[i]) != c.Value(i) {
+			t.Fatalf("Word(Data[%d]) != Value(%d)", i, i)
+		}
+	}
 }
 
 func TestStringColSliceRebuildsDict(t *testing.T) {

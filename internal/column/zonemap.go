@@ -27,10 +27,20 @@ type zoneMapF64 struct {
 	zmax []float64
 }
 
-// observe folds value v at row index i into its granule.
+// observe folds value v at row index i into its granule. A new granule
+// opens only at its first row (i divisible by ZoneRows, with every
+// earlier granule present): appending to a column whose earlier rows
+// were never observed — a From-column wrapping existing data carries no
+// zones by design — must NOT open a granule that silently omits those
+// rows, or pruning would skip matching data. Such columns simply stay
+// zone-less (bounds reports no coverage, scans run unpruned), which is
+// conservative and correct.
 func (z *zoneMapF64) observe(i int, v float64) {
 	g := i / ZoneRows
-	if g == len(z.zmin) {
+	if g >= len(z.zmin) {
+		if g > len(z.zmin) || i%ZoneRows != 0 {
+			return // gap below i: zones cannot summarise it
+		}
 		z.zmin = append(z.zmin, v)
 		z.zmax = append(z.zmax, v)
 		return

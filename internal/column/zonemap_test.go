@@ -125,3 +125,40 @@ func TestSnapshotViewZoneIndependence(t *testing.T) {
 		t.Fatalf("snapshot len = %d", snap.Len())
 	}
 }
+
+// TestZoneMapFromColumnAppendStaysUncovered pins the append-after-wrap
+// contract: a From-column carries no zones (by design), so appending to
+// it must NOT open a granule that omits the wrapped rows — the column
+// stays zone-less (no pruning) instead of pruning incorrectly.
+func TestZoneMapFromColumnAppendStaysUncovered(t *testing.T) {
+	data := make([]float64, 100)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	c := NewFloat64From("x", data)
+	c.Append(-1000) // row 100, mid-granule, earlier rows unobserved
+	if _, _, ok := c.ZoneBounds(0, c.Len()); ok {
+		t.Fatal("gapped zone map claims coverage over unobserved rows")
+	}
+	// The same through the bulk-append path.
+	d2 := NewFloat64From("y", data)
+	if err := d2.AppendFrom(c, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := d2.ZoneBounds(0, d2.Len()); ok {
+		t.Fatal("bulk append onto a From-column claims zone coverage")
+	}
+	// A wrapped column spanning a full granule must not panic on append.
+	big := NewInt64From("z", make([]int64, ZoneRows+100))
+	big.Append(7)
+	if _, _, ok := big.ZoneBounds(0, big.Len()); ok {
+		t.Fatal("granule-spanning From-column claims zone coverage")
+	}
+	// Control: a From-column with zero wrapped rows builds zones
+	// normally from the first append.
+	fresh := NewFloat64From("w", nil)
+	fresh.Append(3)
+	if mn, mx, ok := fresh.ZoneBounds(0, 1); !ok || mn != 3 || mx != 3 {
+		t.Fatalf("empty From-column zones = %v..%v ok=%v, want 3..3 true", mn, mx, ok)
+	}
+}

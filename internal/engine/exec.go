@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"sciborq/internal/column"
+	"sciborq/internal/hashtab"
 	"sciborq/internal/stats"
 	"sciborq/internal/table"
 	"sciborq/internal/vec"
@@ -279,38 +281,71 @@ func ResultFromStates(q Query, states []AggState) (*Result, error) {
 	return &Result{Table: out}, nil
 }
 
-// groupKey extracts a group identifier per row for BIGINT or VARCHAR
-// grouping columns.
-func groupKeys(t *table.Table, name string) (func(i int32) string, error) {
+// Grouping is the dict-coded view of a GROUP BY column: every row maps
+// to a raw int64 hash key with no materialisation — BIGINT columns
+// group on the stored value, VARCHAR columns on the dictionary code —
+// and keys render to their output string once per group, not per row.
+// It is shared with the estimate package, whose grouped estimates must
+// agree with the engine on group keys and first-seen order.
+type Grouping struct {
+	str   bool
+	i64   []int64           // BIGINT path: raw values
+	codes []int32           // VARCHAR path: per-row dictionary codes
+	dict  *column.StringCol // VARCHAR path: code -> string decoding
+}
+
+// GroupingFor resolves the GROUP BY column of t (a snapshot) to its
+// hash-key view.
+func GroupingFor(t *table.Table, name string) (Grouping, error) {
 	col, err := t.Col(name)
 	if err != nil {
-		return nil, err
+		return Grouping{}, err
 	}
 	switch c := col.(type) {
 	case *column.Int64Col:
-		return func(i int32) string { return fmt.Sprintf("%d", c.Data[i]) }, nil
+		return Grouping{i64: c.Data}, nil
 	case *column.StringCol:
-		return func(i int32) string { return c.Value(i) }, nil
+		return Grouping{str: true, codes: c.Data, dict: c}, nil
 	default:
-		return nil, fmt.Errorf("engine: GROUP BY %q: unsupported type %s", name, col.Type())
+		return Grouping{}, fmt.Errorf("engine: GROUP BY %q: unsupported type %s", name, col.Type())
 	}
 }
 
-// groupPartial is one morsel's hash-grouped partial state.
+// Key returns row's raw group key.
+func (g *Grouping) Key(row int32) int64 {
+	if g.str {
+		return int64(g.codes[row])
+	}
+	return g.i64[row]
+}
+
+// Render returns the output string for a group key.
+func (g *Grouping) Render(key int64) string {
+	if g.str {
+		return g.dict.Word(int32(key))
+	}
+	return strconv.FormatInt(key, 10)
+}
+
+// groupPartial is one morsel's hash-grouped partial state: a pooled
+// flat table assigning dense local group ids in first-seen order, and a
+// pooled flat moments arena indexed [gid*naggs + agg].
 type groupPartial struct {
-	groups map[string][]stats.Moments
-	order  []string // first-seen order within the morsel
+	tab *hashtab.Int64Table
+	ms  []stats.Moments
 }
 
 // groupByAggregate evaluates a grouped aggregate query via per-morsel
-// hash grouping. Each morsel builds its own small hash table; the
-// coordinator merges tables in ascending morsel order, so the global
+// hash grouping on the flat hashtab tables: each morsel assigns dense
+// local group ids and folds aggregates into a flat moments arena (no
+// string keys, no per-group slices); the coordinator merges partials in
+// ascending morsel order through a global id table, so the global
 // first-seen group order (and every floating-point merge) matches the
 // sequential scan order exactly. Zone-map-pruned morsels leave empty
 // partials, which merge as no-ops. t is the query snapshot.
 func groupByAggregate(t *table.Table, q Query, opts ExecOptions) (*Result, error) {
 	n := t.Len()
-	key, err := groupKeys(t, q.GroupBy)
+	grp, err := GroupingFor(t, q.GroupBy)
 	if err != nil {
 		return nil, err
 	}
@@ -318,47 +353,64 @@ func groupByAggregate(t *table.Table, q Query, opts ExecOptions) (*Result, error
 	if err != nil {
 		return nil, err
 	}
+	naggs := len(q.Aggs)
 	partials := make([]groupPartial, opts.morselCount(n))
 	scan, err := scanMorsels(t, n, q.Pred(), opts, func(m, lo, hi int, sel vec.Sel) error {
-		p := groupPartial{groups: make(map[string][]stats.Moments)}
+		p := groupPartial{tab: hashtab.GetTable(), ms: stats.GetMoments(0)}
 		forSel(sel, lo, hi, func(row int32) {
-			k := key(row)
-			ms, ok := p.groups[k]
-			if !ok {
-				ms = make([]stats.Moments, len(q.Aggs))
-				p.order = append(p.order, k)
-			}
-			for i := range q.Aggs {
-				if args[i] == nil {
-					ms[i].Observe(1)
-				} else {
-					ms[i].Observe(args[i][row])
+			gid, fresh := p.tab.GetOrInsert(grp.Key(row))
+			if fresh {
+				for i := 0; i < naggs; i++ {
+					p.ms = append(p.ms, stats.Moments{})
 				}
 			}
-			p.groups[k] = ms
+			base := int(gid) * naggs
+			for i := 0; i < naggs; i++ {
+				if args[i] == nil {
+					p.ms[base+i].Observe(1) // COUNT(*)
+				} else {
+					p.ms[base+i].Observe(args[i][row])
+				}
+			}
 		})
 		partials[m] = p
 		return nil
 	})
 	if err != nil {
-		return nil, err
-	}
-	groups := make(map[string][]stats.Moments)
-	order := make([]string, 0, 16) // deterministic first-seen order
-	for _, p := range partials {
-		for _, k := range p.order {
-			ms, ok := groups[k]
-			if !ok {
-				groups[k] = p.groups[k]
-				order = append(order, k)
-				continue
-			}
-			for i := range ms {
-				ms[i].Merge(p.groups[k][i])
+		// Release whatever partials completed before the error.
+		for _, p := range partials {
+			if p.tab != nil {
+				hashtab.PutTable(p.tab)
+				stats.PutMoments(p.ms)
 			}
 		}
+		return nil, err
 	}
-	schema := make(table.Schema, 0, len(q.Aggs)+1)
+	// Merge in ascending morsel order through a global dense id table;
+	// global ids are assigned in merge order, which is exactly the
+	// sequential scan's first-seen group order.
+	global := hashtab.NewInt64Table(0)
+	var gms []stats.Moments
+	for _, p := range partials {
+		if p.tab == nil {
+			continue // zone-map-pruned morsel: no partial state
+		}
+		for lid, key := range p.tab.Keys() {
+			gid, fresh := global.GetOrInsert(key)
+			if fresh {
+				for i := 0; i < naggs; i++ {
+					gms = append(gms, stats.Moments{})
+				}
+			}
+			gbase, lbase := int(gid)*naggs, lid*naggs
+			for i := 0; i < naggs; i++ {
+				gms[gbase+i].Merge(p.ms[lbase+i])
+			}
+		}
+		hashtab.PutTable(p.tab)
+		stats.PutMoments(p.ms)
+	}
+	schema := make(table.Schema, 0, naggs+1)
 	schema = append(schema, table.ColumnDef{Name: q.GroupBy, Type: column.String})
 	for _, a := range q.Aggs {
 		schema = append(schema, table.ColumnDef{Name: a.Name(), Type: column.Float64})
@@ -367,11 +419,11 @@ func groupByAggregate(t *table.Table, q Query, opts ExecOptions) (*Result, error
 	if err != nil {
 		return nil, err
 	}
-	for _, k := range order {
-		row := make(table.Row, 0, len(q.Aggs)+1)
-		row = append(row, k)
+	for gid, key := range global.Keys() {
+		row := make(table.Row, 0, naggs+1)
+		row = append(row, grp.Render(key))
 		for i, a := range q.Aggs {
-			st := AggState{Spec: a, Moments: groups[k][i]}
+			st := AggState{Spec: a, Moments: gms[gid*naggs+i]}
 			row = append(row, st.Value())
 		}
 		if err := out.AppendRow(row); err != nil {

@@ -184,5 +184,27 @@ func TestIngestWhileJoin(t *testing.T) {
 			}
 		}
 	}()
+	// Semi-join on the same moving tables: SemiJoinSel snapshots both
+	// sides itself, so it must also see only batch-atomic prefixes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			sel, err := SemiJoinSel(fact, "key", dim, "key", nil)
+			if err != nil {
+				t.Errorf("semi-join: %v", err)
+				return
+			}
+			if len(sel)%64 != 0 { // every fact key exists in dim
+				t.Errorf("semi-join saw torn fact prefix: %d rows", len(sel))
+				return
+			}
+		}
+	}()
 	wg.Wait()
 }

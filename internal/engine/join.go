@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sciborq/internal/column"
+	"sciborq/internal/hashtab"
 	"sciborq/internal/table"
 	"sciborq/internal/vec"
 )
@@ -35,19 +36,17 @@ func HashJoinOpts(left, right *table.Table, leftKey, rightKey string, opts ExecO
 	if err != nil {
 		return nil, fmt.Errorf("engine: join right key: %w", err)
 	}
-	// Build: key -> row positions in right (supports duplicate keys).
-	build := make(map[int64][]int32, len(rk))
-	for i, k := range rk {
-		build[k] = append(build[k], int32(i))
-	}
-	// Probe: collect matching row pairs per morsel, concatenate in
-	// morsel order.
+	// Build: flat open-addressing index over the dimension keys, with
+	// duplicate chains in a next-pointer arena (no per-key slices).
+	build := hashtab.BuildInt64Index(rk)
+	// Probe: collect matching row pairs per morsel into pooled scratch,
+	// concatenate in morsel order, release the scratch.
 	type matches struct{ l, r vec.Sel }
 	parts := make([]matches, opts.morselCount(len(lk)))
 	if err := forEachMorsel(len(lk), opts, func(m, lo, hi int) error {
-		var p matches
+		p := matches{l: vec.GetSel(hi - lo), r: vec.GetSel(hi - lo)}
 		for i := lo; i < hi; i++ {
-			for _, rrow := range build[lk[i]] {
+			for rrow := build.First(lk[i]); rrow >= 0; rrow = build.Next(rrow) {
 				p.l = append(p.l, int32(i))
 				p.r = append(p.r, rrow)
 			}
@@ -55,12 +54,30 @@ func HashJoinOpts(left, right *table.Table, leftKey, rightKey string, opts ExecO
 		parts[m] = p
 		return nil
 	}); err != nil {
+		for _, p := range parts {
+			vec.PutSel(p.l)
+			vec.PutSel(p.r)
+		}
 		return nil, err
 	}
-	var lsel, rsel vec.Sel
+	total := 0
+	for _, p := range parts {
+		total += len(p.l)
+	}
+	// The combined selections are themselves pooled scratch: they die
+	// with this call once the output columns are materialised. Non-nil
+	// even when empty — a zero-match join is an empty result, not an
+	// all-rows selection.
+	lsel, rsel := vec.GetSel(total), vec.GetSel(total)
+	defer func() {
+		vec.PutSel(lsel)
+		vec.PutSel(rsel)
+	}()
 	for _, p := range parts {
 		lsel = append(lsel, p.l...)
 		rsel = append(rsel, p.r...)
+		vec.PutSel(p.l)
+		vec.PutSel(p.r)
 	}
 	// Assemble output schema: left columns, then right minus its key.
 	leftNames := left.Schema().Names()
@@ -137,8 +154,13 @@ func renameColumn(c column.Column, name string) column.Column {
 
 // SemiJoinSel returns the positions of left rows whose key appears in
 // right's key column — the cheap FK-existence filter used when a query
-// only constrains a dimension.
+// only constrains a dimension. The key set is a flat hashtab table
+// rather than a map[int64]struct{}. Both sides are snapshotted here, so
+// concurrent Loads are safe: the scan sees a batch-atomic prefix of
+// each table, and sel positions stay valid because tables are
+// append-only — any earlier selection indexes a prefix of the snapshot.
 func SemiJoinSel(left *table.Table, leftKey string, right *table.Table, rightKey string, sel vec.Sel) (vec.Sel, error) {
+	left, right = left.Snapshot(), right.Snapshot()
 	lk, err := left.Int64(leftKey)
 	if err != nil {
 		return nil, err
@@ -147,12 +169,11 @@ func SemiJoinSel(left *table.Table, leftKey string, right *table.Table, rightKey
 	if err != nil {
 		return nil, err
 	}
-	keys := make(map[int64]struct{}, len(rk))
+	keys := hashtab.NewInt64Table(len(rk))
 	for _, k := range rk {
-		keys[k] = struct{}{}
+		keys.GetOrInsert(k)
 	}
 	return vec.SelectFunc(len(lk), sel, func(i int32) bool {
-		_, ok := keys[lk[i]]
-		return ok
+		return keys.Contains(lk[i])
 	}), nil
 }

@@ -3,8 +3,8 @@ package estimate
 import (
 	"fmt"
 
-	"sciborq/internal/column"
 	"sciborq/internal/engine"
+	"sciborq/internal/hashtab"
 	"sciborq/internal/table"
 	"sciborq/internal/vec"
 )
@@ -39,7 +39,7 @@ func GroupedAggregateOn(l Layer, q engine.Query, level float64) ([]GroupEstimate
 	if err != nil {
 		return nil, err
 	}
-	groups, order, err := partition(l.Table, q.GroupBy, sel)
+	groups, keys, err := partition(l.Table, q.GroupBy, sel)
 	if err != nil {
 		return nil, err
 	}
@@ -55,9 +55,9 @@ func GroupedAggregateOn(l Layer, q engine.Query, level float64) ([]GroupEstimate
 		}
 		fulls[i] = full
 	}
-	out := make([]GroupEstimate, 0, len(order))
-	for _, key := range order {
-		gsel := groups[key]
+	out := make([]GroupEstimate, 0, len(keys))
+	for gi, key := range keys {
+		gsel := groups[gi]
 		ge := GroupEstimate{Key: key}
 		for i, spec := range q.Aggs {
 			est, err := estimateOne(l, spec, fulls[i], gsel, len(gsel), level)
@@ -72,32 +72,39 @@ func GroupedAggregateOn(l Layer, q engine.Query, level float64) ([]GroupEstimate
 }
 
 // partition splits sel by the grouping column's value, preserving
-// first-seen order.
-func partition(t *table.Table, groupBy string, sel vec.Sel) (map[string]vec.Sel, []string, error) {
-	col, err := t.Col(groupBy)
+// first-seen order: groups[i] holds the row positions of the group
+// whose rendered key is keys[i]. Rows hash through the engine's own
+// dict-coded group-id path (engine.GroupingFor: BIGINT values and
+// VARCHAR dictionary codes into a flat hashtab table assigning dense
+// ids), so grouped estimates agree with engine GROUP BY results on
+// keys and group order by construction; key strings materialise once
+// per group, not once per row.
+func partition(t *table.Table, groupBy string, sel vec.Sel) ([]vec.Sel, []string, error) {
+	grp, err := engine.GroupingFor(t, groupBy)
 	if err != nil {
 		return nil, nil, err
 	}
-	var key func(i int32) string
-	switch c := col.(type) {
-	case *column.Int64Col:
-		key = func(i int32) string { return fmt.Sprintf("%d", c.Data[i]) }
-	case *column.StringCol:
-		key = func(i int32) string { return c.Value(i) }
-	default:
-		return nil, nil, fmt.Errorf("estimate: GROUP BY %q: unsupported type %s", groupBy, col.Type())
+	tab := hashtab.NewInt64Table(0)
+	var groups []vec.Sel
+	add := func(pos int32) {
+		gid, fresh := tab.GetOrInsert(grp.Key(pos))
+		if fresh {
+			groups = append(groups, nil)
+		}
+		groups[gid] = append(groups[gid], pos)
 	}
 	if sel == nil {
-		sel = vec.NewSelAll(t.Len())
-	}
-	groups := make(map[string]vec.Sel)
-	var order []string
-	for _, pos := range sel {
-		k := key(pos)
-		if _, ok := groups[k]; !ok {
-			order = append(order, k)
+		for i, n := 0, t.Len(); i < n; i++ {
+			add(int32(i))
 		}
-		groups[k] = append(groups[k], pos)
+	} else {
+		for _, pos := range sel {
+			add(pos)
+		}
 	}
-	return groups, order, nil
+	keys := make([]string, tab.Len())
+	for gid, k := range tab.Keys() {
+		keys[gid] = grp.Render(k)
+	}
+	return groups, keys, nil
 }

@@ -1,0 +1,203 @@
+package hashtab
+
+import (
+	"testing"
+)
+
+// TestInt64TableDenseIDs checks slots are assigned densely in
+// first-seen order and stay stable across lookups.
+func TestInt64TableDenseIDs(t *testing.T) {
+	tab := NewInt64Table(0)
+	keys := []int64{42, -7, 0, 42, 1 << 60, -7, 42}
+	wantSlots := []uint32{0, 1, 2, 0, 3, 1, 0}
+	wantFresh := []bool{true, true, true, false, true, false, false}
+	for i, k := range keys {
+		slot, fresh := tab.GetOrInsert(k)
+		if slot != wantSlots[i] || fresh != wantFresh[i] {
+			t.Fatalf("GetOrInsert(%d) = (%d, %t), want (%d, %t)",
+				k, slot, fresh, wantSlots[i], wantFresh[i])
+		}
+	}
+	if tab.Len() != 4 {
+		t.Fatalf("Len() = %d, want 4", tab.Len())
+	}
+	wantKeys := []int64{42, -7, 0, 1 << 60}
+	for slot, k := range wantKeys {
+		if got := tab.Key(uint32(slot)); got != k {
+			t.Fatalf("Key(%d) = %d, want %d", slot, got, k)
+		}
+		got, ok := tab.Get(k)
+		if !ok || got != uint32(slot) {
+			t.Fatalf("Get(%d) = (%d, %t), want (%d, true)", k, got, ok, slot)
+		}
+	}
+	if _, ok := tab.Get(99); ok {
+		t.Fatal("Get(99) found a key never inserted")
+	}
+	if tab.Contains(99) || !tab.Contains(-7) {
+		t.Fatal("Contains disagrees with Get")
+	}
+}
+
+// TestInt64TableGrowth inserts far past the initial bucket count and
+// checks every dense id survives the rehashes.
+func TestInt64TableGrowth(t *testing.T) {
+	tab := NewInt64Table(0)
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		k := int64(i)*2654435761 - 5000 // spread, includes negatives
+		slot, fresh := tab.GetOrInsert(k)
+		if !fresh || slot != uint32(i) {
+			t.Fatalf("insert %d: slot=%d fresh=%t, want slot=%d fresh=true", i, slot, fresh, i)
+		}
+	}
+	if tab.Len() != n {
+		t.Fatalf("Len() = %d, want %d", tab.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		k := int64(i)*2654435761 - 5000
+		slot, ok := tab.Get(k)
+		if !ok || slot != uint32(i) {
+			t.Fatalf("Get after growth: key %d -> (%d, %t), want (%d, true)", k, slot, ok, i)
+		}
+	}
+	keys := tab.Keys()
+	if len(keys) != n || keys[0] != -5000 {
+		t.Fatalf("Keys() corrupted after growth: len=%d keys[0]=%d", len(keys), keys[0])
+	}
+}
+
+// TestInt64TableCollisions forces long linear-probe chains: keys chosen
+// to collide still resolve to distinct slots.
+func TestInt64TableCollisions(t *testing.T) {
+	tab := NewInt64Table(8)
+	// Same low bits after masking happens post-hash, so emulate worst
+	// case with a dense cluster plus sparse outliers.
+	var keys []int64
+	for i := 0; i < 200; i++ {
+		keys = append(keys, int64(i), int64(i)<<32, int64(i)<<48)
+	}
+	seen := make(map[uint32]int64)
+	distinct := make(map[int64]bool)
+	for _, k := range keys {
+		slot, _ := tab.GetOrInsert(k)
+		if prev, dup := seen[slot]; dup && prev != k {
+			t.Fatalf("slot %d assigned to both %d and %d", slot, prev, k)
+		}
+		seen[slot] = k
+		distinct[k] = true
+	}
+	if tab.Len() != len(distinct) {
+		t.Fatalf("Len() = %d, want %d distinct keys", tab.Len(), len(distinct))
+	}
+}
+
+// TestInt64TableReset checks Reset empties the table but keeps it
+// usable, and that the pool round-trips tables clean.
+func TestInt64TableReset(t *testing.T) {
+	tab := NewInt64Table(0)
+	for i := 0; i < 1000; i++ {
+		tab.GetOrInsert(int64(i))
+	}
+	tab.Reset()
+	if tab.Len() != 0 {
+		t.Fatalf("Len() after Reset = %d, want 0", tab.Len())
+	}
+	if _, ok := tab.Get(5); ok {
+		t.Fatal("Get found a key after Reset")
+	}
+	slot, fresh := tab.GetOrInsert(777)
+	if slot != 0 || !fresh {
+		t.Fatalf("first insert after Reset = (%d, %t), want (0, true)", slot, fresh)
+	}
+
+	pooled := GetTable()
+	pooled.GetOrInsert(1)
+	pooled.GetOrInsert(2)
+	PutTable(pooled)
+	again := GetTable()
+	if again.Len() != 0 {
+		t.Fatalf("pooled table not reset: Len() = %d", again.Len())
+	}
+	PutTable(again)
+}
+
+// TestInt64IndexChains checks duplicate chains iterate build rows in
+// ascending order and absent keys return -1.
+func TestInt64IndexChains(t *testing.T) {
+	keys := []int64{7, 3, 7, 7, 3, 11}
+	ix := BuildInt64Index(keys)
+	if ix.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", ix.Len())
+	}
+	chain := func(k int64) []int32 {
+		var rows []int32
+		for r := ix.First(k); r >= 0; r = ix.Next(r) {
+			rows = append(rows, r)
+		}
+		return rows
+	}
+	checks := []struct {
+		key  int64
+		want []int32
+	}{
+		{7, []int32{0, 2, 3}},
+		{3, []int32{1, 4}},
+		{11, []int32{5}},
+		{99, nil},
+	}
+	for _, c := range checks {
+		got := chain(c.key)
+		if len(got) != len(c.want) {
+			t.Fatalf("chain(%d) = %v, want %v", c.key, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("chain(%d) = %v, want %v", c.key, got, c.want)
+			}
+		}
+	}
+	if ix.Contains(99) || !ix.Contains(11) {
+		t.Fatal("Contains disagrees with chains")
+	}
+}
+
+// TestInt64IndexEmpty checks the empty build side degrades gracefully.
+func TestInt64IndexEmpty(t *testing.T) {
+	ix := BuildInt64Index(nil)
+	if ix.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", ix.Len())
+	}
+	if r := ix.First(1); r != -1 {
+		t.Fatalf("First on empty index = %d, want -1", r)
+	}
+	if ix.Contains(0) {
+		t.Fatal("Contains(0) on empty index")
+	}
+}
+
+// TestInt64TableAgainstMap cross-checks a large random workload against
+// a Go map reference.
+func TestInt64TableAgainstMap(t *testing.T) {
+	tab := NewInt64Table(0)
+	ref := make(map[int64]uint32)
+	state := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < 200_000; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		k := int64(state % 30_000) // heavy duplication
+		slot, fresh := tab.GetOrInsert(k)
+		want, seen := ref[k]
+		if fresh != !seen {
+			t.Fatalf("key %d: fresh=%t but map seen=%t", k, fresh, seen)
+		}
+		if seen && slot != want {
+			t.Fatalf("key %d: slot %d, want stable %d", k, slot, want)
+		}
+		if !seen {
+			ref[k] = slot
+		}
+	}
+	if tab.Len() != len(ref) {
+		t.Fatalf("Len() = %d, want %d", tab.Len(), len(ref))
+	}
+}

@@ -1,0 +1,55 @@
+package stats
+
+import "sync"
+
+// MomentsPool recycles the flat []Moments arenas the engine's group-by
+// partials aggregate into (one Moments per group × aggregate, indexed
+// by dense group id). Mirrors vec.SelPool: sync.Pool per-P caches give
+// each scan worker its own free list, so steady-state grouped scans
+// allocate no per-morsel moment storage.
+type MomentsPool struct {
+	p     sync.Pool // *[]Moments boxes holding a reusable buffer
+	boxes sync.Pool // spent boxes awaiting the next Put
+}
+
+// Get returns a zero-length arena with capacity >= capacity. Callers
+// append zero-value Moments as groups appear, so recycled storage never
+// leaks stale state.
+func (mp *MomentsPool) Get(capacity int) []Moments {
+	if v := mp.p.Get(); v != nil {
+		b := v.(*[]Moments)
+		ms := *b
+		*b = nil
+		mp.boxes.Put(b)
+		if cap(ms) >= capacity {
+			return ms[:0]
+		}
+	}
+	return make([]Moments, 0, capacity)
+}
+
+// Put returns an arena's backing storage to the pool. ms must not be
+// used by the caller afterwards.
+func (mp *MomentsPool) Put(ms []Moments) {
+	if cap(ms) == 0 {
+		return
+	}
+	var b *[]Moments
+	if v := mp.boxes.Get(); v != nil {
+		b = v.(*[]Moments)
+	} else {
+		b = new([]Moments)
+	}
+	*b = ms[:0]
+	mp.p.Put(b)
+}
+
+// ScratchMoments is the package-level arena pool the engine draws from.
+var ScratchMoments MomentsPool
+
+// GetMoments returns a pooled zero-length arena with at least the given
+// capacity.
+func GetMoments(capacity int) []Moments { return ScratchMoments.Get(capacity) }
+
+// PutMoments releases an arena obtained from GetMoments. Safe on nil.
+func PutMoments(ms []Moments) { ScratchMoments.Put(ms) }
