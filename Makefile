@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json fmt vet ci
+.PHONY: all build test race bench bench-json fuzz fmt vet ci
 
 all: build
 
@@ -14,10 +14,16 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the packages with concurrent execution paths
-# (the morsel worker pool, the bounded executor built on it, and the
-# pooled hash infrastructure shared across scan workers).
+# (the morsel worker pool, the bounded executor built on it, the
+# pooled hash infrastructure shared across scan workers, and the
+# impression views read by queries while loads mutate the samplers).
 race:
-	$(GO) test -race ./internal/engine/... ./internal/bounded/... ./internal/hashtab/... .
+	$(GO) test -race ./internal/engine/... ./internal/bounded/... ./internal/hashtab/... ./internal/impression/... .
+
+# Short fuzz smoke over the SQL front-end: Parse never panics and
+# accepted statements round-trip through Statement.String.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=10s ./internal/sqlparse
 
 # One-iteration benchmark smoke: fails loudly if the hot scan path
 # regresses to an error, without paying full benchmark time.
@@ -37,6 +43,9 @@ bench-json:
 	$(GO) test -json -run='^$$' -benchmem -benchtime=5x \
 		-bench='^(BenchmarkGroupByHash|BenchmarkHashJoinProbe|BenchmarkHashJoinBuild|BenchmarkHashJoinEngine)$$' \
 		. > BENCH_hash.json
+	$(GO) test -json -run='^$$' -benchmem -benchtime=5x \
+		-bench='^BenchmarkBoundedQuery$$' \
+		. > BENCH_impression.json
 
 fmt:
 	@diff=$$(gofmt -l .); \
@@ -49,4 +58,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt test race bench
+ci: build vet fmt test race bench fuzz

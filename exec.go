@@ -157,24 +157,19 @@ func (db *DB) boundedExecutor(name string, base *table.Table) (*bounded.Executor
 // running it against the largest impression layer that fits the budget —
 // the paper's replacement for LIMIT-N: "the equivalent query with a
 // LIMIT 100 clause will not return the first 100 results, but the 100
-// results satisfying the impression" (§3.2).
+// results satisfying the impression" (§3.2). The layer executes as a
+// selection-vector scan over a base snapshot (engine.RunOnSelOpts), so
+// only the rows that survive the predicate are ever copied — the
+// impression itself is never materialised.
 func (db *DB) boundedProjection(base *table.Table, st *sqlparse.Statement) (*engine.Result, error) {
 	h := db.Hierarchy(st.Query.Table)
-	target := base
-	layerName := "base"
 	if h != nil && st.Bounds.HasTimeBound() {
 		maxRows := db.cost.MaxRowsWithin(st.Bounds.MaxTime)
 		if im, ok := h.LargestWithin(maxRows); ok {
-			t, _, err := im.Table()
-			if err != nil {
-				return nil, err
-			}
-			target = t
-			layerName = im.Name()
+			snap := base.Snapshot()
+			v := im.View().Clamp(snap.Len())
+			return engine.RunOnSelOpts(snap, v.Positions, st.Query, db.opts)
 		}
 	}
-	_ = layerName
-	q := st.Query
-	q.Table = target.Name()
-	return engine.RunOnOpts(target, q, db.opts)
+	return engine.RunOnOpts(base, st.Query, db.opts)
 }

@@ -11,6 +11,12 @@
 //     there, and reports both the promise and the measured latency. The
 //     LIMIT-N behaviour the paper criticises ("the lucky N first
 //     tuples") is available as a baseline for the ablation benchmarks.
+//
+// Impression layers execute as selection-vector scans over one shared
+// base snapshot (estimate.AggregateOnSelOpts over impression.View):
+// escalation never materialises a layer, so a dirty sample costs a
+// view refresh — one merge pass over the reservoir's deltas — instead
+// of a table copy.
 package bounded
 
 import (
@@ -95,35 +101,76 @@ type Answer struct {
 	BoundMet bool
 }
 
-// layerStack returns the evaluation targets smallest-first, ending with
-// the exact base layer.
-func (e *Executor) layerStack() ([]estimate.Layer, error) {
-	var out []estimate.Layer
+// target is one rung of the escalation ladder: an impression layer
+// evaluated as a selection-vector scan over the shared base snapshot,
+// or the exact base layer itself. Building targets never materialises
+// an impression — a layer whose sample changed since the last query
+// costs a view refresh (one merge pass), not a table copy.
+type target struct {
+	name  string
+	rows  int // sample rows (the Trail / layer-pick metric)
+	exact bool
+	// run evaluates the query's aggregates on this target.
+	run func(q engine.Query, confidence float64) ([]estimate.Estimate, error)
+	// scanRows predicts the pruning-aware evaluated rows for the cost
+	// model: |impression| positions for selection targets (never
+	// |base|), zone-pruned base rows for the exact target.
+	scanRows func(q engine.Query) int
+}
+
+// targets returns the evaluation ladder smallest-first, ending with the
+// exact base layer. All targets share one base snapshot, so every rung
+// of an escalation describes the same row prefix even under concurrent
+// loads.
+func (e *Executor) targets() []target {
+	snap := e.base.Snapshot()
+	baseRows := int64(snap.Len())
+	var out []target
 	if e.hier != nil {
 		for _, im := range e.hier.Ascending() {
-			m, err := im.Materialize()
-			if err != nil {
-				return nil, err
+			v := im.View().Clamp(snap.Len())
+			sl := estimate.SelLayer{
+				Name:      im.Name(),
+				Base:      snap,
+				Positions: v.Positions,
+				Weights:   v.Weights, CountWeights: v.Pis,
+				BaseRows: baseRows,
 			}
-			layer := estimate.Layer{
-				Name:     im.Name(),
-				Table:    m.Table,
-				BaseRows: int64(e.base.Len()),
-			}
-			if im.Policy() == impression.Biased {
-				layer.Weights = m.RatioWeights
-				layer.CountWeights = m.InclusionWeights
-			}
-			out = append(out, layer)
+			out = append(out, target{
+				name: sl.Name,
+				rows: len(sl.Positions),
+				run: func(q engine.Query, confidence float64) ([]estimate.Estimate, error) {
+					return estimate.AggregateOnSelOpts(sl, q, confidence, e.opts)
+				},
+				scanRows: func(q engine.Query) int {
+					return engine.EstimateSelScanRows(snap, q.Pred(), sl.Positions, e.opts)
+				},
+			})
 		}
 	}
-	out = append(out, estimate.Layer{
+	return append(out, e.baseTarget(snap))
+}
+
+// baseTarget builds the exact base rung alone — the whole ladder (and
+// every layer's view refresh) is not needed for unbounded queries.
+func (e *Executor) baseTarget(snap *table.Table) target {
+	base := estimate.Layer{
 		Name:     "base:" + e.base.Name(),
-		Table:    e.base,
-		BaseRows: int64(e.base.Len()),
+		Table:    snap,
+		BaseRows: int64(snap.Len()),
 		Exact:    true,
-	})
-	return out, nil
+	}
+	return target{
+		name:  base.Name,
+		rows:  snap.Len(),
+		exact: true,
+		run: func(q engine.Query, confidence float64) ([]estimate.Estimate, error) {
+			return estimate.AggregateOnOpts(base, q, confidence, e.opts)
+		},
+		scanRows: func(q engine.Query) int {
+			return engine.EstimateScanRows(snap, q.Pred(), e.opts)
+		},
+	}
 }
 
 // Run executes a parsed statement under its bounds. Statements without
@@ -142,18 +189,15 @@ func (e *Executor) Run(st *sqlparse.Statement) (*Answer, error) {
 // exact evaluates on base data only.
 func (e *Executor) exact(q engine.Query) (*Answer, error) {
 	start := time.Now()
-	layer := estimate.Layer{
-		Name: "base:" + e.base.Name(), Table: e.base,
-		BaseRows: int64(e.base.Len()), Exact: true,
-	}
-	ests, err := estimate.AggregateOnOpts(layer, q, 0.95, e.opts)
+	base := e.baseTarget(e.base.Snapshot())
+	ests, err := base.run(q, 0.95)
 	if err != nil {
 		return nil, err
 	}
 	el := time.Since(start)
 	return &Answer{
-		Estimates: ests, Layer: layer.Name, Exact: true,
-		Trail:   []LayerResult{{Layer: layer.Name, Rows: e.base.Len(), Estimates: ests, Elapsed: el, Satisfied: true}},
+		Estimates: ests, Layer: base.name, Exact: true,
+		Trail:   []LayerResult{{Layer: base.name, Rows: base.rows, Estimates: ests, Elapsed: el, Satisfied: true}},
 		Elapsed: el, BoundMet: true,
 	}, nil
 }
@@ -167,15 +211,11 @@ func (e *Executor) ErrorBounded(q engine.Query, eps, confidence float64) (*Answe
 	if confidence <= 0 || confidence >= 1 {
 		confidence = 0.95
 	}
-	layers, err := e.layerStack()
-	if err != nil {
-		return nil, err
-	}
 	start := time.Now()
 	ans := &Answer{}
-	for _, l := range layers {
+	for _, l := range e.targets() {
 		ls := time.Now()
-		ests, err := estimate.AggregateOnOpts(l, q, confidence, e.opts)
+		ests, err := l.run(q, confidence)
 		if err != nil {
 			return nil, err
 		}
@@ -187,14 +227,14 @@ func (e *Executor) ErrorBounded(q engine.Query, eps, confidence float64) (*Answe
 			}
 		}
 		lr := LayerResult{
-			Layer: l.Name, Rows: l.Table.Len(), Estimates: ests,
+			Layer: l.name, Rows: l.rows, Estimates: ests,
 			Elapsed: time.Since(ls), Satisfied: ok,
 		}
 		ans.Trail = append(ans.Trail, lr)
 		if ok {
 			ans.Estimates = ests
-			ans.Layer = l.Name
-			ans.Exact = l.Exact
+			ans.Layer = l.name
+			ans.Exact = l.exact
 			ans.BoundMet = true
 			break
 		}
@@ -217,25 +257,22 @@ func (e *Executor) TimeBounded(q engine.Query, budget time.Duration, b sqlparse.
 	if budget <= 0 {
 		return nil, fmt.Errorf("bounded: time budget must be positive, got %v", budget)
 	}
-	layers, err := e.layerStack()
-	if err != nil {
-		return nil, err
-	}
+	layers := e.targets()
 	model := e.CostModel()
 	maxRows := model.MaxRowsWithin(budget)
 	// Pick the largest layer whose PRUNED scan fits the budget; fall
-	// back to the smallest. EstimateScanRows consults the same zone
-	// maps the scan itself will, so a layer whose morsels are mostly
-	// skippable for this predicate admits under a budget its raw row
-	// count would blow — pruning-aware rows/sec, per layer.
+	// back to the smallest. Selection targets price |impression|
+	// positions minus the granules zone maps prove empty (the same
+	// pruning the selection scan itself applies), so layer picking sees
+	// sample-sized costs, never base-sized ones.
 	pick := layers[0]
 	pickRows := 0
 	for i, l := range layers {
-		rows := engine.EstimateScanRows(l.Table, q.Pred(), e.opts)
+		rows := l.scanRows(q)
 		if i == 0 {
 			pickRows = rows // smallest-layer fallback when nothing fits
 		}
-		if rows <= maxRows && l.Table.Len() >= pick.Table.Len() {
+		if rows <= maxRows && l.rows >= pick.rows {
 			pick, pickRows = l, rows
 		}
 	}
@@ -245,7 +282,7 @@ func (e *Executor) TimeBounded(q engine.Query, budget time.Duration, b sqlparse.
 	}
 	promised := model.Predict(pickRows)
 	start := time.Now()
-	ests, err := estimate.AggregateOnOpts(pick, q, confidence, e.opts)
+	ests, err := pick.run(q, confidence)
 	if err != nil {
 		return nil, err
 	}
@@ -253,13 +290,13 @@ func (e *Executor) TimeBounded(q engine.Query, budget time.Duration, b sqlparse.
 	e.observe(pickRows, elapsed)
 	ans := &Answer{
 		Estimates: ests,
-		Layer:     pick.Name,
-		Exact:     pick.Exact,
+		Layer:     pick.name,
+		Exact:     pick.exact,
 		Promised:  promised,
 		Elapsed:   elapsed,
 		BoundMet:  elapsed <= budget,
 		Trail: []LayerResult{{
-			Layer: pick.Name, Rows: pick.Table.Len(), Estimates: ests,
+			Layer: pick.name, Rows: pick.rows, Estimates: ests,
 			Elapsed: elapsed, Satisfied: elapsed <= budget,
 		}},
 	}

@@ -1,0 +1,336 @@
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"sciborq/internal/column"
+	"sciborq/internal/expr"
+	"sciborq/internal/hashtab"
+	"sciborq/internal/stats"
+	"sciborq/internal/table"
+	"sciborq/internal/vec"
+)
+
+// Selection-vector scans: execute directly over an explicit sorted row
+// position vector into a base-table snapshot — the engine-native way to
+// evaluate a query against an impression layer without materialising
+// the sample into a standalone table first (no per-query copy, no cache
+// invalidation cliff when the sample changes).
+//
+// The position vector is partitioned into morsels aligned to the base
+// table's granule layout (positions p with p/MorselRows == m form
+// morsel m), so zone maps prune granules no sampled position lands in
+// and the partial merge order is fixed by the layout — results are
+// bit-identical at every parallelism level, exactly like base scans.
+
+// selPart is one morsel of a selection-vector scan: the contiguous
+// slice positions[plo:phi) whose values all fall in base-row window
+// [rowLo, rowHi).
+type selPart struct {
+	plo, phi     int
+	rowLo, rowHi int
+}
+
+// partitionSel splits a sorted position vector into granule-aligned
+// parts. Only non-empty granules produce parts, so the walk and the
+// scheduling cost scale with the sample, not the base table.
+func partitionSel(positions vec.Sel, n int, opts ExecOptions) []selPart {
+	if len(positions) == 0 {
+		return nil
+	}
+	mr := opts.morselRows()
+	parts := make([]selPart, 0, opts.morselCount(n))
+	start := 0
+	g := int(positions[0]) / mr
+	for i := 1; i < len(positions); i++ {
+		if gi := int(positions[i]) / mr; gi != g {
+			parts = append(parts, selPart{plo: start, phi: i, rowLo: g * mr, rowHi: min(g*mr+mr, n)})
+			start, g = i, gi
+		}
+	}
+	parts = append(parts, selPart{plo: start, phi: len(positions), rowLo: g * mr, rowHi: min(g*mr+mr, n)})
+	return parts
+}
+
+// checkPositions validates the FilterSel contract without touching row
+// data: strictly ascending (a duplicate would let the dense fast path
+// treat the part as covering its whole row window and return rows that
+// were never sampled), within [0, n).
+func checkPositions(positions vec.Sel, n int) error {
+	if len(positions) == 0 {
+		return nil
+	}
+	if p := positions[0]; p < 0 {
+		return fmt.Errorf("engine: selection scan position %d is negative", p)
+	}
+	for i := 1; i < len(positions); i++ {
+		if positions[i] <= positions[i-1] {
+			return fmt.Errorf("engine: selection scan positions not strictly ascending at index %d (%d after %d)",
+				i, positions[i], positions[i-1])
+		}
+	}
+	if last := int(positions[len(positions)-1]); last >= n {
+		return fmt.Errorf("engine: selection scan position %d out of range (table has %d rows)", last, n)
+	}
+	return nil
+}
+
+// filterSelPart evaluates pred over one part. Dense parts — at least
+// half of their base-row window sampled — evaluate the contiguous
+// window with the branchless range kernels and intersect with the
+// positions; a part covering its whole window skips the intersection
+// entirely. Sparse parts take the sel-native kernels, whose cost is
+// proportional to the part. The returned selection is pooled scratch.
+func filterSelPart(t *table.Table, pred expr.Predicate, part vec.Sel) (vec.Sel, error) {
+	wlo, whi := int(part[0]), int(part[len(part)-1])+1
+	window := whi - wlo
+	if len(part) == window {
+		return expr.FilterRange(t, pred, wlo, whi)
+	}
+	if 2*len(part) >= window {
+		rs, err := expr.FilterRange(t, pred, wlo, whi)
+		if err != nil {
+			return nil, err
+		}
+		out := vec.AndInto(vec.GetSel(min(len(rs), len(part))), rs, part)
+		vec.PutSel(rs)
+		return out, nil
+	}
+	return expr.FilterSel(t, pred, part)
+}
+
+// scanSelMorsels is the selection-scan analogue of scanMorsels: it
+// partitions positions into granule-aligned parts, extracts zone-map
+// checks from the original predicate, prepares it once, and runs
+// perPart over every part with its filtered selection (pooled scratch,
+// valid only for the duration of the call). Zone-pruned parts are
+// skipped without evaluating the predicate; perPart never sees them.
+//
+// t must be a table snapshot and positions must satisfy the
+// checkPositions contract.
+func scanSelMorsels(t *table.Table, positions vec.Sel, pred expr.Predicate, opts ExecOptions, perPart func(m int, sel vec.Sel) error) (ScanStats, error) {
+	parts := partitionSel(positions, t.Len(), opts)
+	stats := ScanStats{Morsels: len(parts), ScannedRows: len(positions)}
+	checks := zoneChecks(t, pred)
+	if len(checks) > 0 {
+		// Pruning may skip every evaluation; surface bad references
+		// deterministically first.
+		if err := validatePred(t, pred); err != nil {
+			return stats, err
+		}
+	}
+	if len(parts) > 1 {
+		var err error
+		if pred, err = preparePred(t, pred); err != nil {
+			return stats, err
+		}
+	}
+	var skippedMorsels, skippedRows atomic.Int64
+	// Reuse the morsel scheduler with one "row" per part: workers pull
+	// part indices from the shared counter and errors surface in part
+	// order.
+	partOpts := ExecOptions{Parallelism: opts.workers(), MorselRows: 1}
+	err := forEachMorsel(len(parts), partOpts, func(m, _, _ int) error {
+		p := parts[m]
+		for _, zc := range checks {
+			if zc.canSkip(p.rowLo, p.rowHi) {
+				skippedMorsels.Add(1)
+				skippedRows.Add(int64(p.phi - p.plo))
+				return nil
+			}
+		}
+		sel, err := filterSelPart(t, pred, positions[p.plo:p.phi])
+		if err != nil {
+			return err
+		}
+		err = perPart(m, sel)
+		vec.PutSel(sel)
+		return err
+	})
+	stats.SkippedMorsels = int(skippedMorsels.Load())
+	stats.SkippedRows = int(skippedRows.Load())
+	stats.ScannedRows = len(positions) - stats.SkippedRows
+	return stats, err
+}
+
+// FilterSel evaluates pred over only the rows of t listed in positions
+// (strictly ascending, within range) with morsel-driven parallelism and
+// zone-map granule pruning, returning the matching subset in ascending
+// row order. The scan runs over a snapshot of t, so it is safe against
+// concurrent appends. A TRUE predicate returns positions itself
+// (shared, not copied); every other result is freshly allocated.
+func FilterSel(t *table.Table, pred expr.Predicate, positions vec.Sel, opts ExecOptions) (vec.Sel, ScanStats, error) {
+	t = t.Snapshot()
+	n := t.Len()
+	if err := checkPositions(positions, n); err != nil {
+		return nil, ScanStats{}, err
+	}
+	if isTruePred(pred) {
+		return positions, ScanStats{Morsels: len(partitionSel(positions, n, opts)), ScannedRows: len(positions)}, nil
+	}
+	if len(positions) == 0 {
+		return vec.Sel{}, ScanStats{}, nil
+	}
+	partsOut := make([]vec.Sel, len(partitionSel(positions, n, opts)))
+	stats, err := scanSelMorsels(t, positions, pred, opts, func(m int, sel vec.Sel) error {
+		partsOut[m] = append(vec.Sel(nil), sel...) // sel is pooled scratch
+		return nil
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	total := 0
+	for _, p := range partsOut {
+		total += len(p)
+	}
+	out := make(vec.Sel, 0, total)
+	for _, p := range partsOut {
+		out = append(out, p...)
+	}
+	return out, stats, nil
+}
+
+// EstimateSelScanRows predicts how many sampled rows a selection scan
+// of pred over positions will actually evaluate after zone-map granule
+// pruning, without executing it — the prune-aware input to cost-model
+// layer picking for impression layers (rows = |impression|, never
+// |base|). The walk costs O(|positions| + granules), not O(base rows).
+func EstimateSelScanRows(t *table.Table, pred expr.Predicate, positions vec.Sel, opts ExecOptions) int {
+	t = t.Snapshot()
+	if isTruePred(pred) {
+		return len(positions)
+	}
+	checks := zoneChecks(t, pred)
+	if len(checks) == 0 {
+		return len(positions)
+	}
+	scanned := 0
+	for _, p := range partitionSel(positions, t.Len(), opts) {
+		skip := false
+		for _, zc := range checks {
+			if zc.canSkip(p.rowLo, p.rowHi) {
+				skip = true
+				break
+			}
+		}
+		if !skip {
+			scanned += p.phi - p.plo
+		}
+	}
+	return scanned
+}
+
+// RunOnSel evaluates q against the rows of t listed in positions with
+// default execution options — the hook that aims one logical query at
+// an impression layer without materialising it. Aggregates are computed
+// exactly over the selected subset (the estimate package turns them
+// into population estimates); projections return the matching rows.
+func RunOnSel(t *table.Table, positions vec.Sel, q Query) (*Result, error) {
+	return RunOnSelOpts(t, positions, q, DefaultExecOptions())
+}
+
+// RunOnSelOpts is RunOnSel with explicit execution options. The whole
+// query runs over a snapshot of t taken here.
+func RunOnSelOpts(t *table.Table, positions vec.Sel, q Query, opts ExecOptions) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	t = t.Snapshot()
+	sel, stats, err := FilterSel(t, q.Pred(), positions, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(q.Aggs) > 0 {
+		if q.GroupBy != "" {
+			return groupBySel(t, sel, q, stats)
+		}
+		states, err := AggregateStates(t, sel, q.Aggs)
+		if err != nil {
+			return nil, err
+		}
+		res, err := ResultFromStates(q, states)
+		if err != nil {
+			return nil, err
+		}
+		res.ScannedRows = stats.ScannedRows
+		res.Stats = stats
+		return res, nil
+	}
+	// A LIMIT without ORDER BY on a selection scan returns a systematic
+	// (evenly spaced) subsample of the matches rather than the
+	// storage-order prefix: the impression's answer to LIMIT N is N
+	// representative sampled tuples, not "the lucky N first" ones the
+	// paper criticises (§3.2). Deterministic, so results stay identical
+	// at every parallelism level.
+	if q.Limit > 0 && q.OrderBy == "" && len(sel) > q.Limit {
+		sel = systematicSample(sel, q.Limit)
+	}
+	return project(t, sel, q, stats)
+}
+
+// systematicSample picks n evenly spaced rows of sel (which has more
+// than n entries), preserving order.
+func systematicSample(sel vec.Sel, n int) vec.Sel {
+	out := make(vec.Sel, n)
+	for i := 0; i < n; i++ {
+		out[i] = sel[i*len(sel)/n]
+	}
+	return out
+}
+
+// groupBySel evaluates a grouped aggregate over an already-filtered
+// selection sequentially — selection scans are sample-sized, so the
+// morsel fan-out of the base path would be overhead, and the sequential
+// walk keeps first-seen group order identical to it by construction.
+func groupBySel(t *table.Table, sel vec.Sel, q Query, scan ScanStats) (*Result, error) {
+	grp, err := GroupingFor(t, q.GroupBy)
+	if err != nil {
+		return nil, err
+	}
+	args, err := aggArgs(t, q.Aggs)
+	if err != nil {
+		return nil, err
+	}
+	naggs := len(q.Aggs)
+	tab := hashtab.NewInt64Table(0)
+	var gms []stats.Moments
+	for _, row := range sel {
+		gid, fresh := tab.GetOrInsert(grp.Key(row))
+		if fresh {
+			for i := 0; i < naggs; i++ {
+				gms = append(gms, stats.Moments{})
+			}
+		}
+		base := int(gid) * naggs
+		for i := 0; i < naggs; i++ {
+			if args[i] == nil {
+				gms[base+i].Observe(1) // COUNT(*)
+			} else {
+				gms[base+i].Observe(args[i][row])
+			}
+		}
+	}
+	schema := make(table.Schema, 0, naggs+1)
+	schema = append(schema, table.ColumnDef{Name: q.GroupBy, Type: column.String})
+	for _, a := range q.Aggs {
+		schema = append(schema, table.ColumnDef{Name: a.Name(), Type: column.Float64})
+	}
+	out, err := table.New(resultName(q), schema)
+	if err != nil {
+		return nil, err
+	}
+	for gid, key := range tab.Keys() {
+		row := make(table.Row, 0, naggs+1)
+		row = append(row, grp.Render(key))
+		for i, a := range q.Aggs {
+			st := AggState{Spec: a, Moments: gms[gid*naggs+i]}
+			row = append(row, st.Value())
+		}
+		if err := out.AppendRow(row); err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{Table: out, ScannedRows: scan.ScannedRows, Stats: scan}
+	return sortGroupedResult(res, q)
+}

@@ -1,0 +1,296 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"sciborq/internal/column"
+	"sciborq/internal/expr"
+	"sciborq/internal/table"
+	"sciborq/internal/vec"
+)
+
+// randPositions returns a sorted random subset of [0, n).
+func randPositions(rng *rand.Rand, n int, p float64) vec.Sel {
+	out := make(vec.Sel, 0, int(float64(n)*p)+1)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < p {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// intersectSorted returns a ∩ b for sorted selections.
+func intersectSorted(a, b vec.Sel) vec.Sel {
+	out := make(vec.Sel, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// selScanTable builds n rows with a clustered x column (x = row index)
+// and an unordered v column.
+func selScanTable(t testing.TB, n int) *table.Table {
+	t.Helper()
+	xs := make([]float64, n)
+	vs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = float64(i)
+		vs[i] = float64(i%1009) / 1009
+	}
+	tb := table.MustNew("selscan", table.Schema{
+		{Name: "x", Type: column.Float64},
+		{Name: "v", Type: column.Float64},
+	})
+	if err := tb.AppendColumns([]column.Column{
+		column.NewFloat64From("x", xs),
+		column.NewFloat64From("v", vs),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+// TestFilterSelMatchesFilterIntersection asserts, over random position
+// densities, predicates, morsel granules and worker counts, that
+// FilterSel returns exactly Filter ∩ positions, bit-identical at every
+// parallelism level.
+func TestFilterSelMatchesFilterIntersection(t *testing.T) {
+	const n = 40_000
+	tb := selScanTable(t, n)
+	rng := rand.New(rand.NewSource(23))
+	preds := []expr.Predicate{
+		expr.TruePred{},
+		expr.Cmp{Op: vec.Lt, Left: expr.ColRef{Name: "v"}, Right: 0.25},
+		expr.Between{Expr: expr.ColRef{Name: "x"}, Lo: 5000, Hi: 9000},
+		expr.And{
+			L: expr.Between{Expr: expr.ColRef{Name: "x"}, Lo: 1000, Hi: 30_000},
+			R: expr.Cmp{Op: vec.Gt, Left: expr.ColRef{Name: "v"}, Right: 0.5},
+		},
+		expr.Not{P: expr.Cmp{Op: vec.Ge, Left: expr.ColRef{Name: "v"}, Right: 0.1}},
+	}
+	densities := []float64{0, 0.001, 0.2, 0.7, 1}
+	for pi, pred := range preds {
+		want, err := Filter(tb, pred, ExecOptions{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = vec.NewSelAll(n)
+		}
+		for _, d := range densities {
+			positions := randPositions(rng, n, d)
+			expect := intersectSorted(want, positions)
+			for _, workers := range []int{1, 4} {
+				for _, mr := range []int{0, 1024} {
+					got, stats, err := FilterSel(tb, pred, positions, ExecOptions{Parallelism: workers, MorselRows: mr})
+					if err != nil {
+						t.Fatalf("pred %d density %g workers %d: %v", pi, d, workers, err)
+					}
+					if len(got) != len(expect) {
+						t.Fatalf("pred %d density %g workers %d mr %d: got %d rows, want %d",
+							pi, d, workers, mr, len(got), len(expect))
+					}
+					for k := range got {
+						if got[k] != expect[k] {
+							t.Fatalf("pred %d density %g workers %d: row %d = %d, want %d",
+								pi, d, workers, k, got[k], expect[k])
+						}
+					}
+					if scanned := stats.ScannedRows + stats.SkippedRows; scanned != len(positions) {
+						t.Fatalf("pred %d: stats cover %d positions, want %d", pi, scanned, len(positions))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFilterSelZonePruning checks that a range predicate confined to a
+// slice of clustered data skips the granules no sampled position can
+// match in, that the pruned result matches the unprunable control, and
+// that EstimateSelScanRows predicts exactly what the scan then does.
+func TestFilterSelZonePruning(t *testing.T) {
+	const granules = 4
+	n := granules * column.ZoneRows
+	tb := selScanTable(t, n)
+	rng := rand.New(rand.NewSource(5))
+	positions := randPositions(rng, n, 0.1)
+	pred := expr.Between{Expr: expr.ColRef{Name: "x"}, Lo: 70_000, Hi: 90_000}
+	opts := ExecOptions{Parallelism: 2}
+
+	got, stats, err := FilterSel(tb, pred, positions, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SkippedMorsels == 0 || stats.SkippedRows == 0 {
+		t.Fatalf("no pruning on clustered data: %+v", stats)
+	}
+	control, _, err := FilterSel(tb, unboundable(pred), positions, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(control) {
+		t.Fatalf("pruned scan returned %d rows, control %d", len(got), len(control))
+	}
+	for i := range got {
+		if got[i] != control[i] {
+			t.Fatalf("row %d: pruned %d, control %d", i, got[i], control[i])
+		}
+	}
+	if est := EstimateSelScanRows(tb, pred, positions, opts); est != stats.ScannedRows {
+		t.Fatalf("EstimateSelScanRows = %d, scan evaluated %d", est, stats.ScannedRows)
+	}
+	if est := EstimateSelScanRows(tb, expr.TruePred{}, positions, opts); est != len(positions) {
+		t.Fatalf("EstimateSelScanRows(TRUE) = %d, want %d", est, len(positions))
+	}
+}
+
+// TestFilterSelContractErrors asserts the position-vector contract is
+// enforced deterministically.
+func TestFilterSelContractErrors(t *testing.T) {
+	tb := selScanTable(t, 128)
+	opts := DefaultExecOptions()
+	pred := expr.Cmp{Op: vec.Lt, Left: expr.ColRef{Name: "v"}, Right: 0.5}
+	if _, _, err := FilterSel(tb, pred, vec.Sel{5, 3}, opts); err == nil {
+		t.Error("unsorted positions accepted")
+	}
+	if _, _, err := FilterSel(tb, pred, vec.Sel{5, 5, 7}, opts); err == nil {
+		t.Error("duplicate positions accepted (dense fast path would leak unsampled rows)")
+	}
+	if _, _, err := FilterSel(tb, pred, vec.Sel{5, 400}, opts); err == nil {
+		t.Error("out-of-range position accepted")
+	}
+	if _, _, err := FilterSel(tb, pred, vec.Sel{-1, 5}, opts); err == nil {
+		t.Error("negative position accepted")
+	}
+	bad := expr.Cmp{Op: vec.Lt, Left: expr.ColRef{Name: "missing"}, Right: 0}
+	if _, _, err := FilterSel(tb, bad, vec.Sel{1, 2}, opts); err == nil {
+		t.Error("bad column reference accepted")
+	}
+}
+
+// TestRunOnSelAggregatesAndProjection cross-checks RunOnSel against
+// RunOnOpts over the materialised subset: aggregates and grouped
+// aggregates over (positions ∧ predicate) must equal the same query on
+// a standalone table holding exactly the selected rows.
+func TestRunOnSelAggregatesAndProjection(t *testing.T) {
+	const n = 10_000
+	xs := make([]float64, n)
+	vs := make([]float64, n)
+	gs := make([]int64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = float64(i)
+		vs[i] = float64((i*31)%997) / 997
+		gs[i] = int64(i % 7)
+	}
+	tb := table.MustNew("base", table.Schema{
+		{Name: "x", Type: column.Float64},
+		{Name: "v", Type: column.Float64},
+		{Name: "g", Type: column.Int64},
+	})
+	if err := tb.AppendColumns([]column.Column{
+		column.NewFloat64From("x", xs),
+		column.NewFloat64From("v", vs),
+		column.NewInt64From("g", gs),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	positions := randPositions(rng, n, 0.3)
+	sample, err := tb.Project("sample", tb.Schema().Names(), positions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := expr.Cmp{Op: vec.Lt, Left: expr.ColRef{Name: "v"}, Right: 0.4}
+
+	aggQ := Query{Table: "base", Where: pred, Aggs: []AggSpec{
+		{Func: Count}, {Func: Sum, Arg: expr.ColRef{Name: "v"}, Alias: "s"},
+		{Func: Avg, Arg: expr.ColRef{Name: "v"}, Alias: "a"},
+	}}
+	wantAgg, err := RunOnOpts(sample, aggQ, ExecOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		got, err := RunOnSelOpts(tb, positions, aggQ, ExecOptions{Parallelism: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{"COUNT(*)", "s", "a"} {
+			g, err := got.Scalar(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := wantAgg.Scalar(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g != w {
+				t.Errorf("workers %d: %s = %v, want %v", workers, name, g, w)
+			}
+		}
+	}
+
+	grpQ := Query{Table: "base", Where: pred, GroupBy: "g", Aggs: []AggSpec{
+		{Func: Count}, {Func: Avg, Arg: expr.ColRef{Name: "v"}, Alias: "a"},
+	}}
+	wantGrp, err := RunOnOpts(sample, grpQ, ExecOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotGrp, err := RunOnSelOpts(tb, positions, grpQ, ExecOptions{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotGrp.Len() != wantGrp.Len() {
+		t.Fatalf("grouped: %d groups, want %d", gotGrp.Len(), wantGrp.Len())
+	}
+	for i := 0; i < wantGrp.Len(); i++ {
+		g := gotGrp.Table.RowStrings(int32(i))
+		w := wantGrp.Table.RowStrings(int32(i))
+		for k := range g {
+			if g[k] != w[k] {
+				t.Errorf("grouped row %d col %d: %q, want %q", i, k, g[k], w[k])
+			}
+		}
+	}
+
+	projQ := Query{Table: "base", Where: pred, Select: []string{"x"}, OrderBy: "x", Desc: true, Limit: 25}
+	wantProj, err := RunOnOpts(sample, projQ, ExecOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotProj, err := RunOnSelOpts(tb, positions, projQ, ExecOptions{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := wantProj.Float64Col("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gg, err := gotProj.Float64Col("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gg) != len(gw) {
+		t.Fatalf("projection: %d rows, want %d", len(gg), len(gw))
+	}
+	for i := range gg {
+		if gg[i] != gw[i] {
+			t.Errorf("projection row %d: %v, want %v", i, gg[i], gw[i])
+		}
+	}
+}

@@ -1,0 +1,339 @@
+package estimate
+
+import (
+	"fmt"
+	"math"
+
+	"sciborq/internal/engine"
+	"sciborq/internal/expr"
+	"sciborq/internal/hashtab"
+	"sciborq/internal/stats"
+	"sciborq/internal/table"
+	"sciborq/internal/vec"
+)
+
+// Selection-native estimation: evaluate the aggregates of a bounded
+// query directly over an impression's (positions, weights) view into a
+// base-table snapshot — no standalone layer table, no per-query copy.
+// The predicate runs through the engine's selection-vector scan
+// (zone-map pruned, morsel-parallel, deterministic), and the Hájek
+// estimators below consume the matched positions without materialising
+// the indicator and importance arrays the table path builds: per query
+// the only allocations are the matched selection itself.
+
+// SelLayer describes one selection-native evaluation target: a sample
+// of Base given by sorted row positions with row-aligned weights —
+// exactly the shape of impression.View.
+type SelLayer struct {
+	Name string
+	// Base is the base table (typically an already-taken snapshot; the
+	// estimators snapshot defensively either way).
+	Base *table.Table
+	// Positions are the sampled row positions, sorted ascending and
+	// within Base's snapshot length.
+	Positions vec.Sel
+	// Weights are per-row ratio weights used by ratio estimators
+	// (AVG); nil means uniform.
+	Weights []float64
+	// CountWeights are per-row inclusion probabilities used by share
+	// estimators (COUNT, SUM); nil falls back to Weights. See
+	// Layer.CountWeights for why the two differ on biased reservoirs.
+	CountWeights []float64
+	// BaseRows is the base-table cardinality N the sample represents.
+	BaseRows int64
+}
+
+// Validate checks the layer invariants that do not need row data.
+func (sl SelLayer) Validate() error {
+	if sl.Base == nil {
+		return fmt.Errorf("estimate: selection layer %q has no base table", sl.Name)
+	}
+	if sl.Weights != nil && len(sl.Weights) != len(sl.Positions) {
+		return fmt.Errorf("estimate: selection layer %q has %d weights for %d positions",
+			sl.Name, len(sl.Weights), len(sl.Positions))
+	}
+	if sl.CountWeights != nil && len(sl.CountWeights) != len(sl.Positions) {
+		return fmt.Errorf("estimate: selection layer %q has %d count weights for %d positions",
+			sl.Name, len(sl.CountWeights), len(sl.Positions))
+	}
+	if sl.BaseRows < 0 {
+		return fmt.Errorf("estimate: selection layer %q has negative base cardinality", sl.Name)
+	}
+	return nil
+}
+
+// AggregateOnSel evaluates the aggregates of q against the selection
+// layer with default (parallel) execution options.
+func AggregateOnSel(sl SelLayer, q engine.Query, level float64) ([]Estimate, error) {
+	return AggregateOnSelOpts(sl, q, level, engine.DefaultExecOptions())
+}
+
+// AggregateOnSelOpts is AggregateOnSel with explicit execution options.
+// The predicate scan runs the engine's selection-vector morsel path, so
+// bounded execution over an impression pays |impression| rows — pruned
+// further by zone maps — at the configured parallelism, never a layer
+// materialisation.
+func AggregateOnSelOpts(sl SelLayer, q engine.Query, level float64, opts engine.ExecOptions) ([]Estimate, error) {
+	if err := sl.Validate(); err != nil {
+		return nil, err
+	}
+	if len(q.Aggs) == 0 {
+		return nil, fmt.Errorf("estimate: query has no aggregates")
+	}
+	if q.GroupBy != "" {
+		return nil, fmt.Errorf("estimate: grouped bounded queries are not supported (run one query per group)")
+	}
+	snap := sl.Base.Snapshot()
+	selBase, _, err := engine.FilterSel(snap, q.Pred(), sl.Positions, opts)
+	if err != nil {
+		return nil, err
+	}
+	selSamp := sampleIndices(sl.Positions, selBase, sl.Weights != nil || sl.CountWeights != nil)
+	sumU, sumU2 := weightSums(shareWeights(sl), len(sl.Positions))
+	out := make([]Estimate, 0, len(q.Aggs))
+	for _, spec := range q.Aggs {
+		var g []float64
+		if spec.Arg != nil {
+			// Sel-native argument evaluation: cost and allocation are
+			// proportional to the matched sample, never the base table.
+			g, err = expr.EvalScalarSel(snap, spec.Arg, selBase)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, estimateOneSel(sl, spec, g, selBase, selSamp, level, sumU, sumU2))
+	}
+	return out, nil
+}
+
+// GroupedAggregateOnSel evaluates a grouped aggregate query against a
+// selection layer, producing per-group estimates — the selection-native
+// form of GroupedAggregateOn. The matched sample rows are partitioned
+// through the engine's dict-coded group-id path on the base snapshot,
+// so keys and first-seen order agree with engine GROUP BY results over
+// the same selection.
+func GroupedAggregateOnSel(sl SelLayer, q engine.Query, level float64, opts engine.ExecOptions) ([]GroupEstimate, error) {
+	if err := sl.Validate(); err != nil {
+		return nil, err
+	}
+	if q.GroupBy == "" {
+		return nil, fmt.Errorf("estimate: query has no GROUP BY")
+	}
+	if len(q.Aggs) == 0 {
+		return nil, fmt.Errorf("estimate: grouped query has no aggregates")
+	}
+	snap := sl.Base.Snapshot()
+	selBase, _, err := engine.FilterSel(snap, q.Pred(), sl.Positions, opts)
+	if err != nil {
+		return nil, err
+	}
+	selSamp := sampleIndices(sl.Positions, selBase, true)
+	grp, err := engine.GroupingFor(snap, q.GroupBy)
+	if err != nil {
+		return nil, err
+	}
+	tab := hashtab.NewInt64Table(0)
+	var gBase, gSamp []vec.Sel
+	for i, bp := range selBase {
+		gid, fresh := tab.GetOrInsert(grp.Key(bp))
+		if fresh {
+			gBase = append(gBase, nil)
+			gSamp = append(gSamp, nil)
+		}
+		gBase[gid] = append(gBase[gid], bp)
+		gSamp[gid] = append(gSamp[gid], selSamp[i])
+	}
+	// Share-weight sums describe the whole sample and are identical for
+	// every group and aggregate: one pass, not groups x aggs passes.
+	sumU, sumU2 := weightSums(shareWeights(sl), len(sl.Positions))
+	out := make([]GroupEstimate, tab.Len())
+	for gid, key := range tab.Keys() {
+		ge := GroupEstimate{Key: grp.Render(key)}
+		for _, spec := range q.Aggs {
+			var g []float64
+			if spec.Arg != nil {
+				g, err = expr.EvalScalarSel(snap, spec.Arg, gBase[gid])
+				if err != nil {
+					return nil, err
+				}
+			}
+			ge.Estimates = append(ge.Estimates, estimateOneSel(sl, spec, g, gBase[gid], gSamp[gid], level, sumU, sumU2))
+		}
+		out[gid] = ge
+	}
+	return out, nil
+}
+
+// sampleIndices maps matched base positions back to their indices in
+// the sorted position vector — the alignment needed to look up
+// per-sample weights. When no weights exist (want false) it returns nil
+// and the estimators take the uniform path without the walk.
+func sampleIndices(positions, selBase vec.Sel, want bool) vec.Sel {
+	if !want {
+		return nil
+	}
+	out := make(vec.Sel, len(selBase))
+	j := 0
+	for i, bp := range selBase {
+		for j < len(positions) && positions[j] < bp {
+			j++
+		}
+		out[i] = int32(j)
+	}
+	return out
+}
+
+// invWeight returns the importance weight u = 1/w for sample index si,
+// with the same floor guard as the table path. nil weights are uniform.
+func invWeight(ws []float64, selSamp vec.Sel, i int) float64 {
+	if ws == nil {
+		return 1
+	}
+	w := ws[selSamp[i]]
+	if w < weightFloor || math.IsNaN(w) {
+		w = weightFloor
+	}
+	return 1 / w
+}
+
+// weightSums returns Σ u_i and Σ u_i² over the whole sample.
+func weightSums(ws []float64, k int) (sumU, sumU2 float64) {
+	if ws == nil {
+		return float64(k), float64(k)
+	}
+	for _, w := range ws {
+		if w < weightFloor || math.IsNaN(w) {
+			w = weightFloor
+		}
+		u := 1 / w
+		sumU += u
+		sumU2 += u * u
+	}
+	return sumU, sumU2
+}
+
+// estimateOneSel computes one aggregate estimate over the matched
+// selection. g is the aggregate argument evaluated at the matched rows
+// (aligned with selBase; nil for COUNT(*)); selSamp holds the matched
+// rows' sample indices (nil when the layer is unweighted). sumU/sumU2
+// are the share-weight sums over the whole sample (weightSums),
+// computed once by the caller.
+func estimateOneSel(sl SelLayer, spec engine.AggSpec, g []float64, selBase, selSamp vec.Sel, level, sumU, sumU2 float64) Estimate {
+	k := len(sl.Positions)
+	matched := len(selBase)
+	if k == 0 {
+		return Estimate{
+			Spec:     spec,
+			Interval: stats.Interval{HalfWidth: math.Inf(1), Level: level},
+		}
+	}
+	fpc := stats.FPC(int64(k), sl.BaseRows)
+	switch spec.Func {
+	case engine.Count:
+		// COUNT(predicate) = N · E[1_A].
+		iv := selHajekShare(shareWeights(sl), selSamp, nil, matched, level, fpc, sumU, sumU2)
+		return Estimate{Spec: spec, Interval: iv.Scale(float64(sl.BaseRows)), SampleRows: matched}
+	case engine.Sum:
+		// SUM_A(g) = N · E[g·1_A].
+		iv := selHajekShare(shareWeights(sl), selSamp, g, matched, level, fpc, sumU, sumU2)
+		return Estimate{Spec: spec, Interval: iv.Scale(float64(sl.BaseRows)), SampleRows: matched}
+	case engine.Avg:
+		iv := selHajekMean(sl.Weights, selSamp, g, level, fpc)
+		return Estimate{Spec: spec, Interval: iv, SampleRows: matched}
+	case engine.Min, engine.Max, engine.StdDev:
+		// Population extremes (and spread) cannot be bounded from a
+		// sample without distributional assumptions; the unbounded
+		// interval makes the bounded executor escalate to base data
+		// whenever a bound is requested.
+		var m stats.Moments
+		m.ObserveAll(g)
+		st := engine.AggState{Spec: spec, Moments: m}
+		return Estimate{
+			Spec:       spec,
+			Interval:   stats.Interval{Estimate: st.Value(), HalfWidth: math.Inf(1), Level: level},
+			SampleRows: matched,
+		}
+	}
+	return Estimate{
+		Spec:     spec,
+		Interval: stats.Interval{Estimate: math.NaN(), HalfWidth: math.Inf(1), Level: level},
+	}
+}
+
+// shareWeights returns the weights share estimators divide by:
+// inclusion probabilities, falling back to ratio weights.
+func shareWeights(sl SelLayer) []float64 {
+	if sl.CountWeights != nil {
+		return sl.CountWeights
+	}
+	return sl.Weights
+}
+
+// selHajekShare is hajekMean over the membership vector h — h = 1 (or
+// the carried argument g, aligned with the matched rows) on matched
+// rows, 0 elsewhere — computed without materialising h or the
+// importance array: unmatched rows contribute (Σu² − Σ_matched u²)·
+// mean² to the variance in one closed form. sumU/sumU2 are the
+// whole-sample weight sums, hoisted to the caller so grouped
+// estimation pays one pass, not one per group per aggregate.
+func selHajekShare(ws []float64, selSamp vec.Sel, g []float64, matched int, level, fpc, sumU, sumU2 float64) stats.Interval {
+	if sumU == 0 {
+		return stats.Interval{HalfWidth: math.Inf(1), Level: level}
+	}
+	var mean float64
+	for i := 0; i < matched; i++ {
+		u := invWeight(ws, selSamp, i)
+		if g != nil {
+			mean += u * g[i]
+		} else {
+			mean += u
+		}
+	}
+	mean /= sumU
+	var varSum, matchedU2 float64
+	for i := 0; i < matched; i++ {
+		u := invWeight(ws, selSamp, i)
+		h := 1.0
+		if g != nil {
+			h = g[i]
+		}
+		d := h - mean
+		varSum += u * u * d * d
+		matchedU2 += u * u
+	}
+	varSum += (sumU2 - matchedU2) * mean * mean
+	if varSum < 0 {
+		varSum = 0 // float cancellation guard
+	}
+	se := math.Sqrt(varSum) / sumU * fpc
+	return stats.Interval{Estimate: mean, HalfWidth: stats.ZForConfidence(level) * se, Level: level}
+}
+
+// selHajekMean is hajekMeanSubset computed over the matched selection
+// directly: the self-normalised estimate of E[g | A] with ratio
+// weights, g aligned with the matched rows.
+func selHajekMean(ws []float64, selSamp vec.Sel, g []float64, level, fpc float64) stats.Interval {
+	if len(g) == 0 {
+		return stats.Interval{HalfWidth: math.Inf(1), Level: level}
+	}
+	var sumU float64
+	for i := range g {
+		sumU += invWeight(ws, selSamp, i)
+	}
+	if sumU == 0 {
+		return stats.Interval{HalfWidth: math.Inf(1), Level: level}
+	}
+	var mean float64
+	for i, v := range g {
+		mean += invWeight(ws, selSamp, i) * v
+	}
+	mean /= sumU
+	var varSum float64
+	for i, v := range g {
+		u := invWeight(ws, selSamp, i)
+		d := v - mean
+		varSum += u * u * d * d
+	}
+	se := math.Sqrt(varSum) / sumU * fpc
+	return stats.Interval{Estimate: mean, HalfWidth: stats.ZForConfidence(level) * se, Level: level}
+}

@@ -1,0 +1,242 @@
+package expr
+
+import (
+	"fmt"
+
+	"sciborq/internal/column"
+	"sciborq/internal/table"
+	"sciborq/internal/vec"
+)
+
+// Sel-native predicate evaluation. The selection-vector scan evaluates
+// each predicate directly over an explicit sorted position vector —
+// an impression's sampled row positions into a base snapshot — through
+// SelFilterer instead of gathering the sample into a standalone table
+// first; together with the scratch pool in package vec this makes
+// steady-state impression filtering allocation free.
+
+// SelFilterer is the optional sel-native fast path of Predicate:
+// evaluate the predicate over exactly the rows listed in sel.
+//
+// Contract: sel is sorted ascending and never nil; the result is
+// sorted, a subset of sel, and never nil (an empty selection means no
+// match). The returned selection is backed by vec's scratch pool: the
+// caller owns it until it calls vec.PutSel, and must copy it before
+// retaining it beyond that. sel itself is treated as read-only.
+type SelFilterer interface {
+	FilterSel(t *table.Table, sel vec.Sel) (vec.Sel, error)
+}
+
+// FilterSel evaluates pred over the rows of t listed in sel (sorted,
+// non-nil), using the predicate's sel fast path when it has one and
+// falling back to Predicate.Filter otherwise (user-defined predicate
+// types). The pool-ownership contract of SelFilterer applies to the
+// result either way.
+func FilterSel(t *table.Table, pred Predicate, sel vec.Sel) (vec.Sel, error) {
+	if sf, ok := pred.(SelFilterer); ok {
+		return sf.FilterSel(t, sel)
+	}
+	out, err := pred.Filter(t, sel)
+	if err != nil {
+		return nil, err
+	}
+	if out == nil { // "all rows" from a sel-path predicate
+		return vec.CopyInto(vec.GetSel(len(sel)), sel), nil
+	}
+	// Rehome the result in pooled scratch so the ownership contract is
+	// uniform for callers.
+	return vec.CopyInto(vec.GetSel(len(out)), out), nil
+}
+
+// FilterSel implements SelFilterer.
+func (c Cmp) FilterSel(t *table.Table, sel vec.Sel) (vec.Sel, error) {
+	vals, err := scalarVals(t, c.Left)
+	if err != nil {
+		return nil, err
+	}
+	return vec.SelectFloat64Sel(vec.GetSel(len(sel)), vals, sel, c.Op, c.Right), nil
+}
+
+// FilterSel implements SelFilterer.
+func (b Between) FilterSel(t *table.Table, sel vec.Sel) (vec.Sel, error) {
+	vals, err := scalarVals(t, b.Expr)
+	if err != nil {
+		return nil, err
+	}
+	return vec.SelectBetweenFloat64Sel(vec.GetSel(len(sel)), vals, sel, b.Lo, b.Hi), nil
+}
+
+// FilterSel implements SelFilterer.
+func (s StrEq) FilterSel(t *table.Table, sel vec.Sel) (vec.Sel, error) {
+	col, err := t.Col(s.Col)
+	if err != nil {
+		return nil, err
+	}
+	sc, ok := col.(*column.StringCol)
+	if !ok {
+		return nil, fmt.Errorf("expr: column %q is %s, want VARCHAR", s.Col, col.Type())
+	}
+	code, present := sc.Code(s.Value)
+	if !present {
+		if s.Neg {
+			return vec.CopyInto(vec.GetSel(len(sel)), sel), nil
+		}
+		return vec.GetSel(0), nil
+	}
+	return vec.SelectEqInt32Sel(vec.GetSel(len(sel)), sc.Data, sel, code, !s.Neg), nil
+}
+
+// FilterSel implements SelFilterer.
+func (c Cone) FilterSel(t *table.Table, sel vec.Sel) (vec.Sel, error) {
+	ra, err := t.Float64(c.RaCol)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := t.Float64(c.DecCol)
+	if err != nil {
+		return nil, err
+	}
+	// Inline loop rather than a closure kernel: a closure over ra/dec
+	// would heap-allocate once per morsel.
+	out := vec.GetSel(len(sel))
+	for _, p := range sel {
+		if AngularSeparation(c.Ra0, c.Dec0, ra[p], dec[p]) <= c.Radius {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// FilterSel implements SelFilterer: evaluate L over sel, then R over
+// L's survivors only — on explicit selections the restricted evaluation
+// is strictly cheaper, unlike the contiguous-window case where the
+// sequential scan wins.
+func (a And) FilterSel(t *table.Table, sel vec.Sel) (vec.Sel, error) {
+	ls, err := FilterSel(t, a.L, sel)
+	if err != nil {
+		return nil, err
+	}
+	if len(ls) == 0 {
+		return ls, nil
+	}
+	rs, err := FilterSel(t, a.R, ls)
+	if err != nil {
+		vec.PutSel(ls)
+		return nil, err
+	}
+	vec.PutSel(ls)
+	return rs, nil
+}
+
+// FilterSel implements SelFilterer.
+func (o Or) FilterSel(t *table.Table, sel vec.Sel) (vec.Sel, error) {
+	ls, err := FilterSel(t, o.L, sel)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := FilterSel(t, o.R, sel)
+	if err != nil {
+		vec.PutSel(ls)
+		return nil, err
+	}
+	out := vec.OrInto(vec.GetSel(len(ls)+len(rs)), ls, rs)
+	vec.PutSel(ls)
+	vec.PutSel(rs)
+	return out, nil
+}
+
+// FilterSel implements SelFilterer: the complement of the inner
+// selection against sel itself, never the full table.
+func (n Not) FilterSel(t *table.Table, sel vec.Sel) (vec.Sel, error) {
+	ps, err := FilterSel(t, n.P, sel)
+	if err != nil {
+		return nil, err
+	}
+	out := vec.DiffInto(vec.GetSel(len(sel)), sel, ps)
+	vec.PutSel(ps)
+	return out, nil
+}
+
+// FilterSel implements SelFilterer.
+func (TruePred) FilterSel(t *table.Table, sel vec.Sel) (vec.Sel, error) {
+	return vec.CopyInto(vec.GetSel(len(sel)), sel), nil
+}
+
+// EvalScalarSel evaluates s at only the rows listed in sel, returning
+// values aligned with sel — the sel-native analogue of Scalar.EvalF64.
+// Selection consumers (sample estimators) read a handful of sampled
+// rows out of a large base; evaluating the full column first would make
+// an Int64 widening or an Arith intermediate cost O(base) per query
+// where O(|sel|) suffices. Unknown scalar shapes fall back to a full
+// evaluation plus gather.
+func EvalScalarSel(t *table.Table, s Scalar, sel vec.Sel) ([]float64, error) {
+	switch e := s.(type) {
+	case ColRef:
+		col, err := t.Col(e.Name)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, len(sel))
+		switch cc := col.(type) {
+		case *column.Float64Col:
+			for i, p := range sel {
+				out[i] = cc.Data[p]
+			}
+		case *column.Int64Col:
+			for i, p := range sel {
+				out[i] = float64(cc.Data[p])
+			}
+		default:
+			return nil, fmt.Errorf("expr: column %q has non-numeric type %s", e.Name, col.Type())
+		}
+		return out, nil
+	case Const:
+		out := make([]float64, len(sel))
+		for i := range out {
+			out[i] = e.V
+		}
+		return out, nil
+	case Materialized:
+		out := make([]float64, len(sel))
+		for i, p := range sel {
+			out[i] = e.Vals[p]
+		}
+		return out, nil
+	case Arith:
+		l, err := EvalScalarSel(t, e.L, sel)
+		if err != nil {
+			return nil, err
+		}
+		r, err := EvalScalarSel(t, e.R, sel)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case Add:
+			for i := range l {
+				l[i] += r[i]
+			}
+		case Sub:
+			for i := range l {
+				l[i] -= r[i]
+			}
+		case Mul:
+			for i := range l {
+				l[i] *= r[i]
+			}
+		case Div:
+			for i := range l {
+				l[i] /= r[i] // IEEE semantics: x/0 = ±Inf
+			}
+		default:
+			return nil, fmt.Errorf("expr: unknown arithmetic op %d", e.Op)
+		}
+		return l, nil
+	default:
+		vals, err := s.EvalF64(t)
+		if err != nil {
+			return nil, err
+		}
+		return vec.GatherFloat64(vals, sel), nil
+	}
+}

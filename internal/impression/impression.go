@@ -20,6 +20,8 @@ package impression
 import (
 	"fmt"
 	"math"
+	"slices"
+	"sort"
 	"sync"
 
 	"sciborq/internal/kde"
@@ -141,6 +143,23 @@ type Impression struct {
 	// samplers. A direct Offer clears it and resumes stream sampling.
 	derived []Sample
 
+	// version identifies the sample-set state: it bumps on every Offer
+	// and ReplaceFrom, so any cache keyed by (impression, version) is
+	// never stale.
+	version uint64
+
+	// view is the last built selection view (immutable once returned);
+	// viewOK marks it current. The delta logs record reservoir
+	// insertions/evictions since the view was built, so uniform-weight
+	// stream samplers refresh it with one merge pass instead of a full
+	// sort. viewFull forces the next refresh to rebuild from scratch
+	// (weight-bearing policies, derived layers, overflowed logs).
+	view     View
+	viewOK   bool
+	viewFull bool
+	deltaAdd []int32
+	deltaDel []int32
+
 	// cache of the materialised layer table; invalidated on change
 	cached  *table.Table
 	weights []float64 // ratio weights aligned with cached rows
@@ -196,6 +215,17 @@ func New(base *table.Table, cfg Config) (*Impression, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	// Stream mutations feed the incremental view maintenance: the
+	// uniform-weight samplers log position deltas; the biased sampler's
+	// weights move with every offer (clamp cap, survival decay), so its
+	// view always rebuilds and needs no log.
+	hook := func(added int32, evicted *int32) { im.noteDelta(added, evicted) }
+	switch cfg.Policy {
+	case Uniform:
+		im.uni.SetHook(hook)
+	case LastSeen:
+		im.last.SetHook(hook)
 	}
 	return im, nil
 }
@@ -292,7 +322,14 @@ func (im *Impression) Offer(pos int32) {
 	defer im.mu.Unlock()
 	im.offered++
 	im.dirty = true
-	im.derived = nil // direct offers resume stream sampling
+	im.version++
+	im.viewOK = false
+	if im.derived != nil {
+		// Direct offers resume stream sampling; the stream reservoir
+		// diverged from the derived view, so deltas cannot bridge it.
+		im.derived = nil
+		im.markViewFullLocked()
+	}
 	switch im.cfg.Policy {
 	case Uniform:
 		im.uni.Offer(pos)
@@ -300,6 +337,37 @@ func (im *Impression) Offer(pos int32) {
 		im.last.Offer(pos)
 	case Biased:
 		im.bias.Offer(pos)
+		im.markViewFullLocked()
+	}
+}
+
+// markViewFullLocked forces the next view refresh to rebuild from the
+// sample set and drops the now-useless delta logs.
+func (im *Impression) markViewFullLocked() {
+	im.viewFull = true
+	im.deltaAdd = im.deltaAdd[:0]
+	im.deltaDel = im.deltaDel[:0]
+}
+
+// noteDelta records one reservoir mutation for incremental view
+// maintenance. Logging is skipped while no view exists or a full
+// rebuild is already pending, and overflows into a full rebuild when
+// the log stops being cheaper than re-sorting.
+func (im *Impression) noteDelta(added int32, evicted *int32) {
+	if im.viewFull || im.view.Positions == nil {
+		return
+	}
+	limit := im.cfg.Size / 4
+	if limit < 1024 {
+		limit = 1024
+	}
+	if len(im.deltaAdd) >= limit {
+		im.markViewFullLocked()
+		return
+	}
+	im.deltaAdd = append(im.deltaAdd, added)
+	if evicted != nil {
+		im.deltaDel = append(im.deltaDel, *evicted)
 	}
 }
 
@@ -377,6 +445,178 @@ func (im *Impression) Len() int {
 	return 0
 }
 
+// View is a stable, versioned selection view of an impression: the
+// sampled base-row positions sorted ascending, with row-aligned
+// estimation weights. It is what the engine's selection-vector scans
+// consume — bounded queries execute directly over the base table
+// restricted to Positions, so a changed sample never costs a table
+// copy.
+//
+// The returned slices are immutable: refreshes build new arrays, so a
+// View stays valid (describing the version it was taken at) while the
+// impression keeps sampling.
+type View struct {
+	// Version identifies the sample-set state the view describes.
+	Version uint64
+	// Positions are the sampled base-row positions, sorted ascending.
+	// Never nil (empty means an empty sample).
+	Positions vec.Sel
+	// Weights are the row-aligned ratio weights (AVG estimators); nil
+	// means uniform (all 1).
+	Weights []float64
+	// Pis are the row-aligned inclusion weights (COUNT/SUM
+	// estimators); nil means uniform.
+	Pis []float64
+}
+
+// Clamp returns the view restricted to positions below n — the
+// snapshot length of the base table a consumer is about to scan. The
+// hierarchy may have sampled rows appended after that snapshot was
+// taken; those positions must not reach the scan. Positions are
+// sorted, so the cut is a prefix and the weight alignment survives.
+// The receiver is unchanged (views are immutable).
+func (v View) Clamp(n int) View {
+	cut := sort.Search(len(v.Positions), func(i int) bool { return int(v.Positions[i]) >= n })
+	if cut == len(v.Positions) {
+		return v
+	}
+	v.Positions = v.Positions[:cut]
+	if v.Weights != nil {
+		v.Weights = v.Weights[:cut]
+	}
+	if v.Pis != nil {
+		v.Pis = v.Pis[:cut]
+	}
+	return v
+}
+
+// Version returns the current sample-set version. It bumps on every
+// Offer and ReplaceFrom, so consumers can detect staleness without
+// taking a view.
+func (im *Impression) Version() uint64 {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	return im.version
+}
+
+// View returns the current selection view, refreshing it if the sample
+// changed since the last call. Uniform-weight stream samplers refresh
+// incrementally: the reservoir's insertions/evictions since the last
+// view are applied as one merge pass over the previous sorted
+// positions (O(n + deltas), allocation limited to the new position
+// array) instead of re-sorting — the cache-invalidation cliff the
+// materialised path pays is gone. Weight-bearing (biased) and derived
+// layers rebuild, since their weights move with every offer.
+func (im *Impression) View() View {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	return im.viewLocked()
+}
+
+func (im *Impression) viewLocked() View {
+	if im.viewOK {
+		return im.view
+	}
+	if im.viewFull || im.view.Positions == nil || im.derived != nil || im.cfg.Policy == Biased {
+		im.rebuildViewLocked()
+	} else {
+		im.applyDeltasLocked()
+	}
+	im.view.Version = im.version
+	im.viewOK = true
+	return im.view
+}
+
+// rebuildViewLocked sorts the full sample set into a fresh view.
+func (im *Impression) rebuildViewLocked() {
+	samples := im.samplesLocked() // fresh copy; safe to sort in place
+	sort.Slice(samples, func(a, b int) bool { return samples[a].Pos < samples[b].Pos })
+	pos := make(vec.Sel, len(samples))
+	uniform := true
+	for i, s := range samples {
+		pos[i] = s.Pos
+		if s.Weight != 1 || s.Pi != 1 {
+			uniform = false
+		}
+	}
+	var weights, pis []float64
+	if !uniform {
+		weights = make([]float64, len(samples))
+		pis = make([]float64, len(samples))
+		for i, s := range samples {
+			weights[i] = s.Weight
+			pis[i] = s.Pi
+		}
+	}
+	im.view = View{Positions: pos, Weights: weights, Pis: pis}
+	im.viewFull = false
+	im.deltaAdd = im.deltaAdd[:0]
+	im.deltaDel = im.deltaDel[:0]
+}
+
+// applyDeltasLocked refreshes a uniform-weight view by merging the
+// logged reservoir insertions and evictions into the previous sorted
+// positions: one O(n + deltas) pass, no sort.
+func (im *Impression) applyDeltasLocked() {
+	if len(im.deltaAdd) == 0 && len(im.deltaDel) == 0 {
+		return // sample unchanged (rejected offers only)
+	}
+	add := append([]int32(nil), im.deltaAdd...)
+	del := append([]int32(nil), im.deltaDel...)
+	slices.Sort(add)
+	slices.Sort(del)
+	// Cancel intra-batch pairs: a position inserted and later evicted
+	// between two views never reaches the merged result.
+	add, del = cancelCommon(add, del)
+	old := im.view.Positions
+	merged := make(vec.Sel, 0, len(old)+len(add)-len(del))
+	i, a, d := 0, 0, 0
+	for i < len(old) || a < len(add) {
+		if i < len(old) && (a >= len(add) || old[i] <= add[a]) {
+			v := old[i]
+			i++
+			for d < len(del) && del[d] < v {
+				d++
+			}
+			if d < len(del) && del[d] == v {
+				d++
+				continue
+			}
+			merged = append(merged, v)
+		} else {
+			merged = append(merged, add[a])
+			a++
+		}
+	}
+	im.view = View{Positions: merged}
+	im.deltaAdd = im.deltaAdd[:0]
+	im.deltaDel = im.deltaDel[:0]
+}
+
+// cancelCommon removes the elements the two sorted lists share (one
+// cancellation per occurrence), returning the trimmed lists.
+func cancelCommon(a, b []int32) ([]int32, []int32) {
+	ai, bi := 0, 0
+	outA := a[:0]
+	outB := b[:0]
+	for ai < len(a) && bi < len(b) {
+		switch {
+		case a[ai] < b[bi]:
+			outA = append(outA, a[ai])
+			ai++
+		case a[ai] > b[bi]:
+			outB = append(outB, b[bi])
+			bi++
+		default:
+			ai++
+			bi++
+		}
+	}
+	outA = append(outA, a[ai:]...)
+	outB = append(outB, b[bi:]...)
+	return outA, outB
+}
+
 // Materialized is an impression rendered as a standalone table with its
 // row-aligned estimation weight vectors.
 type Materialized struct {
@@ -389,8 +629,14 @@ type Materialized struct {
 	InclusionWeights []float64
 }
 
-// Materialize renders the impression; the result is cached until the
-// sample changes.
+// Materialize renders the impression as a standalone table; the result
+// is cached until the sample changes. It is the fallback for consumers
+// that genuinely need a table of their own (join synopses, examples,
+// experiment drivers) — bounded query execution runs selection-vector
+// scans over View instead and never pays this copy. The table name
+// carries the sample version ("name@v7"), so caches keyed by table
+// identity (e.g. the recycler) can never serve a selection computed on
+// an older sample of the same size.
 func (im *Impression) Materialize() (*Materialized, error) {
 	im.mu.Lock()
 	defer im.mu.Unlock()
@@ -406,7 +652,8 @@ func (im *Impression) Materialize() (*Materialized, error) {
 		weights[i] = s.Weight
 		pis[i] = s.Pi
 	}
-	t, err := im.base.Project(im.cfg.Name, im.base.Schema().Names(), sel)
+	name := fmt.Sprintf("%s@v%d", im.cfg.Name, im.version)
+	t, err := im.base.Project(name, im.base.Schema().Names(), sel)
 	if err != nil {
 		return nil, err
 	}
@@ -449,6 +696,9 @@ func (im *Impression) ReplaceFrom(parent []Sample) error {
 	im.mu.Lock()
 	defer im.mu.Unlock()
 	im.dirty = true
+	im.version++
+	im.viewOK = false
+	im.markViewFullLocked()
 	if len(parent) == 0 {
 		im.derived = []Sample{}
 		return nil

@@ -1,0 +1,190 @@
+package impression
+
+import (
+	"sort"
+	"testing"
+)
+
+// viewFromSamples builds the reference view by sorting Samples().
+func viewFromSamples(im *Impression) ([]int32, map[int32]Sample) {
+	samples := im.Samples()
+	byPos := make(map[int32]Sample, len(samples))
+	pos := make([]int32, len(samples))
+	for i, s := range samples {
+		pos[i] = s.Pos
+		byPos[s.Pos] = s
+	}
+	sort.Slice(pos, func(a, b int) bool { return pos[a] < pos[b] })
+	return pos, byPos
+}
+
+// assertViewMatches checks v against the impression's sample set:
+// sorted positions, aligned weights.
+func assertViewMatches(t *testing.T, im *Impression, v View) {
+	t.Helper()
+	want, byPos := viewFromSamples(im)
+	if v.Positions == nil {
+		t.Fatal("view has nil Positions")
+	}
+	if len(v.Positions) != len(want) {
+		t.Fatalf("view has %d positions, samples have %d", len(v.Positions), len(want))
+	}
+	for i, p := range v.Positions {
+		if p != want[i] {
+			t.Fatalf("position %d = %d, want %d", i, p, want[i])
+		}
+		if i > 0 && v.Positions[i-1] >= p {
+			t.Fatalf("positions not strictly ascending at %d", i)
+		}
+		s := byPos[p]
+		if v.Weights == nil {
+			if s.Weight != 1 {
+				t.Fatalf("nil Weights but sample %d has weight %g", p, s.Weight)
+			}
+		} else if v.Weights[i] != s.Weight {
+			t.Fatalf("weight at %d = %g, want %g", i, v.Weights[i], s.Weight)
+		}
+		if v.Pis == nil {
+			if s.Pi != 1 {
+				t.Fatalf("nil Pis but sample %d has pi %g", p, s.Pi)
+			}
+		} else if v.Pis[i] != s.Pi {
+			t.Fatalf("pi at %d = %g, want %g", i, v.Pis[i], s.Pi)
+		}
+	}
+}
+
+// TestViewMatchesSamplesAcrossPolicies checks the view invariants for
+// every focus policy, including the weight-bearing biased sampler.
+func TestViewMatchesSamplesAcrossPolicies(t *testing.T) {
+	base := buildBase(t, 6000, 4)
+	lg := focusedLogger(t)
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"uniform", Config{Name: "u", Size: 400, Seed: 5}},
+		{"lastseen", Config{Name: "l", Size: 400, Policy: LastSeen, K: 1, D: 2, Seed: 6}},
+		{"biased", Config{Name: "b", Size: 400, Policy: Biased, Logger: lg, Attrs: []string{"ra"}, Seed: 7}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			im, err := New(base, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < base.Len(); i++ {
+				im.Offer(int32(i))
+			}
+			v := im.View()
+			assertViewMatches(t, im, v)
+			if v.Version != im.Version() {
+				t.Fatalf("view version %d, impression version %d", v.Version, im.Version())
+			}
+			// A second call without mutations returns the same view.
+			v2 := im.View()
+			if v2.Version != v.Version || &v2.Positions[0] != &v.Positions[0] {
+				t.Fatal("unchanged sample rebuilt its view")
+			}
+		})
+	}
+}
+
+// TestViewIncrementalMatchesRebuild drives a uniform impression through
+// interleaved offer/view rounds — each round small enough to stay on
+// the delta path — and checks every incremental view equals the sorted
+// sample set, that versions grow, and that previously returned views
+// stay untouched (immutability).
+func TestViewIncrementalMatchesRebuild(t *testing.T) {
+	base := buildBase(t, 40_000, 9)
+	im, err := New(base, Config{Name: "inc", Size: 8000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := 0
+	offer := func(k int) {
+		for ; k > 0 && next < base.Len(); k-- {
+			im.Offer(int32(next))
+			next++
+		}
+	}
+	offer(20_000)
+	prev := im.View()
+	prevCopy := append([]int32(nil), prev.Positions...)
+	for round := 0; round < 12; round++ {
+		offer(500) // well under the Size/4 delta limit
+		v := im.View()
+		assertViewMatches(t, im, v)
+		if v.Version <= prev.Version {
+			t.Fatalf("round %d: version %d did not advance past %d", round, v.Version, prev.Version)
+		}
+		for i, p := range prevCopy {
+			if prev.Positions[i] != p {
+				t.Fatalf("round %d: earlier view mutated at %d", round, i)
+			}
+		}
+		prev, prevCopy = v, append(prevCopy[:0], v.Positions...)
+	}
+}
+
+// TestViewDeltaOverflowRebuilds floods the delta log past its cap in
+// one go and checks the rebuilt view is still exact.
+func TestViewDeltaOverflowRebuilds(t *testing.T) {
+	base := buildBase(t, 30_000, 13)
+	im, err := New(base, Config{Name: "ovf", Size: 512, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		im.Offer(int32(i))
+	}
+	im.View()
+	for i := 1000; i < base.Len(); i++ {
+		im.Offer(int32(i))
+	}
+	assertViewMatches(t, im, im.View())
+}
+
+// TestViewDerivedAndResume covers the hierarchy transitions: a
+// ReplaceFrom bumps the version and rebuilds the view from the derived
+// samples; the next direct Offer resumes stream sampling with another
+// full rebuild.
+func TestViewDerivedAndResume(t *testing.T) {
+	base := buildBase(t, 8000, 19)
+	parent, err := New(base, Config{Name: "p", Size: 2000, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, err := New(base, Config{Name: "c", Size: 200, Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < base.Len(); i++ {
+		parent.Offer(int32(i))
+		child.Offer(int32(i))
+	}
+	v0 := child.View()
+	if err := child.ReplaceFrom(parent.Samples()); err != nil {
+		t.Fatal(err)
+	}
+	v1 := child.View()
+	if v1.Version <= v0.Version {
+		t.Fatalf("ReplaceFrom did not bump version (%d -> %d)", v0.Version, v1.Version)
+	}
+	assertViewMatches(t, child, v1)
+	child.Offer(42)
+	assertViewMatches(t, child, child.View())
+}
+
+// TestViewEmptyImpression checks the zero-sample view shape.
+func TestViewEmptyImpression(t *testing.T) {
+	base := buildBase(t, 16, 31)
+	im, err := New(base, Config{Name: "empty", Size: 8, Seed: 37})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := im.View()
+	if v.Positions == nil || len(v.Positions) != 0 {
+		t.Fatalf("empty view = %#v", v.Positions)
+	}
+}

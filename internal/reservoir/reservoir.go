@@ -24,6 +24,14 @@ import (
 	"sciborq/internal/xrand"
 )
 
+// Hook observes sample mutations: added is the item that just entered
+// the sample; evicted points at the item it displaced, and is nil
+// during the fill phase. Hooks run synchronously inside Offer — they
+// are how impressions maintain their sorted position views
+// incrementally instead of rebuilding them per query. Offers that
+// leave the sample unchanged trigger no hook.
+type Hook[T any] func(added T, evicted *T)
+
 // R is the classical reservoir sampler of Figure 2: after cnt offers,
 // every offered item is in the sample with probability n/cnt.
 type R[T any] struct {
@@ -31,6 +39,7 @@ type R[T any] struct {
 	cnt   int64
 	items []T
 	rng   *xrand.RNG
+	hook  Hook[T]
 }
 
 // NewR returns a reservoir of capacity n seeded by rng.
@@ -44,11 +53,17 @@ func NewR[T any](n int, rng *xrand.RNG) (*R[T], error) {
 	return &R[T]{cap: n, items: make([]T, 0, n), rng: rng}, nil
 }
 
+// SetHook installs the mutation observer (nil to remove).
+func (r *R[T]) SetHook(h Hook[T]) { r.hook = h }
+
 // Offer presents one item to the reservoir.
 func (r *R[T]) Offer(item T) {
 	r.cnt++
 	if len(r.items) < r.cap {
 		r.items = append(r.items, item)
+		if r.hook != nil {
+			r.hook(item, nil)
+		}
 		return
 	}
 	// Accept with probability n/cnt; the accepted item replaces a
@@ -56,7 +71,11 @@ func (r *R[T]) Offer(item T) {
 	// (this is exactly Figure 2: rnd := floor(cnt*random()); accept and
 	// place at rnd when rnd < n — the slot is uniform given acceptance).
 	if j := r.rng.Uint64n(uint64(r.cnt)); j < uint64(r.cap) {
+		victim := r.items[j]
 		r.items[j] = item
+		if r.hook != nil {
+			r.hook(item, &victim)
+		}
 	}
 }
 
@@ -149,6 +168,7 @@ type LastSeen[T any] struct {
 	items    []T
 	rng      *xrand.RNG
 	faithful bool
+	hook     Hook[T]
 }
 
 // NewLastSeen builds a Last Seen reservoir of capacity n with acceptance
@@ -167,11 +187,17 @@ func NewLastSeen[T any](n int, k, d float64, faithful bool, rng *xrand.RNG) (*La
 	return &LastSeen[T]{cap: n, k: k, d: d, items: make([]T, 0, n), rng: rng, faithful: faithful}, nil
 }
 
+// SetHook installs the mutation observer (nil to remove).
+func (l *LastSeen[T]) SetHook(h Hook[T]) { l.hook = h }
+
 // Offer presents one item.
 func (l *LastSeen[T]) Offer(item T) {
 	l.cnt++
 	if len(l.items) < l.cap {
 		l.items = append(l.items, item)
+		if l.hook != nil {
+			l.hook(item, nil)
+		}
 		return
 	}
 	rnd := l.rng.Float64()
@@ -189,7 +215,11 @@ func (l *LastSeen[T]) Offer(item T) {
 	} else {
 		slot = l.rng.Intn(l.cap)
 	}
+	victim := l.items[slot]
 	l.items[slot] = item
+	if l.hook != nil {
+		l.hook(item, &victim)
+	}
 }
 
 // Items returns the current sample (live storage; do not mutate).
@@ -237,6 +267,7 @@ type Biased[T any] struct {
 	rng      *xrand.RNG
 	weight   func(T) float64 // returns f̆(t)·N, the bias factor
 	faithful bool
+	hook     Hook[T]
 }
 
 // biasedItem records the acceptance metadata needed to reconstruct the
@@ -274,6 +305,9 @@ func (b *Biased[T]) Offer(item T) {
 	}
 	if len(b.items) < b.cap {
 		b.items = append(b.items, biasedItem[T]{item: item, weight: w, pAccept: 1, kAt: b.accepts, seq: b.cnt})
+		if b.hook != nil {
+			b.hook(item, nil)
+		}
 		return
 	}
 	rnd := b.rng.Float64()
@@ -296,8 +330,15 @@ func (b *Biased[T]) Offer(item T) {
 	if p > 1 {
 		p = 1
 	}
+	victim := b.items[slot].item
 	b.items[slot] = biasedItem[T]{item: item, weight: w, pAccept: p, kAt: b.accepts, seq: b.cnt}
+	if b.hook != nil {
+		b.hook(item, &victim)
+	}
 }
+
+// SetHook installs the mutation observer (nil to remove).
+func (b *Biased[T]) SetHook(h Hook[T]) { b.hook = h }
 
 // Items returns the current weighted sample. Pi is reconstructed as
 // pAccept · (1 − 1/n)^(K − k): the probability the item was accepted

@@ -1,0 +1,107 @@
+package sqlparse
+
+import (
+	"testing"
+	"time"
+)
+
+// fuzzSeeds is the seed corpus: the accepted statements of
+// parser_test.go plus the WITHIN clause grammar corners and a few
+// rejected shapes (the fuzzer mutates from both sides of the accept
+// boundary).
+var fuzzSeeds = []string{
+	"SELECT COUNT(*) FROM t WHERE ra >= 185.5 AND type = 'GALAXY'",
+	"SELECT COUNT(*), AVG(rmag) AS m FROM PhotoObjAll WHERE ra > 180",
+	"SELECT * FROM Galaxy LIMIT 100",
+	"SELECT * FROM Galaxy WHERE fGetNearbyObjEq(185, 0, 3)",
+	"SELECT COUNT(*) FROM t WHERE NOT (a > 1 OR b < 2) AND c = 'X'",
+	"SELECT COUNT(*) FROM t WHERE ra BETWEEN 120 AND 240",
+	"SELECT AVG(u - g * 2) AS colour FROM t",
+	"SELECT SUM((u - g) / 2) FROM t",
+	"SELECT COUNT(*) FROM t WHERE dec > -15.5",
+	"SELECT AVG(-x) FROM t",
+	"SELECT COUNT(*) AS n FROM t GROUP BY type ORDER BY n DESC LIMIT 5",
+	"SELECT ra FROM t ORDER BY ra ASC",
+	"SELECT AVG(rmag) FROM t WITHIN ERROR 0.05",
+	"SELECT AVG(rmag) FROM t WITHIN ERROR 0.01 CONFIDENCE 0.99",
+	"SELECT COUNT(*) FROM t WITHIN TIME 5ms",
+	"SELECT AVG(r) FROM t WITHIN ERROR 0.1 WITHIN TIME 2s",
+	"SELECT MIN(x), MAX(x), STDDEV(x) FROM t WHERE s <> 'QSO' WITHIN TIME 1.5ms",
+	"SELECT AVG(r) FROM t WITHIN TIME 90s",
+	"SELECT COUNT(*) FROM t WHERE 5 < 3",
+	"SELECT a.b FROM t WHERE x = 1e6;",
+	"SELECT FROM t",
+	"SELECT * FROM t WITHIN BANANAS 4",
+	"SELECT 'unterminated",
+}
+
+// FuzzParse fuzzes the SQL front-end for two properties: Parse never
+// panics, and every accepted statement round-trips — Parse → String →
+// Parse succeeds and String is a fixed point (the re-parse renders
+// identically, i.e. the rendering loses nothing the parser keeps).
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		st, err := Parse(sql)
+		if err != nil {
+			return // rejected input: only the no-panic property applies
+		}
+		rendered := st.String()
+		st2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but re-parse of rendering %q failed: %v", sql, rendered, err)
+		}
+		if again := st2.String(); again != rendered {
+			t.Fatalf("rendering not a fixed point: %q -> %q -> %q", sql, rendered, again)
+		}
+	})
+}
+
+// TestFormatDurationSingleUnit pins the renderer to lexable spellings:
+// time.Duration.String would emit "1m30s", which lexes as two tokens.
+func TestFormatDurationSingleUnit(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{90 * time.Second, "90s"},
+		{1500 * time.Microsecond, "1500us"},
+		{2 * time.Hour, "2h"},
+		{90 * time.Minute, "90m"},
+		{5 * time.Millisecond, "5ms"},
+		{1234 * time.Nanosecond, "1234ns"},
+	}
+	for _, c := range cases {
+		if got := FormatDuration(c.d); got != c.want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", c.d, got, c.want)
+		}
+		st, err := Parse("SELECT COUNT(*) FROM t WITHIN TIME " + FormatDuration(c.d))
+		if err != nil {
+			t.Errorf("rendered duration %q does not parse: %v", FormatDuration(c.d), err)
+		} else if st.Bounds.MaxTime != c.d {
+			t.Errorf("duration round-trip %v -> %v", c.d, st.Bounds.MaxTime)
+		}
+	}
+}
+
+// TestStatementStringRoundTrip pins the seed corpus round-trip outside
+// the fuzzer, so plain `go test` exercises it.
+func TestStatementStringRoundTrip(t *testing.T) {
+	for _, sql := range fuzzSeeds {
+		st, err := Parse(sql)
+		if err != nil {
+			continue
+		}
+		rendered := st.String()
+		st2, err := Parse(rendered)
+		if err != nil {
+			t.Errorf("%q rendered to unparseable %q: %v", sql, rendered, err)
+			continue
+		}
+		if again := st2.String(); again != rendered {
+			t.Errorf("fixed point violated: %q -> %q -> %q", sql, rendered, again)
+		}
+	}
+}

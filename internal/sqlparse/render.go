@@ -1,0 +1,85 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Statement rendering: String turns a parsed statement back into SQL
+// this package accepts, such that Parse(st.String()) reproduces the
+// statement — the round-trip property FuzzParse enforces. Predicates
+// and scalars already render parseable SQL-ish syntax through their own
+// String methods; this file adds the clause structure and the bounded
+// WITHIN extensions.
+
+// String renders the statement as parseable SQL.
+func (st *Statement) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	q := st.Query
+	switch {
+	case len(q.Aggs) > 0:
+		for i, a := range q.Aggs {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			if a.Arg == nil {
+				fmt.Fprintf(&b, "%s(*)", a.Func)
+			} else {
+				fmt.Fprintf(&b, "%s(%s)", a.Func, a.Arg)
+			}
+			if a.Alias != "" {
+				fmt.Fprintf(&b, " AS %s", a.Alias)
+			}
+		}
+	default:
+		b.WriteString(strings.Join(q.Select, ", "))
+	}
+	fmt.Fprintf(&b, " FROM %s", q.Table)
+	if q.Where != nil {
+		fmt.Fprintf(&b, " WHERE %s", q.Where)
+	}
+	if q.GroupBy != "" {
+		fmt.Fprintf(&b, " GROUP BY %s", q.GroupBy)
+	}
+	if q.OrderBy != "" {
+		fmt.Fprintf(&b, " ORDER BY %s", q.OrderBy)
+		if q.Desc {
+			b.WriteString(" DESC")
+		}
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
+	if st.Bounds.HasErrorBound() {
+		fmt.Fprintf(&b, " WITHIN ERROR %g CONFIDENCE %g", st.Bounds.MaxRelError, st.Bounds.Confidence)
+	}
+	if st.Bounds.HasTimeBound() {
+		fmt.Fprintf(&b, " WITHIN TIME %s", FormatDuration(st.Bounds.MaxTime))
+	}
+	return b.String()
+}
+
+// FormatDuration renders d in the single-unit form the lexer accepts:
+// time.Duration.String() emits multi-unit spellings like "1m30s",
+// which lex as two tokens, so the renderer picks the largest unit that
+// divides d evenly instead ("90s", "1500us").
+func FormatDuration(d time.Duration) string {
+	units := []struct {
+		d time.Duration
+		s string
+	}{
+		{time.Hour, "h"},
+		{time.Minute, "m"},
+		{time.Second, "s"},
+		{time.Millisecond, "ms"},
+		{time.Microsecond, "us"},
+	}
+	for _, u := range units {
+		if d%u.d == 0 {
+			return fmt.Sprintf("%d%s", d/u.d, u.s)
+		}
+	}
+	return fmt.Sprintf("%dns", d.Nanoseconds())
+}

@@ -1,0 +1,135 @@
+package sciborq
+
+import (
+	"testing"
+
+	"sciborq/internal/expr"
+	"sciborq/internal/recycler"
+	"sciborq/internal/vec"
+)
+
+// Guards for the versioned-view contract: impression versions bump on
+// every sample mutation, materialised fallback tables carry the
+// version in their name (so identity-keyed caches like the recycler
+// can never serve a selection computed on an older sample of the same
+// size), and the DB's cached bounded executor reads fresh views per
+// query instead of holding stale layer state.
+
+// TestRecyclerDistinguishesImpressionVersions materialises the same
+// impression at two versions with identical row counts and checks the
+// recycler treats them as distinct tables — no stale selection reuse.
+func TestRecyclerDistinguishesImpressionVersions(t *testing.T) {
+	db := ingestFixture(t)
+	im := db.Hierarchy("T").Layers()[0] // stream layer: full at cap, so
+	// both versions materialise the same row count
+	m1, err := im.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := recycler.New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := expr.Cmp{Op: vec.Lt, Left: expr.ColRef{Name: "ra"}, Right: 0.5}
+	sel1, err := rec.Filter(m1.Table, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Filter(m1.Table, pred); err != nil {
+		t.Fatal(err)
+	}
+	if s := rec.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("same-version refilter: %+v", s)
+	}
+
+	v1 := im.Version()
+	if err := db.Load("T", ingestBatch(1)); err != nil {
+		t.Fatal(err)
+	}
+	if im.Version() == v1 {
+		t.Fatal("load did not bump the impression version")
+	}
+	m2, err := im.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Table == m1.Table {
+		t.Fatal("materialise cache survived a version bump")
+	}
+	if m1.Table.Name() == m2.Table.Name() {
+		t.Fatalf("both versions materialise as %q — recycler keys would alias", m1.Table.Name())
+	}
+	if m1.Table.Len() != m2.Table.Len() {
+		t.Fatalf("fixture mismatch: the aliasing guard needs equal row counts, got %d vs %d",
+			m1.Table.Len(), m2.Table.Len())
+	}
+	sel2, err := rec.Filter(m2.Table, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := rec.Stats(); s.Hits != 1 || s.Misses != 2 || s.Entries != 2 {
+		t.Fatalf("new version must miss, not hit: %+v", s)
+	}
+	// Both selections stay usable; the old one still describes v1.
+	if len(sel1) == len(sel2) {
+		same := true
+		for i := range sel1 {
+			if sel1[i] != sel2[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Log("selections happen to coincide across versions (allowed, but suspicious for this fixture)")
+		}
+	}
+}
+
+// TestCachedBoundedExecutorSeesVersionBumps asserts the executor cached
+// in the DB does not need rebuilding when the hierarchy moves: the same
+// executor instance answers from the refreshed sample because it takes
+// views per query.
+func TestCachedBoundedExecutorSeesVersionBumps(t *testing.T) {
+	db := ingestFixture(t)
+	base, err := db.Table("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex1, err := db.boundedExecutor("T", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sql = "SELECT COUNT(*) AS c FROM T WITHIN ERROR 0.2 CONFIDENCE 0.95"
+	r1, err := db.Exec(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := r1.Bounded.Estimates[0].Value()
+
+	// Grow the base by 3x: a COUNT(*) estimate from any layer must move
+	// with it, through the *same* cached executor.
+	for b := 1; b <= 30; b++ {
+		if err := db.Load("T", ingestBatch(uint64(b))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ex2, err := db.boundedExecutor("T", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex1 != ex2 {
+		t.Fatal("executor cache rebuilt — the point is that it must NOT need rebuilding")
+	}
+	r2, err := db.Exec(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := r2.Bounded.Estimates[0].Value()
+	want := float64(ingestSeedRows + 30*ingestBatchRows)
+	if after == before {
+		t.Fatalf("estimate frozen at %v despite 3x growth", after)
+	}
+	if diff := after - want; diff > want/2 || diff < -want/2 {
+		t.Fatalf("post-growth COUNT estimate %v too far from %v", after, want)
+	}
+}

@@ -35,6 +35,14 @@
 // drives WITHIN TIME layer picking is calibrated for the configured
 // parallelism so time promises track the executor's real rows/sec.
 //
+// Bounded queries execute impressions natively: each layer is a sorted
+// row-position view (impression.View) scanned directly against a base
+// snapshot through the same morsel machinery (engine.FilterSel), with
+// zone maps skipping granules no sampled position lands in. Loads
+// running concurrently with bounded queries are safe — every
+// escalation rung describes the one snapshot taken for the query, and
+// layer views are clamped to it.
+//
 // # Local verification
 //
 // The Makefile mirrors CI exactly: `make build`, `make test`,
