@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json fuzz fmt vet ci
+.PHONY: all build test cover race bench bench-json fuzz fmt vet ci
 
 all: build
 
@@ -13,12 +13,18 @@ build:
 test:
 	$(GO) test ./...
 
+# Coverage profile over every package; CI uploads coverage.out as an
+# artifact.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+
 # Race-detector pass over the packages with concurrent execution paths
 # (the morsel worker pool, the bounded executor built on it, the
-# pooled hash infrastructure shared across scan workers, and the
-# impression views read by queries while loads mutate the samplers).
+# pooled hash infrastructure shared across scan workers, the impression
+# views read by queries while loads mutate the samplers, and the shared
+# recycler + the expr scratch-pool kernels it drives).
 race:
-	$(GO) test -race ./internal/engine/... ./internal/bounded/... ./internal/hashtab/... ./internal/impression/... .
+	$(GO) test -race ./internal/engine/... ./internal/bounded/... ./internal/hashtab/... ./internal/impression/... ./internal/recycler/... ./internal/expr/... .
 
 # Short fuzz smoke over the SQL front-end: Parse never panics and
 # accepted statements round-trip through Statement.String.
@@ -46,6 +52,9 @@ bench-json:
 	$(GO) test -json -run='^$$' -benchmem -benchtime=5x \
 		-bench='^BenchmarkBoundedQuery$$' \
 		. > BENCH_impression.json
+	$(GO) test -json -run='^$$' -benchmem -benchtime=5x \
+		-bench='^BenchmarkRecyclerRepeatedQuery$$' \
+		. > BENCH_recycler.json
 
 fmt:
 	@diff=$$(gofmt -l .); \

@@ -361,12 +361,12 @@ func BenchmarkAblationRecyclerOnOff(b *testing.B) {
 		}
 	})
 	b.Run("on", func(b *testing.B) {
-		rec, err := recycler.New(16)
+		rec, err := recycler.New(recycler.DefaultBudget)
 		if err != nil {
 			b.Fatal(err)
 		}
 		for i := 0; i < b.N; i++ {
-			if _, err := rec.Filter(sky.PhotoObjAll, pred); err != nil {
+			if _, _, err := rec.Filter(sky.PhotoObjAll, pred, engine.ExecOptions{Parallelism: 1}); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -130,11 +130,46 @@ func (db *DB) ExecStatement(st *sqlparse.Statement, sql string) (*Result, error)
 		}
 		return &Result{Rows: res, Elapsed: time.Since(start), SQL: sql}, nil
 	}
-	res, err := engine.RunOnOpts(base, st.Query, db.opts)
+	res, err := db.runExact(base, st.Query)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{Rows: res, Elapsed: time.Since(start), SQL: sql}, nil
+}
+
+// runExact evaluates an unbounded query, serving the WHERE selection
+// through the recycler: a repeated predicate skips its scan entirely,
+// and a refined one (p AND q after p) filters only the cached superset
+// selection. The query then executes over the same snapshot the
+// selection describes via the prefiltered engine path, whose morsel
+// merge layout makes results bit-identical to an uncached scan.
+// WHERE-less queries and a disabled recycler take the plain path.
+func (db *DB) runExact(base *table.Table, q engine.Query) (*engine.Result, error) {
+	if db.recycler == nil || q.Where == nil {
+		return engine.RunOnOpts(base, q, db.opts)
+	}
+	snap := base.Snapshot()
+	if len(q.Aggs) > 0 {
+		// The fused aggregate path never materialises a selection, so
+		// routing through the recycler only pays off if the result can
+		// actually be cached. The post-pruning scanned-row count bounds
+		// the match count from above; when even that bound is
+		// inadmissible, stay on the fused path instead of building (and
+		// then rejecting) a huge selection every query. Projections
+		// materialise the selection either way, so they always route.
+		if upper := engine.EstimateScanRows(snap, q.Pred(), db.opts); !db.recycler.Admissible(upper) {
+			return engine.RunOnOpts(snap, q, db.opts)
+		}
+	}
+	sel, scan, err := db.recycler.Filter(snap, q.Where, db.opts)
+	if err != nil {
+		return nil, err
+	}
+	if sel == nil {
+		// TRUE-equivalent predicate: nothing to reuse, scan normally.
+		return engine.RunOnOpts(snap, q, db.opts)
+	}
+	return engine.RunOnFilteredOpts(snap, sel, q, scan, db.opts)
 }
 
 // boundedExecutor returns the cached bounded executor for a table; the
@@ -148,6 +183,9 @@ func (db *DB) boundedExecutor(name string, base *table.Table) (*bounded.Executor
 	ex, err := bounded.NewExecutorOpts(base, db.hiers[name], db.cost, db.opts)
 	if err != nil {
 		return nil, err
+	}
+	if db.recycler != nil {
+		ex.UseRecycler(db.recycler)
 	}
 	db.execs[name] = ex
 	return ex, nil

@@ -27,6 +27,7 @@ import (
 	"sciborq/internal/engine"
 	"sciborq/internal/estimate"
 	"sciborq/internal/impression"
+	"sciborq/internal/recycler"
 	"sciborq/internal/sqlparse"
 	"sciborq/internal/table"
 	"sciborq/internal/vec"
@@ -42,6 +43,10 @@ type Executor struct {
 	base *table.Table
 	hier *impression.Hierarchy
 	opts engine.ExecOptions
+	// rec, when set, serves and caches the exact-base WHERE selection —
+	// the expensive rung of every escalation that falls through the
+	// sample layers (see UseRecycler).
+	rec *recycler.Recycler
 
 	mu   sync.Mutex
 	cost engine.CostModel
@@ -110,8 +115,15 @@ type target struct {
 	name  string
 	rows  int // sample rows (the Trail / layer-pick metric)
 	exact bool
-	// run evaluates the query's aggregates on this target.
-	run func(q engine.Query, confidence float64) ([]estimate.Estimate, error)
+	// run evaluates the query's aggregates on this target. evalRows
+	// reports how many rows the evaluation actually touched when that
+	// differs from the scanRows prediction (a recycler-served base rung
+	// touches 0 on a hit, |cached selection| on a refinement); -1 means
+	// "as predicted". The cost model must learn from evalRows, never
+	// the prediction — otherwise a cache-served latency charged against
+	// a full-scan row count drags ns/row toward zero and poisons every
+	// later time promise.
+	run func(q engine.Query, confidence float64) ([]estimate.Estimate, int, error)
 	// scanRows predicts the pruning-aware evaluated rows for the cost
 	// model: |impression| positions for selection targets (never
 	// |base|), zone-pruned base rows for the exact target.
@@ -139,8 +151,9 @@ func (e *Executor) targets() []target {
 			out = append(out, target{
 				name: sl.Name,
 				rows: len(sl.Positions),
-				run: func(q engine.Query, confidence float64) ([]estimate.Estimate, error) {
-					return estimate.AggregateOnSelOpts(sl, q, confidence, e.opts)
+				run: func(q engine.Query, confidence float64) ([]estimate.Estimate, int, error) {
+					ests, err := estimate.AggregateOnSelOpts(sl, q, confidence, e.opts)
+					return ests, -1, err
 				},
 				scanRows: func(q engine.Query) int {
 					return engine.EstimateSelScanRows(snap, q.Pred(), sl.Positions, e.opts)
@@ -150,6 +163,14 @@ func (e *Executor) targets() []target {
 	}
 	return append(out, e.baseTarget(snap))
 }
+
+// UseRecycler routes the exact-base rung's WHERE evaluation through a
+// shared selection cache: an error-bounded escalation that exhausts the
+// sample layers — or a repeated MIN/MAX/STDDEV query, which always
+// needs exact base data — re-filters the base table every time without
+// it. The recycler keys by (table ID, version), so answers stay
+// batch-atomic under concurrent loads.
+func (e *Executor) UseRecycler(r *recycler.Recycler) { e.rec = r }
 
 // baseTarget builds the exact base rung alone — the whole ladder (and
 // every layer's view refresh) is not needed for unbounded queries.
@@ -164,8 +185,17 @@ func (e *Executor) baseTarget(snap *table.Table) target {
 		name:  base.Name,
 		rows:  snap.Len(),
 		exact: true,
-		run: func(q engine.Query, confidence float64) ([]estimate.Estimate, error) {
-			return estimate.AggregateOnOpts(base, q, confidence, e.opts)
+		run: func(q engine.Query, confidence float64) ([]estimate.Estimate, int, error) {
+			if e.rec != nil && q.Where != nil {
+				sel, scan, err := e.rec.Filter(snap, q.Where, e.opts)
+				if err != nil {
+					return nil, 0, err
+				}
+				ests, err := estimate.AggregateOnFiltered(base, q, confidence, sel)
+				return ests, scan.ScannedRows, err
+			}
+			ests, err := estimate.AggregateOnOpts(base, q, confidence, e.opts)
+			return ests, -1, err
 		},
 		scanRows: func(q engine.Query) int {
 			return engine.EstimateScanRows(snap, q.Pred(), e.opts)
@@ -190,7 +220,7 @@ func (e *Executor) Run(st *sqlparse.Statement) (*Answer, error) {
 func (e *Executor) exact(q engine.Query) (*Answer, error) {
 	start := time.Now()
 	base := e.baseTarget(e.base.Snapshot())
-	ests, err := base.run(q, 0.95)
+	ests, _, err := base.run(q, 0.95)
 	if err != nil {
 		return nil, err
 	}
@@ -215,7 +245,7 @@ func (e *Executor) ErrorBounded(q engine.Query, eps, confidence float64) (*Answe
 	ans := &Answer{}
 	for _, l := range e.targets() {
 		ls := time.Now()
-		ests, err := l.run(q, confidence)
+		ests, _, err := l.run(q, confidence)
 		if err != nil {
 			return nil, err
 		}
@@ -282,12 +312,18 @@ func (e *Executor) TimeBounded(q engine.Query, budget time.Duration, b sqlparse.
 	}
 	promised := model.Predict(pickRows)
 	start := time.Now()
-	ests, err := pick.run(q, confidence)
+	ests, evalRows, err := pick.run(q, confidence)
 	if err != nil {
 		return nil, err
 	}
 	elapsed := time.Since(start)
-	e.observe(pickRows, elapsed)
+	// Learn from what actually ran: a recycler-served base rung touched
+	// evalRows rows (0 on a hit — observe skips tiny inputs), not the
+	// predicted full scan.
+	if evalRows < 0 {
+		evalRows = pickRows
+	}
+	e.observe(evalRows, elapsed)
 	ans := &Answer{
 		Estimates: ests,
 		Layer:     pick.name,

@@ -89,10 +89,13 @@ func RunOnOpts(t *table.Table, q Query, opts ExecOptions) (*Result, error) {
 	}
 	t = t.Snapshot()
 	if len(q.Aggs) > 0 {
-		if q.GroupBy != "" {
-			return groupByAggregate(t, q, opts)
+		drive := func(perMorsel func(m, lo, hi int, sel vec.Sel) error) (ScanStats, error) {
+			return scanMorsels(t, t.Len(), q.Pred(), opts, perMorsel)
 		}
-		return aggregate(t, q, opts)
+		if q.GroupBy != "" {
+			return groupByAggregate(t, q, opts, drive)
+		}
+		return aggregate(t, q, opts, drive)
 	}
 	sel, stats, err := filterSnapshot(t, q.Pred(), opts)
 	if err != nil {
@@ -212,18 +215,27 @@ func aggArgs(t *table.Table, aggs []AggSpec) ([][]float64, error) {
 	return args, nil
 }
 
+// scanDriver feeds per-morsel selections into an aggregation fold. The
+// base driver (built in RunOnOpts) filters every morsel of a full
+// scan; the prefiltered driver (RunOnFilteredOpts) partitions an
+// already-computed selection by granule. Both hand morsels to the fold
+// in the same (m, lo, hi) layout, so the partial-merge order — and with
+// it every floating-point result — is identical between a cold scan
+// and a recycled selection.
+type scanDriver func(perMorsel func(m, lo, hi int, sel vec.Sel) error) (ScanStats, error)
+
 // aggregate evaluates a global (ungrouped) aggregate query with the
-// fused morsel pipeline: each morsel filters its row range and folds
-// per-aggregate moments, and the partials merge in morsel order. t is
-// the query snapshot taken by RunOnOpts.
-func aggregate(t *table.Table, q Query, opts ExecOptions) (*Result, error) {
+// fused morsel pipeline: each morsel folds per-aggregate moments over
+// the selection the driver hands it, and the partials merge in morsel
+// order. t is the query snapshot taken by RunOnOpts.
+func aggregate(t *table.Table, q Query, opts ExecOptions, drive scanDriver) (*Result, error) {
 	n := t.Len()
 	args, err := aggArgs(t, q.Aggs)
 	if err != nil {
 		return nil, err
 	}
 	partials := make([][]stats.Moments, opts.morselCount(n))
-	scan, err := scanMorsels(t, n, q.Pred(), opts, func(m, lo, hi int, sel vec.Sel) error {
+	scan, err := drive(func(m, lo, hi int, sel vec.Sel) error {
 		ms := make([]stats.Moments, len(q.Aggs))
 		forSel(sel, lo, hi, func(row int32) {
 			for i := range q.Aggs {
@@ -343,7 +355,7 @@ type groupPartial struct {
 // first-seen group order (and every floating-point merge) matches the
 // sequential scan order exactly. Zone-map-pruned morsels leave empty
 // partials, which merge as no-ops. t is the query snapshot.
-func groupByAggregate(t *table.Table, q Query, opts ExecOptions) (*Result, error) {
+func groupByAggregate(t *table.Table, q Query, opts ExecOptions, drive scanDriver) (*Result, error) {
 	n := t.Len()
 	grp, err := GroupingFor(t, q.GroupBy)
 	if err != nil {
@@ -355,7 +367,7 @@ func groupByAggregate(t *table.Table, q Query, opts ExecOptions) (*Result, error
 	}
 	naggs := len(q.Aggs)
 	partials := make([]groupPartial, opts.morselCount(n))
-	scan, err := scanMorsels(t, n, q.Pred(), opts, func(m, lo, hi int, sel vec.Sel) error {
+	scan, err := drive(func(m, lo, hi int, sel vec.Sel) error {
 		p := groupPartial{tab: hashtab.GetTable(), ms: stats.GetMoments(0)}
 		forSel(sel, lo, hi, func(row int32) {
 			gid, fresh := p.tab.GetOrInsert(grp.Key(row))

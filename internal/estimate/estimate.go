@@ -105,29 +105,56 @@ func AggregateOn(l Layer, q engine.Query, level float64) ([]Estimate, error) {
 // which is what lets time-bounded execution promise the parallel
 // executor's rows/sec rather than a single core's.
 func AggregateOnOpts(l Layer, q engine.Query, level float64, opts engine.ExecOptions) ([]Estimate, error) {
-	if err := l.Validate(); err != nil {
-		return nil, err
-	}
-	if len(q.Aggs) == 0 {
-		return nil, fmt.Errorf("estimate: query has no aggregates")
-	}
-	if q.GroupBy != "" {
-		return nil, fmt.Errorf("estimate: grouped bounded queries are not supported (run one query per group)")
-	}
 	// One snapshot for the whole estimation: the filter selection, the
 	// materialised aggregate arguments, and every Len() must describe
 	// the same row prefix even while the layer's source table is being
 	// loaded concurrently.
 	l.Table = l.Table.Snapshot()
+	if err := validateAggQuery(l, q); err != nil {
+		return nil, err
+	}
 	sel, err := engine.Filter(l.Table, q.Pred(), opts)
 	if err != nil {
 		return nil, err
 	}
+	return estimateAll(l, q, level, sel)
+}
+
+// AggregateOnFiltered is AggregateOnOpts with the WHERE selection
+// already computed — the recycler's hook into bounded execution. sel
+// must list exactly the rows of l.Table satisfying q's predicate (nil =
+// all rows), evaluated against the same snapshot state; the predicate
+// is not re-evaluated here.
+func AggregateOnFiltered(l Layer, q engine.Query, level float64, sel vec.Sel) ([]Estimate, error) {
+	l.Table = l.Table.Snapshot()
+	if err := validateAggQuery(l, q); err != nil {
+		return nil, err
+	}
+	return estimateAll(l, q, level, sel)
+}
+
+func validateAggQuery(l Layer, q engine.Query) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	if len(q.Aggs) == 0 {
+		return fmt.Errorf("estimate: query has no aggregates")
+	}
+	if q.GroupBy != "" {
+		return fmt.Errorf("estimate: grouped bounded queries are not supported (run one query per group)")
+	}
+	return nil
+}
+
+// estimateAll computes every aggregate estimate of q from a predicate
+// selection over the layer snapshot.
+func estimateAll(l Layer, q engine.Query, level float64, sel vec.Sel) ([]Estimate, error) {
 	matched := sel.Len(l.Table.Len())
 	out := make([]Estimate, 0, len(q.Aggs))
 	for _, spec := range q.Aggs {
 		var full []float64
 		if spec.Arg != nil {
+			var err error
 			full, err = spec.Arg.EvalF64(l.Table)
 			if err != nil {
 				return nil, err

@@ -2,118 +2,362 @@
 // of the MonetDB recycler the paper builds on ([13], §3.3): selection
 // vectors of recently evaluated predicates are memoised so that repeated
 // exploration queries (the dominant SkyServer pattern) skip re-scanning,
-// and so that predicate logging for impressions stays cheap.
+// and refined queries (p AND q issued after p — the scientist zooming
+// in) are answered by filtering only the cached superset selection.
 //
-// The cache is keyed by (table identity, table length, predicate
-// rendering): because tables are append-only, a cached selection is
-// valid exactly while the table length is unchanged.
+// Identity discipline: entries are keyed by (table ID, table version,
+// canonical predicate encoding). The ID is process-unique per logical
+// table and the version bumps on every mutation, so a same-length
+// truncate/rebuild or a re-materialised sample of equal size can never
+// alias an older selection — the hit path never has to inspect row
+// data. Keys are compact binary strings built by expr.PredKey: no fmt
+// on the query hot path. expr.Canonical normalises commuted/nested
+// conjunctions and merges redundant interval bounds first, so "a AND b"
+// and "b AND a" share one entry.
+//
+// Memory discipline: entries charge len(sel)*4 bytes (the backing
+// int32s) against a byte budget. Eviction is LRU by bytes, admission
+// rejects any single selection larger than a fraction of the budget,
+// and entries of superseded table versions are dropped eagerly the
+// moment a newer version of the same table is inserted.
+//
+// Subsumption: a miss for a conjunction first searches the same table
+// version for an entry whose conjuncts are a subset of (or are implied
+// by, via interval containment) the query's. The residual conjuncts
+// then evaluate sel-natively over the cached positions through
+// engine.FilterSel — cost proportional to the cached selection (zone
+// maps still prune granules), never to the base table.
 package recycler
 
 import (
 	"container/list"
+	"encoding/binary"
 	"fmt"
 	"sync"
 
+	"sciborq/internal/engine"
 	"sciborq/internal/expr"
 	"sciborq/internal/table"
 	"sciborq/internal/vec"
 )
 
+// DefaultBudget is the byte budget Open-style callers use when none is
+// configured: 32 MiB of selection vectors.
+const DefaultBudget = 32 << 20
+
+// admissionDivisor bounds a single entry to budget/admissionDivisor
+// bytes: one huge selection must not wipe the working set.
+const admissionDivisor = 4
+
+// subsumptionScanCap bounds how many same-table candidates one miss
+// examines under the lock. The search is a reuse heuristic, not a
+// correctness requirement: capping it keeps a miss O(cap) even when a
+// large budget holds thousands of small entries, at the price of
+// possibly overlooking a reusable superset in a very full bucket.
+const subsumptionScanCap = 128
+
 // Stats reports cache effectiveness.
 type Stats struct {
-	Hits      int64
-	Misses    int64
+	// Hits counts exact canonical-key hits (no evaluation at all).
+	Hits int64
+	// SubsumedHits counts misses answered by refining a cached
+	// superset selection (evaluation cost ∝ cached selection).
+	SubsumedHits int64
+	// Misses counts cold evaluations over the base table.
+	Misses int64
+	// Evictions counts entries dropped for budget or version staleness.
 	Evictions int64
-	Entries   int
+	// AdmissionRejects counts selections denied entry for being larger
+	// than the per-entry admission bound.
+	AdmissionRejects int64
+	// Entries is the resident entry count; Bytes their charged sum.
+	Entries int
+	Bytes   int64
+	// Budget echoes the configured byte budget.
+	Budget int64
 }
 
-// HitRate returns hits / (hits + misses), 0 when empty.
+// HitRate returns the fraction of lookups served from cached state
+// (exact or subsumed), 0 when empty.
 func (s Stats) HitRate() float64 {
-	total := s.Hits + s.Misses
+	total := s.Hits + s.SubsumedHits + s.Misses
 	if total == 0 {
 		return 0
 	}
-	return float64(s.Hits) / float64(total)
+	return float64(s.Hits+s.SubsumedHits) / float64(total)
 }
 
-// Recycler memoises predicate selections with LRU eviction.
+// conjunct is one canonical conjunct with its binary key.
+type conjunct struct {
+	key  string
+	pred expr.Predicate
+}
+
+// entry is one cached selection.
+type entry struct {
+	key     string // full (id, version, predicate) key
+	id, ver uint64
+	sel     vec.Sel
+	conj    []conjunct // canonical conjuncts, ascending by key
+	bytes   int64
+	elem    *list.Element
+}
+
+// Recycler memoises predicate selections with byte-budgeted LRU
+// eviction and subsumption-aware reuse.
 type Recycler struct {
 	mu      sync.Mutex
-	cap     int
-	entries map[string]*list.Element
-	order   *list.List // front = most recent
+	budget  int64
+	entries map[string]*entry
+	order   *list.List // front = most recent; Value = *entry
+	byID    map[uint64]map[*entry]struct{}
 	stats   Stats
 }
 
-type entry struct {
-	key string
-	sel vec.Sel
-}
-
-// New returns a recycler holding at most capacity selections.
-func New(capacity int) (*Recycler, error) {
-	if capacity <= 0 {
-		return nil, fmt.Errorf("recycler: capacity must be positive, got %d", capacity)
+// New returns a recycler charging selections against a byte budget.
+func New(budgetBytes int64) (*Recycler, error) {
+	if budgetBytes <= 0 {
+		return nil, fmt.Errorf("recycler: budget must be positive, got %d", budgetBytes)
 	}
 	return &Recycler{
-		cap:     capacity,
-		entries: make(map[string]*list.Element, capacity),
+		budget:  budgetBytes,
+		entries: make(map[string]*entry),
 		order:   list.New(),
+		byID:    make(map[uint64]map[*entry]struct{}),
 	}, nil
 }
 
-// key builds the cache key; table length participates so appends
-// invalidate implicitly.
-func key(t *table.Table, pred expr.Predicate) string {
-	return fmt.Sprintf("%s|%d|%s", t.Name(), t.Len(), pred)
+// Admissible reports whether a selection of the given row count could
+// pass admission. Callers with a cheap upper bound on the match count
+// (e.g. engine.EstimateScanRows) use it to skip the recycler — and the
+// full-selection materialisation feeding it — for queries whose result
+// could never be cached anyway.
+func (r *Recycler) Admissible(rows int) bool {
+	return int64(rows)*4 <= r.budget/admissionDivisor
+}
+
+// keyPrefix encodes the (id, version) identity prefix of a cache key.
+func keyPrefix(buf []byte, id, ver uint64) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, id)
+	return binary.BigEndian.AppendUint64(buf, ver)
 }
 
 // Filter evaluates pred over all rows of t, serving repeated predicates
-// from the cache.
-func (r *Recycler) Filter(t *table.Table, pred expr.Predicate) (vec.Sel, error) {
-	if pred == nil {
-		pred = expr.TruePred{}
+// from the cache and refined predicates from cached supersets. The
+// returned selection is shared with the cache: callers must treat it as
+// read-only. The ScanStats report what evaluation actually ran — zero
+// for an exact hit. A nil or TRUE predicate returns (nil, …): "all
+// rows" is free to recompute and is never cached.
+func (r *Recycler) Filter(t *table.Table, pred expr.Predicate, opts engine.ExecOptions) (vec.Sel, engine.ScanStats, error) {
+	if isTrue(pred) {
+		return nil, engine.ScanStats{}, nil
 	}
-	// The hit path reads only name+length from the live table — no
-	// snapshot cost for the dominant repeated-query case.
-	k := key(t, pred)
+	// All work happens against one snapshot: the key's version and the
+	// cached positions describe the same immutable row prefix even when
+	// loads land mid-query.
+	snap := t.Snapshot()
+	canon := expr.Canonical(pred)
+	if isTrue(canon) {
+		return nil, engine.ScanStats{}, nil
+	}
+	keyBuf, keyable := expr.PredKey(keyPrefix(make([]byte, 0, 64), snap.ID(), snap.Version()), canon)
+	if !keyable {
+		// User-defined predicate shapes cannot be keyed safely;
+		// evaluate uncached (and count nothing — this is not the
+		// workload the cache models).
+		sel, scan, err := engine.FilterStats(snap, pred, opts)
+		if err != nil {
+			return nil, scan, err
+		}
+		return concrete(sel, snap.Len()), scan, nil
+	}
+
 	r.mu.Lock()
-	if el, ok := r.entries[k]; ok {
-		r.order.MoveToFront(el)
+	if e, ok := r.entries[string(keyBuf)]; ok {
+		r.order.MoveToFront(e.elem)
 		r.stats.Hits++
-		sel := el.Value.(*entry).sel
+		sel := e.sel
 		r.mu.Unlock()
-		return sel, nil
+		return sel, engine.ScanStats{}, nil
 	}
-	r.stats.Misses++
+	conj := conjuncts(canon)
+	super, residual := r.findSupersetLocked(snap.ID(), snap.Version(), conj)
+	if super != nil {
+		r.stats.SubsumedHits++
+	} else {
+		r.stats.Misses++
+	}
 	r.mu.Unlock()
 
-	// Miss: evaluate on a snapshot and re-key from it, so the stored
-	// length and the cached selection describe the same row prefix even
-	// if a load slipped in since the lookup.
-	t = t.Snapshot()
-	k = key(t, pred)
-	sel, err := pred.Filter(t, nil)
-	if err != nil {
-		return nil, err
+	var (
+		sel  vec.Sel
+		scan engine.ScanStats
+		err  error
+	)
+	if super != nil {
+		// Refinement: the cached selection is a superset of the answer;
+		// only the residual conjuncts run, sel-natively, over it.
+		sel, scan, err = engine.FilterSel(snap, expr.JoinAnd(residual), super, opts)
+	} else {
+		sel, scan, err = engine.FilterStats(snap, canon, opts)
+		sel = concrete(sel, snap.Len())
 	}
+	if err != nil {
+		return nil, scan, err
+	}
+	r.insert(string(keyBuf), snap.ID(), snap.Version(), conj, sel)
+	return sel, scan, nil
+}
 
+// findSupersetLocked searches the (id, ver) bucket for the cheapest
+// entry whose predicate is implied by the query conjunction — every
+// cached conjunct either appears verbatim in the query (by key) or is
+// implied by one of its conjuncts (interval containment). It returns
+// that entry's selection and the query conjuncts that still need
+// evaluating (those without a verbatim match). Caller holds r.mu; the
+// returned selection stays valid after unlock because evicted entries
+// are only unlinked, never mutated.
+func (r *Recycler) findSupersetLocked(id, ver uint64, conj []conjunct) (vec.Sel, []expr.Predicate) {
+	var best *entry
+	examined := 0
+	for e := range r.byID[id] {
+		if examined++; examined > subsumptionScanCap {
+			break
+		}
+		if e.ver != ver {
+			continue
+		}
+		if best != nil && len(e.sel) >= len(best.sel) {
+			continue
+		}
+		if covers(conj, e.conj) {
+			best = e
+		}
+	}
+	if best == nil {
+		return nil, nil
+	}
+	residual := residualOf(conj, best.conj)
+	if len(residual) == 0 {
+		// Identical conjunct sets would have hit the exact key; implied-
+		// only entries always leave a residual. Defensive: treat an
+		// empty residual as no candidate rather than returning a
+		// superset as the answer.
+		return nil, nil
+	}
+	r.order.MoveToFront(best.elem)
+	return best.sel, residual
+}
+
+// covers reports whether every cached conjunct is satisfied whenever
+// the whole query conjunction is: a verbatim key match, or implication
+// from some query conjunct. Both slices are ascending by key.
+func covers(query []conjunct, cached []conjunct) bool {
+	i := 0
+	for _, c := range cached {
+		for i < len(query) && query[i].key < c.key {
+			i++
+		}
+		if i < len(query) && query[i].key == c.key {
+			continue
+		}
+		implied := false
+		for _, q := range query {
+			if expr.Implies(q.pred, c.pred) {
+				implied = true
+				break
+			}
+		}
+		if !implied {
+			return false
+		}
+	}
+	return true
+}
+
+// residualOf returns the query conjuncts without a verbatim match in
+// the cached entry — the predicates that must still run over the
+// cached selection. Both inputs are ascending by key.
+func residualOf(query []conjunct, cached []conjunct) []expr.Predicate {
+	var out []expr.Predicate
+	j := 0
+	for _, q := range query {
+		for j < len(cached) && cached[j].key < q.key {
+			j++
+		}
+		if j < len(cached) && cached[j].key == q.key {
+			continue
+		}
+		out = append(out, q.pred)
+	}
+	return out
+}
+
+// insert admits a freshly computed selection, evicting stale versions
+// of the same table and then LRU entries until the budget holds.
+func (r *Recycler) insert(key string, id, ver uint64, conj []conjunct, sel vec.Sel) {
+	bytes := int64(len(sel)) * 4
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if el, ok := r.entries[k]; ok {
-		// Raced with another evaluation of the same predicate; keep one.
-		r.order.MoveToFront(el)
-		return el.Value.(*entry).sel, nil
+	if bytes > r.budget/admissionDivisor {
+		r.stats.AdmissionRejects++
+		return
 	}
-	el := r.order.PushFront(&entry{key: k, sel: sel})
-	r.entries[k] = el
-	if r.order.Len() > r.cap {
+	if e, ok := r.entries[key]; ok {
+		// Raced with another evaluation of the same predicate; keep the
+		// incumbent.
+		r.order.MoveToFront(e.elem)
+		return
+	}
+	bucket := r.byID[id]
+	for o := range bucket {
+		if o.ver > ver {
+			// A straggler: the query snapshotted before a concurrent
+			// load, and the cache already holds entries for a newer
+			// version no future snapshot of this table will miss past.
+			// Don't spend budget on a selection that can never be hit
+			// again — and never evict the fresh entries.
+			return
+		}
+	}
+	e := &entry{key: key, id: id, ver: ver, sel: sel, conj: conj, bytes: bytes}
+	e.elem = r.order.PushFront(e)
+	r.entries[key] = e
+	if bucket == nil {
+		bucket = make(map[*entry]struct{})
+		r.byID[id] = bucket
+	}
+	bucket[e] = struct{}{}
+	r.stats.Bytes += bytes
+
+	// A newer version of this table supersedes every older one — the
+	// base is append-only, so strictly-older entries can only be hit by
+	// straggler snapshots and are better spent on the budget.
+	for o := range bucket {
+		if o.ver < ver {
+			r.evictLocked(o)
+		}
+	}
+	for r.stats.Bytes > r.budget {
 		oldest := r.order.Back()
-		r.order.Remove(oldest)
-		delete(r.entries, oldest.Value.(*entry).key)
-		r.stats.Evictions++
+		if oldest == nil {
+			break
+		}
+		r.evictLocked(oldest.Value.(*entry))
 	}
-	return sel, nil
+}
+
+func (r *Recycler) evictLocked(e *entry) {
+	r.order.Remove(e.elem)
+	delete(r.entries, e.key)
+	if bucket := r.byID[e.id]; bucket != nil {
+		delete(bucket, e)
+		if len(bucket) == 0 {
+			delete(r.byID, e.id)
+		}
+	}
+	r.stats.Bytes -= e.bytes
+	r.stats.Evictions++
 }
 
 // Stats returns a snapshot of cache statistics.
@@ -122,6 +366,7 @@ func (r *Recycler) Stats() Stats {
 	defer r.mu.Unlock()
 	s := r.stats
 	s.Entries = r.order.Len()
+	s.Budget = r.budget
 	return s
 }
 
@@ -129,7 +374,41 @@ func (r *Recycler) Stats() Stats {
 func (r *Recycler) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.entries = make(map[string]*list.Element, r.cap)
+	r.entries = make(map[string]*entry)
 	r.order = list.New()
+	r.byID = make(map[uint64]map[*entry]struct{})
 	r.stats = Stats{}
+}
+
+// conjuncts splits a canonical predicate into its keyed conjunct list
+// (ascending by key — Canonical already sorts And chains).
+func conjuncts(canon expr.Predicate) []conjunct {
+	preds := expr.SplitAnd(canon)
+	out := make([]conjunct, 0, len(preds))
+	for _, p := range preds {
+		key, ok := expr.PredKey(nil, p)
+		if !ok {
+			// Cannot happen: the whole predicate was keyable.
+			continue
+		}
+		out = append(out, conjunct{key: string(key), pred: p})
+	}
+	return out
+}
+
+// concrete materialises the engine's nil-means-all-rows convention into
+// an explicit selection so it can be cached and served uniformly.
+func concrete(sel vec.Sel, n int) vec.Sel {
+	if sel == nil {
+		return vec.NewSelAll(n)
+	}
+	return sel
+}
+
+func isTrue(p expr.Predicate) bool {
+	if p == nil {
+		return true
+	}
+	_, ok := p.(expr.TruePred)
+	return ok
 }

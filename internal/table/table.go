@@ -11,10 +11,19 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"sciborq/internal/column"
 	"sciborq/internal/vec"
 )
+
+// tableIDs issues process-unique table identities. Two tables that
+// merely share a name (a dropped-and-rebuilt table, a re-materialised
+// sample) get distinct IDs, so identity-keyed caches can never confuse
+// them even when their names and lengths coincide.
+var tableIDs atomic.Uint64
+
+func nextTableID() uint64 { return tableIDs.Add(1) }
 
 // ColumnDef describes one column of a schema.
 type ColumnDef struct {
@@ -51,6 +60,14 @@ type Table struct {
 	schema Schema
 	cols   []column.Column
 	byName map[string]int
+	// id is the process-unique table identity; snapshots share their
+	// source's id.
+	id uint64
+	// ver counts mutations (appends and rollback truncations). A
+	// snapshot freezes the version it was taken at, so (id, ver)
+	// uniquely names one immutable row-prefix state — the identity
+	// discipline version-keyed caches rely on.
+	ver uint64
 	// snap marks point-in-time views produced by Snapshot: reads share
 	// the source's value storage, appends are rejected.
 	snap bool
@@ -66,6 +83,7 @@ func New(name string, schema Schema) (*Table, error) {
 		schema: schema,
 		cols:   make([]column.Column, len(schema)),
 		byName: make(map[string]int, len(schema)),
+		id:     nextTableID(),
 	}
 	for i, def := range schema {
 		if def.Name == "" {
@@ -91,6 +109,25 @@ func MustNew(name string, schema Schema) *Table {
 
 // Name returns the table name.
 func (t *Table) Name() string { return t.name }
+
+// ID returns the table's process-unique identity. Snapshots share the
+// identity of their source table; independently created tables never
+// share one, even when their names collide.
+func (t *Table) ID() uint64 { return t.id }
+
+// Version returns the table's mutation counter. It bumps on every
+// append (and on batch-rollback truncation), so (ID, Version) uniquely
+// names one immutable prefix state of the table — a same-length rebuild
+// or truncate can never alias an older state. For a snapshot it is the
+// version frozen at snapshot time.
+func (t *Table) Version() uint64 {
+	if t.snap {
+		return t.ver
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.ver
+}
 
 // Schema returns the table schema (shared; callers must not mutate).
 func (t *Table) Schema() Schema { return t.schema }
@@ -167,7 +204,8 @@ func (t *Table) Snapshot() *Table {
 	for i, c := range t.cols {
 		cols[i] = c.SnapshotView(n)
 	}
-	return &Table{name: t.name, schema: t.schema, cols: cols, byName: t.byName, snap: true}
+	return &Table{name: t.name, schema: t.schema, cols: cols, byName: t.byName,
+		id: t.id, ver: t.ver, snap: true}
 }
 
 // Row is one tuple in schema order. Values must match the column types:
@@ -219,6 +257,7 @@ func (t *Table) appendRowLocked(r Row) error {
 			c.Append(v.(bool))
 		}
 	}
+	t.ver++
 	return nil
 }
 
@@ -261,11 +300,15 @@ func (t *Table) AppendColumns(chunks []column.Column) error {
 			return err
 		}
 	}
+	t.ver++
 	return nil
 }
 
-// truncateLocked drops rows beyond n; used only to roll back failed batches.
+// truncateLocked drops rows beyond n; used only to roll back failed
+// batches. It still bumps the version: content is unchanged but any
+// in-between state must not alias, and a conservative bump is harmless.
 func (t *Table) truncateLocked(n int) {
+	t.ver++
 	for i, c := range t.cols {
 		if c.Len() <= n {
 			continue
@@ -295,7 +338,8 @@ func (t *Table) Project(name string, colNames []string, sel vec.Sel) (*Table, er
 		schema = append(schema, t.schema[i])
 		cols = append(cols, t.cols[i].Slice(sel))
 	}
-	out := &Table{name: name, schema: schema, cols: cols, byName: make(map[string]int, len(schema))}
+	out := &Table{name: name, schema: schema, cols: cols,
+		byName: make(map[string]int, len(schema)), id: nextTableID()}
 	for i, def := range schema {
 		out.byName[def.Name] = i
 	}

@@ -1,0 +1,122 @@
+package sciborq
+
+import (
+	"sync"
+	"testing"
+)
+
+// Recycler-under-ingest audit (run under -race in CI): N goroutines
+// issue repeated and refined queries through one shared recycler while
+// Load batches stream into the base table. The recycler keys cached
+// selections by (table ID, version) captured from the query's own
+// snapshot, so every answer must describe a batch-atomic prefix — a
+// count can never mix rows from a half-applied batch, and a selection
+// cached at one version can never be served for another.
+
+const (
+	raceBatchRows    = 64
+	raceMatchPerLoad = 16 // rows per batch with v < 0.5
+	raceBatches      = 50
+)
+
+// raceBatch builds one deterministic batch: exactly raceMatchPerLoad
+// rows at v = 0.25 (matching v < 0.5, and v > 0.1), the rest at 0.75.
+func raceBatch() []Row {
+	rows := make([]Row, raceBatchRows)
+	for i := range rows {
+		v := 0.75
+		if i < raceMatchPerLoad {
+			v = 0.25
+		}
+		rows[i] = Row{v}
+	}
+	return rows
+}
+
+func TestRecyclerConcurrentExecWhileLoad(t *testing.T) {
+	db := Open(testCost(), WithParallelism(2))
+	if _, err := db.CreateTable("R", Schema{{Name: "v", Type: Float64}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Load("R", raceBatch()); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []string{
+		// The dominant repeated predicate...
+		"SELECT COUNT(*) AS c FROM R WHERE v < 0.5",
+		// ...its refinement (answered by subsumption when versions align)...
+		"SELECT COUNT(*) AS c FROM R WHERE v < 0.5 AND v > 0.1",
+		// ...and a commuted spelling that must share the same entries.
+		"SELECT COUNT(*) AS c FROM R WHERE v > 0.1 AND v < 0.5",
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for b := 0; b < raceBatches; b++ {
+			if err := db.Load("R", raceBatch()); err != nil {
+				t.Errorf("load %d: %v", b, err)
+				return
+			}
+		}
+	}()
+
+	const goroutines = 4
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				sql := queries[(g+i)%len(queries)]
+				res, err := db.Exec(sql)
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				c, err := res.Scalar("c")
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				n := int(c)
+				// Every batch contributes exactly raceMatchPerLoad
+				// matches, so any batch-atomic prefix count is a
+				// multiple of it; a stale selection served across
+				// versions or a torn batch would break the invariant.
+				if n < raceMatchPerLoad || n > raceMatchPerLoad*(raceBatches+1) || n%raceMatchPerLoad != 0 {
+					t.Errorf("goroutine %d: COUNT %d is not a batch-atomic prefix", g, n)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := db.RecyclerStats()
+	if st.Hits+st.SubsumedHits+st.Misses == 0 {
+		t.Fatalf("queries bypassed the recycler entirely: %+v", st)
+	}
+	// After loads quiesce, repeats must hit and land on the final count.
+	final := raceMatchPerLoad * (raceBatches + 1)
+	for _, sql := range queries {
+		for i := 0; i < 2; i++ {
+			res, err := db.Exec(sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := res.Scalar("c")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int(c) != final {
+				t.Fatalf("post-quiesce %q = %d, want %d", sql, int(c), final)
+			}
+		}
+	}
+	quiesced := db.RecyclerStats()
+	if quiesced.Hits <= st.Hits {
+		t.Fatalf("post-quiesce repeats did not hit: before %+v after %+v", st, quiesced)
+	}
+}

@@ -3,6 +3,7 @@ package sciborq
 import (
 	"testing"
 
+	"sciborq/internal/engine"
 	"sciborq/internal/expr"
 	"sciborq/internal/recycler"
 	"sciborq/internal/vec"
@@ -26,16 +27,17 @@ func TestRecyclerDistinguishesImpressionVersions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rec, err := recycler.New(16)
+	rec, err := recycler.New(1 << 20)
 	if err != nil {
 		t.Fatal(err)
 	}
+	seq := engine.ExecOptions{Parallelism: 1}
 	pred := expr.Cmp{Op: vec.Lt, Left: expr.ColRef{Name: "ra"}, Right: 0.5}
-	sel1, err := rec.Filter(m1.Table, pred)
+	sel1, _, err := rec.Filter(m1.Table, pred, seq)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rec.Filter(m1.Table, pred); err != nil {
+	if _, _, err := rec.Filter(m1.Table, pred, seq); err != nil {
 		t.Fatal(err)
 	}
 	if s := rec.Stats(); s.Hits != 1 || s.Misses != 1 {
@@ -63,7 +65,7 @@ func TestRecyclerDistinguishesImpressionVersions(t *testing.T) {
 		t.Fatalf("fixture mismatch: the aliasing guard needs equal row counts, got %d vs %d",
 			m1.Table.Len(), m2.Table.Len())
 	}
-	sel2, err := rec.Filter(m2.Table, pred)
+	sel2, _, err := rec.Filter(m2.Table, pred, seq)
 	if err != nil {
 		t.Fatal(err)
 	}

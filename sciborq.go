@@ -105,7 +105,8 @@ type DB struct {
 	loggers  map[string]*workload.Logger
 	hiers    map[string]*impression.Hierarchy
 	execs    map[string]*bounded.Executor
-	recycler *recycler.Recycler
+	recycler *recycler.Recycler // nil when disabled
+	recBytes int64
 	cost     engine.CostModel
 	opts     engine.ExecOptions
 	seed     uint64
@@ -139,23 +140,36 @@ func WithExecOptions(opts engine.ExecOptions) Option {
 	return func(db *DB) { db.opts = opts }
 }
 
+// WithRecyclerBudget sets the byte budget of the selection recycler —
+// the §3.3-style cache that serves repeated and refined WHERE
+// predicates without re-scanning. Selections charge 4 bytes per cached
+// row position and evict LRU-by-bytes. Zero or negative disables the
+// recycler entirely (every query re-filters from scratch); the default
+// is recycler.DefaultBudget (32 MiB).
+func WithRecyclerBudget(bytes int64) Option {
+	return func(db *DB) { db.recBytes = bytes }
+}
+
 // Open creates an empty database.
 func Open(opts ...Option) *DB {
-	rec, err := recycler.New(256)
-	if err != nil {
-		panic(err) // constant capacity; cannot happen
-	}
 	db := &DB{
 		catalog:  table.NewCatalog(),
 		loaders:  make(map[string]*loader.Loader),
 		loggers:  make(map[string]*workload.Logger),
 		hiers:    make(map[string]*impression.Hierarchy),
 		execs:    make(map[string]*bounded.Executor),
-		recycler: rec,
+		recBytes: recycler.DefaultBudget,
 		seed:     1,
 	}
 	for _, o := range opts {
 		o(db)
+	}
+	if db.recBytes > 0 {
+		rec, err := recycler.New(db.recBytes)
+		if err != nil {
+			panic(err) // positive budget; cannot happen
+		}
+		db.recycler = rec
 	}
 	if db.cost.NsPerRow <= 0 {
 		// Calibrate the configured execution options, so WITHIN TIME
@@ -163,6 +177,15 @@ func Open(opts ...Option) *DB {
 		db.cost = engine.CalibrateOpts(100_000, db.opts)
 	}
 	return db
+}
+
+// RecyclerStats reports the selection recycler's effectiveness (zero
+// Stats when the recycler is disabled).
+func (db *DB) RecyclerStats() recycler.Stats {
+	if db.recycler == nil {
+		return recycler.Stats{}
+	}
+	return db.recycler.Stats()
 }
 
 // CreateTable adds a new empty table.
