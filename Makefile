@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test cover race bench bench-json fuzz fmt vet ci
+.PHONY: all build test cover race bench bench-json fuzz fmt vet ci server server-smoke
 
 all: build
 
@@ -21,10 +21,11 @@ cover:
 # Race-detector pass over the packages with concurrent execution paths
 # (the morsel worker pool, the bounded executor built on it, the
 # pooled hash infrastructure shared across scan workers, the impression
-# views read by queries while loads mutate the samplers, and the shared
-# recycler + the expr scratch-pool kernels it drives).
+# views read by queries while loads mutate the samplers, the shared
+# recycler + the expr scratch-pool kernels it drives, and the HTTP
+# server whose admission queue and tenant counters every request pounds).
 race:
-	$(GO) test -race ./internal/engine/... ./internal/bounded/... ./internal/hashtab/... ./internal/impression/... ./internal/recycler/... ./internal/expr/... .
+	$(GO) test -race ./internal/engine/... ./internal/bounded/... ./internal/hashtab/... ./internal/impression/... ./internal/recycler/... ./internal/expr/... ./internal/server/... .
 
 # Short fuzz smoke over the SQL front-end: Parse never panics and
 # accepted statements round-trip through Statement.String.
@@ -55,6 +56,15 @@ bench-json:
 	$(GO) test -json -run='^$$' -benchmem -benchtime=5x \
 		-bench='^BenchmarkRecyclerRepeatedQuery$$' \
 		. > BENCH_recycler.json
+
+# Run the HTTP/JSON query server on :8080 over synthetic SkyServer data.
+server:
+	$(GO) run ./cmd/sciborqd
+
+# Boot sciborqd and execute every curl example in docs/SERVER.md
+# verbatim against it (the docs-cannot-rot check; see the CI job).
+server-smoke:
+	./scripts/server_smoke.sh
 
 fmt:
 	@diff=$$(gofmt -l .); \

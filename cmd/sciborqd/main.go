@@ -1,0 +1,189 @@
+// Command sciborqd serves a synthetic SkyServer catalogue with
+// impressions over HTTP/JSON: a long-running, multi-tenant SciBORQ
+// query server with admission control, per-query cancellation, and
+// contention-aware WITHIN TIME pricing.
+//
+//	sciborqd -addr :8080 -rows 200000 -layers 20000,2000,200
+//
+// Then:
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/query -d '{"sql": "SELECT COUNT(*) AS n FROM PhotoObjAll"}'
+//	curl -s localhost:8080/stats
+//
+// The wire protocol is documented in docs/SERVER.md. SIGINT/SIGTERM
+// drain in-flight queries and shut down gracefully.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"sciborq"
+	"sciborq/internal/server"
+	"sciborq/internal/skyserver"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	rows := flag.Int("rows", 200_000, "synthetic PhotoObjAll rows")
+	layersFlag := flag.String("layers", "20000,2000,200", "impression layer sizes, comma separated, largest first")
+	policyFlag := flag.String("policy", "biased", "impression policy: uniform | biased | last-seen")
+	seed := flag.Uint64("seed", 2011, "random seed")
+	maxInFlight := flag.Int("max-inflight", 8, "max concurrently executing queries")
+	maxQueue := flag.Int("max-queue", 32, "max queries waiting for an execution slot")
+	maxQueryTime := flag.Duration("max-query-time", 30*time.Second, "per-query execution deadline (0 disables)")
+	recyclerMB := flag.Int64("recycler-mb", 16, "default recycler partition budget in MiB (0 disables recycling)")
+	tenantMB := flag.Int64("tenant-recycler-mb", 2, "per-tenant recycler partition budget in MiB")
+	maxTenants := flag.Int("max-tenants", 64, "max resident tenant recycler partitions (LRU beyond)")
+	flag.Parse()
+
+	sizes, err := parseSizes(*layersFlag)
+	if err != nil {
+		fatal(err)
+	}
+	policy, err := parsePolicy(*policyFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("sciborqd: generating %d synthetic SkyServer objects...\n", *rows)
+	db, err := buildDB(*rows, sizes, policy, *seed, *recyclerMB<<20, *tenantMB<<20, *maxTenants)
+	if err != nil {
+		fatal(err)
+	}
+
+	srv, err := server.New(server.Config{
+		DB:           db,
+		MaxInFlight:  *maxInFlight,
+		MaxQueue:     *maxQueue,
+		MaxQueryTime: *maxQueryTime,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("sciborqd: serving on %s (max-inflight=%d max-queue=%d max-query-time=%v)\n",
+			*addr, *maxInFlight, *maxQueue, *maxQueryTime)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+		fmt.Println("sciborqd: shutting down, draining in-flight queries...")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			fatal(err)
+		}
+		fmt.Println("sciborqd: bye")
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+}
+
+// buildDB assembles the same synthetic SkyServer setup as the sciborq
+// shell: catalogue tables, a tracked (ra, dec) workload, a biased
+// impression hierarchy, and the data loaded in nightly batches so the
+// impressions build in the load path.
+func buildDB(rows int, sizes []int, policy sciborq.Policy, seed uint64, recyclerBytes, tenantBytes int64, maxTenants int) (*sciborq.DB, error) {
+	cfg := skyserver.DefaultConfig(0)
+	cfg.Seed = seed
+	sky, err := skyserver.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	db := sciborq.Open(
+		sciborq.WithSeed(seed),
+		sciborq.WithRecyclerBudget(recyclerBytes),
+		sciborq.WithTenantRecyclerBudget(tenantBytes),
+		sciborq.WithMaxTenants(maxTenants),
+	)
+	for _, t := range []string{"PhotoObjAll", "Field", "PhotoTag"} {
+		tb, err := sky.Catalog.Get(t)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.AttachTable(tb); err != nil {
+			return nil, err
+		}
+	}
+	if err := db.TrackWorkload("PhotoObjAll",
+		sciborq.Attr{Name: "ra", Min: cfg.RaMin, Max: cfg.RaMax, Beta: 30},
+		sciborq.Attr{Name: "dec", Min: cfg.DecMin, Max: cfg.DecMax, Beta: 30},
+	); err != nil {
+		return nil, err
+	}
+	attrs := []string{"ra", "dec"}
+	if policy != sciborq.Biased {
+		attrs = nil
+	}
+	if err := db.BuildImpressions("PhotoObjAll", sciborq.ImpressionConfig{
+		Sizes: sizes, Policy: policy, Attrs: attrs, K: 500, D: 1000,
+	}); err != nil {
+		return nil, err
+	}
+	gen := sky.Generator(nil)
+	const night = 20_000
+	for loaded := 0; loaded < rows; loaded += night {
+		n := night
+		if rows-loaded < n {
+			n = rows - loaded
+		}
+		if err := db.Load("PhotoObjAll", gen.NextBatch(n)); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+func parseSizes(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("sciborqd: bad layer size %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parsePolicy(s string) (sciborq.Policy, error) {
+	switch strings.ToLower(s) {
+	case "uniform":
+		return sciborq.Uniform, nil
+	case "biased":
+		return sciborq.Biased, nil
+	case "last-seen", "lastseen":
+		return sciborq.LastSeen, nil
+	}
+	return 0, fmt.Errorf("sciborqd: unknown policy %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sciborqd:", err)
+	os.Exit(1)
+}

@@ -1,6 +1,7 @@
 package sciborq
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"sciborq/internal/bounded"
 	"sciborq/internal/engine"
 	"sciborq/internal/estimate"
+	"sciborq/internal/recycler"
 	"sciborq/internal/sqlparse"
 	"sciborq/internal/table"
 )
@@ -89,15 +91,37 @@ func (r *Result) String() string {
 // aggregate statements run through the layer-escalation executor, other
 // statements run exactly on base data.
 func (db *DB) Exec(sql string) (*Result, error) {
+	return db.ExecContext(context.Background(), sql)
+}
+
+// ExecContext is Exec with a per-query context: cancelling it (client
+// disconnect, deadline) aborts the underlying morsel scans
+// cooperatively, freeing the worker pool within one morsel boundary and
+// returning ctx.Err().
+func (db *DB) ExecContext(ctx context.Context, sql string) (*Result, error) {
+	return db.ExecTenant(ctx, "", sql)
+}
+
+// ExecTenant is ExecContext on behalf of a named tenant: the query's
+// WHERE selection is cached in (and served from) the tenant's own
+// recycler partition, so concurrent tenants cannot evict each other's
+// warm working sets. The empty tenant uses the shared default
+// partition, making ExecTenant(ctx, "", sql) ≡ ExecContext(ctx, sql).
+func (db *DB) ExecTenant(ctx context.Context, tenant, sql string) (*Result, error) {
 	st, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return db.ExecStatement(st, sql)
+	return db.execStatement(ctx, tenant, st, sql)
 }
 
 // ExecStatement executes a pre-parsed statement.
 func (db *DB) ExecStatement(st *sqlparse.Statement, sql string) (*Result, error) {
+	return db.execStatement(context.Background(), "", st, sql)
+}
+
+// execStatement executes a pre-parsed statement for a tenant under ctx.
+func (db *DB) execStatement(ctx context.Context, tenant string, st *sqlparse.Statement, sql string) (*Result, error) {
 	base, err := db.catalog.Get(st.Query.Table)
 	if err != nil {
 		return nil, err
@@ -107,6 +131,8 @@ func (db *DB) ExecStatement(st *sqlparse.Statement, sql string) (*Result, error)
 	if lg := db.Logger(st.Query.Table); lg != nil {
 		lg.LogQuery(st.Query.Where)
 	}
+	opts := db.opts
+	opts.Ctx = ctx
 	start := time.Now()
 	bounds := st.Bounds
 	wantsBound := bounds.HasErrorBound() || bounds.HasTimeBound()
@@ -115,7 +141,7 @@ func (db *DB) ExecStatement(st *sqlparse.Statement, sql string) (*Result, error)
 		if err != nil {
 			return nil, err
 		}
-		ans, err := ex.Run(st)
+		ans, err := ex.RunWith(ctx, st, db.recyclerFor(tenant))
 		if err != nil {
 			return nil, err
 		}
@@ -124,13 +150,13 @@ func (db *DB) ExecStatement(st *sqlparse.Statement, sql string) (*Result, error)
 	// Exact execution path; bounded non-aggregate queries degrade to a
 	// time-bounded LIMIT against the best-fitting layer.
 	if wantsBound && len(st.Query.Aggs) == 0 {
-		res, err := db.boundedProjection(base, st)
+		res, err := db.boundedProjection(base, st, opts)
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Rows: res, Elapsed: time.Since(start), SQL: sql}, nil
 	}
-	res, err := db.runExact(base, st.Query)
+	res, err := db.runExact(base, st.Query, opts, db.recyclerFor(tenant))
 	if err != nil {
 		return nil, err
 	}
@@ -138,15 +164,16 @@ func (db *DB) ExecStatement(st *sqlparse.Statement, sql string) (*Result, error)
 }
 
 // runExact evaluates an unbounded query, serving the WHERE selection
-// through the recycler: a repeated predicate skips its scan entirely,
-// and a refined one (p AND q after p) filters only the cached superset
-// selection. The query then executes over the same snapshot the
-// selection describes via the prefiltered engine path, whose morsel
-// merge layout makes results bit-identical to an uncached scan.
-// WHERE-less queries and a disabled recycler take the plain path.
-func (db *DB) runExact(base *table.Table, q engine.Query) (*engine.Result, error) {
-	if db.recycler == nil || q.Where == nil {
-		return engine.RunOnOpts(base, q, db.opts)
+// through the tenant's recycler partition: a repeated predicate skips
+// its scan entirely, and a refined one (p AND q after p) filters only
+// the cached superset selection. The query then executes over the same
+// snapshot the selection describes via the prefiltered engine path,
+// whose morsel merge layout makes results bit-identical to an uncached
+// scan. WHERE-less queries and a disabled recycler take the plain path.
+// opts carries the per-query context.
+func (db *DB) runExact(base *table.Table, q engine.Query, opts engine.ExecOptions, rec *recycler.Recycler) (*engine.Result, error) {
+	if rec == nil || q.Where == nil {
+		return engine.RunOnOpts(base, q, opts)
 	}
 	snap := base.Snapshot()
 	if len(q.Aggs) > 0 {
@@ -157,19 +184,19 @@ func (db *DB) runExact(base *table.Table, q engine.Query) (*engine.Result, error
 		// inadmissible, stay on the fused path instead of building (and
 		// then rejecting) a huge selection every query. Projections
 		// materialise the selection either way, so they always route.
-		if upper := engine.EstimateScanRows(snap, q.Pred(), db.opts); !db.recycler.Admissible(upper) {
-			return engine.RunOnOpts(snap, q, db.opts)
+		if upper := engine.EstimateScanRows(snap, q.Pred(), opts); !rec.Admissible(upper) {
+			return engine.RunOnOpts(snap, q, opts)
 		}
 	}
-	sel, scan, err := db.recycler.Filter(snap, q.Where, db.opts)
+	sel, scan, err := rec.Filter(snap, q.Where, opts)
 	if err != nil {
 		return nil, err
 	}
 	if sel == nil {
 		// TRUE-equivalent predicate: nothing to reuse, scan normally.
-		return engine.RunOnOpts(snap, q, db.opts)
+		return engine.RunOnOpts(snap, q, opts)
 	}
-	return engine.RunOnFilteredOpts(snap, sel, q, scan, db.opts)
+	return engine.RunOnFilteredOpts(snap, sel, q, scan, opts)
 }
 
 // boundedExecutor returns the cached bounded executor for a table; the
@@ -184,8 +211,13 @@ func (db *DB) boundedExecutor(name string, base *table.Table) (*bounded.Executor
 	if err != nil {
 		return nil, err
 	}
-	if db.recycler != nil {
-		ex.UseRecycler(db.recycler)
+	if db.recPool != nil {
+		// Fallback partition for direct Run calls; ExecTenant overrides
+		// per query with the tenant's own partition.
+		ex.UseRecycler(db.recPool.Default())
+	}
+	if db.loadProbe != nil {
+		ex.SetLoadProbe(db.loadProbe)
 	}
 	db.execs[name] = ex
 	return ex, nil
@@ -199,15 +231,15 @@ func (db *DB) boundedExecutor(name string, base *table.Table) (*bounded.Executor
 // selection-vector scan over a base snapshot (engine.RunOnSelOpts), so
 // only the rows that survive the predicate are ever copied — the
 // impression itself is never materialised.
-func (db *DB) boundedProjection(base *table.Table, st *sqlparse.Statement) (*engine.Result, error) {
+func (db *DB) boundedProjection(base *table.Table, st *sqlparse.Statement, opts engine.ExecOptions) (*engine.Result, error) {
 	h := db.Hierarchy(st.Query.Table)
 	if h != nil && st.Bounds.HasTimeBound() {
 		maxRows := db.cost.MaxRowsWithin(st.Bounds.MaxTime)
 		if im, ok := h.LargestWithin(maxRows); ok {
 			snap := base.Snapshot()
 			v := im.View().Clamp(snap.Len())
-			return engine.RunOnSelOpts(snap, v.Positions, st.Query, db.opts)
+			return engine.RunOnSelOpts(snap, v.Positions, st.Query, opts)
 		}
 	}
-	return engine.RunOnOpts(base, st.Query, db.opts)
+	return engine.RunOnOpts(base, st.Query, opts)
 }

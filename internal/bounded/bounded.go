@@ -17,9 +17,29 @@
 // escalation never materialises a layer, so a dirty sample costs a
 // view refresh — one merge pass over the reservoir's deltas — instead
 // of a table copy.
+//
+// # Bounded execution under concurrent load
+//
+// A WITHIN TIME promise made against an idle-machine calibration is a
+// lie the moment K queries share the cores. Executors therefore accept
+// a load probe (SetLoadProbe) reporting the live in-flight query count
+// and the admission queue's observed wait: at layer-pick time the
+// per-row rate is inflated by the in-flight factor (K queries sharing
+// the worker pool each see ~1/K of the machine) and the queue wait is
+// added to the fixed overhead (dispatch delay the query will also
+// suffer inside the scheduler), so contended picks degrade to smaller
+// layers instead of blowing the bound. The EWMA latency feedback
+// deflates its observations by the same factor, so the base model keeps
+// tracking the uncontended per-row cost rather than double-counting
+// contention.
+//
+// Per-query cancellation flows through RunWith's context into the
+// morsel executor: a cancelled query frees its scan workers within one
+// morsel boundary.
 package bounded
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -47,9 +67,58 @@ type Executor struct {
 	// the expensive rung of every escalation that falls through the
 	// sample layers (see UseRecycler).
 	rec *recycler.Recycler
+	// load, when set, reports live contention for WITHIN TIME pricing
+	// (see SetLoadProbe).
+	load func() LoadInfo
 
 	mu   sync.Mutex
 	cost engine.CostModel
+}
+
+// LoadInfo is a point-in-time contention report from the serving layer.
+type LoadInfo struct {
+	// InFlight is the number of queries currently executing, including
+	// the one asking. Values above 1 inflate the per-row cost at layer
+	// pick time: K concurrent scans each see roughly 1/K of the machine.
+	InFlight int
+	// QueueWait is the admission queue's observed wait (typically an
+	// EWMA). It is charged as additional fixed overhead: a system whose
+	// queue is backing up also delays the query's own goroutines.
+	QueueWait time.Duration
+}
+
+// contentionModel derates a calibrated cost model by live load: per-row
+// cost scales with the in-flight query count and the observed queue
+// wait joins the fixed overhead. The returned factor (>= 1) is what the
+// EWMA feedback must divide its observation by so the base model keeps
+// learning the uncontended rate.
+func contentionModel(model engine.CostModel, li LoadInfo) (engine.CostModel, float64) {
+	factor := 1.0
+	if li.InFlight > 1 {
+		factor = float64(li.InFlight)
+	}
+	model.NsPerRow *= factor
+	if li.QueueWait > 0 {
+		model.FixedNs += float64(li.QueueWait.Nanoseconds())
+	}
+	return model, factor
+}
+
+// SetLoadProbe installs a callback reporting live load; WITHIN TIME
+// layer picking consults it per query so time promises hold under
+// contention, not just on an idle machine. A nil probe (the default)
+// prices queries uncontended.
+func (e *Executor) SetLoadProbe(fn func() LoadInfo) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.load = fn
+}
+
+// loadProbe returns the installed probe (nil when none).
+func (e *Executor) loadProbe() func() LoadInfo {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.load
 }
 
 // learningRate is the EWMA weight of a new latency observation.
@@ -133,8 +202,9 @@ type target struct {
 // targets returns the evaluation ladder smallest-first, ending with the
 // exact base layer. All targets share one base snapshot, so every rung
 // of an escalation describes the same row prefix even under concurrent
-// loads.
-func (e *Executor) targets() []target {
+// loads. opts carries the per-query context; rec (which may be nil)
+// serves the exact-base rung's WHERE selection.
+func (e *Executor) targets(opts engine.ExecOptions, rec *recycler.Recycler) []target {
 	snap := e.base.Snapshot()
 	baseRows := int64(snap.Len())
 	var out []target
@@ -152,16 +222,16 @@ func (e *Executor) targets() []target {
 				name: sl.Name,
 				rows: len(sl.Positions),
 				run: func(q engine.Query, confidence float64) ([]estimate.Estimate, int, error) {
-					ests, err := estimate.AggregateOnSelOpts(sl, q, confidence, e.opts)
+					ests, err := estimate.AggregateOnSelOpts(sl, q, confidence, opts)
 					return ests, -1, err
 				},
 				scanRows: func(q engine.Query) int {
-					return engine.EstimateSelScanRows(snap, q.Pred(), sl.Positions, e.opts)
+					return engine.EstimateSelScanRows(snap, q.Pred(), sl.Positions, opts)
 				},
 			})
 		}
 	}
-	return append(out, e.baseTarget(snap))
+	return append(out, e.baseTarget(snap, opts, rec))
 }
 
 // UseRecycler routes the exact-base rung's WHERE evaluation through a
@@ -174,7 +244,7 @@ func (e *Executor) UseRecycler(r *recycler.Recycler) { e.rec = r }
 
 // baseTarget builds the exact base rung alone — the whole ladder (and
 // every layer's view refresh) is not needed for unbounded queries.
-func (e *Executor) baseTarget(snap *table.Table) target {
+func (e *Executor) baseTarget(snap *table.Table, opts engine.ExecOptions, rec *recycler.Recycler) target {
 	base := estimate.Layer{
 		Name:     "base:" + e.base.Name(),
 		Table:    snap,
@@ -186,19 +256,19 @@ func (e *Executor) baseTarget(snap *table.Table) target {
 		rows:  snap.Len(),
 		exact: true,
 		run: func(q engine.Query, confidence float64) ([]estimate.Estimate, int, error) {
-			if e.rec != nil && q.Where != nil {
-				sel, scan, err := e.rec.Filter(snap, q.Where, e.opts)
+			if rec != nil && q.Where != nil {
+				sel, scan, err := rec.Filter(snap, q.Where, opts)
 				if err != nil {
 					return nil, 0, err
 				}
 				ests, err := estimate.AggregateOnFiltered(base, q, confidence, sel)
 				return ests, scan.ScannedRows, err
 			}
-			ests, err := estimate.AggregateOnOpts(base, q, confidence, e.opts)
+			ests, err := estimate.AggregateOnOpts(base, q, confidence, opts)
 			return ests, -1, err
 		},
 		scanRows: func(q engine.Query) int {
-			return engine.EstimateScanRows(snap, q.Pred(), e.opts)
+			return engine.EstimateScanRows(snap, q.Pred(), opts)
 		},
 	}
 }
@@ -206,20 +276,35 @@ func (e *Executor) baseTarget(snap *table.Table) target {
 // Run executes a parsed statement under its bounds. Statements without
 // bounds run exactly on base data.
 func (e *Executor) Run(st *sqlparse.Statement) (*Answer, error) {
+	return e.RunWith(context.Background(), st, nil)
+}
+
+// RunWith is Run with a per-query context and an optional recycler
+// override. The context cancels the underlying morsel scans
+// cooperatively (workers free within one morsel boundary); rec, when
+// non-nil, replaces the executor's shared recycler for this query —
+// the hook a multi-tenant server uses to give every tenant its own
+// cache partition. A nil rec falls back to the UseRecycler default.
+func (e *Executor) RunWith(ctx context.Context, st *sqlparse.Statement, rec *recycler.Recycler) (*Answer, error) {
+	opts := e.opts
+	opts.Ctx = ctx
+	if rec == nil {
+		rec = e.rec
+	}
 	switch {
 	case st.Bounds.HasTimeBound():
-		return e.TimeBounded(st.Query, st.Bounds.MaxTime, st.Bounds)
+		return e.timeBounded(st.Query, st.Bounds.MaxTime, st.Bounds, opts, rec)
 	case st.Bounds.HasErrorBound():
-		return e.ErrorBounded(st.Query, st.Bounds.MaxRelError, st.Bounds.Confidence)
+		return e.errorBounded(st.Query, st.Bounds.MaxRelError, st.Bounds.Confidence, opts, rec)
 	default:
-		return e.exact(st.Query)
+		return e.exact(st.Query, opts, rec)
 	}
 }
 
 // exact evaluates on base data only.
-func (e *Executor) exact(q engine.Query) (*Answer, error) {
+func (e *Executor) exact(q engine.Query, opts engine.ExecOptions, rec *recycler.Recycler) (*Answer, error) {
 	start := time.Now()
-	base := e.baseTarget(e.base.Snapshot())
+	base := e.baseTarget(e.base.Snapshot(), opts, rec)
 	ests, _, err := base.run(q, 0.95)
 	if err != nil {
 		return nil, err
@@ -235,6 +320,10 @@ func (e *Executor) exact(q engine.Query) (*Answer, error) {
 // ErrorBounded escalates through the hierarchy until every aggregate's
 // relative error is within eps at the given confidence level.
 func (e *Executor) ErrorBounded(q engine.Query, eps, confidence float64) (*Answer, error) {
+	return e.errorBounded(q, eps, confidence, e.opts, e.rec)
+}
+
+func (e *Executor) errorBounded(q engine.Query, eps, confidence float64, opts engine.ExecOptions, rec *recycler.Recycler) (*Answer, error) {
 	if eps <= 0 {
 		return nil, fmt.Errorf("bounded: relative error bound must be positive, got %g", eps)
 	}
@@ -243,7 +332,7 @@ func (e *Executor) ErrorBounded(q engine.Query, eps, confidence float64) (*Answe
 	}
 	start := time.Now()
 	ans := &Answer{}
-	for _, l := range e.targets() {
+	for _, l := range e.targets(opts, rec) {
 		ls := time.Now()
 		ests, _, err := l.run(q, confidence)
 		if err != nil {
@@ -283,12 +372,26 @@ func (e *Executor) ErrorBounded(q engine.Query, eps, confidence float64) (*Answe
 // and evaluates there. When even the smallest layer is predicted to
 // exceed the budget, the smallest layer is used anyway (best effort) and
 // BoundMet reports the outcome against the wall clock.
+//
+// With a load probe installed (SetLoadProbe), the pick prices live
+// contention: the per-row rate inflates by the in-flight query count
+// and the observed queue wait joins the fixed overhead, so a promise
+// made under K saturating neighbours degrades to a smaller layer
+// instead of overshooting the budget.
 func (e *Executor) TimeBounded(q engine.Query, budget time.Duration, b sqlparse.Bounds) (*Answer, error) {
+	return e.timeBounded(q, budget, b, e.opts, e.rec)
+}
+
+func (e *Executor) timeBounded(q engine.Query, budget time.Duration, b sqlparse.Bounds, opts engine.ExecOptions, rec *recycler.Recycler) (*Answer, error) {
 	if budget <= 0 {
 		return nil, fmt.Errorf("bounded: time budget must be positive, got %v", budget)
 	}
-	layers := e.targets()
+	layers := e.targets(opts, rec)
 	model := e.CostModel()
+	factor := 1.0
+	if probe := e.loadProbe(); probe != nil {
+		model, factor = contentionModel(model, probe())
+	}
 	maxRows := model.MaxRowsWithin(budget)
 	// Pick the largest layer whose PRUNED scan fits the budget; fall
 	// back to the smallest. Selection targets price |impression|
@@ -319,11 +422,14 @@ func (e *Executor) TimeBounded(q engine.Query, budget time.Duration, b sqlparse.
 	elapsed := time.Since(start)
 	// Learn from what actually ran: a recycler-served base rung touched
 	// evalRows rows (0 on a hit — observe skips tiny inputs), not the
-	// predicted full scan.
+	// predicted full scan. The observation deflates by the contention
+	// factor so the base model tracks the uncontended per-row rate —
+	// contention is re-applied per query at pick time, never baked into
+	// the EWMA twice.
 	if evalRows < 0 {
 		evalRows = pickRows
 	}
-	e.observe(evalRows, elapsed)
+	e.observe(evalRows, elapsed, factor)
 	ans := &Answer{
 		Estimates: ests,
 		Layer:     pick.name,
@@ -358,10 +464,15 @@ func (e *Executor) CostModel() engine.CostModel {
 // observe feeds one measured (rows, latency) pair back into the cost
 // model: the per-row rate moves toward the observation by the EWMA
 // learning rate. Tiny inputs are skipped — their latency is dominated by
-// fixed overheads and would corrupt the per-row estimate.
-func (e *Executor) observe(rows int, elapsed time.Duration) {
+// fixed overheads and would corrupt the per-row estimate. factor (>= 1)
+// is the contention inflation the pick priced with; dividing it out
+// keeps the learned model uncontended.
+func (e *Executor) observe(rows int, elapsed time.Duration, factor float64) {
 	if rows < 64 {
 		return
+	}
+	if factor < 1 {
+		factor = 1
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -369,7 +480,7 @@ func (e *Executor) observe(rows int, elapsed time.Duration) {
 	if ns <= 0 {
 		return
 	}
-	observed := ns / float64(rows)
+	observed := ns / (float64(rows) * factor)
 	e.cost.NsPerRow = (1-learningRate)*e.cost.NsPerRow + learningRate*observed
 }
 

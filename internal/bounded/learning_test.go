@@ -12,7 +12,7 @@ func TestObserveMovesModelTowardObservation(t *testing.T) {
 	_, _, ex := fixture(t, 2000)
 	before := ex.CostModel().NsPerRow // 10 in the fixture
 	// Observe a much slower reality: 1000 rows in 1ms = 1000 ns/row.
-	ex.observe(1000, time.Millisecond)
+	ex.observe(1000, time.Millisecond, 1)
 	after := ex.CostModel().NsPerRow
 	if after <= before {
 		t.Fatalf("model did not learn: %v -> %v", before, after)
@@ -26,8 +26,8 @@ func TestObserveMovesModelTowardObservation(t *testing.T) {
 func TestObserveSkipsTinyAndNegativeInputs(t *testing.T) {
 	_, _, ex := fixture(t, 2000)
 	before := ex.CostModel()
-	ex.observe(10, time.Second) // below the 64-row floor
-	ex.observe(1000, 0)         // below fixed overhead
+	ex.observe(10, time.Second, 1) // below the 64-row floor
+	ex.observe(1000, 0, 1)         // below fixed overhead
 	after := ex.CostModel()
 	if before != after {
 		t.Fatalf("model changed on degenerate input: %+v -> %+v", before, after)

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -37,6 +38,13 @@ type ExecOptions struct {
 	// DefaultMorselRows. It determines floating-point merge layout, so
 	// fix it when bit-reproducibility across configurations matters.
 	MorselRows int
+	// Ctx, when non-nil, cancels the scan cooperatively: every worker
+	// checks it between morsels, so a cancelled query frees its workers
+	// within one morsel boundary and the scan returns Ctx.Err(). This is
+	// per-query state, not configuration — long-lived holders of
+	// ExecOptions (a DB, an executor) keep it nil and stamp a copy per
+	// query. A nil Ctx means "never cancelled" and costs nothing.
+	Ctx context.Context
 }
 
 // DefaultExecOptions returns the default configuration: one worker per
@@ -72,9 +80,21 @@ func (o ExecOptions) morselCount(n int) int {
 // snapshots (see scanMorsels), so a concurrent Load on the source
 // table only writes rows the scan cannot see. The first error in
 // morsel order is returned, so error reporting is deterministic too.
+//
+// When opts.Ctx is cancelled, workers stop pulling morsels at the next
+// morsel boundary and the scan returns opts.Ctx.Err(); cancellation
+// takes precedence over per-morsel errors because the partial state is
+// abandoned either way.
 func forEachMorsel(n int, opts ExecOptions, fn func(m, lo, hi int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	var done <-chan struct{}
+	if opts.Ctx != nil {
+		if err := opts.Ctx.Err(); err != nil {
+			return err
+		}
+		done = opts.Ctx.Done()
 	}
 	mr := opts.morselRows()
 	morsels := opts.morselCount(n)
@@ -84,6 +104,13 @@ func forEachMorsel(n int, opts ExecOptions, fn func(m, lo, hi int) error) error 
 	}
 	if workers <= 1 {
 		for m := 0; m < morsels; m++ {
+			if done != nil {
+				select {
+				case <-done:
+					return opts.Ctx.Err()
+				default:
+				}
+			}
 			lo := m * mr
 			hi := min(lo+mr, n)
 			if err := fn(m, lo, hi); err != nil {
@@ -100,6 +127,13 @@ func forEachMorsel(n int, opts ExecOptions, fn func(m, lo, hi int) error) error 
 		go func() {
 			defer wg.Done()
 			for {
+				if done != nil {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
 				m := int(next.Add(1)) - 1
 				if m >= morsels {
 					return
@@ -111,6 +145,11 @@ func forEachMorsel(n int, opts ExecOptions, fn func(m, lo, hi int) error) error 
 		}()
 	}
 	wg.Wait()
+	if opts.Ctx != nil {
+		if err := opts.Ctx.Err(); err != nil {
+			return err
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -33,7 +33,7 @@ func selDriver(positions vec.Sel, n int, opts ExecOptions, scan ScanStats) scanD
 		parts := partitionSel(positions, n, opts)
 		mr := opts.morselRows()
 		// One scheduling unit per non-empty part, like scanSelMorsels.
-		partOpts := ExecOptions{Parallelism: opts.workers(), MorselRows: 1}
+		partOpts := ExecOptions{Parallelism: opts.workers(), MorselRows: 1, Ctx: opts.Ctx}
 		err := forEachMorsel(len(parts), partOpts, func(i, _, _ int) error {
 			p := parts[i]
 			return perMorsel(p.rowLo/mr, p.rowLo, p.rowHi, positions[p.plo:p.phi])

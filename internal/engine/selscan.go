@@ -130,7 +130,7 @@ func scanSelMorsels(t *table.Table, positions vec.Sel, pred expr.Predicate, opts
 	// Reuse the morsel scheduler with one "row" per part: workers pull
 	// part indices from the shared counter and errors surface in part
 	// order.
-	partOpts := ExecOptions{Parallelism: opts.workers(), MorselRows: 1}
+	partOpts := ExecOptions{Parallelism: opts.workers(), MorselRows: 1, Ctx: opts.Ctx}
 	err := forEachMorsel(len(parts), partOpts, func(m, _, _ int) error {
 		p := parts[m]
 		for _, zc := range checks {

@@ -1,0 +1,138 @@
+package recycler
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// DefaultTenantBudget is the per-tenant partition budget when none is
+// configured: an eighth of DefaultBudget, so a handful of active
+// tenants fit in the footprint one shared cache used to occupy.
+const DefaultTenantBudget = DefaultBudget / 8
+
+// DefaultMaxTenants bounds how many tenant partitions a Pool keeps
+// resident at once.
+const DefaultMaxTenants = 64
+
+// Pool partitions the selection cache across tenants: every tenant gets
+// an independent Recycler with its own byte budget, so one tenant's
+// churny exploration session cannot evict another tenant's warm working
+// set — the noisy-neighbour isolation a multi-tenant query server
+// needs. The default partition (tenant "") carries the configured
+// shared budget and serves library callers and untenanted queries;
+// named tenants get DefaultTenantBudget-sized partitions (configurable)
+// created lazily on first use.
+//
+// Residency is bounded: at most MaxTenants named partitions are kept,
+// and creating one beyond the cap evicts the least-recently-used
+// partition wholesale (its selections are recomputable state, never
+// data). Worst-case memory is therefore
+//
+//	defaultBudget + MaxTenants × tenantBudget
+//
+// which operators size via the server's -recycler-mb / -tenant-cache-mb
+// flags.
+type Pool struct {
+	mu     sync.Mutex
+	def    *Recycler // tenant "" — the shared default partition
+	budget int64     // per named-tenant partition budget
+	max    int       // cap on resident named partitions
+	parts  map[string]*poolPart
+	order  *list.List // front = most recently used; Value = *poolPart
+}
+
+type poolPart struct {
+	tenant string
+	rec    *Recycler
+	elem   *list.Element
+}
+
+// NewPool builds a tenant-partitioned recycler pool. defaultBudget is
+// the budget of the shared default partition; tenantBudget the budget
+// of each named tenant partition (<= 0 means DefaultTenantBudget);
+// maxTenants caps resident named partitions (<= 0 means
+// DefaultMaxTenants).
+func NewPool(defaultBudget, tenantBudget int64, maxTenants int) (*Pool, error) {
+	if defaultBudget <= 0 {
+		return nil, fmt.Errorf("recycler: pool default budget must be positive, got %d", defaultBudget)
+	}
+	if tenantBudget <= 0 {
+		tenantBudget = DefaultTenantBudget
+	}
+	if maxTenants <= 0 {
+		maxTenants = DefaultMaxTenants
+	}
+	def, err := New(defaultBudget)
+	if err != nil {
+		return nil, err
+	}
+	return &Pool{
+		def:    def,
+		budget: tenantBudget,
+		max:    maxTenants,
+		parts:  make(map[string]*poolPart),
+		order:  list.New(),
+	}, nil
+}
+
+// For returns the tenant's recycler partition, creating it on first use
+// and evicting the least-recently-used partition when the resident cap
+// is exceeded. The empty tenant names the shared default partition.
+func (p *Pool) For(tenant string) *Recycler {
+	if tenant == "" {
+		return p.def
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if part, ok := p.parts[tenant]; ok {
+		p.order.MoveToFront(part.elem)
+		return part.rec
+	}
+	rec, err := New(p.budget)
+	if err != nil {
+		// budget is validated positive in NewPool; cannot happen.
+		panic(err)
+	}
+	part := &poolPart{tenant: tenant, rec: rec}
+	part.elem = p.order.PushFront(part)
+	p.parts[tenant] = part
+	for len(p.parts) > p.max {
+		oldest := p.order.Back()
+		if oldest == nil {
+			break
+		}
+		old := oldest.Value.(*poolPart)
+		p.order.Remove(old.elem)
+		delete(p.parts, old.tenant)
+	}
+	return rec
+}
+
+// Default returns the shared default partition (tenant "").
+func (p *Pool) Default() *Recycler { return p.def }
+
+// Tenants lists the resident named tenant partitions, most recently
+// used first.
+func (p *Pool) Tenants() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, p.order.Len())
+	for e := p.order.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(*poolPart).tenant)
+	}
+	return out
+}
+
+// StatsByTenant snapshots every resident partition's Stats keyed by
+// tenant; the default partition appears under "".
+func (p *Pool) StatsByTenant() map[string]Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]Stats, len(p.parts)+1)
+	out[""] = p.def.Stats()
+	for tenant, part := range p.parts {
+		out[tenant] = part.rec.Stats()
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"sciborq/internal/bounded"
+)
+
+// ErrOverloaded is returned by Admission.Acquire when the server cannot
+// take the query: the in-flight cap is zero, or the wait queue is full.
+// The HTTP layer maps it to 429 Too Many Requests.
+var ErrOverloaded = errors.New("server: overloaded, admission queue full")
+
+// waitEWMAAlpha is the weight of a new queue-wait observation in the
+// exponentially weighted moving average the load probe reports.
+const waitEWMAAlpha = 0.2
+
+// Admission is a FIFO admission queue bounding concurrent query
+// execution: at most MaxInFlight queries run at once, at most MaxQueue
+// more wait in arrival order, and everything beyond that is rejected
+// immediately with ErrOverloaded — the back-pressure signal that keeps
+// p99 latency bounded instead of letting every client time out at once.
+//
+// The queue measures what it does: live in-flight count and an EWMA of
+// observed queue waits feed the bounded executor's contention pricing
+// (bounded.LoadInfo), which is how a WITHIN TIME promise stays honest
+// when K clients saturate the machine.
+type Admission struct {
+	mu          sync.Mutex
+	maxInFlight int
+	maxQueue    int
+	inflight    int
+	queue       *list.List // FIFO of chan struct{}; closed = slot handed over
+	waitEWMANs  float64
+	admitted    int64
+	rejected    int64
+	canceled    int64
+}
+
+// AdmissionStats is a point-in-time snapshot of the queue.
+type AdmissionStats struct {
+	// MaxInFlight and MaxQueue echo the configuration.
+	MaxInFlight int `json:"max_in_flight"`
+	MaxQueue    int `json:"max_queue"`
+	// InFlight and Queued are the live occupancy.
+	InFlight int `json:"in_flight"`
+	Queued   int `json:"queued"`
+	// Admitted, Rejected, Canceled count lifetime outcomes.
+	Admitted int64 `json:"admitted"`
+	Rejected int64 `json:"rejected"`
+	Canceled int64 `json:"canceled"`
+	// QueueWaitEWMANs is the smoothed observed queue wait the load
+	// probe feeds into WITHIN TIME pricing, in nanoseconds.
+	QueueWaitEWMANs int64 `json:"queue_wait_ewma_ns"`
+}
+
+// NewAdmission builds an admission queue admitting at most maxInFlight
+// concurrent queries with up to maxQueue waiters. maxInFlight <= 0
+// means zero capacity: every Acquire is rejected (a drain/maintenance
+// mode, and the configuration guard the tests pin down). maxQueue < 0
+// is treated as 0 (no waiting — admit or reject).
+func NewAdmission(maxInFlight, maxQueue int) *Admission {
+	if maxInFlight < 0 {
+		maxInFlight = 0
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Admission{maxInFlight: maxInFlight, maxQueue: maxQueue, queue: list.New()}
+}
+
+// Acquire blocks until the query may run, FIFO behind earlier waiters.
+// It returns a release closure (call exactly once, when the query
+// finishes), the time spent queued, and an error: ErrOverloaded when
+// capacity is zero or the queue is full, or ctx.Err() when the caller
+// gave up waiting.
+func (a *Admission) Acquire(ctx context.Context) (release func(), wait time.Duration, err error) {
+	start := time.Now()
+	a.mu.Lock()
+	if a.maxInFlight <= 0 {
+		a.rejected++
+		a.mu.Unlock()
+		return nil, 0, ErrOverloaded
+	}
+	// Fast path: a free slot and nobody queued ahead.
+	if a.inflight < a.maxInFlight && a.queue.Len() == 0 {
+		a.inflight++
+		a.admitted++
+		a.noteWaitLocked(0)
+		a.mu.Unlock()
+		return a.releaseOnce(), 0, nil
+	}
+	if a.queue.Len() >= a.maxQueue {
+		a.rejected++
+		a.mu.Unlock()
+		return nil, 0, ErrOverloaded
+	}
+	slot := make(chan struct{})
+	elem := a.queue.PushBack(slot)
+	a.mu.Unlock()
+
+	select {
+	case <-slot:
+		// release() handed us the slot: inflight already counts us.
+		wait = time.Since(start)
+		a.mu.Lock()
+		a.admitted++
+		a.noteWaitLocked(wait)
+		a.mu.Unlock()
+		return a.releaseOnce(), wait, nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		select {
+		case <-slot:
+			// The handoff raced our cancellation: we own a slot and must
+			// pass it on (or free it) rather than leak it.
+			a.canceled++
+			a.mu.Unlock()
+			a.release()
+		default:
+			a.queue.Remove(elem)
+			a.canceled++
+			a.mu.Unlock()
+		}
+		return nil, time.Since(start), ctx.Err()
+	}
+}
+
+// releaseOnce wraps release in a sync.Once so double-calls (e.g. a
+// deferred release after an explicit one) cannot corrupt the counters.
+func (a *Admission) releaseOnce() func() {
+	var once sync.Once
+	return func() { once.Do(a.release) }
+}
+
+// release frees one slot: the front waiter inherits it directly (FIFO,
+// no thundering herd — inflight never dips), or the in-flight count
+// drops when nobody waits.
+func (a *Admission) release() {
+	a.mu.Lock()
+	if e := a.queue.Front(); e != nil {
+		a.queue.Remove(e)
+		close(e.Value.(chan struct{}))
+		a.mu.Unlock()
+		return
+	}
+	a.inflight--
+	a.mu.Unlock()
+}
+
+// noteWaitLocked folds one observed wait into the EWMA. Caller holds
+// a.mu.
+func (a *Admission) noteWaitLocked(wait time.Duration) {
+	ns := float64(wait.Nanoseconds())
+	if a.waitEWMANs == 0 {
+		a.waitEWMANs = ns
+		return
+	}
+	a.waitEWMANs = (1-waitEWMAAlpha)*a.waitEWMANs + waitEWMAAlpha*ns
+}
+
+// Stats snapshots the queue.
+func (a *Admission) Stats() AdmissionStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AdmissionStats{
+		MaxInFlight:     a.maxInFlight,
+		MaxQueue:        a.maxQueue,
+		InFlight:        a.inflight,
+		Queued:          a.queue.Len(),
+		Admitted:        a.admitted,
+		Rejected:        a.rejected,
+		Canceled:        a.canceled,
+		QueueWaitEWMANs: int64(a.waitEWMANs),
+	}
+}
+
+// Load reports live contention in the shape the bounded executor's
+// WITHIN TIME pricing consumes: the current in-flight query count and
+// the smoothed observed queue wait.
+func (a *Admission) Load() bounded.LoadInfo {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return bounded.LoadInfo{
+		InFlight:  a.inflight,
+		QueueWait: time.Duration(a.waitEWMANs),
+	}
+}

@@ -1,0 +1,405 @@
+// Package server exposes a sciborq.DB over HTTP/JSON as a long-running
+// multi-tenant query service.
+//
+// Three layers sit between the socket and the engine:
+//
+//   - An Admission queue caps concurrent query execution (FIFO, bounded
+//     wait queue, immediate 429 beyond that) and measures what it does:
+//     its live in-flight count and queue-wait EWMA feed the bounded
+//     executor's WITHIN TIME pricing via sciborq.DB.SetLoadProbe, so a
+//     time promise made under load accounts for the load.
+//   - Per-request contexts propagate cancellation: a client disconnect
+//     or the server's MaxQueryTime deadline aborts the running morsel
+//     scan cooperatively and frees the worker pool within one morsel
+//     boundary.
+//   - The request's tenant name selects a recycler partition, so one
+//     tenant's scan cache cannot evict another's warm working set.
+//
+// Endpoints: POST /query executes one SQL statement, GET /stats reports
+// admission/recycler/per-tenant counters, GET /healthz is a liveness
+// probe. The wire protocol is documented in docs/SERVER.md.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"sciborq"
+	"sciborq/internal/recycler"
+	"sciborq/internal/sqlparse"
+)
+
+// DefaultMaxRows caps how many result rows /query returns for exact
+// projections; the response reports the untruncated count.
+const DefaultMaxRows = 10_000
+
+// Config configures a Server.
+type Config struct {
+	// DB is the shared database every request executes against.
+	DB *sciborq.DB
+	// MaxInFlight caps concurrently executing queries (default 2×
+	// available parallelism via sciborq's ExecOptions is NOT assumed;
+	// 0 means a default of 8).
+	MaxInFlight int
+	// MaxQueue caps queries waiting for a slot (default 4×MaxInFlight).
+	MaxQueue int
+	// MaxQueryTime bounds one query's execution wall-clock (admission
+	// wait excluded); 0 disables the server-side deadline.
+	MaxQueryTime time.Duration
+	// MaxRows caps rows returned by exact queries (default
+	// DefaultMaxRows).
+	MaxRows int
+}
+
+// Server is the HTTP face of one sciborq.DB.
+type Server struct {
+	db      *sciborq.DB
+	adm     *Admission
+	maxTime time.Duration
+	maxRows int
+	started time.Time
+	mu      sync.Mutex
+	tenants map[string]*tenantCounters
+}
+
+// tenantCounters accumulates per-tenant latency and outcome counts.
+type tenantCounters struct {
+	Queries  int64 `json:"queries"`
+	Errors   int64 `json:"errors"`
+	Bounded  int64 `json:"bounded"`
+	BoundMet int64 `json:"bound_met"`
+	TotalNs  int64 `json:"total_ns"`
+	MaxNs    int64 `json:"max_ns"`
+}
+
+// New builds a Server over db and registers the admission queue as the
+// database's load probe, so WITHIN TIME layer picks price in the
+// server's live concurrency and queue wait.
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, errors.New("server: Config.DB is required")
+	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = 8
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 4 * cfg.MaxInFlight
+	}
+	if cfg.MaxRows <= 0 {
+		cfg.MaxRows = DefaultMaxRows
+	}
+	s := &Server{
+		db:      cfg.DB,
+		adm:     NewAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		maxTime: cfg.MaxQueryTime,
+		maxRows: cfg.MaxRows,
+		started: time.Now(),
+		tenants: map[string]*tenantCounters{},
+	}
+	cfg.DB.SetLoadProbe(s.adm.Load)
+	return s, nil
+}
+
+// Handler returns the routed HTTP handler (also usable under httptest).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// Admission exposes the server's admission queue (read-mostly: stats
+// and load probing).
+func (s *Server) Admission() *Admission { return s.adm }
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	SQL    string `json:"sql"`
+	Tenant string `json:"tenant,omitempty"`
+}
+
+// estimateJSON is one aggregate estimate on the wire.
+type estimateJSON struct {
+	Name       string  `json:"name"`
+	Value      float64 `json:"value"`
+	HalfWidth  float64 `json:"half_width"`
+	Confidence float64 `json:"confidence"`
+	RelError   float64 `json:"rel_error"`
+	Exact      bool    `json:"exact"`
+	SampleRows int     `json:"sample_rows"`
+}
+
+// trailJSON is one escalation-ladder rung on the wire.
+type trailJSON struct {
+	Layer     string `json:"layer"`
+	Rows      int    `json:"rows"`
+	ElapsedNs int64  `json:"elapsed_ns"`
+	Satisfied bool   `json:"satisfied"`
+}
+
+// boundedJSON is the bounded-answer half of a query response.
+type boundedJSON struct {
+	Layer      string         `json:"layer"`
+	Exact      bool           `json:"exact"`
+	BoundMet   bool           `json:"bound_met"`
+	PromisedNs int64          `json:"promised_ns"`
+	Estimates  []estimateJSON `json:"estimates"`
+	Trail      []trailJSON    `json:"trail"`
+}
+
+// exactJSON is the exact-result half of a query response. Values are
+// rendered as strings (the engine's canonical decimal formatting).
+type exactJSON struct {
+	Columns   []string   `json:"columns"`
+	Rows      [][]string `json:"rows"`
+	RowCount  int        `json:"row_count"`
+	Truncated bool       `json:"truncated"`
+}
+
+// queryResponse is the POST /query success body.
+type queryResponse struct {
+	SQL       string       `json:"sql"`
+	Tenant    string       `json:"tenant,omitempty"`
+	ElapsedNs int64        `json:"elapsed_ns"`
+	QueueNs   int64        `json:"queue_ns"`
+	Bounded   *boundedJSON `json:"bounded,omitempty"`
+	Exact     *exactJSON   `json:"exact,omitempty"`
+}
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// statsResponse is the GET /stats body.
+type statsResponse struct {
+	UptimeNs  int64                     `json:"uptime_ns"`
+	Admission AdmissionStats            `json:"admission"`
+	Recycler  map[string]recyclerJSON   `json:"recycler"`
+	Tenants   map[string]tenantCounters `json:"tenants"`
+}
+
+// recyclerJSON is recycler.Stats on the wire.
+type recyclerJSON struct {
+	Hits             int64   `json:"hits"`
+	SubsumedHits     int64   `json:"subsumed_hits"`
+	Misses           int64   `json:"misses"`
+	Evictions        int64   `json:"evictions"`
+	AdmissionRejects int64   `json:"admission_rejects"`
+	Entries          int     `json:"entries"`
+	Bytes            int64   `json:"bytes"`
+	Budget           int64   `json:"budget"`
+	HitRate          float64 `json:"hit_rate"`
+}
+
+func toRecyclerJSON(st recycler.Stats) recyclerJSON {
+	return recyclerJSON{
+		Hits:             st.Hits,
+		SubsumedHits:     st.SubsumedHits,
+		Misses:           st.Misses,
+		Evictions:        st.Evictions,
+		AdmissionRejects: st.AdmissionRejects,
+		Entries:          st.Entries,
+		Bytes:            st.Bytes,
+		Budget:           st.Budget,
+		HitRate:          st.HitRate(),
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the connection may be gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorResponse{Error: errorBody{Code: code, Message: msg}})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	rec := map[string]recyclerJSON{}
+	for tenant, st := range s.db.TenantRecyclerStats() {
+		if tenant == "" {
+			tenant = "default"
+		}
+		rec[tenant] = toRecyclerJSON(st)
+	}
+	s.mu.Lock()
+	tenants := make(map[string]tenantCounters, len(s.tenants))
+	for name, tc := range s.tenants {
+		tenants[name] = *tc
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, statsResponse{
+		UptimeNs:  time.Since(s.started).Nanoseconds(),
+		Admission: s.adm.Stats(),
+		Recycler:  rec,
+		Tenants:   tenants,
+	})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
+		return
+	}
+	var req queryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "invalid JSON body: "+err.Error())
+		return
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		writeError(w, http.StatusBadRequest, "bad_request", `missing "sql" field`)
+		return
+	}
+	// Reject malformed SQL before spending an admission slot on it.
+	if _, err := sqlparse.Parse(req.SQL); err != nil {
+		writeError(w, http.StatusBadRequest, "parse_error", err.Error())
+		return
+	}
+
+	release, queued, err := s.adm.Acquire(r.Context())
+	if err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			writeError(w, http.StatusTooManyRequests, "overloaded", err.Error())
+			return
+		}
+		// The client gave up while queued; the status is cosmetic.
+		writeError(w, http.StatusServiceUnavailable, "canceled", err.Error())
+		return
+	}
+	defer release()
+
+	ctx := r.Context()
+	if s.maxTime > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.maxTime)
+		defer cancel()
+	}
+
+	start := time.Now()
+	res, err := s.db.ExecTenant(ctx, req.Tenant, req.SQL)
+	elapsed := time.Since(start)
+	s.note(req.Tenant, res, err, elapsed)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "timeout", "query exceeded the server's max query time")
+		case errors.Is(err, context.Canceled):
+			writeError(w, http.StatusServiceUnavailable, "canceled", "query canceled by client")
+		default:
+			writeError(w, http.StatusUnprocessableEntity, "exec_error", err.Error())
+		}
+		return
+	}
+
+	resp := queryResponse{
+		SQL:       req.SQL,
+		Tenant:    req.Tenant,
+		ElapsedNs: elapsed.Nanoseconds(),
+		QueueNs:   queued.Nanoseconds(),
+	}
+	if ans := res.Bounded; ans != nil {
+		b := &boundedJSON{
+			Layer:      ans.Layer,
+			Exact:      ans.Exact,
+			BoundMet:   ans.BoundMet,
+			PromisedNs: ans.Promised.Nanoseconds(),
+			Estimates:  make([]estimateJSON, 0, len(ans.Estimates)),
+			Trail:      make([]trailJSON, 0, len(ans.Trail)),
+		}
+		for _, e := range ans.Estimates {
+			b.Estimates = append(b.Estimates, estimateJSON{
+				Name:       e.Spec.Name(),
+				Value:      e.Value(),
+				HalfWidth:  e.Interval.HalfWidth,
+				Confidence: e.Interval.Level,
+				RelError:   e.RelError(),
+				Exact:      e.Exact,
+				SampleRows: e.SampleRows,
+			})
+		}
+		for _, step := range ans.Trail {
+			b.Trail = append(b.Trail, trailJSON{
+				Layer:     step.Layer,
+				Rows:      step.Rows,
+				ElapsedNs: step.Elapsed.Nanoseconds(),
+				Satisfied: step.Satisfied,
+			})
+		}
+		resp.Bounded = b
+	} else if res.Rows != nil {
+		n := res.Rows.Len()
+		show := n
+		if show > s.maxRows {
+			show = s.maxRows
+		}
+		ex := &exactJSON{
+			Columns:   res.Rows.Table.Schema().Names(),
+			Rows:      make([][]string, 0, show),
+			RowCount:  n,
+			Truncated: show < n,
+		}
+		for i := 0; i < show; i++ {
+			ex.Rows = append(ex.Rows, res.Rows.Table.RowStrings(int32(i)))
+		}
+		resp.Exact = ex
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// note folds one query outcome into the tenant's counters.
+func (s *Server) note(tenant string, res *sciborq.Result, err error, elapsed time.Duration) {
+	if tenant == "" {
+		tenant = "default"
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tc := s.tenants[tenant]
+	if tc == nil {
+		tc = &tenantCounters{}
+		s.tenants[tenant] = tc
+	}
+	tc.Queries++
+	if err != nil {
+		tc.Errors++
+		return
+	}
+	ns := elapsed.Nanoseconds()
+	tc.TotalNs += ns
+	if ns > tc.MaxNs {
+		tc.MaxNs = ns
+	}
+	if res != nil && res.Bounded != nil {
+		tc.Bounded++
+		if res.Bounded.BoundMet {
+			tc.BoundMet++
+		}
+	}
+}

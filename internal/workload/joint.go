@@ -45,16 +45,27 @@ func (l *Logger) TrackJoint(attrA, attrB string, binsA, binsB int) error {
 	return nil
 }
 
-// LiveJoint returns the live joint histogram for the pair (not a copy);
-// callers must not mutate it.
+// LiveJoint returns the current joint histogram for the pair as an
+// immutable generation-cached snapshot (same discipline as Live: one
+// clone per workload mutation, never a torn read against a concurrent
+// LogQuery). Callers must not mutate the result.
 func (l *Logger) LiveJoint(attrA, attrB string) (*stats.Histogram2D, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	h, ok := l.joints[pairKey{attrA, attrB}]
+	k := pairKey{attrA, attrB}
+	h, ok := l.joints[k]
 	if !ok {
 		return nil, fmt.Errorf("workload: pair (%s, %s) is not jointly tracked", attrA, attrB)
 	}
-	return h, nil
+	if s, ok := l.jointSnaps[k]; ok && s.gen == l.gen {
+		return s.h, nil
+	}
+	if l.jointSnaps == nil {
+		l.jointSnaps = make(map[pairKey]jointSnap)
+	}
+	s := jointSnap{gen: l.gen, h: h.Clone()}
+	l.jointSnaps[k] = s
+	return s.h, nil
 }
 
 // Joint returns a snapshot (clone) of the joint histogram for the pair.

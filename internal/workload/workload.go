@@ -34,6 +34,23 @@ type Logger struct {
 	raw     map[string][]float64
 	keepRaw bool
 	queries int64
+	// gen counts histogram mutations; Live/LiveJoint cache one immutable
+	// clone per generation so the per-tuple bias path never reads a
+	// histogram another goroutine is writing.
+	gen        int64
+	snaps      map[string]histSnap
+	jointSnaps map[pairKey]jointSnap
+}
+
+// histSnap is one generation-stamped immutable histogram clone.
+type histSnap struct {
+	gen int64
+	h   *stats.Histogram
+}
+
+type jointSnap struct {
+	gen int64
+	h   *stats.Histogram2D
 }
 
 // NewLogger builds a logger for the given attributes. keepRaw retains
@@ -74,6 +91,7 @@ func (l *Logger) LogPoints(pts []expr.Point) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.queries++
+	l.gen++
 	tracked := make([]point, 0, len(pts))
 	for _, pt := range pts {
 		h, ok := l.hists[pt.Attr]
@@ -101,9 +119,13 @@ func (l *Logger) Histogram(attr string) (*stats.Histogram, error) {
 	return h.Clone(), nil
 }
 
-// Live returns the live histogram for attr (not a copy); the impression
-// maintenance path reads it on every ingested tuple and must not pay a
-// clone per tuple. Callers must not mutate it.
+// Live returns the current histogram for attr as an immutable snapshot.
+// The impression maintenance path reads it on every ingested tuple, so
+// the snapshot is cached per mutation generation — a quiescent workload
+// costs one clone total, not one per tuple — and a query logged by a
+// concurrent session can never race the read (the snapshot is frozen;
+// the next Live call after the mutation returns a fresh one). Callers
+// must not mutate the result.
 func (l *Logger) Live(attr string) (*stats.Histogram, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -111,7 +133,15 @@ func (l *Logger) Live(attr string) (*stats.Histogram, error) {
 	if !ok {
 		return nil, fmt.Errorf("workload: attribute %q is not tracked", attr)
 	}
-	return h, nil
+	if s, ok := l.snaps[attr]; ok && s.gen == l.gen {
+		return s.h, nil
+	}
+	if l.snaps == nil {
+		l.snaps = make(map[string]histSnap)
+	}
+	s := histSnap{gen: l.gen, h: h.Clone()}
+	l.snaps[attr] = s
+	return s.h, nil
 }
 
 // RawValues returns a copy of the raw predicate values for attr
@@ -152,6 +182,7 @@ func (l *Logger) attrsLocked() []string {
 func (l *Logger) Decay(factor float64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.gen++
 	for _, h := range l.hists {
 		h.Decay(factor)
 	}

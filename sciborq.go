@@ -43,6 +43,19 @@
 // escalation rung describes the one snapshot taken for the query, and
 // layer views are clamped to it.
 //
+// # Serving and multi-tenancy
+//
+// ExecContext ties a query to a context: cancelling it (client
+// disconnect, deadline) aborts the running scan cooperatively at the
+// next morsel boundary and frees the worker pool. ExecTenant
+// additionally routes the query's selection caching to a per-tenant
+// recycler partition (WithTenantRecyclerBudget, WithMaxTenants), so
+// concurrent tenants cannot evict each other's warm working sets.
+// SetLoadProbe feeds live concurrency and queue wait into WITHIN TIME
+// pricing — under load the executor picks smaller layers so the time
+// promise still holds. internal/server + cmd/sciborqd package this as
+// an HTTP/JSON query service (see docs/SERVER.md).
+//
 // # Local verification
 //
 // The Makefile mirrors CI exactly: `make build`, `make test`,
@@ -99,18 +112,25 @@ const (
 // workload loggers, impression hierarchies maintained during loads, and
 // a bounded query executor.
 type DB struct {
-	mu       sync.Mutex
-	catalog  *table.Catalog
-	loaders  map[string]*loader.Loader
-	loggers  map[string]*workload.Logger
-	hiers    map[string]*impression.Hierarchy
-	execs    map[string]*bounded.Executor
-	recycler *recycler.Recycler // nil when disabled
-	recBytes int64
-	cost     engine.CostModel
-	opts     engine.ExecOptions
-	seed     uint64
+	mu          sync.Mutex
+	catalog     *table.Catalog
+	loaders     map[string]*loader.Loader
+	loggers     map[string]*workload.Logger
+	hiers       map[string]*impression.Hierarchy
+	execs       map[string]*bounded.Executor
+	recPool     *recycler.Pool // nil when disabled
+	recBytes    int64
+	tenantBytes int64
+	maxTenants  int
+	loadProbe   func() LoadInfo
+	cost        engine.CostModel
+	opts        engine.ExecOptions
+	seed        uint64
 }
+
+// LoadInfo reports live serving-layer contention to the WITHIN TIME
+// cost model; see DB.SetLoadProbe and bounded.LoadInfo.
+type LoadInfo = bounded.LoadInfo
 
 // Option customises Open.
 type Option func(*DB)
@@ -145,9 +165,29 @@ func WithExecOptions(opts engine.ExecOptions) Option {
 // predicates without re-scanning. Selections charge 4 bytes per cached
 // row position and evict LRU-by-bytes. Zero or negative disables the
 // recycler entirely (every query re-filters from scratch); the default
-// is recycler.DefaultBudget (32 MiB).
+// is recycler.DefaultBudget (32 MiB). The budget configured here backs
+// the shared default partition; named tenants (ExecTenant) get their
+// own partitions sized by WithTenantRecyclerBudget.
 func WithRecyclerBudget(bytes int64) Option {
 	return func(db *DB) { db.recBytes = bytes }
+}
+
+// WithTenantRecyclerBudget sets the per-tenant recycler partition
+// budget: every tenant named in ExecTenant gets an isolated selection
+// cache of this size, so one tenant's churn cannot evict another's warm
+// working set. Zero or negative means recycler.DefaultTenantBudget
+// (4 MiB). Has no effect when the recycler is disabled.
+func WithTenantRecyclerBudget(bytes int64) Option {
+	return func(db *DB) { db.tenantBytes = bytes }
+}
+
+// WithMaxTenants caps how many named tenant recycler partitions stay
+// resident; beyond it the least-recently-used tenant's cache is dropped
+// wholesale (selections are recomputable, never data). Zero or negative
+// means recycler.DefaultMaxTenants (64). Worst-case recycler memory is
+// recyclerBudget + maxTenants × tenantBudget.
+func WithMaxTenants(n int) Option {
+	return func(db *DB) { db.maxTenants = n }
 }
 
 // Open creates an empty database.
@@ -165,11 +205,11 @@ func Open(opts ...Option) *DB {
 		o(db)
 	}
 	if db.recBytes > 0 {
-		rec, err := recycler.New(db.recBytes)
+		pool, err := recycler.NewPool(db.recBytes, db.tenantBytes, db.maxTenants)
 		if err != nil {
 			panic(err) // positive budget; cannot happen
 		}
-		db.recycler = rec
+		db.recPool = pool
 	}
 	if db.cost.NsPerRow <= 0 {
 		// Calibrate the configured execution options, so WITHIN TIME
@@ -179,13 +219,47 @@ func Open(opts ...Option) *DB {
 	return db
 }
 
-// RecyclerStats reports the selection recycler's effectiveness (zero
-// Stats when the recycler is disabled).
+// RecyclerStats reports the shared default recycler partition's
+// effectiveness (zero Stats when the recycler is disabled).
 func (db *DB) RecyclerStats() recycler.Stats {
-	if db.recycler == nil {
+	if db.recPool == nil {
 		return recycler.Stats{}
 	}
-	return db.recycler.Stats()
+	return db.recPool.Default().Stats()
+}
+
+// TenantRecyclerStats snapshots every resident recycler partition's
+// Stats keyed by tenant (the default partition under ""); nil when the
+// recycler is disabled.
+func (db *DB) TenantRecyclerStats() map[string]recycler.Stats {
+	if db.recPool == nil {
+		return nil
+	}
+	return db.recPool.StatsByTenant()
+}
+
+// recyclerFor resolves the recycler partition a query should use: the
+// tenant's own partition, or nil when recycling is disabled.
+func (db *DB) recyclerFor(tenant string) *recycler.Recycler {
+	if db.recPool == nil {
+		return nil
+	}
+	return db.recPool.For(tenant)
+}
+
+// SetLoadProbe installs a contention probe consulted by every WITHIN
+// TIME layer pick: the probe reports live in-flight queries and
+// observed admission queue wait, and the cost model derates
+// accordingly so time promises hold under concurrent load. The serving
+// layer (internal/server) wires its admission queue here; library
+// embedders running their own scheduler can do the same.
+func (db *DB) SetLoadProbe(fn func() LoadInfo) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.loadProbe = fn
+	for _, ex := range db.execs {
+		ex.SetLoadProbe(fn)
+	}
 }
 
 // CreateTable adds a new empty table.

@@ -1,0 +1,110 @@
+#!/bin/sh
+# server_smoke.sh — boot sciborqd and run every curl example from
+# docs/SERVER.md verbatim against it. Any command failure, non-JSON
+# response, or malformed /stats document fails the script. This is the
+# CI guarantee that the wire-protocol docs cannot rot.
+set -eu
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+DOC="$REPO/docs/SERVER.md"
+ADDR="localhost:8080"
+ROWS="${SMOKE_ROWS:-40000}"
+BIN="$(mktemp -d)/sciborqd"
+
+cleanup() {
+    [ -n "${SRV_PID:-}" ] && kill "$SRV_PID" 2>/dev/null || true
+    rm -rf "$(dirname "$BIN")"
+}
+trap cleanup EXIT INT TERM
+
+echo "== building cmd/sciborqd"
+go build -o "$BIN" "$REPO/cmd/sciborqd"
+
+echo "== booting sciborqd (-rows $ROWS)"
+"$BIN" -addr :8080 -rows "$ROWS" -layers 8000,800 &
+SRV_PID=$!
+
+# Wait for the health endpoint (data generation happens before listen).
+i=0
+until curl -sf "$ADDR/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 120 ]; then
+        echo "server never became healthy" >&2
+        exit 1
+    fi
+    if ! kill -0 "$SRV_PID" 2>/dev/null; then
+        echo "server exited during boot" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+echo "== server healthy"
+
+# json_check FILE: the response must parse as JSON.
+json_check() {
+    if command -v python3 >/dev/null 2>&1; then
+        python3 -m json.tool <"$1" >/dev/null
+    else
+        # Fallback: a JSON document here always starts with '{'.
+        head -c 1 "$1" | grep -q '{'
+    fi
+}
+
+# Extract every curl example from the doc and run it verbatim.
+OUT="$(mktemp)"
+fails=0
+total=0
+while IFS= read -r line; do
+    cmd="$(printf '%s' "$line" | sed 's/^[[:space:]]*//')"
+    total=$((total + 1))
+    echo "-- $cmd"
+    if ! sh -c "$cmd" >"$OUT" 2>&1; then
+        echo "   FAILED (curl exit)" >&2
+        fails=$((fails + 1))
+        continue
+    fi
+    if ! json_check "$OUT"; then
+        echo "   FAILED (non-JSON response):" >&2
+        cat "$OUT" >&2
+        fails=$((fails + 1))
+    fi
+done <<EOF
+$(grep -E '^[[:space:]]*curl ' "$DOC")
+EOF
+rm -f "$OUT"
+
+if [ "$total" -eq 0 ]; then
+    echo "no curl examples found in $DOC" >&2
+    exit 1
+fi
+if [ "$fails" -gt 0 ]; then
+    echo "== $fails/$total curl examples failed" >&2
+    exit 1
+fi
+echo "== all $total curl examples passed"
+
+# /stats must be a well-formed document carrying the documented keys.
+STATS="$(curl -sf "$ADDR/stats")"
+for key in uptime_ns admission recycler tenants max_in_flight; do
+    if ! printf '%s' "$STATS" | grep -q "\"$key\""; then
+        echo "/stats missing key \"$key\":" >&2
+        printf '%s\n' "$STATS" >&2
+        exit 1
+    fi
+done
+echo "== /stats well-formed"
+
+# Graceful shutdown: SIGTERM must end the process promptly.
+kill -TERM "$SRV_PID"
+i=0
+while kill -0 "$SRV_PID" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 60 ]; then
+        echo "server ignored SIGTERM" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+SRV_PID=""
+echo "== graceful shutdown ok"
+echo "PASS"
