@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test cover race bench bench-json fuzz fmt vet ci server server-smoke
+.PHONY: all build test cover race bench bench-json bench-alloc fuzz fmt vet ci server server-smoke
 
 all: build
 
@@ -22,10 +22,12 @@ cover:
 # (the morsel worker pool, the bounded executor built on it, the
 # pooled hash infrastructure shared across scan workers, the impression
 # views read by queries while loads mutate the samplers, the shared
-# recycler + the expr scratch-pool kernels it drives, and the HTTP
-# server whose admission queue and tenant counters every request pounds).
+# recycler + the expr scratch-pool kernels it drives, the plan cache
+# hit/evicted/invalidated concurrently by queries and loads, and the
+# HTTP server whose admission queue and tenant counters every request
+# pounds).
 race:
-	$(GO) test -race ./internal/engine/... ./internal/bounded/... ./internal/hashtab/... ./internal/impression/... ./internal/recycler/... ./internal/expr/... ./internal/server/... .
+	$(GO) test -race ./internal/engine/... ./internal/bounded/... ./internal/hashtab/... ./internal/impression/... ./internal/recycler/... ./internal/expr/... ./internal/server/... ./internal/plancache/... .
 
 # Short fuzz smoke over the SQL front-end: Parse never panics and
 # accepted statements round-trip through Statement.String.
@@ -56,6 +58,17 @@ bench-json:
 	$(GO) test -json -run='^$$' -benchmem -benchtime=5x \
 		-bench='^BenchmarkRecyclerRepeatedQuery$$' \
 		. > BENCH_recycler.json
+	$(GO) test -json -run='^$$' -benchmem -benchtime=5x \
+		-bench='^(BenchmarkParseCold|BenchmarkPlanCacheWarmHit|BenchmarkPlanCacheShapeBind|BenchmarkExecPlanCache)$$' \
+		. > BENCH_parse.json
+
+# Allocation regression gate for the cached-statement front end: a warm
+# plan-cache hit (alias probe + catalog version check) must stay at
+# exactly 0 allocs/op, asserted via testing.AllocsPerRun at both the
+# package level (plancache.TestLookupZeroAlloc) and end to end through
+# DB.CheckSQL (TestFrontEndZeroAlloc).
+bench-alloc:
+	$(GO) test -run='ZeroAlloc' -v . ./internal/plancache/...
 
 # Run the HTTP/JSON query server on :8080 over synthetic SkyServer data.
 server:
@@ -77,4 +90,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt test race bench fuzz
+ci: build vet fmt test race bench bench-alloc fuzz

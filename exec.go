@@ -12,6 +12,7 @@ import (
 	"sciborq/internal/recycler"
 	"sciborq/internal/sqlparse"
 	"sciborq/internal/table"
+	"sciborq/internal/vec"
 )
 
 // Result is the uniform answer of DB.Exec: either an exact relational
@@ -107,21 +108,53 @@ func (db *DB) ExecContext(ctx context.Context, sql string) (*Result, error) {
 // recycler partition, so concurrent tenants cannot evict each other's
 // warm working sets. The empty tenant uses the shared default
 // partition, making ExecTenant(ctx, "", sql) ≡ ExecContext(ctx, sql).
+//
+// The statement runs through the plan cache first: a repeated spelling
+// skips the whole front end (parse, canonicalisation, predicate key
+// encoding) with zero allocation, a literal variant of a cached shape
+// replays only its literal values, and only genuinely new statements
+// pay a full parse. Results are bit-identical on every path — the plan
+// holds exactly the Statement a fresh parse would produce.
 func (db *DB) ExecTenant(ctx context.Context, tenant, sql string) (*Result, error) {
+	if db.plans != nil {
+		if pl := db.plans.Lookup(tenant, sql); pl != nil {
+			return db.execStatement(ctx, tenant, pl.Statement, sql, &pl.Prep)
+		}
+		if st, ok := db.plans.BindShape(tenant, sql); ok {
+			return db.execParsed(ctx, tenant, st, sql, true)
+		}
+	}
 	st, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return db.execStatement(ctx, tenant, st, sql)
+	if db.plans == nil {
+		return db.execStatement(ctx, tenant, st, sql, nil)
+	}
+	return db.execParsed(ctx, tenant, st, sql, false)
+}
+
+// execParsed admits a plan for a freshly parsed (or shape-bound)
+// statement, then executes it with the plan's prepared predicate.
+func (db *DB) execParsed(ctx context.Context, tenant string, st *sqlparse.Statement, sql string, shapeHit bool) (*Result, error) {
+	base, err := db.catalog.Get(st.Query.Table)
+	if err != nil {
+		return nil, err
+	}
+	pl := db.plans.Admit(tenant, sql, st, base.ID(), base.Version(), shapeHit)
+	return db.execStatement(ctx, tenant, pl.Statement, sql, &pl.Prep)
 }
 
 // ExecStatement executes a pre-parsed statement.
 func (db *DB) ExecStatement(st *sqlparse.Statement, sql string) (*Result, error) {
-	return db.execStatement(context.Background(), "", st, sql)
+	return db.execStatement(context.Background(), "", st, sql, nil)
 }
 
 // execStatement executes a pre-parsed statement for a tenant under ctx.
-func (db *DB) execStatement(ctx context.Context, tenant string, st *sqlparse.Statement, sql string) (*Result, error) {
+// prep, when non-nil, carries the plan cache's canonicalised WHERE
+// predicate so the recycler path skips canonicalisation; nil means the
+// recycler prepares it per query.
+func (db *DB) execStatement(ctx context.Context, tenant string, st *sqlparse.Statement, sql string, prep *recycler.Prepared) (*Result, error) {
 	base, err := db.catalog.Get(st.Query.Table)
 	if err != nil {
 		return nil, err
@@ -156,7 +189,7 @@ func (db *DB) execStatement(ctx context.Context, tenant string, st *sqlparse.Sta
 		}
 		return &Result{Rows: res, Elapsed: time.Since(start), SQL: sql}, nil
 	}
-	res, err := db.runExact(base, st.Query, opts, db.recyclerFor(tenant))
+	res, err := db.runExact(base, st.Query, opts, db.recyclerFor(tenant), prep)
 	if err != nil {
 		return nil, err
 	}
@@ -170,8 +203,10 @@ func (db *DB) execStatement(ctx context.Context, tenant string, st *sqlparse.Sta
 // snapshot the selection describes via the prefiltered engine path,
 // whose morsel merge layout makes results bit-identical to an uncached
 // scan. WHERE-less queries and a disabled recycler take the plain path.
-// opts carries the per-query context.
-func (db *DB) runExact(base *table.Table, q engine.Query, opts engine.ExecOptions, rec *recycler.Recycler) (*engine.Result, error) {
+// opts carries the per-query context. prep, when non-nil, is the plan
+// cache's pre-canonicalised predicate (FilterPrepared re-prepares
+// internally if a load raced past the plan's version).
+func (db *DB) runExact(base *table.Table, q engine.Query, opts engine.ExecOptions, rec *recycler.Recycler, prep *recycler.Prepared) (*engine.Result, error) {
 	if rec == nil || q.Where == nil {
 		return engine.RunOnOpts(base, q, opts)
 	}
@@ -188,7 +223,16 @@ func (db *DB) runExact(base *table.Table, q engine.Query, opts engine.ExecOption
 			return engine.RunOnOpts(snap, q, opts)
 		}
 	}
-	sel, scan, err := rec.Filter(snap, q.Where, opts)
+	var (
+		sel  vec.Sel
+		scan engine.ScanStats
+		err  error
+	)
+	if prep != nil {
+		sel, scan, err = rec.FilterPrepared(snap, prep, opts)
+	} else {
+		sel, scan, err = rec.Filter(snap, q.Where, opts)
+	}
 	if err != nil {
 		return nil, err
 	}

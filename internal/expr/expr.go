@@ -10,6 +10,7 @@ package expr
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"sciborq/internal/column"
 	"sciborq/internal/table"
@@ -202,9 +203,20 @@ func (c Cmp) Points() []Point {
 	return nil
 }
 
+// guardScalar renders a scalar for the head position of a predicate.
+// A bare column reference that spells the cone-search function name
+// must be parenthesised: unguarded, "fGetNearbyObjEq > 1" re-parses as
+// a malformed fGetNearbyObjEq(...) call instead of a column comparison.
+func guardScalar(s Scalar) string {
+	if ref, ok := s.(ColRef); ok && strings.EqualFold(ref.Name, "fGetNearbyObjEq") {
+		return "(" + ref.Name + ")"
+	}
+	return s.String()
+}
+
 // String implements Predicate.
 func (c Cmp) String() string {
-	return fmt.Sprintf("%s %s %g", c.Left, c.Op, c.Right)
+	return fmt.Sprintf("%s %s %g", guardScalar(c.Left), c.Op, c.Right)
 }
 
 // Between selects lo <= expr <= hi (inclusive, SQL semantics).
@@ -236,7 +248,7 @@ func (b Between) Points() []Point {
 
 // String implements Predicate.
 func (b Between) String() string {
-	return fmt.Sprintf("%s BETWEEN %g AND %g", b.Expr, b.Lo, b.Hi)
+	return fmt.Sprintf("%s BETWEEN %g AND %g", guardScalar(b.Expr), b.Lo, b.Hi)
 }
 
 // StrEq selects rows of a VARCHAR column equal to a string constant
@@ -286,7 +298,7 @@ func (s StrEq) String() string {
 	if s.Neg {
 		op = "<>"
 	}
-	return fmt.Sprintf("%s %s '%s'", s.Col, op, s.Value)
+	return fmt.Sprintf("%s %s '%s'", guardScalar(ColRef{Name: s.Col}), op, s.Value)
 }
 
 // And is predicate conjunction.

@@ -1,0 +1,486 @@
+// Package plancache caches the query front-end's work — parse,
+// canonicalisation, predicate key encoding — so the repeated statement
+// shapes of an exploratory workload (the SkyServer pattern the paper
+// targets: the same dashboard and zoom queries arriving over and over)
+// go straight to the morsel executor.
+//
+// Three tiers serve a lookup:
+//
+//  1. Alias tier: the raw SQL string, byte for byte, maps to its plan.
+//     This is the zero-allocation path — one read-locked map probe, an
+//     atomic access stamp, a table identity check — and it is what a
+//     serving workload hits in steady state.
+//  2. Canonical tier: plans are keyed by (canonical rendered statement,
+//     table ID, table version). Statements that differ in spelling but
+//     not meaning — whitespace, keyword case, commuted conjuncts — remap
+//     to one plan; the new spelling is registered as another alias.
+//  3. Shape tier: sqlparse.Fingerprint collapses parameterisable numeric
+//     literals, so "WHERE x > 5" and "WHERE x > 7" share one shape
+//     entry. A shape hit replays the cached template through
+//     sqlparse.ParseBound with the new literal values — same byte-exact
+//     AST a full parse would build, without re-deriving the statement
+//     structure — and admits the result as a new plan.
+//
+// Identity discipline follows the recycler's: plans embed the table's
+// (ID, Version) pair. A version bump (every load) makes every plan for
+// that table stale; staleness is caught lazily at lookup by comparing
+// against the live table and eagerly by Invalidate/InvalidateTable from
+// the load path. Memory is bounded by an LRU-by-bytes budget over plan
+// cost (SQL strings + a fixed AST estimate); access recency comes from
+// an atomic logical clock so the hit path never takes the write lock.
+package plancache
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+
+	"sciborq/internal/recycler"
+	"sciborq/internal/sqlparse"
+)
+
+// DefaultBudget bounds the cache to 8 MiB of plan bytes by default —
+// thousands of distinct statement spellings.
+const DefaultBudget = 8 << 20
+
+// planOverhead is the charged estimate for a plan's AST, prepared
+// predicate, and bookkeeping beyond its strings.
+const planOverhead = 512
+
+// Plan is one cached, immutable execution plan: the parsed statement
+// plus every front-end derivation execution needs. All fields are
+// read-only after Admit; the statement is shared by concurrent queries.
+type Plan struct {
+	// SQL is the canonical rendered form (canonical-tier key part).
+	SQL string
+	// Table is the target table name; TableID/TableVer the identity the
+	// plan was built against.
+	Table    string
+	TableID  uint64
+	TableVer uint64
+	// Statement is the parsed statement. Executions share it; the
+	// engine takes Query by value and never mutates the shared slices.
+	Statement *sqlparse.Statement
+	// Prep is the recycler-ready canonicalised WHERE predicate.
+	Prep recycler.Prepared
+
+	key     string // full canonical-tier key (SQL + identity suffix)
+	bytes   int64
+	stamp   atomic.Int64 // logical access clock; LRU evicts the smallest
+	aliases []string     // raw spellings mapped to this plan (under c.mu)
+	dead    atomic.Bool  // set once evicted; stale lookups stop re-admitting
+}
+
+// Stats reports one tenant's (or the aggregate "" tenant's) cache
+// effectiveness.
+type Stats struct {
+	// Hits counts alias-tier hits: no parsing, no allocation.
+	Hits int64
+	// CanonHits counts statements remapped to an existing plan by
+	// canonical form (parsed once, then aliased).
+	CanonHits int64
+	// ShapeHits counts literal-rebind hits: the statement shape was
+	// cached and only literal values were replayed.
+	ShapeHits int64
+	// Misses counts full front-end runs (parse + canonicalise + admit).
+	Misses int64
+	// Invalidations counts plans dropped for table version staleness.
+	Invalidations int64
+	// Evictions counts plans dropped by the byte budget.
+	Evictions int64
+	// Entries/Bytes/Budget describe residency (whole cache, not per
+	// tenant; only set on the aggregate Stats).
+	Entries int
+	Bytes   int64
+	Budget  int64
+}
+
+// HitRate returns the fraction of lookups answered without a full
+// front-end run.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.CanonHits + s.ShapeHits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.CanonHits+s.ShapeHits) / float64(total)
+}
+
+// tenantStats aggregates per-tenant counters with atomics so the hit
+// path stays lock-free beyond the cache's read lock.
+type tenantStats struct {
+	hits, canonHits, shapeHits, misses, invalidations atomic.Int64
+}
+
+func (t *tenantStats) snapshot() Stats {
+	return Stats{
+		Hits:          t.hits.Load(),
+		CanonHits:     t.canonHits.Load(),
+		ShapeHits:     t.shapeHits.Load(),
+		Misses:        t.misses.Load(),
+		Invalidations: t.invalidations.Load(),
+	}
+}
+
+// template is one cached statement shape: the representative SQL text
+// replayed by ParseBound with new literal values.
+type template struct {
+	sql   string
+	nlits int
+}
+
+// IdentityFn resolves a table name to its live (ID, Version) identity;
+// ok is false for a dropped/unknown table. Callers install one bound
+// function value at construction time so the hit path allocates no
+// closures.
+type IdentityFn func(table string) (id, ver uint64, ok bool)
+
+// Cache is the statement/plan cache. All methods are safe for
+// concurrent use.
+type Cache struct {
+	budget int64
+	ident  IdentityFn
+
+	mu      sync.RWMutex
+	aliases map[string]*Plan
+	plans   map[string]*Plan
+	shapes  map[string]*template
+	byTable map[string]map[*Plan]struct{}
+	bytes   int64
+	evicts  int64
+	invals  int64 // eager InvalidateTable drops (tenant-less)
+
+	clock atomic.Int64
+
+	statsMu sync.Mutex
+	stats   map[string]*tenantStats
+
+	// scratch recycles fingerprint buffers across lookups.
+	scratch sync.Pool
+}
+
+type scratchBuf struct {
+	shape []byte
+	lits  []float64
+}
+
+// New returns a plan cache charging plans against budgetBytes (<= 0
+// selects DefaultBudget). ident supplies live table identities for the
+// lookup-time staleness check.
+func New(budgetBytes int64, ident IdentityFn) *Cache {
+	if budgetBytes <= 0 {
+		budgetBytes = DefaultBudget
+	}
+	return &Cache{
+		budget:  budgetBytes,
+		ident:   ident,
+		aliases: make(map[string]*Plan),
+		plans:   make(map[string]*Plan),
+		shapes:  make(map[string]*template),
+		byTable: make(map[string]map[*Plan]struct{}),
+		stats:   make(map[string]*tenantStats),
+		scratch: sync.Pool{New: func() any {
+			return &scratchBuf{shape: make([]byte, 0, 256), lits: make([]float64, 0, 8)}
+		}},
+	}
+}
+
+// tenant returns the counter block for a tenant, creating it on first
+// use (the only allocation a tenant's first query pays).
+func (c *Cache) tenant(name string) *tenantStats {
+	c.statsMu.Lock()
+	ts, ok := c.stats[name]
+	if !ok {
+		ts = &tenantStats{}
+		c.stats[name] = ts
+	}
+	c.statsMu.Unlock()
+	return ts
+}
+
+// Lookup serves the alias tier: the exact SQL spelling seen before, for
+// a table still at the plan's version. Beyond a tenant's first-ever
+// call (which allocates its counter block) a hit performs no heap
+// allocation, given an allocation-free IdentityFn. A stale plan is
+// dropped (counted as an invalidation; Admit will count the ensuing
+// miss); nil means the caller must parse.
+func (c *Cache) Lookup(tenant, sql string) *Plan {
+	c.mu.RLock()
+	pl := c.aliases[sql]
+	c.mu.RUnlock()
+	if pl == nil {
+		return nil // Admit or BindShape counts the outcome
+	}
+	ts := c.tenant(tenant)
+	if id, ver, ok := c.ident(pl.Table); !ok || id != pl.TableID || ver != pl.TableVer {
+		c.Invalidate(pl)
+		ts.invalidations.Add(1)
+		return nil
+	}
+	pl.stamp.Store(c.clock.Add(1))
+	ts.hits.Add(1)
+	return pl
+}
+
+// BindShape serves the shape tier after an alias miss: if the
+// statement's literal-collapsed fingerprint matches a cached template,
+// the template is replayed with the new literal values, yielding the
+// exact Statement a full parse of sql would build. The boolean reports
+// a shape hit; the caller still admits the bound statement as a plan
+// (registering sql as an alias for next time).
+func (c *Cache) BindShape(tenant, sql string) (*sqlparse.Statement, bool) {
+	buf := c.scratch.Get().(*scratchBuf)
+	shape, lits, ok := sqlparse.Fingerprint(buf.shape[:0], buf.lits[:0], sql)
+	buf.shape, buf.lits = shape, lits
+	if !ok {
+		c.scratch.Put(buf)
+		return nil, false
+	}
+	c.mu.RLock()
+	tmpl := c.shapes[string(shape)]
+	c.mu.RUnlock()
+	if tmpl == nil || tmpl.nlits != len(lits) {
+		c.scratch.Put(buf)
+		return nil, false
+	}
+	st, err := sqlparse.ParseBound(tmpl.sql, lits)
+	c.scratch.Put(buf)
+	if err != nil {
+		// The template parsed when admitted; a binding failure means the
+		// shape aliased something unexpected. Fall back to a full parse.
+		return nil, false
+	}
+	c.tenant(tenant).shapeHits.Add(1)
+	return st, true
+}
+
+// planKey builds the canonical-tier key: rendered form + table identity.
+func planKey(canonSQL string, id, ver uint64) string {
+	k := make([]byte, 0, len(canonSQL)+17)
+	k = append(k, canonSQL...)
+	k = append(k, 0)
+	k = binary.BigEndian.AppendUint64(k, id)
+	k = binary.BigEndian.AppendUint64(k, ver)
+	return string(k)
+}
+
+// Admit caches the front-end work for a just-parsed statement and
+// registers sql as an alias for it. id/ver are the live identity of the
+// statement's target table. The returned plan is never nil; equivalent
+// spellings converge on the canonical tier's single plan. shapeHit
+// marks admissions that came through BindShape (already counted there)
+// so the tenant miss counters stay truthful.
+func (c *Cache) Admit(tenant, sql string, st *sqlparse.Statement, id, ver uint64, shapeHit bool) *Plan {
+	prep := recycler.Prepare(id, ver, st.Query.Where)
+	canonSQL := canonicalSQL(st, &prep)
+	key := planKey(canonSQL, id, ver)
+	ts := c.tenant(tenant)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if pl, ok := c.plans[key]; ok {
+		// Same canonical form and identity: just learn the new spelling.
+		c.addAliasLocked(pl, sql)
+		pl.stamp.Store(c.clock.Add(1))
+		if !shapeHit {
+			ts.canonHits.Add(1)
+		}
+		c.evictOverBudgetLocked()
+		return pl
+	}
+	if !shapeHit {
+		ts.misses.Add(1)
+	}
+	pl := &Plan{
+		SQL:       canonSQL,
+		Table:     st.Query.Table,
+		TableID:   id,
+		TableVer:  ver,
+		Statement: st,
+		Prep:      prep,
+		key:       key,
+		bytes:     int64(len(canonSQL)+len(key)) + planOverhead,
+	}
+	pl.stamp.Store(c.clock.Add(1))
+	c.plans[key] = pl
+	c.bytes += pl.bytes
+	bucket := c.byTable[pl.Table]
+	if bucket == nil {
+		bucket = make(map[*Plan]struct{})
+		c.byTable[pl.Table] = bucket
+	}
+	bucket[pl] = struct{}{}
+	c.addAliasLocked(pl, sql)
+	c.admitShapeLocked(sql)
+
+	// A newer version supersedes every older plan of the same table:
+	// those can never be looked up successfully again.
+	for o := range bucket {
+		if o.TableID == pl.TableID && o.TableVer < pl.TableVer {
+			c.dropLocked(o)
+		}
+	}
+	c.evictOverBudgetLocked()
+	return pl
+}
+
+// addAliasLocked maps a raw spelling to a plan (idempotent).
+func (c *Cache) addAliasLocked(pl *Plan, sql string) {
+	if cur, ok := c.aliases[sql]; ok {
+		if cur == pl {
+			return
+		}
+		// The spelling re-resolved (e.g. to a newer version's plan).
+		c.removeAliasLocked(cur, sql)
+	}
+	c.aliases[sql] = pl
+	pl.aliases = append(pl.aliases, sql)
+	c.bytes += int64(len(sql))
+}
+
+func (c *Cache) removeAliasLocked(pl *Plan, sql string) {
+	for i, a := range pl.aliases {
+		if a == sql {
+			pl.aliases = append(pl.aliases[:i], pl.aliases[i+1:]...)
+			c.bytes -= int64(len(sql))
+			return
+		}
+	}
+}
+
+// admitShapeLocked registers sql's literal-collapsed shape template.
+func (c *Cache) admitShapeLocked(sql string) {
+	buf := c.scratch.Get().(*scratchBuf)
+	shape, lits, ok := sqlparse.Fingerprint(buf.shape[:0], buf.lits[:0], sql)
+	buf.shape, buf.lits = shape, lits
+	if ok {
+		if _, dup := c.shapes[string(shape)]; !dup {
+			c.shapes[string(shape)] = &template{sql: sql, nlits: len(lits)}
+			c.bytes += int64(len(shape) + len(sql))
+		}
+	}
+	c.scratch.Put(buf)
+}
+
+// Invalidate drops one plan (all aliases included); used when a lookup
+// finds the plan's table gone or at a newer version.
+func (c *Cache) Invalidate(pl *Plan) {
+	if pl.dead.Load() {
+		return
+	}
+	c.mu.Lock()
+	c.dropLocked(pl)
+	c.mu.Unlock()
+}
+
+// InvalidateTable eagerly drops every plan for a table — the load path
+// calls it so a version bump frees plan memory immediately instead of
+// waiting for each alias to miss.
+func (c *Cache) InvalidateTable(table string) {
+	c.mu.Lock()
+	for pl := range c.byTable[table] {
+		c.dropLocked(pl)
+		c.invals++
+	}
+	c.mu.Unlock()
+}
+
+func (c *Cache) dropLocked(pl *Plan) {
+	if pl.dead.Swap(true) {
+		return
+	}
+	delete(c.plans, pl.key)
+	for _, a := range pl.aliases {
+		if c.aliases[a] == pl {
+			delete(c.aliases, a)
+		}
+		c.bytes -= int64(len(a))
+	}
+	pl.aliases = nil
+	if bucket := c.byTable[pl.Table]; bucket != nil {
+		delete(bucket, pl)
+		if len(bucket) == 0 {
+			delete(c.byTable, pl.Table)
+		}
+	}
+	c.bytes -= pl.bytes
+}
+
+// evictOverBudgetLocked drops least-recently-stamped plans until the
+// byte budget holds. Shape templates are never evicted here: they are
+// tiny relative to plans and self-limit to distinct statement shapes.
+func (c *Cache) evictOverBudgetLocked() {
+	for c.bytes > c.budget && len(c.plans) > 0 {
+		var oldest *Plan
+		var oldestStamp int64
+		for _, pl := range c.plans {
+			if s := pl.stamp.Load(); oldest == nil || s < oldestStamp {
+				oldest, oldestStamp = pl, s
+			}
+		}
+		c.dropLocked(oldest)
+		c.evicts++
+	}
+}
+
+// StatsFor returns one tenant's counters.
+func (c *Cache) StatsFor(tenant string) Stats {
+	c.statsMu.Lock()
+	ts := c.stats[tenant]
+	c.statsMu.Unlock()
+	if ts == nil {
+		return Stats{}
+	}
+	return ts.snapshot()
+}
+
+// Stats aggregates all tenants and reports cache residency.
+func (c *Cache) Stats() Stats {
+	var out Stats
+	c.statsMu.Lock()
+	for _, ts := range c.stats {
+		s := ts.snapshot()
+		out.Hits += s.Hits
+		out.CanonHits += s.CanonHits
+		out.ShapeHits += s.ShapeHits
+		out.Misses += s.Misses
+		out.Invalidations += s.Invalidations
+	}
+	c.statsMu.Unlock()
+	c.mu.RLock()
+	out.Entries = len(c.plans)
+	out.Bytes = c.bytes
+	out.Budget = c.budget
+	out.Evictions = c.evicts
+	out.Invalidations += c.invals
+	c.mu.RUnlock()
+	return out
+}
+
+// StatsByTenant snapshots every tenant's counters (the default tenant
+// under "").
+func (c *Cache) StatsByTenant() map[string]Stats {
+	c.statsMu.Lock()
+	out := make(map[string]Stats, len(c.stats))
+	for name, ts := range c.stats {
+		out[name] = ts.snapshot()
+	}
+	c.statsMu.Unlock()
+	return out
+}
+
+// canonicalSQL renders the statement with its WHERE clause in canonical
+// form, so commuted/nested spellings of one predicate produce one key.
+func canonicalSQL(st *sqlparse.Statement, prep *recycler.Prepared) string {
+	if canon := prep.Canon(); canon != nil {
+		cp := *st
+		cp.Query.Where = canon
+		return cp.String()
+	}
+	if st.Query.Where != nil {
+		// TRUE-equivalent predicate: canonical form has no WHERE clause.
+		cp := *st
+		cp.Query.Where = nil
+		return cp.String()
+	}
+	return st.String()
+}

@@ -1,0 +1,194 @@
+package plancache
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"sciborq/internal/sqlparse"
+)
+
+// fakeIdent is a settable table-identity source standing in for the
+// catalog.
+type fakeIdent struct {
+	id  atomic.Uint64
+	ver atomic.Uint64
+	ok  atomic.Bool
+}
+
+func newFakeIdent(id, ver uint64) *fakeIdent {
+	f := &fakeIdent{}
+	f.id.Store(id)
+	f.ver.Store(ver)
+	f.ok.Store(true)
+	return f
+}
+
+func (f *fakeIdent) fn(string) (uint64, uint64, bool) {
+	return f.id.Load(), f.ver.Load(), f.ok.Load()
+}
+
+func admit(t *testing.T, c *Cache, tenant, sql string, id, ver uint64, shapeHit bool) *Plan {
+	t.Helper()
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	return c.Admit(tenant, sql, st, id, ver, shapeHit)
+}
+
+func TestAliasHit(t *testing.T) {
+	ident := newFakeIdent(7, 1)
+	c := New(0, ident.fn)
+	sql := "SELECT COUNT(*) FROM t WHERE x > 5"
+	if c.Lookup("", sql) != nil {
+		t.Fatal("lookup before admit must miss")
+	}
+	pl := admit(t, c, "", sql, 7, 1, false)
+	got := c.Lookup("", sql)
+	if got != pl {
+		t.Fatalf("alias lookup returned %p, want %p", got, pl)
+	}
+	st := c.StatsFor("")
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+func TestCanonicalConvergence(t *testing.T) {
+	ident := newFakeIdent(7, 1)
+	c := New(0, ident.fn)
+	a := admit(t, c, "", "SELECT COUNT(*) FROM t WHERE a > 1 AND b < 2", 7, 1, false)
+	b := admit(t, c, "", "select count(*) from t where b < 2 and a > 1", 7, 1, false)
+	if a != b {
+		t.Fatalf("commuted spellings got distinct plans: %q vs %q", a.SQL, b.SQL)
+	}
+	// Both spellings now alias the one plan.
+	if c.Lookup("", "SELECT COUNT(*) FROM t WHERE a > 1 AND b < 2") != a {
+		t.Fatal("original spelling lost")
+	}
+	if c.Lookup("", "select count(*) from t where b < 2 and a > 1") != a {
+		t.Fatal("commuted spelling not aliased")
+	}
+	st := c.StatsFor("")
+	if st.CanonHits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 1 canon hit / 1 miss", st)
+	}
+}
+
+func TestShapeBinding(t *testing.T) {
+	ident := newFakeIdent(7, 1)
+	c := New(0, ident.fn)
+	admit(t, c, "", "SELECT COUNT(*) FROM t WHERE x > 5", 7, 1, false)
+	st, ok := c.BindShape("", "SELECT COUNT(*) FROM t WHERE x > 7")
+	if !ok {
+		t.Fatal("literal variant did not bind against the cached shape")
+	}
+	want := sqlparse.MustParse("SELECT COUNT(*) FROM t WHERE x > 7")
+	if st.String() != want.String() {
+		t.Fatalf("bound statement %q, want %q", st, want)
+	}
+	if _, ok := c.BindShape("", "SELECT SUM(y) FROM t WHERE x > 7"); ok {
+		t.Fatal("different shape must not bind")
+	}
+	if s := c.StatsFor(""); s.ShapeHits != 1 {
+		t.Fatalf("stats = %+v, want 1 shape hit", s)
+	}
+}
+
+func TestVersionStaleness(t *testing.T) {
+	ident := newFakeIdent(7, 1)
+	c := New(0, ident.fn)
+	sql := "SELECT COUNT(*) FROM t WHERE x > 5"
+	admit(t, c, "", sql, 7, 1, false)
+	ident.ver.Store(2) // a load bumped the version
+	if c.Lookup("", sql) != nil {
+		t.Fatal("stale plan served after version bump")
+	}
+	if s := c.StatsFor(""); s.Invalidations != 1 {
+		t.Fatalf("stats = %+v, want 1 invalidation", s)
+	}
+	// Re-admitting at the new version works and evicts nothing else.
+	pl := admit(t, c, "", sql, 7, 2, false)
+	if c.Lookup("", sql) != pl {
+		t.Fatal("re-admitted plan not served")
+	}
+}
+
+func TestNewVersionSupersedesOld(t *testing.T) {
+	ident := newFakeIdent(7, 2)
+	c := New(0, ident.fn)
+	admit(t, c, "", "SELECT COUNT(*) FROM t WHERE x > 5", 7, 1, false)
+	admit(t, c, "", "SELECT COUNT(*) FROM t WHERE y > 5", 7, 2, false)
+	if s := c.Stats(); s.Entries != 1 {
+		t.Fatalf("old-version plan not superseded: %+v", s)
+	}
+}
+
+func TestInvalidateTable(t *testing.T) {
+	ident := newFakeIdent(7, 1)
+	c := New(0, ident.fn)
+	admit(t, c, "", "SELECT COUNT(*) FROM t WHERE x > 5", 7, 1, false)
+	admit(t, c, "", "SELECT COUNT(*) FROM u WHERE x > 5", 7, 1, false)
+	c.InvalidateTable("t")
+	if c.Lookup("", "SELECT COUNT(*) FROM t WHERE x > 5") != nil {
+		t.Fatal("invalidated table's plan still served")
+	}
+	if c.Lookup("", "SELECT COUNT(*) FROM u WHERE x > 5") == nil {
+		t.Fatal("unrelated table's plan dropped")
+	}
+}
+
+func TestBudgetEviction(t *testing.T) {
+	ident := newFakeIdent(7, 1)
+	c := New(2*planOverhead+256, ident.fn) // room for ~2 plans
+	for i := 0; i < 8; i++ {
+		admit(t, c, "", fmt.Sprintf("SELECT COUNT(*) FROM t WHERE x > %d AND y < %d", i, i), 7, 1, false)
+	}
+	s := c.Stats()
+	if s.Evictions == 0 {
+		t.Fatalf("no evictions under a tight budget: %+v", s)
+	}
+	if s.Bytes > c.budget {
+		t.Fatalf("bytes %d exceed budget %d", s.Bytes, c.budget)
+	}
+}
+
+func TestPerTenantStats(t *testing.T) {
+	ident := newFakeIdent(7, 1)
+	c := New(0, ident.fn)
+	sql := "SELECT COUNT(*) FROM t WHERE x > 5"
+	admit(t, c, "alice", sql, 7, 1, false)
+	c.Lookup("alice", sql)
+	c.Lookup("bob", sql) // bob hits alice's plan; counted for bob
+	by := c.StatsByTenant()
+	if by["alice"].Hits != 1 || by["alice"].Misses != 1 {
+		t.Fatalf("alice stats = %+v", by["alice"])
+	}
+	if by["bob"].Hits != 1 {
+		t.Fatalf("bob stats = %+v", by["bob"])
+	}
+	agg := c.Stats()
+	if agg.Hits != 2 || agg.Misses != 1 {
+		t.Fatalf("aggregate stats = %+v", agg)
+	}
+}
+
+// TestLookupZeroAlloc is the package-local half of the allocation gate
+// (the end-to-end gate lives in bench_parse_test.go at the repo root):
+// a warm alias-tier lookup must not allocate.
+func TestLookupZeroAlloc(t *testing.T) {
+	ident := newFakeIdent(7, 1)
+	c := New(0, ident.fn)
+	sql := "SELECT COUNT(*) FROM t WHERE x > 5 AND y < 3"
+	admit(t, c, "", sql, 7, 1, false)
+	c.Lookup("", sql) // warm the tenant counter block
+	allocs := testing.AllocsPerRun(1000, func() {
+		if c.Lookup("", sql) == nil {
+			t.Fatal("unexpected miss")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Lookup allocates %v objects/op, want 0", allocs)
+	}
+}

@@ -142,6 +142,62 @@ func keyPrefix(buf []byte, id, ver uint64) []byte {
 	return binary.BigEndian.AppendUint64(buf, ver)
 }
 
+// Prepared is the canonicalisation work of Filter factored out: the
+// canonical predicate, its keyed conjunct list, and the full binary
+// cache key for one (table ID, table version) identity. The plan cache
+// computes it once per cached statement so the per-query hit path does
+// no canonicalisation, key encoding, or allocation at all.
+type Prepared struct {
+	orig    expr.Predicate // as written; evaluated when unkeyable
+	canon   expr.Predicate
+	conj    []conjunct
+	key     string // full (id, version, predicate) key
+	id, ver uint64
+	keyable bool
+	trivial bool // TRUE-equivalent: nothing to cache or evaluate
+}
+
+// Canon returns the canonical form of the prepared predicate (nil when
+// the predicate is TRUE-equivalent).
+func (p *Prepared) Canon() expr.Predicate {
+	if p.trivial {
+		return nil
+	}
+	return p.canon
+}
+
+// Key returns the full binary cache key ("" when the predicate shape
+// cannot be keyed or is trivial).
+func (p *Prepared) Key() string {
+	if !p.keyable || p.trivial {
+		return ""
+	}
+	return p.key
+}
+
+// Prepare canonicalises pred and encodes its cache key for the table
+// identity (id, ver) — the values a snapshot of the target table
+// reports. The result is immutable and safe for concurrent use.
+func Prepare(id, ver uint64, pred expr.Predicate) Prepared {
+	p := Prepared{orig: pred, id: id, ver: ver}
+	if isTrue(pred) {
+		p.trivial = true
+		return p
+	}
+	p.canon = expr.Canonical(pred)
+	if isTrue(p.canon) {
+		p.trivial = true
+		return p
+	}
+	keyBuf, keyable := expr.PredKey(keyPrefix(make([]byte, 0, 64), id, ver), p.canon)
+	p.keyable = keyable
+	if keyable {
+		p.key = string(keyBuf)
+		p.conj = conjuncts(p.canon)
+	}
+	return p
+}
+
 // Filter evaluates pred over all rows of t, serving repeated predicates
 // from the cache and refined predicates from cached supersets. The
 // returned selection is shared with the cache: callers must treat it as
@@ -156,16 +212,32 @@ func (r *Recycler) Filter(t *table.Table, pred expr.Predicate, opts engine.ExecO
 	// cached positions describe the same immutable row prefix even when
 	// loads land mid-query.
 	snap := t.Snapshot()
-	canon := expr.Canonical(pred)
-	if isTrue(canon) {
+	prep := Prepare(snap.ID(), snap.Version(), pred)
+	return r.FilterPrepared(snap, &prep, opts)
+}
+
+// FilterPrepared is Filter with the canonicalisation already done.
+// snap must be a snapshot; prep is normally built for snap's exact
+// (ID, Version) identity — when a load raced in between (the plan was
+// version-checked against an older snapshot), the predicate is
+// re-prepared here so cached selections can never be served against a
+// longer row prefix than they describe.
+func (r *Recycler) FilterPrepared(snap *table.Table, prep *Prepared, opts engine.ExecOptions) (vec.Sel, engine.ScanStats, error) {
+	if prep.trivial {
 		return nil, engine.ScanStats{}, nil
 	}
-	keyBuf, keyable := expr.PredKey(keyPrefix(make([]byte, 0, 64), snap.ID(), snap.Version()), canon)
-	if !keyable {
+	if prep.id != snap.ID() || prep.ver != snap.Version() {
+		fresh := Prepare(snap.ID(), snap.Version(), prep.orig)
+		prep = &fresh
+		if prep.trivial {
+			return nil, engine.ScanStats{}, nil
+		}
+	}
+	if !prep.keyable {
 		// User-defined predicate shapes cannot be keyed safely;
 		// evaluate uncached (and count nothing — this is not the
 		// workload the cache models).
-		sel, scan, err := engine.FilterStats(snap, pred, opts)
+		sel, scan, err := engine.FilterStats(snap, prep.orig, opts)
 		if err != nil {
 			return nil, scan, err
 		}
@@ -173,14 +245,14 @@ func (r *Recycler) Filter(t *table.Table, pred expr.Predicate, opts engine.ExecO
 	}
 
 	r.mu.Lock()
-	if e, ok := r.entries[string(keyBuf)]; ok {
+	if e, ok := r.entries[prep.key]; ok {
 		r.order.MoveToFront(e.elem)
 		r.stats.Hits++
 		sel := e.sel
 		r.mu.Unlock()
 		return sel, engine.ScanStats{}, nil
 	}
-	conj := conjuncts(canon)
+	conj := prep.conj
 	super, residual := r.findSupersetLocked(snap.ID(), snap.Version(), conj)
 	if super != nil {
 		r.stats.SubsumedHits++
@@ -199,13 +271,13 @@ func (r *Recycler) Filter(t *table.Table, pred expr.Predicate, opts engine.ExecO
 		// only the residual conjuncts run, sel-natively, over it.
 		sel, scan, err = engine.FilterSel(snap, expr.JoinAnd(residual), super, opts)
 	} else {
-		sel, scan, err = engine.FilterStats(snap, canon, opts)
+		sel, scan, err = engine.FilterStats(snap, prep.canon, opts)
 		sel = concrete(sel, snap.Len())
 	}
 	if err != nil {
 		return nil, scan, err
 	}
-	r.insert(string(keyBuf), snap.ID(), snap.Version(), conj, sel)
+	r.insert(prep.key, snap.ID(), snap.Version(), conj, sel)
 	return sel, scan, nil
 }
 

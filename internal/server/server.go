@@ -30,8 +30,8 @@ import (
 	"time"
 
 	"sciborq"
+	"sciborq/internal/plancache"
 	"sciborq/internal/recycler"
-	"sciborq/internal/sqlparse"
 )
 
 // DefaultMaxRows caps how many result rows /query returns for exact
@@ -187,6 +187,7 @@ type statsResponse struct {
 	UptimeNs  int64                     `json:"uptime_ns"`
 	Admission AdmissionStats            `json:"admission"`
 	Recycler  map[string]recyclerJSON   `json:"recycler"`
+	PlanCache map[string]plancacheJSON  `json:"plancache"`
 	Tenants   map[string]tenantCounters `json:"tenants"`
 }
 
@@ -214,6 +215,37 @@ func toRecyclerJSON(st recycler.Stats) recyclerJSON {
 		Bytes:            st.Bytes,
 		Budget:           st.Budget,
 		HitRate:          st.HitRate(),
+	}
+}
+
+// plancacheJSON is plancache.Stats on the wire. Residency fields
+// (entries/bytes/budget/evictions) are cache-wide and reported only on
+// the "total" entry; per-tenant entries carry the counters.
+type plancacheJSON struct {
+	Hits          int64   `json:"hits"`
+	CanonHits     int64   `json:"canon_hits"`
+	ShapeHits     int64   `json:"shape_hits"`
+	Misses        int64   `json:"misses"`
+	Invalidations int64   `json:"invalidations"`
+	Evictions     int64   `json:"evictions,omitempty"`
+	Entries       int     `json:"entries,omitempty"`
+	Bytes         int64   `json:"bytes,omitempty"`
+	Budget        int64   `json:"budget,omitempty"`
+	HitRate       float64 `json:"hit_rate"`
+}
+
+func toPlancacheJSON(st plancache.Stats) plancacheJSON {
+	return plancacheJSON{
+		Hits:          st.Hits,
+		CanonHits:     st.CanonHits,
+		ShapeHits:     st.ShapeHits,
+		Misses:        st.Misses,
+		Invalidations: st.Invalidations,
+		Evictions:     st.Evictions,
+		Entries:       st.Entries,
+		Bytes:         st.Bytes,
+		Budget:        st.Budget,
+		HitRate:       st.HitRate(),
 	}
 }
 
@@ -249,6 +281,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		rec[tenant] = toRecyclerJSON(st)
 	}
+	pc := map[string]plancacheJSON{}
+	for tenant, st := range s.db.TenantPlanCacheStats() {
+		if tenant == "" {
+			tenant = "default"
+		}
+		pc[tenant] = toPlancacheJSON(st)
+	}
+	if agg := s.db.PlanCacheStats(); agg != (plancache.Stats{}) {
+		pc["total"] = toPlancacheJSON(agg)
+	}
 	s.mu.Lock()
 	tenants := make(map[string]tenantCounters, len(s.tenants))
 	for name, tc := range s.tenants {
@@ -259,6 +301,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UptimeNs:  time.Since(s.started).Nanoseconds(),
 		Admission: s.adm.Stats(),
 		Recycler:  rec,
+		PlanCache: pc,
 		Tenants:   tenants,
 	})
 }
@@ -279,7 +322,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Reject malformed SQL before spending an admission slot on it.
-	if _, err := sqlparse.Parse(req.SQL); err != nil {
+	// CheckSQL consults the plan cache first, so the hot serving path
+	// (a cached statement spelling) validates without parsing at all.
+	if err := s.db.CheckSQL(req.SQL); err != nil {
 		writeError(w, http.StatusBadRequest, "parse_error", err.Error())
 		return
 	}

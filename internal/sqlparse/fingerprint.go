@@ -1,0 +1,71 @@
+package sqlparse
+
+import "strconv"
+
+// Fingerprint bytes: tokens are separated by fpSep; a parameterised
+// numeric literal collapses to fpNum (its value moves to the literal
+// list); string literals are wrapped in fpStr so they cannot glue into
+// neighbouring tokens. None of the three can occur inside token text
+// (they are control bytes, which the lexer never includes in a token).
+const (
+	fpSep = 0x1F
+	fpNum = 0x01
+	fpStr = 0x02
+)
+
+// Fingerprint appends the statement-shape fingerprint of sql to shape
+// and the values of its parameterisable numeric literals to lits,
+// returning the extended slices. Two statements with equal fingerprints
+// differ at most in numeric literal values, so they share one cached
+// plan-cache shape: ParseBound(template, lits) reproduces exactly what
+// Parse(sql) would build (see plancache). ok is false when sql cannot
+// be fingerprinted (a lexical error) — callers fall back to Parse.
+//
+// Parameterisation covers plain numeric literals (those the parser
+// reads via ParseFloat) up to the first LIMIT or WITHIN keyword:
+// literals in LIMIT and the WITHIN bound clauses stay part of the shape
+// because the parser validates their values structurally (integer
+// limits, (0,1) error bounds), so substituting them could turn an
+// accepted shape into a rejected statement. A '-' sign is shape, not
+// value: the magnitude is the literal, matching parseNumber.
+//
+// Fingerprint performs no heap allocation beyond growing the two
+// caller-owned slices; with pre-sized scratch it allocates nothing.
+func Fingerprint(shape []byte, lits []float64, sql string) ([]byte, []float64, bool) {
+	lx := lexer{input: sql}
+	paramOn := true
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return shape, lits, false
+		}
+		if t.kind == tokEOF {
+			return shape, lits, true
+		}
+		shape = append(shape, fpSep)
+		switch t.kind {
+		case tokNumber:
+			if paramOn {
+				if v, perr := strconv.ParseFloat(t.text, 64); perr == nil {
+					shape = append(shape, fpNum)
+					lits = append(lits, v)
+					continue
+				}
+			}
+			// Duration-suffixed or unparseable numbers are shape bytes;
+			// the parser treats their text as part of the grammar.
+			shape = append(shape, t.text...)
+		case tokString:
+			shape = append(shape, fpStr)
+			shape = append(shape, t.text...)
+			shape = append(shape, fpStr)
+		default:
+			if t.kw == kwLimit || t.kw == kwWithin {
+				// Mirrors the parser's literal-replay window: from here
+				// on, numbers are validated shape, not parameters.
+				paramOn = false
+			}
+			shape = append(shape, t.text...)
+		}
+	}
+}

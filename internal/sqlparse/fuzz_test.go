@@ -1,6 +1,7 @@
 package sqlparse
 
 import (
+	"reflect"
 	"testing"
 	"time"
 )
@@ -35,28 +36,144 @@ var fuzzSeeds = []string{
 	"SELECT 'unterminated",
 }
 
-// FuzzParse fuzzes the SQL front-end for two properties: Parse never
-// panics, and every accepted statement round-trips — Parse → String →
-// Parse succeeds and String is a fixed point (the re-parse renders
-// identically, i.e. the rendering loses nothing the parser keeps).
+// checkDifferential cross-checks one input against the retained
+// reference implementation of the pre-rewrite front-end
+// (refparser_test.go): identical accept/reject decision and, on accept,
+// structurally identical ASTs.
+func checkDifferential(t *testing.T, sql string) (*Statement, bool) {
+	t.Helper()
+	st, err := Parse(sql)
+	stRef, errRef := refParse(sql)
+	if (err == nil) != (errRef == nil) {
+		t.Fatalf("accept/reject divergence on %q: new err=%v, reference err=%v", sql, err, errRef)
+	}
+	if err != nil {
+		return nil, false
+	}
+	if !reflect.DeepEqual(st, stRef) {
+		t.Fatalf("AST divergence on %q:\n  new: %#v\n  ref: %#v", sql, st, stRef)
+	}
+	return st, true
+}
+
+// checkRoundTrip verifies parse → render → parse reproduces the exact
+// AST (not just a rendering fixed point): the plan cache keys on the
+// canonical rendered form, so rendering must lose nothing.
+func checkRoundTrip(t *testing.T, sql string, st *Statement) {
+	t.Helper()
+	rendered := st.String()
+	st2, err := Parse(rendered)
+	if err != nil {
+		t.Fatalf("accepted %q but re-parse of rendering %q failed: %v", sql, rendered, err)
+	}
+	if !reflect.DeepEqual(st2, st) {
+		t.Fatalf("round-trip AST drift: %q -> %q:\n  first:  %#v\n  second: %#v", sql, rendered, st, st2)
+	}
+	if again := st2.String(); again != rendered {
+		t.Fatalf("rendering not a fixed point: %q -> %q -> %q", sql, rendered, again)
+	}
+}
+
+// checkFingerprint verifies the plan-cache parameterisation contract:
+// every lexable statement fingerprints, and replaying the statement's
+// own literals through ParseBound reproduces Parse exactly.
+func checkFingerprint(t *testing.T, sql string, st *Statement) {
+	t.Helper()
+	shape, lits, ok := Fingerprint(nil, nil, sql)
+	if !ok {
+		t.Fatalf("accepted statement %q did not fingerprint", sql)
+	}
+	_ = shape
+	st2, err := ParseBound(sql, lits)
+	if err != nil {
+		t.Fatalf("ParseBound(%q, own lits) failed: %v", sql, err)
+	}
+	if !reflect.DeepEqual(st2, st) {
+		t.Fatalf("ParseBound with own literals diverged on %q:\n  Parse:      %#v\n  ParseBound: %#v", sql, st, st2)
+	}
+}
+
+// FuzzParse fuzzes the SQL front-end for the full property set: Parse
+// never panics; accept/reject and ASTs match the retained reference of
+// the pre-rewrite parser; every accepted statement survives parse →
+// render → parse structurally intact; and literal replay through
+// Fingerprint/ParseBound reproduces Parse.
 func FuzzParse(f *testing.F) {
 	for _, s := range fuzzSeeds {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, sql string) {
-		st, err := Parse(sql)
-		if err != nil {
-			return // rejected input: only the no-panic property applies
+		st, ok := checkDifferential(t, sql)
+		if !ok {
+			return // rejected by both: only the no-panic property applies
 		}
-		rendered := st.String()
-		st2, err := Parse(rendered)
-		if err != nil {
-			t.Fatalf("accepted %q but re-parse of rendering %q failed: %v", sql, rendered, err)
-		}
-		if again := st2.String(); again != rendered {
-			t.Fatalf("rendering not a fixed point: %q -> %q -> %q", sql, rendered, again)
-		}
+		checkRoundTrip(t, sql, st)
+		checkFingerprint(t, sql, st)
 	})
+}
+
+// TestDifferentialCorpus runs the differential, round-trip, and
+// fingerprint properties over the seed corpus under plain `go test`.
+func TestDifferentialCorpus(t *testing.T) {
+	for _, sql := range fuzzSeeds {
+		st, ok := checkDifferential(t, sql)
+		if !ok {
+			continue
+		}
+		checkRoundTrip(t, sql, st)
+		checkFingerprint(t, sql, st)
+	}
+}
+
+// TestFingerprintShapeSharing pins the parameterisation that lets
+// literal-variant statements share one cached plan shape.
+func TestFingerprintShapeSharing(t *testing.T) {
+	a, aLits, ok := Fingerprint(nil, nil, "SELECT COUNT(*) FROM t WHERE x > 5")
+	if !ok {
+		t.Fatal("fingerprint failed")
+	}
+	b, bLits, ok := Fingerprint(nil, nil, "SELECT COUNT(*) FROM t WHERE x > 7")
+	if !ok {
+		t.Fatal("fingerprint failed")
+	}
+	if string(a) != string(b) {
+		t.Fatalf("literal variants have different shapes:\n  %q\n  %q", a, b)
+	}
+	if len(aLits) != 1 || aLits[0] != 5 || len(bLits) != 1 || bLits[0] != 7 {
+		t.Fatalf("literal extraction wrong: %v vs %v", aLits, bLits)
+	}
+	// Binding the second statement's literals into the first (the
+	// template) must reproduce the second statement's AST.
+	want := MustParse("SELECT COUNT(*) FROM t WHERE x > 7")
+	got, err := ParseBound("SELECT COUNT(*) FROM t WHERE x > 5", bLits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("cross-binding diverged:\n  got:  %#v\n  want: %#v", got, want)
+	}
+
+	// LIMIT and WITHIN literals are shape, not parameters: variants must
+	// NOT share a fingerprint (their values are validated structurally).
+	l1, _, _ := Fingerprint(nil, nil, "SELECT * FROM t LIMIT 5")
+	l2, _, _ := Fingerprint(nil, nil, "SELECT * FROM t LIMIT 9")
+	if string(l1) == string(l2) {
+		t.Fatal("LIMIT literals must stay part of the shape")
+	}
+	w1, _, _ := Fingerprint(nil, nil, "SELECT AVG(x) FROM t WITHIN ERROR 0.05")
+	w2, _, _ := Fingerprint(nil, nil, "SELECT AVG(x) FROM t WITHIN ERROR 0.5")
+	if string(w1) == string(w2) {
+		t.Fatal("WITHIN literals must stay part of the shape")
+	}
+	// Predicate literals before a LIMIT still parameterise.
+	p1, p1L, _ := Fingerprint(nil, nil, "SELECT * FROM t WHERE x > 3 LIMIT 10")
+	p2, p2L, _ := Fingerprint(nil, nil, "SELECT * FROM t WHERE x > 4 LIMIT 10")
+	if string(p1) != string(p2) {
+		t.Fatal("predicate literals before LIMIT must parameterise")
+	}
+	if len(p1L) != 1 || p1L[0] != 3 || len(p2L) != 1 || p2L[0] != 4 {
+		t.Fatalf("predicate literal extraction wrong: %v vs %v", p1L, p2L)
+	}
 }
 
 // TestFormatDurationSingleUnit pins the renderer to lexable spellings:

@@ -3,7 +3,7 @@ package sqlparse
 import (
 	"fmt"
 	"strconv"
-	"strings"
+	"sync"
 	"time"
 
 	"sciborq/internal/engine"
@@ -37,19 +37,18 @@ type Statement struct {
 
 // Parse parses one SELECT statement.
 func Parse(sql string) (*Statement, error) {
-	toks, err := lex(sql)
-	if err != nil {
-		return nil, err
-	}
-	p := &parser{toks: toks, input: sql}
-	st, err := p.parseSelect()
-	if err != nil {
-		return nil, err
-	}
-	if !p.cur().isKeyword("") && p.cur().kind != tokEOF {
-		return nil, p.errorf("unexpected trailing input %q", p.cur().text)
-	}
-	return st, nil
+	return parseWithLits(sql, nil)
+}
+
+// ParseBound re-parses sql substituting the i-th parameterisable numeric
+// literal (in token order, as enumerated by Fingerprint) with lits[i].
+// It is the binding half of plan-cache literal parameterisation: given a
+// cached statement shape's representative SQL and the literal values
+// extracted from a new statement of the same shape, it produces exactly
+// the Statement a direct Parse of the new statement would — same control
+// flow, same AST shape — without re-deriving any literal text.
+func ParseBound(sql string, lits []float64) (*Statement, error) {
+	return parseWithLits(sql, lits)
 }
 
 // MustParse is Parse but panics on error; for tests and examples.
@@ -61,18 +60,144 @@ func MustParse(sql string) *Statement {
 	return st
 }
 
-type parser struct {
-	toks  []token
-	pos   int
-	input string
+// parserPool recycles parser state across parses; a steady-state parse
+// allocates only the statement's own AST.
+var parserPool = sync.Pool{New: func() any { return new(parser) }}
+
+func parseWithLits(sql string, lits []float64) (*Statement, error) {
+	p := parserPool.Get().(*parser)
+	p.init(sql, lits)
+	st, perr := p.parseSelect()
+	// A lexical error wins over the parse error it provoked: the byte
+	// scanner's message names the offending offset directly (and matches
+	// the historical lex-then-parse pipeline, which surfaced lexical
+	// errors before parsing began).
+	lexErr := p.lexErr
+	if lexErr == nil && perr == nil && p.tok.kind != tokEOF {
+		perr = p.errorf("unexpected trailing input %q", p.tok.text)
+		lexErr = p.lexErr // trailing scan may itself have failed
+	}
+	p.release()
+	if lexErr != nil {
+		return nil, lexErr
+	}
+	if perr != nil {
+		return nil, perr
+	}
+	return st, nil
 }
 
-func (p *parser) cur() token  { return p.toks[p.pos] }
-func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+// parser is the recursive-descent statement parser over the on-demand
+// lexer. It keeps a two-token window (tok + ahead) over the scan
+// frontier; backtracking saves and restores the window plus the lexer
+// offset in O(1) and re-scans the abandoned region on the next pull.
+type parser struct {
+	lx     lexer
+	tok    token // current token
+	ahead  token // single lookahead slot (filled lazily)
+	nahead int   // 0 or 1 tokens buffered in ahead
+	lexErr error
+
+	// Literal replay (plan-cache shape binding): when lits is non-nil,
+	// parseNumber substitutes lits[litIdx] for each parameterisable
+	// numeric literal, in token order. litOn turns off at the first
+	// LIMIT/WITHIN keyword, mirroring Fingerprint's parameterisation
+	// window.
+	lits   []float64
+	litIdx int
+	litOn  bool
+}
+
+func (p *parser) init(sql string, lits []float64) {
+	p.lx = lexer{input: sql}
+	p.nahead = 0
+	p.lexErr = nil
+	p.lits = lits
+	p.litIdx = 0
+	p.litOn = true
+	p.tok = p.pull()
+}
+
+func (p *parser) release() {
+	p.lits = nil
+	parserPool.Put(p)
+}
+
+// pull scans the next token, recording the first lexical error and
+// returning an EOF sentinel for it (the error is re-raised by Parse).
+func (p *parser) pull() token {
+	t, err := p.lx.next()
+	if err != nil {
+		if p.lexErr == nil {
+			p.lexErr = err
+		}
+		return token{kind: tokEOF, pos: len(p.lx.input)}
+	}
+	if t.kw == kwLimit || t.kw == kwWithin {
+		// Literals at or beyond the first LIMIT/WITHIN are part of the
+		// statement shape, not parameters; stop substituting.
+		p.litOn = false
+	}
+	return t
+}
+
+func (p *parser) cur() token { return p.tok }
+
+// advance moves the window one token forward.
+func (p *parser) advance() {
+	if p.nahead > 0 {
+		p.tok = p.ahead
+		p.nahead = 0
+		return
+	}
+	p.tok = p.pull()
+}
+
+// take returns the current token and advances past it.
+func (p *parser) take() token {
+	t := p.tok
+	p.advance()
+	return t
+}
+
+// peek returns the token after the current one without consuming it.
+func (p *parser) peek() token {
+	if p.nahead == 0 {
+		p.ahead = p.pull()
+		p.nahead = 1
+	}
+	return p.ahead
+}
+
+// mark captures the full parser position for O(1) backtracking.
+type mark struct {
+	off    int
+	tok    token
+	ahead  token
+	nahead int
+	lexErr error
+	litIdx int
+	litOn  bool
+}
+
+func (p *parser) mark() mark {
+	return mark{off: p.lx.off, tok: p.tok, ahead: p.ahead, nahead: p.nahead,
+		lexErr: p.lexErr, litIdx: p.litIdx, litOn: p.litOn}
+}
+
+func (p *parser) reset(m mark) {
+	p.lx.off = m.off
+	p.tok = m.tok
+	p.ahead = m.ahead
+	p.nahead = m.nahead
+	p.lexErr = m.lexErr
+	p.litIdx = m.litIdx
+	p.litOn = m.litOn
+}
 
 func (p *parser) errorf(format string, args ...any) error {
 	return fmt.Errorf("sqlparse: %s (near offset %d in %q)",
-		fmt.Sprintf(format, args...), p.cur().pos, truncate(p.input, 60))
+		fmt.Sprintf(format, args...), p.tok.pos, truncate(p.lx.input, 60))
 }
 
 func truncate(s string, n int) string {
@@ -82,33 +207,33 @@ func truncate(s string, n int) string {
 	return s[:n] + "..."
 }
 
-func (p *parser) expectKeyword(kw string) error {
-	if !p.cur().isKeyword(kw) {
-		return p.errorf("expected %s, got %q", strings.ToUpper(kw), p.cur().text)
+func (p *parser) expectKeyword(id kw) error {
+	if p.tok.kw != id {
+		return p.errorf("expected %s, got %q", kwNames[id], p.tok.text)
 	}
-	p.pos++
+	p.advance()
 	return nil
 }
 
 func (p *parser) expectSymbol(sym string) error {
-	if p.cur().kind != tokSymbol || p.cur().text != sym {
-		return p.errorf("expected %q, got %q", sym, p.cur().text)
+	if p.tok.kind != tokSymbol || p.tok.text != sym {
+		return p.errorf("expected %q, got %q", sym, p.tok.text)
 	}
-	p.pos++
+	p.advance()
 	return nil
 }
 
-func (p *parser) acceptKeyword(kw string) bool {
-	if p.cur().isKeyword(kw) {
-		p.pos++
+func (p *parser) acceptKeyword(id kw) bool {
+	if p.tok.kw == id {
+		p.advance()
 		return true
 	}
 	return false
 }
 
 func (p *parser) acceptSymbol(sym string) bool {
-	if p.cur().kind == tokSymbol && p.cur().text == sym {
-		p.pos++
+	if p.tok.kind == tokSymbol && p.tok.text == sym {
+		p.advance()
 		return true
 	}
 	return false
@@ -120,61 +245,61 @@ func (p *parser) acceptSymbol(sym string) bool {
 //	[ORDER BY ident [ASC|DESC]] [LIMIT n]
 //	[WITHIN ERROR num [CONFIDENCE num]] [WITHIN TIME dur]
 func (p *parser) parseSelect() (*Statement, error) {
-	if err := p.expectKeyword("SELECT"); err != nil {
+	if err := p.expectKeyword(kwSelect); err != nil {
 		return nil, err
 	}
 	var st Statement
 	if err := p.parseSelectList(&st.Query); err != nil {
 		return nil, err
 	}
-	if err := p.expectKeyword("FROM"); err != nil {
+	if err := p.expectKeyword(kwFrom); err != nil {
 		return nil, err
 	}
-	if p.cur().kind != tokIdent {
-		return nil, p.errorf("expected table name, got %q", p.cur().text)
+	if p.tok.kind != tokIdent {
+		return nil, p.errorf("expected table name, got %q", p.tok.text)
 	}
-	st.Query.Table = p.next().text
+	st.Query.Table = p.take().text
 
-	if p.acceptKeyword("WHERE") {
+	if p.acceptKeyword(kwWhere) {
 		pred, err := p.parseOr()
 		if err != nil {
 			return nil, err
 		}
 		st.Query.Where = pred
 	}
-	if p.acceptKeyword("GROUP") {
-		if err := p.expectKeyword("BY"); err != nil {
+	if p.acceptKeyword(kwGroup) {
+		if err := p.expectKeyword(kwBy); err != nil {
 			return nil, err
 		}
-		if p.cur().kind != tokIdent {
-			return nil, p.errorf("expected GROUP BY column, got %q", p.cur().text)
+		if p.tok.kind != tokIdent {
+			return nil, p.errorf("expected GROUP BY column, got %q", p.tok.text)
 		}
-		st.Query.GroupBy = p.next().text
+		st.Query.GroupBy = p.take().text
 	}
-	if p.acceptKeyword("ORDER") {
-		if err := p.expectKeyword("BY"); err != nil {
+	if p.acceptKeyword(kwOrder) {
+		if err := p.expectKeyword(kwBy); err != nil {
 			return nil, err
 		}
-		if p.cur().kind != tokIdent {
-			return nil, p.errorf("expected ORDER BY column, got %q", p.cur().text)
+		if p.tok.kind != tokIdent {
+			return nil, p.errorf("expected ORDER BY column, got %q", p.tok.text)
 		}
-		st.Query.OrderBy = p.next().text
-		if p.acceptKeyword("DESC") {
+		st.Query.OrderBy = p.take().text
+		if p.acceptKeyword(kwDesc) {
 			st.Query.Desc = true
 		} else {
-			p.acceptKeyword("ASC")
+			p.acceptKeyword(kwAsc)
 		}
 	}
-	if p.acceptKeyword("LIMIT") {
+	if p.acceptKeyword(kwLimit) {
 		n, err := p.parseInt()
 		if err != nil {
 			return nil, err
 		}
 		st.Query.Limit = n
 	}
-	for p.acceptKeyword("WITHIN") {
+	for p.acceptKeyword(kwWithin) {
 		switch {
-		case p.acceptKeyword("ERROR"):
+		case p.acceptKeyword(kwError):
 			v, err := p.parseNumber()
 			if err != nil {
 				return nil, err
@@ -184,7 +309,7 @@ func (p *parser) parseSelect() (*Statement, error) {
 			}
 			st.Bounds.MaxRelError = v
 			st.Bounds.Confidence = 0.95
-			if p.acceptKeyword("CONFIDENCE") {
+			if p.acceptKeyword(kwConfidence) {
 				c, err := p.parseNumber()
 				if err != nil {
 					return nil, err
@@ -194,7 +319,7 @@ func (p *parser) parseSelect() (*Statement, error) {
 				}
 				st.Bounds.Confidence = c
 			}
-		case p.acceptKeyword("TIME"):
+		case p.acceptKeyword(kwTime):
 			d, err := p.parseDuration()
 			if err != nil {
 				return nil, err
@@ -217,16 +342,16 @@ func (p *parser) parseSelectList(q *engine.Query) error {
 		return nil
 	}
 	for {
-		if fn, ok := aggKeyword(p.cur()); ok {
+		if fn, ok := aggKeyword(p.tok); ok {
 			spec, err := p.parseAgg(fn)
 			if err != nil {
 				return err
 			}
 			q.Aggs = append(q.Aggs, spec)
-		} else if p.cur().kind == tokIdent {
-			q.Select = append(q.Select, p.next().text)
+		} else if p.tok.kind == tokIdent {
+			q.Select = append(q.Select, p.take().text)
 		} else {
-			return p.errorf("expected select item, got %q", p.cur().text)
+			return p.errorf("expected select item, got %q", p.tok.text)
 		}
 		if !p.acceptSymbol(",") {
 			return nil
@@ -236,21 +361,18 @@ func (p *parser) parseSelectList(q *engine.Query) error {
 
 // aggKeyword maps a token to an aggregate function.
 func aggKeyword(t token) (engine.AggFunc, bool) {
-	if t.kind != tokIdent {
-		return 0, false
-	}
-	switch strings.ToUpper(t.text) {
-	case "COUNT":
+	switch t.kw {
+	case kwCount:
 		return engine.Count, true
-	case "SUM":
+	case kwSum:
 		return engine.Sum, true
-	case "AVG":
+	case kwAvg:
 		return engine.Avg, true
-	case "MIN":
+	case kwMin:
 		return engine.Min, true
-	case "MAX":
+	case kwMax:
 		return engine.Max, true
-	case "STDDEV":
+	case kwStdDev:
 		return engine.StdDev, true
 	}
 	return 0, false
@@ -258,7 +380,7 @@ func aggKeyword(t token) (engine.AggFunc, bool) {
 
 // parseAgg parses FN(arg) [AS alias].
 func (p *parser) parseAgg(fn engine.AggFunc) (engine.AggSpec, error) {
-	p.pos++ // consume function name
+	p.advance() // consume function name
 	var spec engine.AggSpec
 	spec.Func = fn
 	if err := p.expectSymbol("("); err != nil {
@@ -276,78 +398,72 @@ func (p *parser) parseAgg(fn engine.AggFunc) (engine.AggSpec, error) {
 	if err := p.expectSymbol(")"); err != nil {
 		return spec, err
 	}
-	if p.acceptKeyword("AS") {
-		if p.cur().kind != tokIdent {
-			return spec, p.errorf("expected alias after AS, got %q", p.cur().text)
+	if p.acceptKeyword(kwAs) {
+		if p.tok.kind != tokIdent {
+			return spec, p.errorf("expected alias after AS, got %q", p.tok.text)
 		}
-		spec.Alias = p.next().text
+		spec.Alias = p.take().text
 	}
 	return spec, nil
 }
 
-// parseScalar parses term (('+'|'-') term)*.
-func (p *parser) parseScalar() (expr.Scalar, error) {
-	left, err := p.parseTerm()
-	if err != nil {
-		return nil, err
+// Scalar operator binding powers for the Pratt loop: additive 10,
+// multiplicative 20. Left associativity comes from recursing at bp+1.
+func binOpOf(t token) (op expr.ArithOp, bp int, ok bool) {
+	if t.kind != tokSymbol || len(t.text) != 1 {
+		return 0, 0, false
 	}
-	for {
-		switch {
-		case p.acceptSymbol("+"):
-			right, err := p.parseTerm()
-			if err != nil {
-				return nil, err
-			}
-			left = expr.Arith{Op: expr.Add, L: left, R: right}
-		case p.acceptSymbol("-"):
-			right, err := p.parseTerm()
-			if err != nil {
-				return nil, err
-			}
-			left = expr.Arith{Op: expr.Sub, L: left, R: right}
-		default:
-			return left, nil
-		}
+	switch t.text[0] {
+	case '+':
+		return expr.Add, 10, true
+	case '-':
+		return expr.Sub, 10, true
+	case '*':
+		return expr.Mul, 20, true
+	case '/':
+		return expr.Div, 20, true
 	}
+	return 0, 0, false
 }
 
-// parseTerm parses factor (('*'|'/') factor)*.
-func (p *parser) parseTerm() (expr.Scalar, error) {
+// parseScalar parses an arithmetic expression by precedence climbing —
+// a single Pratt loop replacing the historical parseScalar/parseTerm
+// nesting; the trees it builds are identical (left-associative, with
+// '*' and '/' binding tighter than '+' and '-').
+func (p *parser) parseScalar() (expr.Scalar, error) {
+	return p.parseBinary(0)
+}
+
+func (p *parser) parseBinary(minBP int) (expr.Scalar, error) {
 	left, err := p.parseFactor()
 	if err != nil {
 		return nil, err
 	}
 	for {
-		switch {
-		case p.acceptSymbol("*"):
-			right, err := p.parseFactor()
-			if err != nil {
-				return nil, err
-			}
-			left = expr.Arith{Op: expr.Mul, L: left, R: right}
-		case p.acceptSymbol("/"):
-			right, err := p.parseFactor()
-			if err != nil {
-				return nil, err
-			}
-			left = expr.Arith{Op: expr.Div, L: left, R: right}
-		default:
+		op, bp, ok := binOpOf(p.tok)
+		if !ok || bp < minBP {
 			return left, nil
 		}
+		p.advance()
+		right, err := p.parseBinary(bp + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = expr.Arith{Op: op, L: left, R: right}
 	}
 }
 
 // parseFactor parses number | ident | '(' scalar ')' | '-' factor.
 func (p *parser) parseFactor() (expr.Scalar, error) {
 	switch {
-	case p.cur().kind == tokNumber:
+	case p.tok.kind == tokNumber:
 		v, err := p.parseNumber()
 		if err != nil {
 			return nil, err
 		}
 		return expr.Const{V: v}, nil
-	case p.cur().kind == tokIdent && !isReserved(p.cur().text):
-		return expr.ColRef{Name: p.next().text}, nil
+	case p.tok.kind == tokIdent && !isReserved(p.tok):
+		return expr.ColRef{Name: p.take().text}, nil
 	case p.acceptSymbol("("):
 		inner, err := p.parseScalar()
 		if err != nil {
@@ -364,7 +480,7 @@ func (p *parser) parseFactor() (expr.Scalar, error) {
 		}
 		return expr.Arith{Op: expr.Sub, L: expr.Const{V: 0}, R: inner}, nil
 	}
-	return nil, p.errorf("expected scalar expression, got %q", p.cur().text)
+	return nil, p.errorf("expected scalar expression, got %q", p.tok.text)
 }
 
 // parseOr parses and-expr (OR and-expr)*.
@@ -373,7 +489,7 @@ func (p *parser) parseOr() (expr.Predicate, error) {
 	if err != nil {
 		return nil, err
 	}
-	for p.acceptKeyword("OR") {
+	for p.acceptKeyword(kwOr) {
 		right, err := p.parseAnd()
 		if err != nil {
 			return nil, err
@@ -389,7 +505,7 @@ func (p *parser) parseAnd() (expr.Predicate, error) {
 	if err != nil {
 		return nil, err
 	}
-	for p.acceptKeyword("AND") {
+	for p.acceptKeyword(kwAnd) {
 		right, err := p.parseUnaryPred()
 		if err != nil {
 			return nil, err
@@ -401,7 +517,7 @@ func (p *parser) parseAnd() (expr.Predicate, error) {
 
 // parseUnaryPred parses NOT pred | '(' pred ')' | primary predicate.
 func (p *parser) parseUnaryPred() (expr.Predicate, error) {
-	if p.acceptKeyword("NOT") {
+	if p.acceptKeyword(kwNot) {
 		inner, err := p.parseUnaryPred()
 		if err != nil {
 			return nil, err
@@ -410,14 +526,14 @@ func (p *parser) parseUnaryPred() (expr.Predicate, error) {
 	}
 	// Lookahead for a parenthesised predicate vs a parenthesised scalar:
 	// try predicate first, backtrack to scalar comparison on failure.
-	if p.cur().kind == tokSymbol && p.cur().text == "(" {
-		save := p.pos
-		p.pos++
+	if p.tok.kind == tokSymbol && p.tok.text == "(" {
+		save := p.mark()
+		p.advance()
 		inner, err := p.parseOr()
 		if err == nil && p.acceptSymbol(")") {
 			return inner, nil
 		}
-		p.pos = save
+		p.reset(save)
 	}
 	return p.parsePrimaryPred()
 }
@@ -425,19 +541,19 @@ func (p *parser) parseUnaryPred() (expr.Predicate, error) {
 // parsePrimaryPred parses cone search, BETWEEN, string equality, and
 // scalar comparisons.
 func (p *parser) parsePrimaryPred() (expr.Predicate, error) {
-	if p.cur().isKeyword("fGetNearbyObjEq") {
+	if p.tok.kw == kwCone {
 		return p.parseCone()
 	}
 	left, err := p.parseScalar()
 	if err != nil {
 		return nil, err
 	}
-	if p.acceptKeyword("BETWEEN") {
+	if p.acceptKeyword(kwBetween) {
 		lo, err := p.parseNumber()
 		if err != nil {
 			return nil, err
 		}
-		if err := p.expectKeyword("AND"); err != nil {
+		if err := p.expectKeyword(kwAnd); err != nil {
 			return nil, err
 		}
 		hi, err := p.parseNumber()
@@ -451,7 +567,7 @@ func (p *parser) parsePrimaryPred() (expr.Predicate, error) {
 		return nil, err
 	}
 	// String comparison: only ident = 'str' or ident <> 'str'.
-	if p.cur().kind == tokString {
+	if p.tok.kind == tokString {
 		ref, ok := left.(expr.ColRef)
 		if !ok {
 			return nil, p.errorf("string comparison requires a plain column on the left")
@@ -459,7 +575,7 @@ func (p *parser) parsePrimaryPred() (expr.Predicate, error) {
 		if op != vec.Eq && op != vec.Ne {
 			return nil, p.errorf("strings support only = and <>")
 		}
-		return expr.StrEq{Col: ref.Name, Value: p.next().text, Neg: op == vec.Ne}, nil
+		return expr.StrEq{Col: ref.Name, Value: p.take().text, Neg: op == vec.Ne}, nil
 	}
 	rhs, err := p.parseNumber()
 	if err != nil {
@@ -471,7 +587,7 @@ func (p *parser) parsePrimaryPred() (expr.Predicate, error) {
 // parseCone parses fGetNearbyObjEq(ra, dec, radius), binding to the
 // conventional SkyServer position columns ra/dec.
 func (p *parser) parseCone() (expr.Predicate, error) {
-	p.pos++ // consume function name
+	p.advance() // consume function name
 	if err := p.expectSymbol("("); err != nil {
 		return nil, err
 	}
@@ -501,11 +617,11 @@ func (p *parser) parseCone() (expr.Predicate, error) {
 
 // parseCmpOp parses a comparison operator token.
 func (p *parser) parseCmpOp() (vec.CmpOp, error) {
-	if p.cur().kind != tokSymbol {
-		return 0, p.errorf("expected comparison operator, got %q", p.cur().text)
+	if p.tok.kind != tokSymbol {
+		return 0, p.errorf("expected comparison operator, got %q", p.tok.text)
 	}
 	var op vec.CmpOp
-	switch p.cur().text {
+	switch p.tok.text {
 	case "=":
 		op = vec.Eq
 	case "<>":
@@ -519,25 +635,38 @@ func (p *parser) parseCmpOp() (vec.CmpOp, error) {
 	case ">=":
 		op = vec.Ge
 	default:
-		return 0, p.errorf("unknown operator %q", p.cur().text)
+		return 0, p.errorf("unknown operator %q", p.tok.text)
 	}
-	p.pos++
+	p.advance()
 	return op, nil
 }
 
 // parseNumber parses a plain numeric literal (with optional leading -).
+// In literal-replay mode the parsed value is replaced by the next bound
+// literal; the sign stays with the statement shape (the '-' token).
 func (p *parser) parseNumber() (float64, error) {
 	neg := false
-	if p.acceptSymbol("-") {
+	// Signed literal: a '-' counts only when the second window token is
+	// a number (a dangling '-' is rejected either way).
+	if p.tok.kind == tokSymbol && p.tok.text == "-" && p.peek().kind == tokNumber {
+		p.advance()
 		neg = true
 	}
-	if p.cur().kind != tokNumber {
-		return 0, p.errorf("expected number, got %q", p.cur().text)
+	if p.tok.kind != tokNumber {
+		return 0, p.errorf("expected number, got %q", p.tok.text)
 	}
-	text := p.next().text
-	v, err := strconv.ParseFloat(text, 64)
+	substitute := p.lits != nil && p.litOn
+	t := p.take()
+	v, err := strconv.ParseFloat(t.text, 64)
 	if err != nil {
-		return 0, p.errorf("bad number %q: %v", text, err)
+		return 0, p.errorf("bad number %q: %v", t.text, err)
+	}
+	if substitute {
+		if p.litIdx >= len(p.lits) {
+			return 0, p.errorf("literal binding underflow at %q", t.text)
+		}
+		v = p.lits[p.litIdx]
+		p.litIdx++
 	}
 	if neg {
 		v = -v
@@ -560,10 +689,10 @@ func (p *parser) parseInt() (int, error) {
 
 // parseDuration parses a Go-style duration literal (5ms, 2s, 100us, 1m).
 func (p *parser) parseDuration() (time.Duration, error) {
-	if p.cur().kind != tokNumber {
-		return 0, p.errorf("expected duration, got %q", p.cur().text)
+	if p.tok.kind != tokNumber {
+		return 0, p.errorf("expected duration, got %q", p.tok.text)
 	}
-	text := p.next().text
+	text := p.take().text
 	d, err := time.ParseDuration(text)
 	if err != nil {
 		return 0, p.errorf("bad duration %q: %v", text, err)
@@ -574,14 +703,9 @@ func (p *parser) parseDuration() (time.Duration, error) {
 	return d, nil
 }
 
-// isReserved reports whether an identifier is a grammar keyword and so
-// cannot be a column reference inside expressions.
-func isReserved(s string) bool {
-	switch strings.ToUpper(s) {
-	case "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "LIMIT",
-		"AND", "OR", "NOT", "BETWEEN", "AS", "ASC", "DESC",
-		"WITHIN", "ERROR", "TIME", "CONFIDENCE":
-		return true
-	}
-	return false
+// isReserved reports whether a token is a grammar keyword and so cannot
+// be a column reference inside expressions. Aggregate names and the
+// cone UDF are recognised but not reserved.
+func isReserved(t token) bool {
+	return t.kw >= kwSelect && t.kw <= kwConfidence
 }

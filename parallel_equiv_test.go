@@ -9,14 +9,17 @@ import (
 
 // equivDB builds a deterministic SkyServer-loaded DB at the given
 // parallelism. Identical seeds everywhere, so any result divergence
-// between two instances can only come from the executor.
-func equivDB(t *testing.T, workers int) *DB {
+// between two instances can only come from the executor. extra options
+// (e.g. WithPlanCacheBudget) apply on top.
+func equivDB(t *testing.T, workers int, extra ...Option) *DB {
 	t.Helper()
-	db := Open(
+	opts := []Option{
 		WithCostModel(engine.CostModel{NsPerRow: 15, FixedNs: 5000}),
 		WithSeed(42),
 		WithExecOptions(engine.ExecOptions{Parallelism: workers, MorselRows: 4096}),
-	)
+	}
+	opts = append(opts, extra...)
+	db := Open(opts...)
 	sky, err := skyserver.New(skyserver.DefaultConfig(0))
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,76 @@
+package sciborq
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Plan-cache equivalence audit: execution through the plan cache must
+// be bit-identical to the pre-cache path at every parallelism level.
+// Each parallelism level runs a cached and an uncached DB over the same
+// deterministic SkyServer load; every query runs twice on the cached DB
+// so the second pass exercises the alias-tier (zero-parse) path, plus
+// literal variants for the shape-binding path and commuted spellings
+// for the canonical-tier path. String() renders exact decimal
+// formatting, so equal strings mean equal floating-point bits.
+
+func TestPlanCacheExecEquivalence(t *testing.T) {
+	queries := []string{
+		"SELECT COUNT(*) FROM PhotoObjAll",
+		"SELECT COUNT(*), AVG(r) AS m, SUM(r) AS s FROM PhotoObjAll WHERE ra BETWEEN 150 AND 180",
+		"SELECT MIN(r) AS lo, MAX(r) AS hi FROM PhotoObjAll WHERE dec > 10",
+		"SELECT AVG(r) AS m FROM PhotoObjAll WHERE type = 'GALAXY'",
+		"SELECT COUNT(*), AVG(r) AS m FROM PhotoObjAll WHERE ra BETWEEN 120 AND 240 GROUP BY type",
+		"SELECT objID, ra FROM PhotoObjAll WHERE ra BETWEEN 170 AND 171 ORDER BY ra LIMIT 25",
+		"SELECT COUNT(*) AS c FROM PhotoObjAll WHERE ra > 200 AND dec > 0",
+	}
+	// Literal variants of the cached shapes (shape-tier binding) and a
+	// commuted spelling (canonical-tier aliasing).
+	variants := []string{
+		"SELECT COUNT(*), AVG(r) AS m, SUM(r) AS s FROM PhotoObjAll WHERE ra BETWEEN 140 AND 190",
+		"SELECT MIN(r) AS lo, MAX(r) AS hi FROM PhotoObjAll WHERE dec > 25",
+		"SELECT COUNT(*) AS c FROM PhotoObjAll WHERE dec > 0 AND ra > 200",
+	}
+	for _, workers := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("parallelism=%d", workers), func(t *testing.T) {
+			cached := equivDB(t, workers)
+			uncached := equivDB(t, workers, WithPlanCacheBudget(-1))
+			if cached.plans == nil {
+				t.Fatal("cached DB has no plan cache")
+			}
+			if uncached.plans != nil {
+				t.Fatal("uncached DB still has a plan cache")
+			}
+			run := func(db *DB, sql string) string {
+				t.Helper()
+				res, err := db.Exec(sql)
+				if err != nil {
+					t.Fatalf("%q: %v", sql, err)
+				}
+				return res.String()
+			}
+			for _, sql := range queries {
+				want := run(uncached, sql)
+				if got := run(cached, sql); got != want { // cold: full parse + admit
+					t.Errorf("cold pass diverged on %q:\ncached:\n%s\nuncached:\n%s", sql, got, want)
+				}
+				if got := run(cached, sql); got != want { // warm: alias-tier hit
+					t.Errorf("warm pass diverged on %q:\ncached:\n%s\nuncached:\n%s", sql, got, want)
+				}
+			}
+			for _, sql := range variants {
+				want := run(uncached, sql)
+				if got := run(cached, sql); got != want {
+					t.Errorf("variant diverged on %q:\ncached:\n%s\nuncached:\n%s", sql, got, want)
+				}
+			}
+			st := cached.PlanCacheStats()
+			if st.Hits == 0 {
+				t.Errorf("warm passes never hit the alias tier: %+v", st)
+			}
+			if st.ShapeHits+st.CanonHits == 0 {
+				t.Errorf("variants never hit shape/canonical tiers: %+v", st)
+			}
+		})
+	}
+}

@@ -1,0 +1,110 @@
+package sciborq
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Plan-cache-under-ingest audit (run under -race in CI), the front-end
+// sibling of recycler_race_test.go: readers hammer one hot statement
+// (alias-tier hits) and a stream of literal variants (shape-tier
+// bindings) while Load batches bump the table version — eagerly
+// invalidating plans — and a tiny budget forces constant eviction.
+// Every answer must still be a batch-atomic prefix count: a stale plan
+// whose prepared predicate leaks across versions would break it.
+func TestPlanCacheConcurrentExecWhileLoad(t *testing.T) {
+	db := Open(testCost(), WithParallelism(2), WithPlanCacheBudget(8*1024))
+	if _, err := db.CreateTable("R", Schema{{Name: "v", Type: Float64}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Load("R", raceBatch()); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for b := 0; b < raceBatches; b++ {
+			if err := db.Load("R", raceBatch()); err != nil {
+				t.Errorf("load %d: %v", b, err)
+				return
+			}
+		}
+	}()
+
+	// check verifies a count is a batch-atomic prefix: each loaded batch
+	// contributes exactly unit matching rows, so any snapshot-consistent
+	// answer is a positive multiple of unit within the loaded range.
+	check := func(g, i int, sql string, unit int) bool {
+		res, err := db.Exec(sql)
+		if err != nil {
+			t.Errorf("goroutine %d: %v", g, err)
+			return false
+		}
+		c, err := res.Scalar("c")
+		if err != nil {
+			t.Errorf("goroutine %d: %v", g, err)
+			return false
+		}
+		n := int(c)
+		if n < unit || n > unit*(raceBatches+1) || n%unit != 0 {
+			t.Errorf("goroutine %d iter %d (%q): COUNT %d is not a batch-atomic prefix", g, i, sql, n)
+			return false
+		}
+		return true
+	}
+
+	const goroutines = 4
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				// The hot repeated spelling (alias tier): 16 matches per
+				// batch ...
+				if !check(g, i, "SELECT COUNT(*) AS c FROM R WHERE v < 0.5", raceMatchPerLoad) {
+					return
+				}
+				// ... and a fresh literal variant every iteration: same
+				// shape, new bound — every batch row (all 64) matches
+				// v < thresh for any thresh > 0.75.
+				thresh := 0.9 + float64((g*60+i)%100)/1000
+				if !check(g, i, fmt.Sprintf("SELECT COUNT(*) AS c FROM R WHERE v < %g", thresh), raceBatchRows) {
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := db.PlanCacheStats()
+	if st.Hits+st.CanonHits+st.ShapeHits+st.Misses == 0 {
+		t.Fatalf("queries bypassed the plan cache entirely: %+v", st)
+	}
+	if st.Invalidations == 0 {
+		t.Fatalf("version bumps never invalidated a plan: %+v", st)
+	}
+
+	// After loads quiesce, the hot statement must hit the alias tier and
+	// land on the final count.
+	final := raceMatchPerLoad * (raceBatches + 1)
+	warm := db.PlanCacheStats()
+	for i := 0; i < 3; i++ {
+		res, err := db.Exec("SELECT COUNT(*) AS c FROM R WHERE v < 0.5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := res.Scalar("c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(c) != final {
+			t.Fatalf("post-quiesce count %d, want %d", int(c), final)
+		}
+	}
+	if quiesced := db.PlanCacheStats(); quiesced.Hits <= warm.Hits {
+		t.Fatalf("post-quiesce repeats did not hit the alias tier: before %+v after %+v", warm, quiesced)
+	}
+}

@@ -73,7 +73,9 @@ import (
 	"sciborq/internal/engine"
 	"sciborq/internal/impression"
 	"sciborq/internal/loader"
+	"sciborq/internal/plancache"
 	"sciborq/internal/recycler"
+	"sciborq/internal/sqlparse"
 	"sciborq/internal/table"
 	"sciborq/internal/workload"
 )
@@ -118,7 +120,9 @@ type DB struct {
 	loggers     map[string]*workload.Logger
 	hiers       map[string]*impression.Hierarchy
 	execs       map[string]*bounded.Executor
-	recPool     *recycler.Pool // nil when disabled
+	recPool     *recycler.Pool   // nil when disabled
+	plans       *plancache.Cache // nil when disabled
+	planBytes   int64
 	recBytes    int64
 	tenantBytes int64
 	maxTenants  int
@@ -172,6 +176,16 @@ func WithRecyclerBudget(bytes int64) Option {
 	return func(db *DB) { db.recBytes = bytes }
 }
 
+// WithPlanCacheBudget sets the byte budget of the statement/plan cache
+// — the front-end cache that lets a repeated statement spelling skip
+// parsing, canonicalisation, and predicate key encoding entirely, and
+// lets literal variants ("x > 5" vs "x > 7") share one cached shape.
+// Zero or negative disables the cache (every query runs the full
+// front end); the default is plancache.DefaultBudget (8 MiB).
+func WithPlanCacheBudget(bytes int64) Option {
+	return func(db *DB) { db.planBytes = bytes }
+}
+
 // WithTenantRecyclerBudget sets the per-tenant recycler partition
 // budget: every tenant named in ExecTenant gets an isolated selection
 // cache of this size, so one tenant's churn cannot evict another's warm
@@ -193,16 +207,28 @@ func WithMaxTenants(n int) Option {
 // Open creates an empty database.
 func Open(opts ...Option) *DB {
 	db := &DB{
-		catalog:  table.NewCatalog(),
-		loaders:  make(map[string]*loader.Loader),
-		loggers:  make(map[string]*workload.Logger),
-		hiers:    make(map[string]*impression.Hierarchy),
-		execs:    make(map[string]*bounded.Executor),
-		recBytes: recycler.DefaultBudget,
-		seed:     1,
+		catalog:   table.NewCatalog(),
+		loaders:   make(map[string]*loader.Loader),
+		loggers:   make(map[string]*workload.Logger),
+		hiers:     make(map[string]*impression.Hierarchy),
+		execs:     make(map[string]*bounded.Executor),
+		recBytes:  recycler.DefaultBudget,
+		planBytes: plancache.DefaultBudget,
+		seed:      1,
 	}
 	for _, o := range opts {
 		o(db)
+	}
+	if db.planBytes > 0 {
+		// The identity function is bound once so the per-query lookup
+		// allocates no closure; Table.ID/Version are allocation-free.
+		db.plans = plancache.New(db.planBytes, func(name string) (uint64, uint64, bool) {
+			t, err := db.catalog.Get(name)
+			if err != nil {
+				return 0, 0, false
+			}
+			return t.ID(), t.Version(), true
+		})
 	}
 	if db.recBytes > 0 {
 		pool, err := recycler.NewPool(db.recBytes, db.tenantBytes, db.maxTenants)
@@ -236,6 +262,38 @@ func (db *DB) TenantRecyclerStats() map[string]recycler.Stats {
 		return nil
 	}
 	return db.recPool.StatsByTenant()
+}
+
+// PlanCacheStats reports the statement/plan cache's aggregate
+// effectiveness and residency (zero Stats when disabled).
+func (db *DB) PlanCacheStats() plancache.Stats {
+	if db.plans == nil {
+		return plancache.Stats{}
+	}
+	return db.plans.Stats()
+}
+
+// TenantPlanCacheStats snapshots per-tenant plan-cache counters (the
+// default tenant under ""); nil when the cache is disabled.
+func (db *DB) TenantPlanCacheStats() map[string]plancache.Stats {
+	if db.plans == nil {
+		return nil
+	}
+	return db.plans.StatsByTenant()
+}
+
+// CheckSQL reports whether sql is a well-formed statement without
+// executing it — the serving layer's pre-admission syntax check. A
+// statement already in the plan cache under its exact spelling is
+// vouched for without re-parsing.
+func (db *DB) CheckSQL(sql string) error {
+	if db.plans != nil {
+		if pl := db.plans.Lookup("", sql); pl != nil {
+			return nil
+		}
+	}
+	_, err := sqlparse.Parse(sql)
+	return err
 }
 
 // recyclerFor resolves the recycler partition a query should use: the
@@ -410,7 +468,14 @@ func (db *DB) Load(tableName string, rows []Row) error {
 	if !ok {
 		return fmt.Errorf("sciborq: no table %q", tableName)
 	}
-	return l.LoadBatch(rows)
+	err := l.LoadBatch(rows)
+	if db.plans != nil {
+		// The version bumped (even a failed batch may have rolled back
+		// through a truncation): every cached plan for this table is
+		// stale. Drop eagerly rather than letting each alias miss lazily.
+		db.plans.InvalidateTable(tableName)
+	}
+	return err
 }
 
 // CostModel returns the active cost model.
