@@ -26,12 +26,16 @@
 // that table stale; staleness is caught lazily at lookup by comparing
 // against the live table and eagerly by Invalidate/InvalidateTable from
 // the load path. Memory is bounded by an LRU-by-bytes budget over plan
-// cost (SQL strings + a fixed AST estimate); access recency comes from
-// an atomic logical clock so the hit path never takes the write lock.
+// cost (SQL strings + a fixed AST estimate); shape templates have their
+// own smaller LRU byte bound so a flood of distinct shapes can neither
+// grow without limit nor starve the plan tier of its budget. Access
+// recency comes from an atomic logical clock so the hit path never
+// takes the write lock.
 package plancache
 
 import (
 	"encoding/binary"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -46,6 +50,18 @@ const DefaultBudget = 8 << 20
 // planOverhead is the charged estimate for a plan's AST, prepared
 // predicate, and bookkeeping beyond its strings.
 const planOverhead = 512
+
+// shapeOverhead is the charged estimate for a shape template's
+// bookkeeping beyond its key and SQL strings.
+const shapeOverhead = 64
+
+// shapeBudgetDivisor sizes the shape tier's own byte bound as a
+// fraction of the plan budget (floored at shapeBudgetMin so tiny plan
+// budgets still hold a useful set of templates).
+const (
+	shapeBudgetDivisor = 8
+	shapeBudgetMin     = 64 << 10
+)
 
 // Plan is one cached, immutable execution plan: the parsed statement
 // plus every front-end derivation execution needs. All fields are
@@ -88,11 +104,17 @@ type Stats struct {
 	Invalidations int64
 	// Evictions counts plans dropped by the byte budget.
 	Evictions int64
-	// Entries/Bytes/Budget describe residency (whole cache, not per
-	// tenant; only set on the aggregate Stats).
+	// Entries/Bytes/Budget describe plan-tier residency (whole cache,
+	// not per tenant; only set on the aggregate Stats).
 	Entries int
 	Bytes   int64
 	Budget  int64
+	// ShapeEntries/ShapeBytes/ShapeBudget/ShapeEvictions describe the
+	// separately-bounded shape-template tier (aggregate only).
+	ShapeEntries   int
+	ShapeBytes     int64
+	ShapeBudget    int64
+	ShapeEvictions int64
 }
 
 // HitRate returns the fraction of lookups answered without a full
@@ -122,10 +144,15 @@ func (t *tenantStats) snapshot() Stats {
 }
 
 // template is one cached statement shape: the representative SQL text
-// replayed by ParseBound with new literal values.
+// replayed by ParseBound with new literal values. Templates live in
+// their own LRU-by-bytes tier (c.shapeBytes vs c.shapeBudget) and are
+// dropped with their table's plans by InvalidateTable.
 type template struct {
 	sql   string
 	nlits int
+	table string
+	bytes int64
+	stamp atomic.Int64
 }
 
 // IdentityFn resolves a table name to its live (ID, Version) identity;
@@ -137,17 +164,20 @@ type IdentityFn func(table string) (id, ver uint64, ok bool)
 // Cache is the statement/plan cache. All methods are safe for
 // concurrent use.
 type Cache struct {
-	budget int64
-	ident  IdentityFn
+	budget      int64
+	shapeBudget int64
+	ident       IdentityFn
 
-	mu      sync.RWMutex
-	aliases map[string]*Plan
-	plans   map[string]*Plan
-	shapes  map[string]*template
-	byTable map[string]map[*Plan]struct{}
-	bytes   int64
-	evicts  int64
-	invals  int64 // eager InvalidateTable drops (tenant-less)
+	mu          sync.RWMutex
+	aliases     map[string]*Plan
+	plans       map[string]*Plan
+	shapes      map[string]*template
+	byTable     map[string]map[*Plan]struct{}
+	bytes       int64
+	shapeBytes  int64
+	evicts      int64
+	shapeEvicts int64
+	invals      int64 // eager InvalidateTable drops (tenant-less)
 
 	clock atomic.Int64
 
@@ -170,14 +200,19 @@ func New(budgetBytes int64, ident IdentityFn) *Cache {
 	if budgetBytes <= 0 {
 		budgetBytes = DefaultBudget
 	}
+	shapeBudget := budgetBytes / shapeBudgetDivisor
+	if shapeBudget < shapeBudgetMin {
+		shapeBudget = shapeBudgetMin
+	}
 	return &Cache{
-		budget:  budgetBytes,
-		ident:   ident,
-		aliases: make(map[string]*Plan),
-		plans:   make(map[string]*Plan),
-		shapes:  make(map[string]*template),
-		byTable: make(map[string]map[*Plan]struct{}),
-		stats:   make(map[string]*tenantStats),
+		budget:      budgetBytes,
+		shapeBudget: shapeBudget,
+		ident:       ident,
+		aliases:     make(map[string]*Plan),
+		plans:       make(map[string]*Plan),
+		shapes:      make(map[string]*template),
+		byTable:     make(map[string]map[*Plan]struct{}),
+		stats:       make(map[string]*tenantStats),
 		scratch: sync.Pool{New: func() any {
 			return &scratchBuf{shape: make([]byte, 0, 256), lits: make([]float64, 0, 8)}
 		}},
@@ -221,6 +256,23 @@ func (c *Cache) Lookup(tenant, sql string) *Plan {
 	return pl
 }
 
+// Contains reports whether sql is cached under its exact spelling for a
+// table still at the plan's version. Unlike Lookup it counts nothing
+// and leaves the LRU clock alone — the serving layer's pre-admission
+// syntax check (DB.CheckSQL) uses it so per-tenant counters and
+// eviction order reflect only real executions. A stale entry just
+// reports false; the execution path's Lookup handles invalidation.
+func (c *Cache) Contains(sql string) bool {
+	c.mu.RLock()
+	pl := c.aliases[sql]
+	c.mu.RUnlock()
+	if pl == nil {
+		return false
+	}
+	id, ver, ok := c.ident(pl.Table)
+	return ok && id == pl.TableID && ver == pl.TableVer
+}
+
 // BindShape serves the shape tier after an alias miss: if the
 // statement's literal-collapsed fingerprint matches a cached template,
 // the template is replayed with the new literal values, yielding the
@@ -249,6 +301,7 @@ func (c *Cache) BindShape(tenant, sql string) (*sqlparse.Statement, bool) {
 		// shape aliased something unexpected. Fall back to a full parse.
 		return nil, false
 	}
+	tmpl.stamp.Store(c.clock.Add(1))
 	c.tenant(tenant).shapeHits.Add(1)
 	return st, true
 }
@@ -310,7 +363,7 @@ func (c *Cache) Admit(tenant, sql string, st *sqlparse.Statement, id, ver uint64
 	}
 	bucket[pl] = struct{}{}
 	c.addAliasLocked(pl, sql)
-	c.admitShapeLocked(sql)
+	c.admitShapeLocked(pl.Table, sql)
 
 	// A newer version supersedes every older plan of the same table:
 	// those can never be looked up successfully again.
@@ -347,15 +400,27 @@ func (c *Cache) removeAliasLocked(pl *Plan, sql string) {
 	}
 }
 
-// admitShapeLocked registers sql's literal-collapsed shape template.
-func (c *Cache) admitShapeLocked(sql string) {
+// admitShapeLocked registers sql's literal-collapsed shape template in
+// the shape tier, charging it against the shape budget (not the plan
+// budget: templates would otherwise crowd plans out of theirs).
+func (c *Cache) admitShapeLocked(table, sql string) {
 	buf := c.scratch.Get().(*scratchBuf)
 	shape, lits, ok := sqlparse.Fingerprint(buf.shape[:0], buf.lits[:0], sql)
 	buf.shape, buf.lits = shape, lits
 	if ok {
-		if _, dup := c.shapes[string(shape)]; !dup {
-			c.shapes[string(shape)] = &template{sql: sql, nlits: len(lits)}
-			c.bytes += int64(len(shape) + len(sql))
+		if tmpl, dup := c.shapes[string(shape)]; dup {
+			tmpl.stamp.Store(c.clock.Add(1))
+		} else {
+			tmpl := &template{
+				sql:   sql,
+				nlits: len(lits),
+				table: table,
+				bytes: int64(len(shape)+len(sql)) + shapeOverhead,
+			}
+			tmpl.stamp.Store(c.clock.Add(1))
+			c.shapes[string(shape)] = tmpl
+			c.shapeBytes += tmpl.bytes
+			c.evictShapesOverBudgetLocked()
 		}
 	}
 	c.scratch.Put(buf)
@@ -374,12 +439,21 @@ func (c *Cache) Invalidate(pl *Plan) {
 
 // InvalidateTable eagerly drops every plan for a table — the load path
 // calls it so a version bump frees plan memory immediately instead of
-// waiting for each alias to miss.
+// waiting for each alias to miss. The table's shape templates go with
+// the plans: after a drop their replayed statements could never admit,
+// and after a reload the next miss re-registers them at the new
+// version.
 func (c *Cache) InvalidateTable(table string) {
 	c.mu.Lock()
 	for pl := range c.byTable[table] {
 		c.dropLocked(pl)
 		c.invals++
+	}
+	for key, tmpl := range c.shapes {
+		if tmpl.table == table {
+			delete(c.shapes, key)
+			c.shapeBytes -= tmpl.bytes
+		}
 	}
 	c.mu.Unlock()
 }
@@ -406,19 +480,55 @@ func (c *Cache) dropLocked(pl *Plan) {
 }
 
 // evictOverBudgetLocked drops least-recently-stamped plans until the
-// byte budget holds. Shape templates are never evicted here: they are
-// tiny relative to plans and self-limit to distinct statement shapes.
+// byte budget holds. One scan snapshots every plan's stamp (stamps
+// mutate concurrently under the read lock, so the sort must not reread
+// them) and a single stamp-ordered pass evicts the batch — an
+// over-budget burst costs O(n log n) once, not O(n) per victim.
 func (c *Cache) evictOverBudgetLocked() {
-	for c.bytes > c.budget && len(c.plans) > 0 {
-		var oldest *Plan
-		var oldestStamp int64
-		for _, pl := range c.plans {
-			if s := pl.stamp.Load(); oldest == nil || s < oldestStamp {
-				oldest, oldestStamp = pl, s
-			}
+	if c.bytes <= c.budget || len(c.plans) == 0 {
+		return
+	}
+	type victim struct {
+		pl    *Plan
+		stamp int64
+	}
+	victims := make([]victim, 0, len(c.plans))
+	for _, pl := range c.plans {
+		victims = append(victims, victim{pl, pl.stamp.Load()})
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].stamp < victims[j].stamp })
+	for _, v := range victims {
+		if c.bytes <= c.budget {
+			break
 		}
-		c.dropLocked(oldest)
+		c.dropLocked(v.pl)
 		c.evicts++
+	}
+}
+
+// evictShapesOverBudgetLocked is the shape tier's counterpart: drop
+// least-recently-used templates until the shape budget holds.
+func (c *Cache) evictShapesOverBudgetLocked() {
+	if c.shapeBytes <= c.shapeBudget || len(c.shapes) == 0 {
+		return
+	}
+	type victim struct {
+		key   string
+		tmpl  *template
+		stamp int64
+	}
+	victims := make([]victim, 0, len(c.shapes))
+	for key, tmpl := range c.shapes {
+		victims = append(victims, victim{key, tmpl, tmpl.stamp.Load()})
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].stamp < victims[j].stamp })
+	for _, v := range victims {
+		if c.shapeBytes <= c.shapeBudget {
+			break
+		}
+		delete(c.shapes, v.key)
+		c.shapeBytes -= v.tmpl.bytes
+		c.shapeEvicts++
 	}
 }
 
@@ -452,6 +562,10 @@ func (c *Cache) Stats() Stats {
 	out.Budget = c.budget
 	out.Evictions = c.evicts
 	out.Invalidations += c.invals
+	out.ShapeEntries = len(c.shapes)
+	out.ShapeBytes = c.shapeBytes
+	out.ShapeBudget = c.shapeBudget
+	out.ShapeEvictions = c.shapeEvicts
 	c.mu.RUnlock()
 	return out
 }

@@ -174,6 +174,105 @@ func TestPerTenantStats(t *testing.T) {
 	}
 }
 
+// TestShapeBudget pins the shape tier's own bound: a flood of distinct
+// statement shapes evicts old templates instead of growing without
+// limit, and never touches the plan tier's budget.
+func TestShapeBudget(t *testing.T) {
+	ident := newFakeIdent(7, 1)
+	c := New(0, ident.fn)
+	c.shapeBudget = 2 << 10 // tighten so a few dozen templates overflow
+	for i := 0; i < 200; i++ {
+		admit(t, c, "", fmt.Sprintf("SELECT COUNT(*) FROM t WHERE col%d > 5", i), 7, 1, false)
+	}
+	s := c.Stats()
+	if s.ShapeBytes > c.shapeBudget {
+		t.Fatalf("shape bytes %d exceed shape budget %d", s.ShapeBytes, c.shapeBudget)
+	}
+	if s.ShapeEvictions == 0 {
+		t.Fatalf("no shape evictions under a tight shape budget: %+v", s)
+	}
+	if s.ShapeEntries == 0 {
+		t.Fatalf("shape tier emptied instead of bounded: %+v", s)
+	}
+	if s.Evictions != 0 {
+		t.Fatalf("shape churn evicted plans from an unconstrained plan budget: %+v", s)
+	}
+	// A recently admitted shape survives LRU and still binds.
+	if _, ok := c.BindShape("", "SELECT COUNT(*) FROM t WHERE col199 > 9"); !ok {
+		t.Fatal("most recent shape template was evicted before older ones")
+	}
+}
+
+// TestShapeBytesDoNotWedgePlans is a regression test: shape-template
+// bytes used to be charged against the plan budget but were never
+// evictable, so enough distinct shapes permanently evicted every plan.
+// Shapes now have their own bound and the plan tier must stay usable.
+func TestShapeBytesDoNotWedgePlans(t *testing.T) {
+	ident := newFakeIdent(7, 1)
+	c := New(2*1024, ident.fn) // tiny plan budget, default shape budget
+	var last string
+	for i := 0; i < 100; i++ {
+		last = fmt.Sprintf("SELECT COUNT(*) FROM t WHERE col%d > 5", i)
+		admit(t, c, "", last, 7, 1, false)
+	}
+	if c.Lookup("", last) == nil {
+		t.Fatal("plan tier wedged: most recently admitted plan not resident")
+	}
+	if s := c.Stats(); s.Bytes > c.budget {
+		t.Fatalf("plan bytes %d exceed budget %d", s.Bytes, c.budget)
+	}
+}
+
+// TestInvalidateTableDropsShapes: a table's shape templates die with
+// its plans, so a dropped table stops binding immediately while other
+// tables' templates stay.
+func TestInvalidateTableDropsShapes(t *testing.T) {
+	ident := newFakeIdent(7, 1)
+	c := New(0, ident.fn)
+	admit(t, c, "", "SELECT COUNT(*) FROM t WHERE x > 5", 7, 1, false)
+	admit(t, c, "", "SELECT COUNT(*) FROM u WHERE x > 5", 7, 1, false)
+	c.InvalidateTable("t")
+	if _, ok := c.BindShape("", "SELECT COUNT(*) FROM t WHERE x > 9"); ok {
+		t.Fatal("invalidated table's shape template still binds")
+	}
+	if _, ok := c.BindShape("", "SELECT COUNT(*) FROM u WHERE x > 9"); !ok {
+		t.Fatal("unrelated table's shape template dropped")
+	}
+}
+
+// TestContainsDoesNotCount pins the CheckSQL probe's contract: it
+// reports residency without skewing stats or the LRU clock (the server
+// probes before every execution, so counting would double every hit
+// onto the default tenant).
+func TestContainsDoesNotCount(t *testing.T) {
+	ident := newFakeIdent(7, 1)
+	c := New(0, ident.fn)
+	sql := "SELECT COUNT(*) FROM t WHERE x > 5"
+	if c.Contains(sql) {
+		t.Fatal("contains before admit")
+	}
+	admit(t, c, "", sql, 7, 1, false)
+	clock := c.clock.Load()
+	for i := 0; i < 10; i++ {
+		if !c.Contains(sql) {
+			t.Fatal("admitted statement not contained")
+		}
+	}
+	if got := c.StatsFor(""); got.Hits != 0 || got.Misses != 1 {
+		t.Fatalf("Contains counted: %+v", got)
+	}
+	if c.clock.Load() != clock {
+		t.Fatal("Contains advanced the LRU clock")
+	}
+	ident.ver.Store(2)
+	if c.Contains(sql) {
+		t.Fatal("stale entry reported as contained")
+	}
+	if got := c.StatsFor(""); got.Invalidations != 0 {
+		t.Fatalf("Contains counted an invalidation: %+v", got)
+	}
+}
+
 // TestLookupZeroAlloc is the package-local half of the allocation gate
 // (the end-to-end gate lives in bench_parse_test.go at the repo root):
 // a warm alias-tier lookup must not allocate.

@@ -75,6 +75,7 @@ func TestConcurrentHitEvictVersionBump(t *testing.T) {
 					return
 				default:
 				}
+				c.Contains(hot)
 				if pl := c.Lookup("reader", hot); pl != nil {
 					if pl.Table != "t" || pl.TableID != 7 {
 						t.Errorf("reader %d: plan identity corrupted: %+v", r, pl)
@@ -106,5 +107,11 @@ func TestConcurrentHitEvictVersionBump(t *testing.T) {
 	}
 	if s.Bytes < 0 {
 		t.Fatalf("negative byte accounting: %+v", s)
+	}
+	if s.ShapeBytes > s.ShapeBudget {
+		t.Fatalf("shape budget overrun after churn: %+v", s)
+	}
+	if s.ShapeBytes < 0 {
+		t.Fatalf("negative shape byte accounting: %+v", s)
 	}
 }

@@ -231,6 +231,10 @@ type plancacheJSON struct {
 	Entries       int     `json:"entries,omitempty"`
 	Bytes         int64   `json:"bytes,omitempty"`
 	Budget        int64   `json:"budget,omitempty"`
+	ShapeEntries  int     `json:"shape_entries,omitempty"`
+	ShapeBytes    int64   `json:"shape_bytes,omitempty"`
+	ShapeBudget   int64   `json:"shape_budget,omitempty"`
+	ShapeEvicts   int64   `json:"shape_evictions,omitempty"`
 	HitRate       float64 `json:"hit_rate"`
 }
 
@@ -245,6 +249,10 @@ func toPlancacheJSON(st plancache.Stats) plancacheJSON {
 		Entries:       st.Entries,
 		Bytes:         st.Bytes,
 		Budget:        st.Budget,
+		ShapeEntries:  st.ShapeEntries,
+		ShapeBytes:    st.ShapeBytes,
+		ShapeBudget:   st.ShapeBudget,
+		ShapeEvicts:   st.ShapeEvictions,
 		HitRate:       st.HitRate(),
 	}
 }

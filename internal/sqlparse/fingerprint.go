@@ -1,12 +1,23 @@
 package sqlparse
 
-import "strconv"
+import (
+	"encoding/binary"
+	"strconv"
+)
 
 // Fingerprint bytes: tokens are separated by fpSep; a parameterised
 // numeric literal collapses to fpNum (its value moves to the literal
-// list); string literals are wrapped in fpStr so they cannot glue into
-// neighbouring tokens. None of the three can occur inside token text
-// (they are control bytes, which the lexer never includes in a token).
+// list); a string literal is encoded as fpStr + uvarint(byte length) +
+// the literal bytes verbatim. String literals are the one token kind
+// that can carry arbitrary bytes — including these control bytes — so
+// their content is length-delimited rather than sentinel-delimited,
+// keeping the whole encoding prefix-free: a literal embedding
+// fpSep/fpNum/fpStr cannot re-parse as token boundaries and forge the
+// fingerprint of a different statement. Every other token kind contains
+// no byte below 0x20 (the lexer skips space-class control bytes and
+// errors on the rest outside strings), so fpSep unambiguously delimits
+// tokens and fingerprint equality implies token-sequence equality
+// (modulo parameterised numeric literal values).
 const (
 	fpSep = 0x1F
 	fpNum = 0x01
@@ -57,8 +68,8 @@ func Fingerprint(shape []byte, lits []float64, sql string) ([]byte, []float64, b
 			shape = append(shape, t.text...)
 		case tokString:
 			shape = append(shape, fpStr)
+			shape = binary.AppendUvarint(shape, uint64(len(t.text)))
 			shape = append(shape, t.text...)
-			shape = append(shape, fpStr)
 		default:
 			if t.kw == kwLimit || t.kw == kwWithin {
 				// Mirrors the parser's literal-replay window: from here

@@ -2,6 +2,7 @@ package sqlparse
 
 import (
 	"reflect"
+	"strconv"
 	"testing"
 	"time"
 )
@@ -30,6 +31,7 @@ var fuzzSeeds = []string{
 	"SELECT MIN(x), MAX(x), STDDEV(x) FROM t WHERE s <> 'QSO' WITHIN TIME 1.5ms",
 	"SELECT AVG(r) FROM t WITHIN TIME 90s",
 	"SELECT COUNT(*) FROM t WHERE 5 < 3",
+	"SELECT COUNT(*) FROM t WHERE s = 'a\x02\x1FAND\x1Ft2\x1F=\x1F\x02b'",
 	"SELECT a.b FROM t WHERE x = 1e6;",
 	"SELECT FROM t",
 	"SELECT * FROM t WITHIN BANANAS 4",
@@ -174,6 +176,109 @@ func TestFingerprintShapeSharing(t *testing.T) {
 	if len(p1L) != 1 || p1L[0] != 3 || len(p2L) != 1 || p2L[0] != 4 {
 		t.Fatalf("predicate literal extraction wrong: %v vs %v", p1L, p2L)
 	}
+}
+
+// maskedToken is one lexed token with parameterisable numeric literal
+// values masked out — the equivalence class Fingerprint is meant to
+// compute.
+type maskedToken struct {
+	kind tokKind
+	text string
+}
+
+// maskedTokens lexes sql into its fingerprint equivalence class,
+// mirroring Fingerprint's parameterisation window exactly; ok is false
+// on a lexical error.
+func maskedTokens(sql string) ([]maskedToken, bool) {
+	lx := lexer{input: sql}
+	paramOn := true
+	var out []maskedToken
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, false
+		}
+		if t.kind == tokEOF {
+			return out, true
+		}
+		text := t.text
+		switch t.kind {
+		case tokNumber:
+			if paramOn {
+				if _, perr := strconv.ParseFloat(t.text, 64); perr == nil {
+					text = "?"
+				}
+			}
+		case tokString:
+			// Verbatim: string content is never parameterised.
+		default:
+			if t.kw == kwLimit || t.kw == kwWithin {
+				paramOn = false
+			}
+		}
+		out = append(out, maskedToken{kind: t.kind, text: text})
+	}
+}
+
+// checkFingerprintInjective asserts the injectivity direction of the
+// fingerprint contract: equal shapes imply equal token sequences
+// (modulo parameterised literal values). A violation means one
+// statement can forge another's shared plan-cache shape.
+func checkFingerprintInjective(t *testing.T, a, b string) {
+	t.Helper()
+	fpA, litsA, okA := Fingerprint(nil, nil, a)
+	fpB, litsB, okB := Fingerprint(nil, nil, b)
+	if !okA || !okB || string(fpA) != string(fpB) {
+		return
+	}
+	if len(litsA) != len(litsB) {
+		t.Fatalf("equal shapes with different literal counts: %q (%d) vs %q (%d)", a, len(litsA), b, len(litsB))
+	}
+	ta, _ := maskedTokens(a)
+	tb, _ := maskedTokens(b)
+	if !reflect.DeepEqual(ta, tb) {
+		t.Fatalf("fingerprint collision: %q and %q share shape %q but lex differently", a, b, fpA)
+	}
+}
+
+// FuzzFingerprintInjective fuzzes statement pairs for shape collisions.
+func FuzzFingerprintInjective(f *testing.F) {
+	f.Add("SELECT COUNT(*) FROM t WHERE s = 'a\x02\x1FAND\x1Ft2\x1F=\x1F\x02b'",
+		"SELECT COUNT(*) FROM t WHERE s = 'a' AND t2 = 'b'")
+	f.Add("SELECT * FROM t WHERE s = 'x'", "SELECT * FROM t WHERE s = 'x'")
+	for i := 1; i < len(fuzzSeeds); i++ {
+		f.Add(fuzzSeeds[i-1], fuzzSeeds[i])
+	}
+	f.Fuzz(func(t *testing.T, a, b string) {
+		checkFingerprintInjective(t, a, b)
+	})
+}
+
+// TestFingerprintStringInjection pins the fix for a cross-tenant shape
+// forgery: a string literal embedding the fingerprint control bytes
+// must not reproduce the fingerprint of a structurally different
+// statement (shape templates are shared across tenants, so a collision
+// would let one tenant's statement answer another tenant's query).
+func TestFingerprintStringInjection(t *testing.T) {
+	forged := "SELECT COUNT(*) FROM t WHERE s = 'a\x02\x1FAND\x1Ft2\x1F=\x1F\x02b'"
+	honest := "SELECT COUNT(*) FROM t WHERE s = 'a' AND t2 = 'b'"
+	fpF, litsF, ok := Fingerprint(nil, nil, forged)
+	if !ok {
+		t.Fatal("forged statement did not fingerprint")
+	}
+	fpH, litsH, ok := Fingerprint(nil, nil, honest)
+	if !ok {
+		t.Fatal("honest statement did not fingerprint")
+	}
+	if len(litsF) != 0 || len(litsH) != 0 {
+		t.Fatalf("unexpected literals: %v vs %v", litsF, litsH)
+	}
+	if string(fpF) == string(fpH) {
+		t.Fatalf("control-byte string literal forged the shape of a different statement: %q", fpF)
+	}
+	// String literals sharing concatenated bytes but split differently
+	// must also stay distinct (the length prefix disambiguates).
+	checkFingerprintInjective(t, forged, honest)
 }
 
 // TestFormatDurationSingleUnit pins the renderer to lexable spellings:

@@ -285,12 +285,11 @@ func (db *DB) TenantPlanCacheStats() map[string]plancache.Stats {
 // CheckSQL reports whether sql is a well-formed statement without
 // executing it — the serving layer's pre-admission syntax check. A
 // statement already in the plan cache under its exact spelling is
-// vouched for without re-parsing.
+// vouched for without re-parsing; the probe counts nothing, so
+// per-tenant cache stats and LRU order reflect only executions.
 func (db *DB) CheckSQL(sql string) error {
-	if db.plans != nil {
-		if pl := db.plans.Lookup("", sql); pl != nil {
-			return nil
-		}
+	if db.plans != nil && db.plans.Contains(sql) {
+		return nil
 	}
 	_, err := sqlparse.Parse(sql)
 	return err
