@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test cover race bench bench-json bench-alloc fuzz fmt vet ci server server-smoke
+.PHONY: all build test cover race bench bench-json bench-alloc chaos fuzz fmt vet ci server server-smoke
 
 all: build
 
@@ -61,6 +61,9 @@ bench-json:
 	$(GO) test -json -run='^$$' -benchmem -benchtime=5x \
 		-bench='^(BenchmarkParseCold|BenchmarkPlanCacheWarmHit|BenchmarkPlanCacheShapeBind|BenchmarkExecPlanCache)$$' \
 		. > BENCH_parse.json
+	$(GO) test -json -run='^$$' -benchmem -benchtime=5x \
+		-bench='^BenchmarkPanicGuardOverhead$$' \
+		./internal/engine > BENCH_resilience.json
 
 # Allocation regression gate for the cached-statement front end: a warm
 # plan-cache hit (alias probe + catalog version check) must stay at
@@ -69,6 +72,14 @@ bench-json:
 # DB.CheckSQL (TestFrontEndZeroAlloc).
 bench-alloc:
 	$(GO) test -run='ZeroAlloc' -v . ./internal/plancache/...
+
+# Seeded, deterministic chaos suite under the race detector: >=100
+# injected faults (errors, panics, latency) across all six fault points
+# against a booted server with concurrent clients and ingest, plus the
+# daemon's SIGTERM drain test. A failure replays from the seed printed
+# in the test log.
+chaos:
+	$(GO) test -race -run='^(TestChaos|TestGracefulDrainOnSIGTERM)$$' -v ./internal/server ./cmd/sciborqd
 
 # Run the HTTP/JSON query server on :8080 over synthetic SkyServer data.
 server:
@@ -90,4 +101,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt test race bench bench-alloc fuzz
+ci: build vet fmt test race bench bench-alloc chaos fuzz

@@ -12,7 +12,8 @@
 //	curl -s localhost:8080/stats
 //
 // The wire protocol is documented in docs/SERVER.md. SIGINT/SIGTERM
-// drain in-flight queries and shut down gracefully.
+// drain gracefully: queued queries are rejected with 503, in-flight
+// queries complete, then the listener closes and the process exits 0.
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -33,73 +35,121 @@ import (
 	"sciborq/internal/skyserver"
 )
 
+// options is the daemon's full configuration — a struct (rather than
+// package-level flag state) so the drain test can run the real daemon
+// in-process with a tiny dataset.
+type options struct {
+	addr         string
+	rows         int
+	layers       string
+	policy       string
+	seed         uint64
+	maxInFlight  int
+	maxQueue     int
+	maxQueryTime time.Duration
+	recyclerMB   int64
+	tenantMB     int64
+	maxTenants   int
+	memoryMB     int64
+	drainTimeout time.Duration
+}
+
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	rows := flag.Int("rows", 200_000, "synthetic PhotoObjAll rows")
-	layersFlag := flag.String("layers", "20000,2000,200", "impression layer sizes, comma separated, largest first")
-	policyFlag := flag.String("policy", "biased", "impression policy: uniform | biased | last-seen")
-	seed := flag.Uint64("seed", 2011, "random seed")
-	maxInFlight := flag.Int("max-inflight", 8, "max concurrently executing queries")
-	maxQueue := flag.Int("max-queue", 32, "max queries waiting for an execution slot")
-	maxQueryTime := flag.Duration("max-query-time", 30*time.Second, "per-query execution deadline (0 disables)")
-	recyclerMB := flag.Int64("recycler-mb", 16, "default recycler partition budget in MiB (0 disables recycling)")
-	tenantMB := flag.Int64("tenant-recycler-mb", 2, "per-tenant recycler partition budget in MiB")
-	maxTenants := flag.Int("max-tenants", 64, "max resident tenant recycler partitions (LRU beyond)")
+	var opts options
+	flag.StringVar(&opts.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&opts.rows, "rows", 200_000, "synthetic PhotoObjAll rows")
+	flag.StringVar(&opts.layers, "layers", "20000,2000,200", "impression layer sizes, comma separated, largest first")
+	flag.StringVar(&opts.policy, "policy", "biased", "impression policy: uniform | biased | last-seen")
+	flag.Uint64Var(&opts.seed, "seed", 2011, "random seed")
+	flag.IntVar(&opts.maxInFlight, "max-inflight", 8, "max concurrently executing queries (negative: admit nothing)")
+	flag.IntVar(&opts.maxQueue, "max-queue", 32, "max queries waiting for an execution slot")
+	flag.DurationVar(&opts.maxQueryTime, "max-query-time", 30*time.Second, "per-query execution deadline (0 disables)")
+	flag.Int64Var(&opts.recyclerMB, "recycler-mb", 16, "default recycler partition budget in MiB (0 disables recycling)")
+	flag.Int64Var(&opts.tenantMB, "tenant-recycler-mb", 2, "per-tenant recycler partition budget in MiB")
+	flag.IntVar(&opts.maxTenants, "max-tenants", 64, "max resident tenant recycler partitions (LRU beyond)")
+	flag.Int64Var(&opts.memoryMB, "memory-mb", 0, "global cache memory budget in MiB under the governor (0 disables)")
+	flag.DurationVar(&opts.drainTimeout, "drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
 	flag.Parse()
-
-	sizes, err := parseSizes(*layersFlag)
-	if err != nil {
-		fatal(err)
+	if err := run(opts, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "sciborqd:", err)
+		os.Exit(1)
 	}
-	policy, err := parsePolicy(*policyFlag)
+}
+
+// run is the daemon: build the DB, serve, and on SIGINT/SIGTERM drain
+// the admission queue (queued waiters get 503 draining) before shutting
+// the HTTP server down, which waits for in-flight queries. ready, if
+// non-nil, is called with the bound listen address once the server is
+// accepting — the hook the drain test uses to find its ephemeral port.
+func run(opts options, ready func(addr string)) error {
+	sizes, err := parseSizes(opts.layers)
 	if err != nil {
-		fatal(err)
+		return err
+	}
+	policy, err := parsePolicy(opts.policy)
+	if err != nil {
+		return err
 	}
 
-	fmt.Printf("sciborqd: generating %d synthetic SkyServer objects...\n", *rows)
-	db, err := buildDB(*rows, sizes, policy, *seed, *recyclerMB<<20, *tenantMB<<20, *maxTenants)
+	fmt.Printf("sciborqd: generating %d synthetic SkyServer objects...\n", opts.rows)
+	db, err := buildDB(opts.rows, sizes, policy, opts.seed,
+		opts.recyclerMB<<20, opts.tenantMB<<20, opts.maxTenants, opts.memoryMB<<20)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	srv, err := server.New(server.Config{
 		DB:           db,
-		MaxInFlight:  *maxInFlight,
-		MaxQueue:     *maxQueue,
-		MaxQueryTime: *maxQueryTime,
+		MaxInFlight:  opts.maxInFlight,
+		MaxQueue:     opts.maxQueue,
+		MaxQueryTime: opts.maxQueryTime,
 	})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
-	}
+	// Register the signal handler before accepting traffic, so a SIGTERM
+	// arriving right after ready() always drains instead of killing.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
 	errCh := make(chan error, 1)
 	go func() {
 		fmt.Printf("sciborqd: serving on %s (max-inflight=%d max-queue=%d max-query-time=%v)\n",
-			*addr, *maxInFlight, *maxQueue, *maxQueryTime)
-		errCh <- httpSrv.ListenAndServe()
+			ln.Addr(), opts.maxInFlight, opts.maxQueue, opts.maxQueryTime)
+		errCh <- httpSrv.Serve(ln)
 	}()
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
 
 	select {
 	case <-ctx.Done():
 		fmt.Println("sciborqd: shutting down, draining in-flight queries...")
-		shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		// Drain first: queued waiters wake with 503 immediately instead
+		// of holding connections open against the Shutdown deadline;
+		// in-flight queries keep their slots and finish.
+		srv.Drain()
+		shutCtx, cancel := context.WithTimeout(context.Background(), opts.drainTimeout)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println("sciborqd: bye")
+		return nil
 	case err := <-errCh:
-		if !errors.Is(err, http.ErrServerClosed) {
-			fatal(err)
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
 		}
+		return err
 	}
 }
 
@@ -107,7 +157,8 @@ func main() {
 // shell: catalogue tables, a tracked (ra, dec) workload, a biased
 // impression hierarchy, and the data loaded in nightly batches so the
 // impressions build in the load path.
-func buildDB(rows int, sizes []int, policy sciborq.Policy, seed uint64, recyclerBytes, tenantBytes int64, maxTenants int) (*sciborq.DB, error) {
+func buildDB(rows int, sizes []int, policy sciborq.Policy, seed uint64,
+	recyclerBytes, tenantBytes int64, maxTenants int, memoryBytes int64) (*sciborq.DB, error) {
 	cfg := skyserver.DefaultConfig(0)
 	cfg.Seed = seed
 	sky, err := skyserver.New(cfg)
@@ -119,6 +170,7 @@ func buildDB(rows int, sizes []int, policy sciborq.Policy, seed uint64, recycler
 		sciborq.WithRecyclerBudget(recyclerBytes),
 		sciborq.WithTenantRecyclerBudget(tenantBytes),
 		sciborq.WithMaxTenants(maxTenants),
+		sciborq.WithMemoryBudget(memoryBytes),
 	)
 	for _, t := range []string{"PhotoObjAll", "Field", "PhotoTag"} {
 		tb, err := sky.Catalog.Get(t)
@@ -181,9 +233,4 @@ func parsePolicy(s string) (sciborq.Policy, error) {
 		return sciborq.LastSeen, nil
 	}
 	return 0, fmt.Errorf("sciborqd: unknown policy %q", s)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sciborqd:", err)
-	os.Exit(1)
 }

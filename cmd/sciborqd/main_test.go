@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"sciborq/internal/faultinject"
+)
+
+// postResult is one /query outcome observed by a test client goroutine.
+type postResult struct {
+	status int
+	code   string
+	err    error
+}
+
+// postAsync fires one query and delivers the outcome on a channel.
+func postAsync(base, sql string) <-chan postResult {
+	out := make(chan postResult, 1)
+	go func() {
+		body, _ := json.Marshal(map[string]string{"sql": sql})
+		resp, err := http.Post(base+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			out <- postResult{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		res := postResult{status: resp.StatusCode}
+		if resp.StatusCode != http.StatusOK {
+			var bad struct {
+				Error struct {
+					Code string `json:"code"`
+				} `json:"error"`
+			}
+			_ = json.Unmarshal(raw, &bad)
+			res.code = bad.Error.Code
+		}
+		out <- res
+	}()
+	return out
+}
+
+// admissionSnapshot reads the live occupancy from /stats.
+func admissionSnapshot(base string) (inFlight, queued int, err error) {
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Admission struct {
+			InFlight int `json:"in_flight"`
+			Queued   int `json:"queued"`
+		} `json:"admission"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0, 0, err
+	}
+	return st.Admission.InFlight, st.Admission.Queued, nil
+}
+
+// TestGracefulDrainOnSIGTERM runs the real daemon in-process: with one
+// query held in flight (injected latency) and one queued behind it,
+// SIGTERM must reject the queued query with 503 draining, let the
+// in-flight query complete with 200, close the listener, and return
+// nil — the exit-0 contract of graceful shutdown.
+func TestGracefulDrainOnSIGTERM(t *testing.T) {
+	opts := options{
+		addr:         "127.0.0.1:0",
+		rows:         4000,
+		layers:       "400,40",
+		policy:       "biased",
+		seed:         7,
+		maxInFlight:  1,
+		maxQueue:     4,
+		recyclerMB:   1,
+		tenantMB:     1,
+		maxTenants:   4,
+		drainTimeout: 10 * time.Second,
+	}
+
+	// The latency injection holds the first query's admission slot long
+	// enough to queue a second query and deliver the signal.
+	faultinject.Enable(faultinject.NewPlan(faultinject.Fault{
+		Point: faultinject.PointQuery, Hit: 1,
+		Kind: faultinject.KindLatency, Latency: 1500 * time.Millisecond,
+	}))
+	defer faultinject.Disable()
+
+	addrCh := make(chan string, 1)
+	runErr := make(chan error, 1)
+	go func() { runErr <- run(opts, func(addr string) { addrCh <- addr }) }()
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case err := <-runErr:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	const sql = "SELECT COUNT(*) AS n FROM PhotoObjAll"
+	q1 := postAsync(base, sql)
+	waitFor(t, base, 1, 0) // q1 owns the only slot
+	q2 := postAsync(base, sql)
+	waitFor(t, base, 1, 1) // q2 queued behind it
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	// The queued query is rejected promptly — it does not wait out the
+	// in-flight query's latency.
+	select {
+	case r := <-q2:
+		if r.err != nil {
+			t.Fatalf("queued query transport error: %v", r.err)
+		}
+		if r.status != http.StatusServiceUnavailable || r.code != "draining" {
+			t.Fatalf("queued query: status %d code %q, want 503 draining", r.status, r.code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued query not rejected after SIGTERM")
+	}
+
+	// The in-flight query completes normally.
+	select {
+	case r := <-q1:
+		if r.err != nil {
+			t.Fatalf("in-flight query transport error: %v", r.err)
+		}
+		if r.status != http.StatusOK {
+			t.Fatalf("in-flight query: status %d code %q, want 200", r.status, r.code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight query never completed")
+	}
+
+	// run returns nil (exit 0) and the listener is closed.
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run returned %v after graceful drain, want nil", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down after SIGTERM")
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after shutdown")
+	}
+}
+
+// waitFor polls /stats until the admission queue shows the wanted
+// occupancy (or fails after a bounded wait).
+func waitFor(t *testing.T, base string, inFlight, queued int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		gotIn, gotQ, err := admissionSnapshot(base)
+		if err == nil && gotIn == inFlight && gotQ == queued {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	gotIn, gotQ, err := admissionSnapshot(base)
+	t.Fatalf("admission never reached in_flight=%d queued=%d (last: %d/%d, err %v)",
+		inFlight, queued, gotIn, gotQ, err)
+}

@@ -263,6 +263,9 @@ func (db *DB) boundedExecutor(name string, base *table.Table) (*bounded.Executor
 	if db.loadProbe != nil {
 		ex.SetLoadProbe(db.loadProbe)
 	}
+	if db.gov != nil {
+		ex.SetMemoryProbe(db.gov.DegradeFactor)
+	}
 	db.execs[name] = ex
 	return ex, nil
 }

@@ -70,6 +70,9 @@ type Executor struct {
 	// load, when set, reports live contention for WITHIN TIME pricing
 	// (see SetLoadProbe).
 	load func() LoadInfo
+	// mem, when set, reports the memory governor's degrade factor for
+	// WITHIN TIME pricing (see SetMemoryProbe).
+	mem func() float64
 
 	mu   sync.Mutex
 	cost engine.CostModel
@@ -119,6 +122,26 @@ func (e *Executor) loadProbe() func() LoadInfo {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.load
+}
+
+// SetMemoryProbe installs a callback reporting the memory governor's
+// degrade factor (>= 1). WITHIN TIME layer picking multiplies the
+// per-row rate by it, so under memory pressure a time promise buys
+// fewer rows and the pick degrades to a smaller impression layer — the
+// paper's quality knob, spent on availability before the serving layer
+// is allowed to refuse work. A nil probe (the default) prices queries
+// unpressured.
+func (e *Executor) SetMemoryProbe(fn func() float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.mem = fn
+}
+
+// memoryProbe returns the installed probe (nil when none).
+func (e *Executor) memoryProbe() func() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.mem
 }
 
 // learningRate is the EWMA weight of a new latency observation.
@@ -391,6 +414,16 @@ func (e *Executor) timeBounded(q engine.Query, budget time.Duration, b sqlparse.
 	factor := 1.0
 	if probe := e.loadProbe(); probe != nil {
 		model, factor = contentionModel(model, probe())
+	}
+	if probe := e.memoryProbe(); probe != nil {
+		// Memory pressure degrades exactly like contention: the per-row
+		// rate inflates, so the pick chooses a smaller layer, and the
+		// EWMA feedback divides the same factor back out so the learned
+		// model stays unpressured.
+		if d := probe(); d > 1 {
+			model.NsPerRow *= d
+			factor *= d
+		}
 	}
 	maxRows := model.MaxRowsWithin(budget)
 	// Pick the largest layer whose PRUNED scan fits the budget; fall

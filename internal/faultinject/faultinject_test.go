@@ -1,0 +1,158 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledFireIsNil(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("Enabled() = true with no plan armed")
+	}
+	for i := 0; i < 100; i++ {
+		if err := Fire(PointMorsel); err != nil {
+			t.Fatalf("disabled Fire returned %v", err)
+		}
+	}
+}
+
+func TestErrorInjectionFiresOnScheduledHit(t *testing.T) {
+	p := NewPlan(Fault{Point: PointRecycler, Hit: 3, Kind: KindError})
+	Enable(p)
+	defer Disable()
+	for hit := 1; hit <= 5; hit++ {
+		err := Fire(PointRecycler)
+		if hit == 3 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit 3: want ErrInjected, got %v", err)
+			}
+		} else if err != nil {
+			t.Fatalf("hit %d: unexpected error %v", hit, err)
+		}
+	}
+	if e, pa, l := p.Fired(); e != 1 || pa != 0 || l != 0 {
+		t.Fatalf("Fired() = (%d,%d,%d), want (1,0,0)", e, pa, l)
+	}
+	if got := p.Hits(PointRecycler); got != 5 {
+		t.Fatalf("Hits = %d, want 5", got)
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	p := NewPlan(Fault{Point: PointQuery, Hit: 1, Kind: KindPanic})
+	Enable(p)
+	defer Disable()
+	defer func() {
+		r := recover()
+		ip, ok := r.(*InjectedPanic)
+		if !ok {
+			t.Fatalf("recovered %v (%T), want *InjectedPanic", r, r)
+		}
+		if ip.Point != PointQuery || ip.Hit != 1 {
+			t.Fatalf("panic identity = %+v", ip)
+		}
+		if _, pa, _ := p.Fired(); pa != 1 {
+			t.Fatalf("fired panics = %d, want 1", pa)
+		}
+	}()
+	_ = Fire(PointQuery)
+	t.Fatal("Fire did not panic")
+}
+
+func TestLatencyInjectionSleeps(t *testing.T) {
+	const lat = 30 * time.Millisecond
+	p := NewPlan(Fault{Point: PointLoad, Hit: 1, Kind: KindLatency, Latency: lat})
+	Enable(p)
+	defer Disable()
+	start := time.Now()
+	if err := Fire(PointLoad); err != nil {
+		t.Fatalf("latency injection returned error %v", err)
+	}
+	if d := time.Since(start); d < lat {
+		t.Fatalf("Fire returned after %v, want >= %v", d, lat)
+	}
+	if _, _, l := p.Fired(); l != 1 {
+		t.Fatalf("fired latencies = %d, want 1", l)
+	}
+}
+
+// TestScheduleDeterministic: the same seed and specs produce the
+// identical plan — the chaos suite's replayability guarantee.
+func TestScheduleDeterministic(t *testing.T) {
+	specs := []PointSpec{
+		{Point: PointMorsel, Faults: 20, MaxHit: 100, Kinds: []Kind{KindError, KindPanic, KindLatency}},
+		{Point: PointAdmission, Faults: 10, MaxHit: 50},
+	}
+	a, b := Schedule(42, specs), Schedule(42, specs)
+	if a.Total() != 30 || b.Total() != 30 {
+		t.Fatalf("totals = %d, %d, want 30", a.Total(), b.Total())
+	}
+	for point, ps := range a.points {
+		qs := b.points[point]
+		if qs == nil {
+			t.Fatalf("plan b missing point %s", point)
+		}
+		if len(ps.faults) != len(qs.faults) {
+			t.Fatalf("%s: fault counts differ: %d vs %d", point, len(ps.faults), len(qs.faults))
+		}
+		for hit, f := range ps.faults {
+			g, ok := qs.faults[hit]
+			if !ok || f != g {
+				t.Fatalf("%s hit %d: %+v vs %+v", point, hit, f, g)
+			}
+		}
+	}
+	c := Schedule(43, specs)
+	same := true
+	for point, ps := range a.points {
+		qs := c.points[point]
+		if qs == nil || len(ps.faults) != len(qs.faults) {
+			same = false
+			break
+		}
+		for hit, f := range ps.faults {
+			if g, ok := qs.faults[hit]; !ok || f != g {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestConcurrentFire: firing from many goroutines is race-free and
+// every scheduled error fires exactly once.
+func TestConcurrentFire(t *testing.T) {
+	const faults, hits = 50, 2000
+	p := Schedule(7, []PointSpec{{Point: PointMorsel, Faults: faults, MaxHit: hits}})
+	Enable(p)
+	defer Disable()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < hits/8; i++ {
+				_ = Fire(PointMorsel)
+			}
+		}()
+	}
+	wg.Wait()
+	if e, _, _ := p.Fired(); e != faults {
+		t.Fatalf("fired %d errors over %d hits, want %d", e, hits, faults)
+	}
+}
+
+func BenchmarkFireDisabled(b *testing.B) {
+	Disable()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := Fire(PointMorsel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

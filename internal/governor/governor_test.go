@@ -1,0 +1,176 @@
+package governor
+
+import (
+	"sync"
+	"testing"
+)
+
+// fakeTier is a shim cache tier: a byte counter that sheds on request.
+type fakeTier struct {
+	mu    sync.Mutex
+	bytes int64
+}
+
+func (f *fakeTier) usage() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.bytes
+}
+
+func (f *fakeTier) shed(bytes int64) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	freed := bytes
+	if freed > f.bytes {
+		freed = f.bytes
+	}
+	f.bytes -= freed
+	return freed
+}
+
+func newGov(budget int64, tiers ...*fakeTier) *Governor {
+	g := New(budget)
+	names := []string{"shapes", "plans", "recycler"}
+	for i, t := range tiers {
+		g.Register(names[i], t.usage, t.shed)
+	}
+	return g
+}
+
+func TestNominalNoShed(t *testing.T) {
+	a, b := &fakeTier{bytes: 100}, &fakeTier{bytes: 100}
+	g := newGov(1000, a, b)
+	if lv := g.CheckNow(); lv != Nominal {
+		t.Fatalf("level = %v, want Nominal", lv)
+	}
+	if got := g.Usage(); got != 200 {
+		t.Fatalf("usage = %d", got)
+	}
+	if len(g.ShedLog()) != 0 {
+		t.Fatalf("shed log not empty: %v", g.ShedLog())
+	}
+	if got := g.DegradeFactor(); got != 1 {
+		t.Fatalf("degrade = %v, want 1", got)
+	}
+}
+
+// TestShedPriorityOrder: over the high-water mark, tiers give ground in
+// registration order — the first tier is drained before the second is
+// touched, and the third is untouched if the first two free enough.
+func TestShedPriorityOrder(t *testing.T) {
+	shapes := &fakeTier{bytes: 300}
+	plans := &fakeTier{bytes: 500}
+	rec := &fakeTier{bytes: 400} // total 1200 over a 1000 budget
+	g := newGov(1000, shapes, plans, rec)
+
+	if lv := g.CheckNow(); lv != Nominal {
+		t.Fatalf("post-shed level = %v, want Nominal", lv)
+	}
+	log := g.ShedLog()
+	if len(log) == 0 {
+		t.Fatal("no shed events recorded")
+	}
+	// Priority order: shapes drained first, then plans; recycler only if
+	// still needed. Target is low water (700): shed 500 → shapes empty
+	// (300) + plans 200.
+	if log[0].Tier != "shapes" || log[0].Freed != 300 {
+		t.Fatalf("first shed = %+v, want shapes/300", log[0])
+	}
+	if log[1].Tier != "plans" || log[1].Freed != 200 {
+		t.Fatalf("second shed = %+v, want plans/200", log[1])
+	}
+	if len(log) > 2 {
+		t.Fatalf("recycler shed despite earlier tiers sufficing: %v", log)
+	}
+	if rec.usage() != 400 {
+		t.Fatalf("recycler touched: %d bytes left", rec.usage())
+	}
+	if got := g.Usage(); got != 700 {
+		t.Fatalf("post-shed usage = %d, want 700 (low water)", got)
+	}
+}
+
+func TestLevelThresholds(t *testing.T) {
+	// Tier that refuses to shed, so levels reflect raw usage.
+	stuck := func(int64) int64 { return 0 }
+	tr := &fakeTier{bytes: 0}
+	g := New(1000)
+	g.Register("stuck", tr.usage, stuck)
+
+	for _, tc := range []struct {
+		bytes int64
+		want  Level
+	}{
+		{600, Nominal},
+		{750, Elevated}, // above low water (700), below high (900)
+		{950, Elevated}, // shedding failed but still under budget
+		{1100, Critical},
+	} {
+		tr.mu.Lock()
+		tr.bytes = tc.bytes
+		tr.mu.Unlock()
+		if lv := g.CheckNow(); lv != tc.want {
+			t.Fatalf("usage %d: level = %v, want %v", tc.bytes, lv, tc.want)
+		}
+		if lv := g.Level(); lv != tc.want {
+			t.Fatalf("usage %d: cached level = %v, want %v", tc.bytes, lv, tc.want)
+		}
+	}
+}
+
+// TestInjectPressure: a forced Critical sheds every tier (the signal
+// overrides what the caches report) and pins the level until released.
+func TestInjectPressure(t *testing.T) {
+	shapes, plans, rec := &fakeTier{bytes: 10}, &fakeTier{bytes: 20}, &fakeTier{bytes: 30}
+	g := newGov(1_000_000, shapes, plans, rec)
+	if lv := g.CheckNow(); lv != Nominal {
+		t.Fatalf("level = %v, want Nominal", lv)
+	}
+
+	g.InjectPressure(Critical)
+	if lv := g.Level(); lv != Critical {
+		t.Fatalf("forced level = %v, want Critical", lv)
+	}
+	if got := g.DegradeFactor(); got != 4 {
+		t.Fatalf("critical degrade = %v, want 4", got)
+	}
+	if u := g.Usage(); u != 0 {
+		t.Fatalf("forced critical left %d bytes resident", u)
+	}
+	log := g.ShedLog()
+	if len(log) != 3 || log[0].Tier != "shapes" || log[1].Tier != "plans" || log[2].Tier != "recycler" {
+		t.Fatalf("shed order under forced pressure = %v", log)
+	}
+
+	g.ReleasePressure()
+	if lv := g.Level(); lv != Nominal {
+		t.Fatalf("released level = %v, want Nominal", lv)
+	}
+}
+
+func TestInjectElevatedDegrades(t *testing.T) {
+	g := newGov(1000, &fakeTier{})
+	g.InjectPressure(Elevated)
+	if got := g.DegradeFactor(); got != 2 {
+		t.Fatalf("elevated degrade = %v, want 2", got)
+	}
+	g.ReleasePressure()
+}
+
+func TestStats(t *testing.T) {
+	shapes := &fakeTier{bytes: 400}
+	g := newGov(1000, shapes)
+	g.CheckNow()
+	s := g.Stats()
+	if s.Budget != 1000 || s.Usage != 400 || s.Level != "nominal" || s.Forced {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.TierUsages["shapes"] != 400 {
+		t.Fatalf("tier usages = %v", s.TierUsages)
+	}
+	g.InjectPressure(Critical)
+	s = g.Stats()
+	if !s.Forced || s.Level != "critical" || s.Sheds == 0 || s.ShedBytes != 400 {
+		t.Fatalf("forced stats = %+v", s)
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"sciborq/internal/faultinject"
 	"sciborq/internal/recycler"
 	"sciborq/internal/sqlparse"
 )
@@ -239,6 +240,11 @@ func (c *Cache) tenant(name string) *tenantStats {
 // dropped (counted as an invalidation; Admit will count the ensuing
 // miss); nil means the caller must parse.
 func (c *Cache) Lookup(tenant, sql string) *Plan {
+	if faultinject.Fire(faultinject.PointPlanCache) != nil {
+		// An injected lookup failure degrades to a full parse: the cache
+		// is an optimisation, never a dependency.
+		return nil
+	}
 	c.mu.RLock()
 	pl := c.aliases[sql]
 	c.mu.RUnlock()
@@ -530,6 +536,92 @@ func (c *Cache) evictShapesOverBudgetLocked() {
 		c.shapeBytes -= v.tmpl.bytes
 		c.shapeEvicts++
 	}
+}
+
+// PlanUsage reports the plan tier's resident bytes (aliases included) —
+// the usage feed for a global memory governor.
+func (c *Cache) PlanUsage() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.bytes
+}
+
+// ShapeUsage reports the shape-template tier's resident bytes.
+func (c *Cache) ShapeUsage() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.shapeBytes
+}
+
+// ShedPlans drops least-recently-used plans until roughly `bytes` bytes
+// are freed (or the tier is empty), returning the bytes actually freed.
+// This is the governor's coordinated-pressure hook: unlike the private
+// budget eviction it fires regardless of the tier's own budget, because
+// the authority asking has a view the tier lacks — total process
+// pressure. Dropped plans are recomputable (one parse each), never data.
+func (c *Cache) ShedPlans(bytes int64) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.plans) == 0 {
+		return 0
+	}
+	type victim struct {
+		pl    *Plan
+		stamp int64
+	}
+	victims := make([]victim, 0, len(c.plans))
+	for _, pl := range c.plans {
+		victims = append(victims, victim{pl, pl.stamp.Load()})
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].stamp < victims[j].stamp })
+	before := c.bytes
+	for _, v := range victims {
+		if before-c.bytes >= bytes {
+			break
+		}
+		c.dropLocked(v.pl)
+		c.evicts++
+	}
+	return before - c.bytes
+}
+
+// ShedShapes is ShedPlans for the shape-template tier: drop
+// least-recently-used templates until roughly `bytes` bytes are freed.
+// Templates are the cheapest state in the process to rebuild (a
+// fingerprint on the next miss), which is why the governor sheds this
+// tier first.
+func (c *Cache) ShedShapes(bytes int64) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.shapes) == 0 {
+		return 0
+	}
+	type victim struct {
+		key   string
+		tmpl  *template
+		stamp int64
+	}
+	victims := make([]victim, 0, len(c.shapes))
+	for key, tmpl := range c.shapes {
+		victims = append(victims, victim{key, tmpl, tmpl.stamp.Load()})
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].stamp < victims[j].stamp })
+	before := c.shapeBytes
+	for _, v := range victims {
+		if before-c.shapeBytes >= bytes {
+			break
+		}
+		delete(c.shapes, v.key)
+		c.shapeBytes -= v.tmpl.bytes
+		c.shapeEvicts++
+	}
+	return before - c.shapeBytes
 }
 
 // StatsFor returns one tenant's counters.

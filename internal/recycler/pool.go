@@ -124,6 +124,38 @@ func (p *Pool) Tenants() []string {
 	return out
 }
 
+// UsageBytes sums the resident selection bytes across every partition —
+// the pool's usage feed for a global memory governor.
+func (p *Pool) UsageBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sum := p.def.UsageBytes()
+	for _, part := range p.parts {
+		sum += part.rec.UsageBytes()
+	}
+	return sum
+}
+
+// Shed frees up to `bytes` bytes of cached selections across the pool,
+// least-recently-used tenant partitions first (their working sets are
+// the coldest), the shared default partition last. Returns the bytes
+// actually freed.
+func (p *Pool) Shed(bytes int64) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var freed int64
+	for e := p.order.Back(); e != nil && freed < bytes; e = e.Prev() {
+		freed += e.Value.(*poolPart).rec.Shed(bytes - freed)
+	}
+	if freed < bytes {
+		freed += p.def.Shed(bytes - freed)
+	}
+	return freed
+}
+
 // StatsByTenant snapshots every resident partition's Stats keyed by
 // tenant; the default partition appears under "".
 func (p *Pool) StatsByTenant() map[string]Stats {

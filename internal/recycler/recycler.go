@@ -37,6 +37,7 @@ import (
 
 	"sciborq/internal/engine"
 	"sciborq/internal/expr"
+	"sciborq/internal/faultinject"
 	"sciborq/internal/table"
 	"sciborq/internal/vec"
 )
@@ -233,10 +234,10 @@ func (r *Recycler) FilterPrepared(snap *table.Table, prep *Prepared, opts engine
 			return nil, engine.ScanStats{}, nil
 		}
 	}
-	if !prep.keyable {
-		// User-defined predicate shapes cannot be keyed safely;
-		// evaluate uncached (and count nothing — this is not the
-		// workload the cache models).
+	if !prep.keyable || faultinject.Fire(faultinject.PointRecycler) != nil {
+		// User-defined predicate shapes cannot be keyed safely — and an
+		// injected cache failure must degrade the same way: evaluate
+		// uncached (the cache is an optimisation, never a dependency).
 		sel, scan, err := engine.FilterStats(snap, prep.orig, opts)
 		if err != nil {
 			return nil, scan, err
@@ -430,6 +431,37 @@ func (r *Recycler) evictLocked(e *entry) {
 	}
 	r.stats.Bytes -= e.bytes
 	r.stats.Evictions++
+}
+
+// UsageBytes reports the resident selection bytes — the usage feed for
+// a global memory governor.
+func (r *Recycler) UsageBytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats.Bytes
+}
+
+// Shed evicts least-recently-used entries until roughly `bytes` bytes
+// are freed (or the cache is empty), returning the bytes actually
+// freed. The governor's coordinated-pressure hook: it fires regardless
+// of this cache's own budget. Selections are recomputable (one scan
+// each) — the most expensive cached state to rebuild, which is why the
+// governor sheds this tier last.
+func (r *Recycler) Shed(bytes int64) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	before := r.stats.Bytes
+	for before-r.stats.Bytes < bytes {
+		oldest := r.order.Back()
+		if oldest == nil {
+			break
+		}
+		r.evictLocked(oldest.Value.(*entry))
+	}
+	return before - r.stats.Bytes
 }
 
 // Stats returns a snapshot of cache statistics.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"sciborq/internal/bounded"
+	"sciborq/internal/faultinject"
 )
 
 // ErrOverloaded is returned by Admission.Acquire when the server cannot
@@ -15,9 +16,31 @@ import (
 // The HTTP layer maps it to 429 Too Many Requests.
 var ErrOverloaded = errors.New("server: overloaded, admission queue full")
 
+// ErrDraining is returned by Acquire once Drain has been called: the
+// server is shutting down, in-flight queries are completing, and no new
+// work is accepted. The HTTP layer maps it to 503 Service Unavailable.
+var ErrDraining = errors.New("server: draining, not accepting new queries")
+
 // waitEWMAAlpha is the weight of a new queue-wait observation in the
 // exponentially weighted moving average the load probe reports.
 const waitEWMAAlpha = 0.2
+
+// retryAfterMin/Max clamp the Retry-After estimate: never tell a client
+// to hammer sooner than a second, never to stay away a full minute.
+const (
+	retryAfterMin = time.Second
+	retryAfterMax = 60 * time.Second
+)
+
+// waiter is one queued Acquire. The slot channel closing is the wake
+// signal; err distinguishes a slot handoff (nil — the waiter now owns a
+// slot) from a drain rejection (ErrDraining — it owns nothing). err is
+// written before close under a.mu and read only after <-slot, so the
+// channel provides the ordering.
+type waiter struct {
+	slot chan struct{}
+	err  error
+}
 
 // Admission is a FIFO admission queue bounding concurrent query
 // execution: at most MaxInFlight queries run at once, at most MaxQueue
@@ -28,17 +51,24 @@ const waitEWMAAlpha = 0.2
 // The queue measures what it does: live in-flight count and an EWMA of
 // observed queue waits feed the bounded executor's contention pricing
 // (bounded.LoadInfo), which is how a WITHIN TIME promise stays honest
-// when K clients saturate the machine.
+// when K clients saturate the machine. The same EWMA prices the
+// Retry-After header on 429/503 responses.
+//
+// Drain flips the queue into shutdown mode: every waiter is woken with
+// ErrDraining, new Acquires fail fast, and in-flight queries release
+// normally — the graceful half of SIGTERM handling.
 type Admission struct {
 	mu          sync.Mutex
 	maxInFlight int
 	maxQueue    int
 	inflight    int
-	queue       *list.List // FIFO of chan struct{}; closed = slot handed over
+	queue       *list.List // FIFO of *waiter
+	draining    bool
 	waitEWMANs  float64
 	admitted    int64
 	rejected    int64
 	canceled    int64
+	drained     int64
 }
 
 // AdmissionStats is a point-in-time snapshot of the queue.
@@ -49,10 +79,14 @@ type AdmissionStats struct {
 	// InFlight and Queued are the live occupancy.
 	InFlight int `json:"in_flight"`
 	Queued   int `json:"queued"`
-	// Admitted, Rejected, Canceled count lifetime outcomes.
+	// Admitted, Rejected, Canceled count lifetime outcomes; Drained
+	// counts waiters flushed by Drain.
 	Admitted int64 `json:"admitted"`
 	Rejected int64 `json:"rejected"`
 	Canceled int64 `json:"canceled"`
+	Drained  int64 `json:"drained"`
+	// Draining reports shutdown mode.
+	Draining bool `json:"draining"`
 	// QueueWaitEWMANs is the smoothed observed queue wait the load
 	// probe feeds into WITHIN TIME pricing, in nanoseconds.
 	QueueWaitEWMANs int64 `json:"queue_wait_ewma_ns"`
@@ -76,11 +110,22 @@ func NewAdmission(maxInFlight, maxQueue int) *Admission {
 // Acquire blocks until the query may run, FIFO behind earlier waiters.
 // It returns a release closure (call exactly once, when the query
 // finishes), the time spent queued, and an error: ErrOverloaded when
-// capacity is zero or the queue is full, or ctx.Err() when the caller
-// gave up waiting.
+// capacity is zero or the queue is full, ErrDraining during shutdown,
+// or ctx.Err() when the caller gave up waiting.
 func (a *Admission) Acquire(ctx context.Context) (release func(), wait time.Duration, err error) {
+	// The fault point fires before the lock: an injected panic unwinds
+	// through the handler's recover guard without wedging a.mu, and an
+	// injected error is a rejection that never owned a slot.
+	if err := faultinject.Fire(faultinject.PointAdmission); err != nil {
+		return nil, 0, err
+	}
 	start := time.Now()
 	a.mu.Lock()
+	if a.draining {
+		a.rejected++
+		a.mu.Unlock()
+		return nil, 0, ErrDraining
+	}
 	if a.maxInFlight <= 0 {
 		a.rejected++
 		a.mu.Unlock()
@@ -99,14 +144,18 @@ func (a *Admission) Acquire(ctx context.Context) (release func(), wait time.Dura
 		a.mu.Unlock()
 		return nil, 0, ErrOverloaded
 	}
-	slot := make(chan struct{})
-	elem := a.queue.PushBack(slot)
+	w := &waiter{slot: make(chan struct{})}
+	elem := a.queue.PushBack(w)
 	a.mu.Unlock()
 
 	select {
-	case <-slot:
-		// release() handed us the slot: inflight already counts us.
+	case <-w.slot:
 		wait = time.Since(start)
+		if w.err != nil {
+			// Drain flushed the queue: woken with a rejection, not a slot.
+			return nil, wait, w.err
+		}
+		// release() handed us the slot: inflight already counts us.
 		a.mu.Lock()
 		a.admitted++
 		a.noteWaitLocked(wait)
@@ -115,12 +164,14 @@ func (a *Admission) Acquire(ctx context.Context) (release func(), wait time.Dura
 	case <-ctx.Done():
 		a.mu.Lock()
 		select {
-		case <-slot:
-			// The handoff raced our cancellation: we own a slot and must
-			// pass it on (or free it) rather than leak it.
+		case <-w.slot:
 			a.canceled++
 			a.mu.Unlock()
-			a.release()
+			if w.err == nil {
+				// The handoff raced our cancellation: we own a slot and
+				// must pass it on (or free it) rather than leak it.
+				a.release()
+			}
 		default:
 			a.queue.Remove(elem)
 			a.canceled++
@@ -128,6 +179,30 @@ func (a *Admission) Acquire(ctx context.Context) (release func(), wait time.Dura
 		}
 		return nil, time.Since(start), ctx.Err()
 	}
+}
+
+// Drain flips the queue into shutdown mode: every queued waiter wakes
+// with ErrDraining, and every subsequent Acquire fails fast with the
+// same. In-flight queries are untouched — they finish and release
+// normally. Idempotent.
+func (a *Admission) Drain() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.draining = true
+	for e := a.queue.Front(); e != nil; e = a.queue.Front() {
+		a.queue.Remove(e)
+		w := e.Value.(*waiter)
+		w.err = ErrDraining
+		close(w.slot)
+		a.drained++
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (a *Admission) Draining() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.draining
 }
 
 // releaseOnce wraps release in a sync.Once so double-calls (e.g. a
@@ -144,7 +219,7 @@ func (a *Admission) release() {
 	a.mu.Lock()
 	if e := a.queue.Front(); e != nil {
 		a.queue.Remove(e)
-		close(e.Value.(chan struct{}))
+		close(e.Value.(*waiter).slot)
 		a.mu.Unlock()
 		return
 	}
@@ -163,6 +238,23 @@ func (a *Admission) noteWaitLocked(wait time.Duration) {
 	a.waitEWMANs = (1-waitEWMAAlpha)*a.waitEWMANs + waitEWMAAlpha*ns
 }
 
+// RetryAfter estimates when a rejected client should try again: the
+// smoothed queue wait times the work queued ahead of it, clamped to
+// [1s, 60s]. This is the honest version of a Retry-After header — it
+// reflects what the queue actually observed, not a constant.
+func (a *Admission) RetryAfter() time.Duration {
+	a.mu.Lock()
+	est := time.Duration(a.waitEWMANs) * time.Duration(a.queue.Len()+1)
+	a.mu.Unlock()
+	if est < retryAfterMin {
+		return retryAfterMin
+	}
+	if est > retryAfterMax {
+		return retryAfterMax
+	}
+	return est
+}
+
 // Stats snapshots the queue.
 func (a *Admission) Stats() AdmissionStats {
 	a.mu.Lock()
@@ -175,6 +267,8 @@ func (a *Admission) Stats() AdmissionStats {
 		Admitted:        a.admitted,
 		Rejected:        a.rejected,
 		Canceled:        a.canceled,
+		Drained:         a.drained,
+		Draining:        a.draining,
 		QueueWaitEWMANs: int64(a.waitEWMANs),
 	}
 }

@@ -24,12 +24,19 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
+	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sciborq"
+	"sciborq/internal/engine"
+	"sciborq/internal/faultinject"
+	"sciborq/internal/governor"
 	"sciborq/internal/plancache"
 	"sciborq/internal/recycler"
 )
@@ -56,6 +63,11 @@ type Config struct {
 	MaxRows int
 }
 
+// govCheckEvery rate-limits the serving loop's governor pressure
+// checks: every Nth request runs a full usage recomputation (and any
+// shedding it implies); every request reads the cached level for free.
+const govCheckEvery = 16
+
 // Server is the HTTP face of one sciborq.DB.
 type Server struct {
 	db      *sciborq.DB
@@ -65,6 +77,29 @@ type Server struct {
 	started time.Time
 	mu      sync.Mutex
 	tenants map[string]*tenantCounters
+
+	// Resilience counters: handlerPanics counts panics recovered by the
+	// HTTP middleware (anything that unwound out of a handler);
+	// queryPanics counts engine-side panics already converted to
+	// per-query errors by the morsel guard. reqCount gates the periodic
+	// governor check.
+	handlerPanics atomic.Int64
+	queryPanics   atomic.Int64
+	reqCount      atomic.Int64
+	panicMu       sync.Mutex
+	lastPanic     string // value + first stack frames of the latest panic
+}
+
+// notePanic records the latest panic for /stats — the observable signal
+// operators correlate a 500 spike against.
+func (s *Server) notePanic(p any, stack []byte) {
+	const maxStack = 2048
+	if len(stack) > maxStack {
+		stack = stack[:maxStack]
+	}
+	s.panicMu.Lock()
+	s.lastPanic = fmt.Sprintf("%v\n%s", p, stack)
+	s.panicMu.Unlock()
 }
 
 // tenantCounters accumulates per-tenant latency and outcome counts.
@@ -106,13 +141,46 @@ func New(cfg Config) (*Server, error) {
 }
 
 // Handler returns the routed HTTP handler (also usable under httptest).
+// Every route runs under the panic-isolation middleware: a panic that
+// unwinds out of a handler becomes a 500 JSON error for that request
+// alone — deferred cleanup (admission release, context cancel) has
+// already run during the unwind, and the daemon keeps serving.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
-	return mux
+	return s.recoverWrap(mux)
 }
+
+// recoverWrap is the outermost resilience layer: one panicking request
+// must cost exactly one 500, never the process. The recover runs after
+// the handler's own defers (admission slot release, context cancel), so
+// no slot or scratch leaks on the way out. http.ErrAbortHandler keeps
+// its net/http meaning (client gone; nothing to write).
+func (s *Server) recoverWrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			s.handlerPanics.Add(1)
+			s.notePanic(p, debug.Stack())
+			writeError(w, http.StatusInternalServerError, "internal_panic",
+				"request handler panicked; the query was aborted")
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Drain stops admitting queries: queued waiters get 503, in-flight
+// queries complete. The daemon calls it on SIGTERM before closing the
+// listener.
+func (s *Server) Drain() { s.adm.Drain() }
 
 // Admission exposes the server's admission queue (read-mostly: stats
 // and load probing).
@@ -184,11 +252,39 @@ type errorBody struct {
 
 // statsResponse is the GET /stats body.
 type statsResponse struct {
-	UptimeNs  int64                     `json:"uptime_ns"`
-	Admission AdmissionStats            `json:"admission"`
-	Recycler  map[string]recyclerJSON   `json:"recycler"`
-	PlanCache map[string]plancacheJSON  `json:"plancache"`
-	Tenants   map[string]tenantCounters `json:"tenants"`
+	UptimeNs   int64                     `json:"uptime_ns"`
+	Admission  AdmissionStats            `json:"admission"`
+	Resilience resilienceJSON            `json:"resilience"`
+	Governor   *governorJSON             `json:"governor,omitempty"`
+	Recycler   map[string]recyclerJSON   `json:"recycler"`
+	PlanCache  map[string]plancacheJSON  `json:"plancache"`
+	Tenants    map[string]tenantCounters `json:"tenants"`
+}
+
+// resilienceJSON reports the panic-isolation counters: how many times
+// the process would have died without the recover guards.
+type resilienceJSON struct {
+	// HandlerPanics counts panics recovered by the HTTP middleware.
+	HandlerPanics int64 `json:"handler_panics"`
+	// QueryPanics counts engine-side panics converted to per-query
+	// errors by the morsel guard.
+	QueryPanics int64 `json:"query_panics"`
+	// LastPanic is the most recent panic value and truncated stack.
+	LastPanic string `json:"last_panic,omitempty"`
+	// FaultsArmed reports whether a fault-injection plan is active
+	// (true only under test/chaos harnesses, never in production).
+	FaultsArmed bool `json:"faults_armed,omitempty"`
+}
+
+// governorJSON is governor.Stats on the wire.
+type governorJSON struct {
+	Budget     int64            `json:"budget_bytes"`
+	Usage      int64            `json:"usage_bytes"`
+	Level      string           `json:"level"`
+	Forced     bool             `json:"forced,omitempty"`
+	Sheds      int64            `json:"sheds"`
+	ShedBytes  int64            `json:"shed_bytes"`
+	TierUsages map[string]int64 `json:"tier_usages"`
 }
 
 // recyclerJSON is recycler.Stats on the wire.
@@ -269,6 +365,18 @@ func writeError(w http.ResponseWriter, status int, code, msg string) {
 	writeJSON(w, status, errorResponse{Error: errorBody{Code: code, Message: msg}})
 }
 
+// writeErrorRetry is writeError with a Retry-After header — every 429
+// and load-shedding 503 carries one, derived from the admission queue's
+// observed wait EWMA so the hint tracks real queue behaviour.
+func writeErrorRetry(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
+	secs := int64((retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeError(w, status, code, msg)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
@@ -305,13 +413,36 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		tenants[name] = *tc
 	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, statsResponse{
+	s.panicMu.Lock()
+	lastPanic := s.lastPanic
+	s.panicMu.Unlock()
+	resp := statsResponse{
 		UptimeNs:  time.Since(s.started).Nanoseconds(),
 		Admission: s.adm.Stats(),
+		Resilience: resilienceJSON{
+			HandlerPanics: s.handlerPanics.Load(),
+			QueryPanics:   s.queryPanics.Load(),
+			LastPanic:     lastPanic,
+			FaultsArmed:   faultinject.Enabled(),
+		},
 		Recycler:  rec,
 		PlanCache: pc,
 		Tenants:   tenants,
-	})
+	}
+	if gov := s.db.Governor(); gov != nil {
+		gov.CheckNow() // /stats is a natural pressure checkpoint
+		gs := gov.Stats()
+		resp.Governor = &governorJSON{
+			Budget:     gs.Budget,
+			Usage:      gs.Usage,
+			Level:      gs.Level,
+			Forced:     gs.Forced,
+			Sheds:      gs.Sheds,
+			ShedBytes:  gs.ShedBytes,
+			TierUsages: gs.TierUsages,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -337,17 +468,46 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	release, queued, err := s.adm.Acquire(r.Context())
-	if err != nil {
-		if errors.Is(err, ErrOverloaded) {
-			writeError(w, http.StatusTooManyRequests, "overloaded", err.Error())
+	// Memory-pressure gate: the per-request read is one atomic load; a
+	// full usage recheck (which sheds) runs every govCheckEvery-th
+	// request. Only Critical — caches already shed, bounded queries
+	// already degraded to their smallest layers — refuses work, so
+	// quality degrades before availability does.
+	if gov := s.db.Governor(); gov != nil {
+		if s.reqCount.Add(1)%govCheckEvery == 0 {
+			gov.CheckNow()
+		}
+		if gov.Level() == governor.Critical {
+			writeErrorRetry(w, http.StatusServiceUnavailable, "memory_pressure",
+				"server is under memory pressure; retry shortly", s.adm.RetryAfter())
 			return
 		}
-		// The client gave up while queued; the status is cosmetic.
-		writeError(w, http.StatusServiceUnavailable, "canceled", err.Error())
+	}
+
+	release, queued, err := s.adm.Acquire(r.Context())
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			writeErrorRetry(w, http.StatusTooManyRequests, "overloaded", err.Error(), s.adm.RetryAfter())
+		case errors.Is(err, ErrDraining):
+			writeErrorRetry(w, http.StatusServiceUnavailable, "draining", err.Error(), s.adm.RetryAfter())
+		default:
+			// The client gave up while queued (or an injected admission
+			// fault); the status is cosmetic.
+			writeErrorRetry(w, http.StatusServiceUnavailable, "canceled", err.Error(), s.adm.RetryAfter())
+		}
 		return
 	}
 	defer release()
+
+	// The query fault point fires with the slot held and its release
+	// deferred: an injected panic here unwinds through release into the
+	// recover middleware — the exact path a real handler bug would take,
+	// and the regression proof that a panic cannot leak a slot.
+	if err := faultinject.Fire(faultinject.PointQuery); err != nil {
+		writeError(w, http.StatusInternalServerError, "injected_fault", err.Error())
+		return
+	}
 
 	ctx := r.Context()
 	if s.maxTime > 0 {
@@ -361,7 +521,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	elapsed := time.Since(start)
 	s.note(req.Tenant, res, err, elapsed)
 	if err != nil {
+		var pe *engine.PanicError
 		switch {
+		case errors.As(err, &pe):
+			// A morsel worker panicked; the engine's recover guard
+			// confined it to this query. 500 for this request alone —
+			// the daemon keeps serving.
+			s.queryPanics.Add(1)
+			s.notePanic(pe.Value, pe.Stack)
+			writeError(w, http.StatusInternalServerError, "query_panic",
+				"a query worker panicked; the query was aborted")
 		case errors.Is(err, context.DeadlineExceeded):
 			writeError(w, http.StatusGatewayTimeout, "timeout", "query exceeded the server's max query time")
 		case errors.Is(err, context.Canceled):

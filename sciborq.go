@@ -71,6 +71,8 @@ import (
 	"sciborq/internal/bounded"
 	"sciborq/internal/column"
 	"sciborq/internal/engine"
+	"sciborq/internal/faultinject"
+	"sciborq/internal/governor"
 	"sciborq/internal/impression"
 	"sciborq/internal/loader"
 	"sciborq/internal/plancache"
@@ -120,10 +122,12 @@ type DB struct {
 	loggers     map[string]*workload.Logger
 	hiers       map[string]*impression.Hierarchy
 	execs       map[string]*bounded.Executor
-	recPool     *recycler.Pool   // nil when disabled
-	plans       *plancache.Cache // nil when disabled
+	recPool     *recycler.Pool     // nil when disabled
+	plans       *plancache.Cache   // nil when disabled
+	gov         *governor.Governor // nil when disabled
 	planBytes   int64
 	recBytes    int64
+	govBytes    int64
 	tenantBytes int64
 	maxTenants  int
 	loadProbe   func() LoadInfo
@@ -195,6 +199,19 @@ func WithTenantRecyclerBudget(bytes int64) Option {
 	return func(db *DB) { db.tenantBytes = bytes }
 }
 
+// WithMemoryBudget places every cache tier — the plan cache's shape
+// templates, its plans, and the recycler's selections — under one
+// global memory governor with the given total byte budget. When their
+// combined usage crosses the budget's high-water mark the governor
+// sheds tiers in fixed priority order (shapes first: cheapest to
+// rebuild; recycler selections last: each costs a scan), and bounded
+// queries degrade to smaller impression layers before the serving
+// layer refuses any work. Zero or negative (the default) disables the
+// governor; each cache then enforces only its own private budget.
+func WithMemoryBudget(bytes int64) Option {
+	return func(db *DB) { db.govBytes = bytes }
+}
+
 // WithMaxTenants caps how many named tenant recycler partitions stay
 // resident; beyond it the least-recently-used tenant's cache is dropped
 // wholesale (selections are recomputable, never data). Zero or negative
@@ -237,6 +254,19 @@ func Open(opts ...Option) *DB {
 		}
 		db.recPool = pool
 	}
+	if db.govBytes > 0 {
+		// Registration order IS shed priority: shape templates first (a
+		// re-fingerprint to rebuild), then plans (one parse each), then
+		// recycler selections (a scan each — shed last).
+		db.gov = governor.New(db.govBytes)
+		if db.plans != nil {
+			db.gov.Register("plancache.shapes", db.plans.ShapeUsage, db.plans.ShedShapes)
+			db.gov.Register("plancache.plans", db.plans.PlanUsage, db.plans.ShedPlans)
+		}
+		if db.recPool != nil {
+			db.gov.Register("recycler", db.recPool.UsageBytes, db.recPool.Shed)
+		}
+	}
 	if db.cost.NsPerRow <= 0 {
 		// Calibrate the configured execution options, so WITHIN TIME
 		// layer picks reflect parallel scan throughput.
@@ -244,6 +274,12 @@ func Open(opts ...Option) *DB {
 	}
 	return db
 }
+
+// Governor returns the global memory governor (nil unless
+// WithMemoryBudget configured one). The serving layer uses it for its
+// memory-pressure gate and /stats section; tests use InjectPressure to
+// drive the shed and degrade paths.
+func (db *DB) Governor() *governor.Governor { return db.gov }
 
 // RecyclerStats reports the shared default recycler partition's
 // effectiveness (zero Stats when the recycler is disabled).
@@ -461,6 +497,9 @@ func (db *DB) Hierarchy(tableName string) *impression.Hierarchy {
 // Load appends one batch (a "nightly ingest") to the named table,
 // maintaining its impressions in the load path.
 func (db *DB) Load(tableName string, rows []Row) error {
+	if err := faultinject.Fire(faultinject.PointLoad); err != nil {
+		return fmt.Errorf("sciborq: load %q: %w", tableName, err)
+	}
 	db.mu.Lock()
 	l, ok := db.loaders[tableName]
 	db.mu.Unlock()
@@ -473,6 +512,11 @@ func (db *DB) Load(tableName string, rows []Row) error {
 		// through a truncation): every cached plan for this table is
 		// stale. Drop eagerly rather than letting each alias miss lazily.
 		db.plans.InvalidateTable(tableName)
+	}
+	if db.gov != nil {
+		// Loads are where memory moves fastest (cache invalidations, new
+		// selections soon after); recheck pressure here.
+		db.gov.CheckNow()
 	}
 	return err
 }

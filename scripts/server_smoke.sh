@@ -13,6 +13,7 @@ BIN="$(mktemp -d)/sciborqd"
 
 cleanup() {
     [ -n "${SRV_PID:-}" ] && kill "$SRV_PID" 2>/dev/null || true
+    [ -n "${SRV2_PID:-}" ] && kill "$SRV2_PID" 2>/dev/null || true
     rm -rf "$(dirname "$BIN")"
 }
 trap cleanup EXIT INT TERM
@@ -85,7 +86,7 @@ echo "== all $total curl examples passed"
 
 # /stats must be a well-formed document carrying the documented keys.
 STATS="$(curl -sf "$ADDR/stats")"
-for key in uptime_ns admission recycler tenants max_in_flight; do
+for key in uptime_ns admission recycler tenants max_in_flight resilience handler_panics; do
     if ! printf '%s' "$STATS" | grep -q "\"$key\""; then
         echo "/stats missing key \"$key\":" >&2
         printf '%s\n' "$STATS" >&2
@@ -93,6 +94,43 @@ for key in uptime_ns admission recycler tenants max_in_flight; do
     fi
 done
 echo "== /stats well-formed"
+
+# Retry-After: a zero-capacity instance (-max-inflight=-1 admits
+# nothing) must reject every query with 429 and carry a Retry-After
+# header with a positive whole-second value — the load-shedding
+# contract docs/SERVER.md documents.
+echo "== booting zero-capacity instance for the Retry-After check"
+"$BIN" -addr :8081 -rows 2000 -layers 400,40 -max-inflight=-1 &
+SRV2_PID=$!
+i=0
+until curl -sf "localhost:8081/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 120 ]; then
+        echo "zero-capacity server never became healthy" >&2
+        exit 1
+    fi
+    if ! kill -0 "$SRV2_PID" 2>/dev/null; then
+        echo "zero-capacity server exited during boot" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+HDRS="$(curl -s -D - -o /dev/null -X POST localhost:8081/query \
+    -d '{"sql": "SELECT COUNT(*) AS n FROM PhotoObjAll"}')"
+printf '%s' "$HDRS" | head -n 1 | grep -q ' 429' || {
+    echo "zero-capacity query did not return 429:" >&2
+    printf '%s\n' "$HDRS" >&2
+    exit 1
+}
+printf '%s' "$HDRS" | grep -iq '^Retry-After: *[1-9]' || {
+    echo "429 response missing a positive Retry-After header:" >&2
+    printf '%s\n' "$HDRS" >&2
+    exit 1
+}
+kill -TERM "$SRV2_PID" 2>/dev/null || true
+wait "$SRV2_PID" 2>/dev/null || true
+SRV2_PID=""
+echo "== Retry-After on 429 ok"
 
 # Graceful shutdown: SIGTERM must end the process promptly.
 kill -TERM "$SRV_PID"
