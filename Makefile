@@ -27,12 +27,16 @@ cover:
 # HTTP server whose admission queue and tenant counters every request
 # pounds).
 race:
-	$(GO) test -race ./internal/engine/... ./internal/bounded/... ./internal/hashtab/... ./internal/impression/... ./internal/recycler/... ./internal/expr/... ./internal/server/... ./internal/plancache/... .
+	$(GO) test -race ./internal/engine/... ./internal/bounded/... ./internal/hashtab/... ./internal/impression/... ./internal/recycler/... ./internal/expr/... ./internal/server/... ./internal/plancache/... ./internal/wire/... .
 
-# Short fuzz smoke over the SQL front-end: Parse never panics and
-# accepted statements round-trip through Statement.String.
+# Short fuzz smoke over the SQL front-end (Parse never panics and
+# accepted statements round-trip through Statement.String) and the wire
+# protocol (frame/page decoders never panic on arbitrary bytes, and
+# decoded frames re-encode losslessly).
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=10s ./internal/sqlparse
+	$(GO) test -run='^$$' -fuzz='^FuzzFrame$$' -fuzztime=10s ./internal/wire
+	$(GO) test -run='^$$' -fuzz='^FuzzFrameStream$$' -fuzztime=10s ./internal/wire
 
 # One-iteration benchmark smoke: fails loudly if the hot scan path
 # regresses to an error, without paying full benchmark time.
@@ -64,6 +68,9 @@ bench-json:
 	$(GO) test -json -run='^$$' -benchmem -benchtime=5x \
 		-bench='^BenchmarkPanicGuardOverhead$$' \
 		./internal/engine > BENCH_resilience.json
+	$(GO) test -json -run='^$$' -benchmem -benchtime=5x \
+		-bench='^(BenchmarkWireEncode|BenchmarkJSONEncode|BenchmarkWireStream)$$' \
+		./internal/wire > BENCH_wire.json
 
 # Allocation regression gate for the cached-statement front end: a warm
 # plan-cache hit (alias probe + catalog version check) must stay at
@@ -75,11 +82,11 @@ bench-alloc:
 
 # Seeded, deterministic chaos suite under the race detector: >=100
 # injected faults (errors, panics, latency) across all six fault points
-# against a booted server with concurrent clients and ingest, plus the
-# daemon's SIGTERM drain test. A failure replays from the seed printed
-# in the test log.
+# against a booted server with concurrent clients and ingest — over both
+# the HTTP and binary wire transports — plus the daemon's SIGTERM drain
+# test. A failure replays from the seed printed in the test log.
 chaos:
-	$(GO) test -race -run='^(TestChaos|TestGracefulDrainOnSIGTERM)$$' -v ./internal/server ./cmd/sciborqd
+	$(GO) test -race -run='^(TestChaos|TestChaosWire|TestGracefulDrainOnSIGTERM)$$' -v ./internal/server ./internal/wire ./cmd/sciborqd
 
 # Run the HTTP/JSON query server on :8080 over synthetic SkyServer data.
 server:

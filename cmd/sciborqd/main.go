@@ -11,9 +11,13 @@
 //	curl -s -X POST localhost:8080/query -d '{"sql": "SELECT COUNT(*) AS n FROM PhotoObjAll"}'
 //	curl -s localhost:8080/stats
 //
-// The wire protocol is documented in docs/SERVER.md. SIGINT/SIGTERM
-// drain gracefully: queued queries are rejected with 503, in-flight
-// queries complete, then the listener closes and the process exits 0.
+// The HTTP/JSON API is documented in docs/SERVER.md. With -wire-addr
+// set, the same engine is additionally served over the binary wire
+// protocol (streaming columnar results, prepared statements; see
+// docs/PROTOCOL.md), sharing the HTTP listener's admission queue and
+// load picture. SIGINT/SIGTERM drain gracefully on both listeners:
+// queued queries are rejected (503 / draining frame), in-flight
+// queries complete, then the listeners close and the process exits 0.
 package main
 
 import (
@@ -33,6 +37,7 @@ import (
 	"sciborq"
 	"sciborq/internal/server"
 	"sciborq/internal/skyserver"
+	"sciborq/internal/wire"
 )
 
 // options is the daemon's full configuration — a struct (rather than
@@ -40,6 +45,7 @@ import (
 // in-process with a tiny dataset.
 type options struct {
 	addr         string
+	wireAddr     string
 	rows         int
 	layers       string
 	policy       string
@@ -57,6 +63,7 @@ type options struct {
 func main() {
 	var opts options
 	flag.StringVar(&opts.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&opts.wireAddr, "wire-addr", "", "binary wire protocol listen address (empty disables)")
 	flag.IntVar(&opts.rows, "rows", 200_000, "synthetic PhotoObjAll rows")
 	flag.StringVar(&opts.layers, "layers", "20000,2000,200", "impression layer sizes, comma separated, largest first")
 	flag.StringVar(&opts.policy, "policy", "biased", "impression policy: uniform | biased | last-seen")
@@ -77,11 +84,13 @@ func main() {
 }
 
 // run is the daemon: build the DB, serve, and on SIGINT/SIGTERM drain
-// the admission queue (queued waiters get 503 draining) before shutting
-// the HTTP server down, which waits for in-flight queries. ready, if
-// non-nil, is called with the bound listen address once the server is
-// accepting — the hook the drain test uses to find its ephemeral port.
-func run(opts options, ready func(addr string)) error {
+// the admission queue (queued waiters get 503 draining / a draining
+// error frame) before shutting both listeners down, which waits for
+// in-flight queries. ready, if non-nil, is called with the bound listen
+// addresses once the server is accepting — the hook the drain test uses
+// to find its ephemeral ports; wireAddr is empty when the wire listener
+// is disabled.
+func run(opts options, ready func(addr, wireAddr string)) error {
 	sizes, err := parseSizes(opts.layers)
 	if err != nil {
 		return err
@@ -127,26 +136,65 @@ func run(opts options, ready func(addr string)) error {
 			ln.Addr(), opts.maxInFlight, opts.maxQueue, opts.maxQueryTime)
 		errCh <- httpSrv.Serve(ln)
 	}()
+
+	// Optional binary wire listener: same DB, same admission queue, same
+	// memory gate, so both transports share one load picture.
+	var (
+		wireSrv      *wire.Server
+		wireAddr     string
+		wireErrCh    = make(chan error, 1)
+		wireDisabled = opts.wireAddr == ""
+	)
+	if !wireDisabled {
+		wln, err := net.Listen("tcp", opts.wireAddr)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		wireSrv = wire.NewServer(wire.Config{
+			DB:           db,
+			Core:         srv,
+			MaxQueryTime: opts.maxQueryTime,
+		})
+		srv.SetWireStats(func() any { return wireSrv.Stats() })
+		wireAddr = wln.Addr().String()
+		go func() {
+			fmt.Printf("sciborqd: wire protocol on %s\n", wln.Addr())
+			wireErrCh <- wireSrv.Serve(wln)
+		}()
+	}
 	if ready != nil {
-		ready(ln.Addr().String())
+		ready(ln.Addr().String(), wireAddr)
 	}
 
 	select {
 	case <-ctx.Done():
 		fmt.Println("sciborqd: shutting down, draining in-flight queries...")
-		// Drain first: queued waiters wake with 503 immediately instead
-		// of holding connections open against the Shutdown deadline;
-		// in-flight queries keep their slots and finish.
+		// Drain first: queued waiters wake with 503 / a draining error
+		// frame immediately instead of holding connections open against
+		// the Shutdown deadline; in-flight queries keep their slots and
+		// finish on either transport.
 		srv.Drain()
 		shutCtx, cancel := context.WithTimeout(context.Background(), opts.drainTimeout)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
 			return err
 		}
+		if wireSrv != nil {
+			if err := wireSrv.Shutdown(shutCtx); err != nil {
+				return err
+			}
+			<-wireErrCh
+		}
 		fmt.Println("sciborqd: bye")
 		return nil
 	case err := <-errCh:
 		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case err := <-wireErrCh:
+		if errors.Is(err, net.ErrClosed) {
 			return nil
 		}
 		return err

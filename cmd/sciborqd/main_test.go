@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"os"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"sciborq/internal/faultinject"
+	"sciborq/internal/wire"
 )
 
 // postResult is one /query outcome observed by a test client goroutine.
@@ -66,14 +68,33 @@ func admissionSnapshot(base string) (inFlight, queued int, err error) {
 	return st.Admission.InFlight, st.Admission.Queued, nil
 }
 
-// TestGracefulDrainOnSIGTERM runs the real daemon in-process: with one
-// query held in flight (injected latency) and one queued behind it,
-// SIGTERM must reject the queued query with 503 draining, let the
-// in-flight query complete with 200, close the listener, and return
-// nil — the exit-0 contract of graceful shutdown.
+// wireQueryAsync fires one query over the binary wire protocol and
+// delivers the outcome on a channel.
+func wireQueryAsync(addr, sql string) <-chan error {
+	out := make(chan error, 1)
+	go func() {
+		c, err := wire.Dial(addr, "")
+		if err != nil {
+			out <- err
+			return
+		}
+		defer c.Close()
+		_, err = c.Query(sql)
+		out <- err
+	}()
+	return out
+}
+
+// TestGracefulDrainOnSIGTERM runs the real daemon in-process with both
+// listeners: with one query held in flight (injected latency) and one
+// queued behind it on each transport, SIGTERM must reject the queued
+// queries (503 draining over HTTP, a draining error frame over the
+// wire), let the in-flight query complete with 200, close both
+// listeners, and return nil — the exit-0 contract of graceful shutdown.
 func TestGracefulDrainOnSIGTERM(t *testing.T) {
 	opts := options{
 		addr:         "127.0.0.1:0",
+		wireAddr:     "127.0.0.1:0",
 		rows:         4000,
 		layers:       "400,40",
 		policy:       "biased",
@@ -94,17 +115,24 @@ func TestGracefulDrainOnSIGTERM(t *testing.T) {
 	}))
 	defer faultinject.Disable()
 
-	addrCh := make(chan string, 1)
+	type addrs struct{ http, wire string }
+	addrCh := make(chan addrs, 1)
 	runErr := make(chan error, 1)
-	go func() { runErr <- run(opts, func(addr string) { addrCh <- addr }) }()
-	var base string
+	go func() {
+		runErr <- run(opts, func(addr, wireAddr string) { addrCh <- addrs{addr, wireAddr} })
+	}()
+	var base, wireAddr string
 	select {
-	case addr := <-addrCh:
-		base = "http://" + addr
+	case a := <-addrCh:
+		base = "http://" + a.http
+		wireAddr = a.wire
 	case err := <-runErr:
 		t.Fatalf("daemon exited before ready: %v", err)
 	case <-time.After(30 * time.Second):
 		t.Fatal("daemon never became ready")
+	}
+	if wireAddr == "" {
+		t.Fatal("wire listener not started")
 	}
 
 	const sql = "SELECT COUNT(*) AS n FROM PhotoObjAll"
@@ -112,13 +140,15 @@ func TestGracefulDrainOnSIGTERM(t *testing.T) {
 	waitFor(t, base, 1, 0) // q1 owns the only slot
 	q2 := postAsync(base, sql)
 	waitFor(t, base, 1, 1) // q2 queued behind it
+	w1 := wireQueryAsync(wireAddr, sql)
+	waitFor(t, base, 1, 2) // w1 queued on the same shared admission queue
 
 	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}
 
-	// The queued query is rejected promptly — it does not wait out the
-	// in-flight query's latency.
+	// The queued queries are rejected promptly — they do not wait out
+	// the in-flight query's latency.
 	select {
 	case r := <-q2:
 		if r.err != nil {
@@ -129,6 +159,18 @@ func TestGracefulDrainOnSIGTERM(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("queued query not rejected after SIGTERM")
+	}
+	select {
+	case err := <-w1:
+		var se *wire.ServerError
+		if !errors.As(err, &se) || se.Code != "draining" {
+			t.Fatalf("queued wire query: got %v, want a draining error frame", err)
+		}
+		if se.RetryAfter <= 0 {
+			t.Fatalf("draining error frame carries no retry-after hint")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued wire query not rejected after SIGTERM")
 	}
 
 	// The in-flight query completes normally.
@@ -155,6 +197,10 @@ func TestGracefulDrainOnSIGTERM(t *testing.T) {
 	}
 	if _, err := http.Get(base + "/healthz"); err == nil {
 		t.Fatal("listener still accepting after shutdown")
+	}
+	if c, err := wire.Dial(wireAddr, ""); err == nil {
+		c.Close()
+		t.Fatal("wire listener still accepting after shutdown")
 	}
 }
 

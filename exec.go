@@ -150,6 +150,16 @@ func (db *DB) ExecStatement(st *sqlparse.Statement, sql string) (*Result, error)
 	return db.execStatement(context.Background(), "", st, sql, nil)
 }
 
+// ExecStatementTenant executes a pre-parsed statement for a tenant,
+// bypassing the plan cache entirely. This is the execution path for
+// wire-protocol prepared statements re-bound with fresh literals: the
+// rebound AST must not be admitted to the cache under the statement's
+// representative SQL spelling, or the alias tier would replay the wrong
+// literals for every later client sending that exact text.
+func (db *DB) ExecStatementTenant(ctx context.Context, tenant string, st *sqlparse.Statement, sql string) (*Result, error) {
+	return db.execStatement(ctx, tenant, st, sql, nil)
+}
+
 // execStatement executes a pre-parsed statement for a tenant under ctx.
 // prep, when non-nil, carries the plan cache's canonicalised WHERE
 // predicate so the recycler path skips canonicalisation; nil means the

@@ -1,0 +1,186 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"sciborq"
+	"sciborq/internal/column"
+	"sciborq/internal/engine"
+	"sciborq/internal/faultinject"
+	"sciborq/internal/table"
+)
+
+// TestQueryRejectsTrailingGarbage: the request body must be exactly one
+// JSON document. Concatenated documents or trailing garbage used to be
+// silently ignored — an easy way for a proxy-mangled or misframed client
+// to execute the wrong half of its request.
+func TestQueryRejectsTrailingGarbage(t *testing.T) {
+	db, _ := newTestDB(t, 1)
+	_, ts := newTestServer(t, db, Config{MaxInFlight: 2})
+
+	post := func(body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		var bad errorResponse
+		_ = json.Unmarshal(raw, &bad)
+		return resp.StatusCode, bad.Error.Code
+	}
+
+	good := `{"sql": "SELECT COUNT(*) AS n FROM PhotoObjAll"}`
+	if status, _ := post(good); status != http.StatusOK {
+		t.Fatalf("clean body: status %d, want 200", status)
+	}
+	// Trailing whitespace is not garbage.
+	if status, _ := post(good + "\n  \t\n"); status != http.StatusOK {
+		t.Fatalf("trailing whitespace: status %d, want 200", status)
+	}
+	for _, body := range []string{
+		good + good,                    // two concatenated documents
+		good + `{"sql": "DROP EVERY"}`, // second doc never executed
+		good + "garbage",               // raw trailing bytes
+		good + `["extra"]`,             // trailing array
+	} {
+		status, code := post(body)
+		if status != http.StatusBadRequest || code != "bad_request" {
+			t.Fatalf("body %q: status %d code %q, want 400 bad_request", body, status, code)
+		}
+	}
+}
+
+// TestOutcomeClassification: client cancellations and server-side
+// deadline hits land in their own per-tenant counters, not Errors — a
+// disconnecting client must not inflate the fault rate operators alert
+// on.
+func TestOutcomeClassification(t *testing.T) {
+	// One worker over tiny morsels: the injected morsel latency is
+	// followed by another morsel pull, where the cooperative deadline
+	// check actually runs. The default one-morsel-per-table layout would
+	// finish the scan before ever re-checking the context.
+	x := column.NewFloat64("x")
+	for i := 0; i < 4000; i++ {
+		x.Append(float64(i))
+	}
+	tb, err := table.New("T", table.Schema{{Name: "x", Type: column.Float64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AppendColumns([]column.Column{x}); err != nil {
+		t.Fatal(err)
+	}
+	db := sciborq.Open(sciborq.WithExecOptions(engine.ExecOptions{Parallelism: 1, MorselRows: 256}))
+	if err := db.AttachTable(tb); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, db, Config{MaxInFlight: 2, MaxQueryTime: 50 * time.Millisecond})
+
+	// Query 1 stalls 400ms inside execution (first morsel), blowing the
+	// server's 50ms deadline; query 2 stalls 400ms at the query point
+	// (before the deadline clock starts) and its client hangs up at 50ms.
+	faultinject.Enable(faultinject.NewPlan(
+		faultinject.Fault{Point: faultinject.PointMorsel, Hit: 1,
+			Kind: faultinject.KindLatency, Latency: 400 * time.Millisecond},
+		faultinject.Fault{Point: faultinject.PointQuery, Hit: 2,
+			Kind: faultinject.KindLatency, Latency: 400 * time.Millisecond},
+	))
+	defer faultinject.Disable()
+
+	// The predicate forces a real scan: a bare COUNT(*) short-circuits
+	// without pulling morsels, and the morsel fault (and the cooperative
+	// deadline check at the next morsel boundary) would never run.
+	const sql = `{"sql": "SELECT COUNT(*) AS n FROM T WHERE x > -1", "tenant": "carol"}`
+	resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(sql))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var bad errorResponse
+	_ = json.Unmarshal(raw, &bad)
+	if resp.StatusCode != http.StatusGatewayTimeout || bad.Error.Code != "timeout" {
+		t.Fatalf("deadline query: status %d code %q, want 504 timeout", resp.StatusCode, bad.Error.Code)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/query",
+		bytes.NewReader([]byte(sql)))
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+		t.Fatal("canceled request unexpectedly completed")
+	}
+
+	// The canceled handler may still be unwinding; poll for the counter.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := getStats(t, ts.URL)
+		carol := st.Tenants["carol"]
+		if carol.Canceled == 1 && carol.TimedOut == 1 {
+			if carol.Errors != 0 {
+				t.Fatalf("cancel/timeout counted as errors: %+v", carol)
+			}
+			if carol.Queries != 2 {
+				t.Fatalf("want 2 queries counted, got %+v", carol)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("counters never settled: %+v", carol)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestMaxRowsBoundary: a result of exactly MaxRows rows ships complete
+// with Truncated false — the off-by-one the int32 cast guard sits next
+// to — and one fewer budget row truncates honestly.
+func TestMaxRowsBoundary(t *testing.T) {
+	const rows = 50
+	x := column.NewFloat64("x")
+	for i := 0; i < rows; i++ {
+		x.Append(float64(i))
+	}
+	tb, err := table.New("T", table.Schema{{Name: "x", Type: column.Float64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AppendColumns([]column.Column{x}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		maxRows   int
+		want      int
+		truncated bool
+	}{
+		{maxRows: rows, want: rows, truncated: false},
+		{maxRows: rows - 1, want: rows - 1, truncated: true},
+	} {
+		db := sciborq.Open()
+		if err := db.AttachTable(tb); err != nil {
+			t.Fatal(err)
+		}
+		_, ts := newTestServer(t, db, Config{MaxInFlight: 2, MaxRows: tc.maxRows})
+		status, ok, _ := postQuery(t, ts.URL, "SELECT x FROM T", "")
+		if status != http.StatusOK || ok.Exact == nil {
+			t.Fatalf("maxRows=%d: status %d", tc.maxRows, status)
+		}
+		if len(ok.Exact.Rows) != tc.want || ok.Exact.RowCount != rows ||
+			ok.Exact.Truncated != tc.truncated {
+			t.Fatalf("maxRows=%d: %d rows shipped of %d, truncated=%t; want %d/%d truncated=%t",
+				tc.maxRows, len(ok.Exact.Rows), ok.Exact.RowCount, ok.Exact.Truncated,
+				tc.want, rows, tc.truncated)
+		}
+	}
+}

@@ -25,6 +25,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"net/http"
 	"runtime/debug"
 	"strconv"
@@ -88,6 +90,11 @@ type Server struct {
 	reqCount      atomic.Int64
 	panicMu       sync.Mutex
 	lastPanic     string // value + first stack frames of the latest panic
+
+	// wireStats, when set, snapshots the binary wire listener's counters
+	// for the /stats "wire" section. The hook keeps the dependency
+	// one-way: package wire imports server, never the reverse.
+	wireStats atomic.Pointer[func() any]
 }
 
 // notePanic records the latest panic for /stats — the observable signal
@@ -102,10 +109,30 @@ func (s *Server) notePanic(p any, stack []byte) {
 	s.panicMu.Unlock()
 }
 
+// RecordHandlerPanic counts a panic recovered by a transport front end
+// (the HTTP middleware or the wire listener's per-request guard) and
+// records it for /stats.
+func (s *Server) RecordHandlerPanic(p any, stack []byte) {
+	s.handlerPanics.Add(1)
+	s.notePanic(p, stack)
+}
+
+// RecordQueryPanic counts an engine-side panic already converted to a
+// per-query error by the morsel guard and records it for /stats.
+func (s *Server) RecordQueryPanic(p any, stack []byte) {
+	s.queryPanics.Add(1)
+	s.notePanic(p, stack)
+}
+
 // tenantCounters accumulates per-tenant latency and outcome counts.
+// Errors counts real execution failures only; client cancellations and
+// server-side deadline hits get their own counters, so a disconnecting
+// client can never inflate the server-fault rate operators alert on.
 type tenantCounters struct {
 	Queries  int64 `json:"queries"`
 	Errors   int64 `json:"errors"`
+	Canceled int64 `json:"canceled"`
+	TimedOut int64 `json:"timed_out"`
 	Bounded  int64 `json:"bounded"`
 	BoundMet int64 `json:"bound_met"`
 	TotalNs  int64 `json:"total_ns"`
@@ -168,8 +195,7 @@ func (s *Server) recoverWrap(next http.Handler) http.Handler {
 			if p == http.ErrAbortHandler {
 				panic(p)
 			}
-			s.handlerPanics.Add(1)
-			s.notePanic(p, debug.Stack())
+			s.RecordHandlerPanic(p, debug.Stack())
 			writeError(w, http.StatusInternalServerError, "internal_panic",
 				"request handler panicked; the query was aborted")
 		}()
@@ -185,6 +211,42 @@ func (s *Server) Drain() { s.adm.Drain() }
 // Admission exposes the server's admission queue (read-mostly: stats
 // and load probing).
 func (s *Server) Admission() *Admission { return s.adm }
+
+// SetWireStats registers a stats snapshot for the binary wire listener;
+// the returned value appears verbatim as the /stats "wire" section.
+func (s *Server) SetWireStats(fn func() any) { s.wireStats.Store(&fn) }
+
+// GateMemory is the transport-independent memory-pressure gate shared
+// by the HTTP handler and the wire listener. The per-request check is
+// one atomic level read; every govCheckEvery-th request runs a full
+// usage recomputation (which sheds). It reports whether the request
+// must be refused (only at Critical — caches already shed, bounded
+// queries already degraded) and the Retry-After hint to attach.
+func (s *Server) GateMemory() (retryAfter time.Duration, refuse bool) {
+	gov := s.db.Governor()
+	if gov == nil {
+		return 0, false
+	}
+	if s.reqCount.Add(1)%govCheckEvery == 0 {
+		gov.CheckNow()
+	}
+	if gov.Level() == governor.Critical {
+		return s.adm.RetryAfter(), true
+	}
+	return 0, false
+}
+
+// CheckSQL validates a statement through the DB's plan-cache-backed
+// front end — the shared pre-admission check both transports run before
+// spending an admission slot on a malformed statement.
+func (s *Server) CheckSQL(sql string) error { return s.db.CheckSQL(sql) }
+
+// NoteOutcome folds one query outcome into the tenant's counters; the
+// wire listener calls it so /stats tenant accounting spans both
+// transports.
+func (s *Server) NoteOutcome(tenant string, res *sciborq.Result, err error, elapsed time.Duration) {
+	s.note(tenant, res, err, elapsed)
+}
 
 // queryRequest is the POST /query body.
 type queryRequest struct {
@@ -256,6 +318,7 @@ type statsResponse struct {
 	Admission  AdmissionStats            `json:"admission"`
 	Resilience resilienceJSON            `json:"resilience"`
 	Governor   *governorJSON             `json:"governor,omitempty"`
+	Wire       any                       `json:"wire,omitempty"`
 	Recycler   map[string]recyclerJSON   `json:"recycler"`
 	PlanCache  map[string]plancacheJSON  `json:"plancache"`
 	Tenants    map[string]tenantCounters `json:"tenants"`
@@ -442,6 +505,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			TierUsages: gs.TierUsages,
 		}
 	}
+	if fn := s.wireStats.Load(); fn != nil {
+		resp.Wire = (*fn)()
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -456,6 +522,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", "invalid JSON body: "+err.Error())
 		return
 	}
+	// Decode stops at the end of the first JSON document, so without an
+	// explicit EOF check a body like {"sql":"..."}{"sql":"..."} would be
+	// silently half-read — accepted as the first statement with the rest
+	// discarded. Require exactly one document.
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			"request body must be exactly one JSON document")
+		return
+	}
 	if strings.TrimSpace(req.SQL) == "" {
 		writeError(w, http.StatusBadRequest, "bad_request", `missing "sql" field`)
 		return
@@ -468,20 +544,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Memory-pressure gate: the per-request read is one atomic load; a
-	// full usage recheck (which sheds) runs every govCheckEvery-th
-	// request. Only Critical — caches already shed, bounded queries
-	// already degraded to their smallest layers — refuses work, so
-	// quality degrades before availability does.
-	if gov := s.db.Governor(); gov != nil {
-		if s.reqCount.Add(1)%govCheckEvery == 0 {
-			gov.CheckNow()
-		}
-		if gov.Level() == governor.Critical {
-			writeErrorRetry(w, http.StatusServiceUnavailable, "memory_pressure",
-				"server is under memory pressure; retry shortly", s.adm.RetryAfter())
-			return
-		}
+	// Memory-pressure gate, shared with the wire listener: quality
+	// degrades (caches shed, bounded picks shrink) before availability
+	// does, and only Critical refuses work.
+	if retry, refuse := s.GateMemory(); refuse {
+		writeErrorRetry(w, http.StatusServiceUnavailable, "memory_pressure",
+			"server is under memory pressure; retry shortly", retry)
+		return
 	}
 
 	release, queued, err := s.adm.Acquire(r.Context())
@@ -527,8 +596,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			// A morsel worker panicked; the engine's recover guard
 			// confined it to this query. 500 for this request alone —
 			// the daemon keeps serving.
-			s.queryPanics.Add(1)
-			s.notePanic(pe.Value, pe.Stack)
+			s.RecordQueryPanic(pe.Value, pe.Stack)
 			writeError(w, http.StatusInternalServerError, "query_panic",
 				"a query worker panicked; the query was aborted")
 		case errors.Is(err, context.DeadlineExceeded):
@@ -582,6 +650,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if show > s.maxRows {
 			show = s.maxRows
 		}
+		// RowStrings takes an int32 row index; a MaxRows configured past
+		// 2^31 over a giant result would otherwise wrap the cast below
+		// into a negative index panic (or worse, silently alias row 0).
+		if show > math.MaxInt32 {
+			show = math.MaxInt32
+		}
 		ex := &exactJSON{
 			Columns:   res.Rows.Table.Schema().Names(),
 			Rows:      make([][]string, 0, show),
@@ -596,7 +670,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// note folds one query outcome into the tenant's counters.
+// note folds one query outcome into the tenant's counters. Context
+// outcomes are not server faults: a client that disconnected counts as
+// Canceled and a server-deadline hit as TimedOut, so the Errors rate in
+// /stats tracks real execution failures only.
 func (s *Server) note(tenant string, res *sciborq.Result, err error, elapsed time.Duration) {
 	if tenant == "" {
 		tenant = "default"
@@ -610,7 +687,14 @@ func (s *Server) note(tenant string, res *sciborq.Result, err error, elapsed tim
 	}
 	tc.Queries++
 	if err != nil {
-		tc.Errors++
+		switch {
+		case errors.Is(err, context.Canceled):
+			tc.Canceled++
+		case errors.Is(err, context.DeadlineExceeded):
+			tc.TimedOut++
+		default:
+			tc.Errors++
+		}
 		return
 	}
 	ns := elapsed.Nanoseconds()

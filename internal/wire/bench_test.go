@@ -1,0 +1,169 @@
+package wire
+
+import (
+	"encoding/json"
+	"io"
+	"testing"
+
+	"sciborq"
+	"sciborq/internal/column"
+	"sciborq/internal/server"
+	"sciborq/internal/table"
+)
+
+// benchRows sizes the benchmark result: large enough to amortise the
+// per-response frames, small enough to iterate.
+const benchRows = 100_000
+
+// benchTable builds a mixed-type result table with realistic SkyServer
+// value shapes — 18-digit bit-packed objIDs and full-precision
+// coordinates, the way SDSS actually ships them — so the bytes/row
+// comparison reflects real payloads, not short synthetic strings.
+func benchTable(tb testing.TB) *table.Table {
+	tb.Helper()
+	words := []string{"STAR", "GALAXY", "QSO", "SKY", "DEBRIS", "GHOST", "TRAIL", "BLEND"}
+	objID := column.NewInt64("objID")
+	ra := column.NewFloat64("ra")
+	dec := column.NewFloat64("dec")
+	typ := column.NewString("type")
+	clean := column.NewBool("clean")
+	const objIDBase = 1237648721000000000 // SDSS-style packed sky-version/rerun/camcol id
+	for i := 0; i < benchRows; i++ {
+		objID.Append(objIDBase + int64(i)*7919)
+		ra.Append(150 + float64(i)*(0.0391/float64(benchRows))*777.77)
+		dec.Append(-5 + float64(i)*(0.0173/float64(benchRows))*333.33)
+		typ.Append(words[i%len(words)])
+		clean.Append(i%3 != 0)
+	}
+	t, err := table.New("Mixed", table.Schema{
+		{Name: "objID", Type: column.Int64},
+		{Name: "ra", Type: column.Float64},
+		{Name: "dec", Type: column.Float64},
+		{Name: "type", Type: column.String},
+		{Name: "clean", Type: column.Bool},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := t.AppendColumns([]column.Column{objID, ra, dec, typ, clean}); err != nil {
+		tb.Fatal(err)
+	}
+	return t
+}
+
+func benchCols(tb testing.TB, t *table.Table) []column.Column {
+	tb.Helper()
+	cols := make([]column.Column, len(t.Schema()))
+	for i, def := range t.Schema() {
+		c, err := t.Col(def.Name)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		cols[i] = c
+	}
+	return cols
+}
+
+// BenchmarkWireEncode measures the columnar batch encoder alone:
+// bytes/row and rows/s for the full mixed-type table, batched the way
+// the server streams it.
+func BenchmarkWireEncode(b *testing.B) {
+	t := benchTable(b)
+	cols := benchCols(b, t)
+	var buf []byte
+	var bytesOut int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for lo := 0; lo < benchRows; lo += defaultBatchRows {
+			hi := lo + defaultBatchRows
+			if hi > benchRows {
+				hi = benchRows
+			}
+			buf = AppendBatch(buf[:0], cols, lo, hi)
+			bytesOut += int64(len(buf))
+		}
+	}
+	b.StopTimer()
+	rows := float64(b.N) * benchRows
+	b.ReportMetric(float64(bytesOut)/rows, "bytes/row")
+	b.ReportMetric(rows/b.Elapsed().Seconds(), "rows/s")
+}
+
+// BenchmarkJSONEncode measures the HTTP transport's rendering of the
+// same table: RowStrings per row into the exact-result JSON shape,
+// encoded with the server's indented encoder.
+func BenchmarkJSONEncode(b *testing.B) {
+	t := benchTable(b)
+	type exactJSON struct {
+		Columns   []string   `json:"columns"`
+		Rows      [][]string `json:"rows"`
+		RowCount  int        `json:"row_count"`
+		Truncated bool       `json:"truncated"`
+	}
+	cw := &countWriter{w: io.Discard}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := make([][]string, benchRows)
+		for r := 0; r < benchRows; r++ {
+			rows[r] = t.RowStrings(int32(r))
+		}
+		enc := json.NewEncoder(cw)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(exactJSON{
+			Columns:  t.Schema().Names(),
+			Rows:     rows,
+			RowCount: benchRows,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	rows := float64(b.N) * benchRows
+	b.ReportMetric(float64(cw.n)/rows, "bytes/row")
+	b.ReportMetric(rows/b.Elapsed().Seconds(), "rows/s")
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// BenchmarkWireStream measures the full transport: server-side
+// execution + encoding + TCP + client-side decoding of the mixed-type
+// projection, with bytes/row taken from the server's own byte counters.
+func BenchmarkWireStream(b *testing.B) {
+	t := benchTable(b)
+	db := sciborq.Open()
+	if err := db.AttachTable(t); err != nil {
+		b.Fatal(err)
+	}
+	_, ws, addr := startWire(b, db, server.Config{MaxInFlight: 2}, Config{})
+	c, err := Dial(addr, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	const sql = "SELECT objID, ra, dec, type, clean FROM Mixed"
+	start := ws.Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := c.Query(sql)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.Exact.NumRows() != benchRows {
+			b.Fatalf("streamed %d rows", resp.Exact.NumRows())
+		}
+	}
+	b.StopTimer()
+	end := ws.Stats()
+	rows := float64(b.N) * benchRows
+	b.ReportMetric(float64(end.BytesOut-start.BytesOut)/rows, "bytes/row")
+	b.ReportMetric(rows/b.Elapsed().Seconds(), "rows/s")
+}

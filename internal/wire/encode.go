@@ -1,0 +1,542 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sciborq/internal/column"
+)
+
+// Col describes one result column in a header frame.
+type Col struct {
+	Name string
+	Type byte
+}
+
+// Header opens an exact result stream: the column layout and the total
+// (untruncated) row count, known up front because the engine
+// materialises exact results before serving.
+type Header struct {
+	Cols     []Col
+	RowCount uint64
+}
+
+// maxCols caps the column count a header may declare; result schemas
+// are small, and the cap keeps a forged header from driving decoder
+// allocations.
+const maxCols = 4096
+
+// AppendHeader encodes h.
+func AppendHeader(b []byte, h *Header) []byte {
+	b = appendU64(b, h.RowCount)
+	b = appendU16(b, uint16(len(h.Cols)))
+	for _, c := range h.Cols {
+		b = appendStr(b, c.Name)
+		b = appendU8(b, c.Type)
+	}
+	return b
+}
+
+// DecodeHeader decodes a FrameHeader payload.
+func DecodeHeader(p []byte) (*Header, error) {
+	c := cursor{p: p}
+	h := &Header{RowCount: c.u64()}
+	n := int(c.u16())
+	if n > maxCols || n > c.remaining() {
+		return nil, fmt.Errorf("wire: header declares %d columns", n)
+	}
+	h.Cols = make([]Col, n)
+	for i := range h.Cols {
+		h.Cols[i] = Col{Name: c.str(), Type: c.u8()}
+		if h.Cols[i].Type > TypeBool {
+			return nil, fmt.Errorf("wire: unknown column type %d", h.Cols[i].Type)
+		}
+	}
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// ColBlock is one decoded column of a batch; exactly one of the typed
+// slices is populated, matching Type.
+type ColBlock struct {
+	Type byte
+	F64  []float64
+	I64  []int64
+	Bool []bool
+	Str  []string
+}
+
+// Batch is a decoded columnar batch.
+type Batch struct {
+	Rows int
+	Cols []ColBlock
+}
+
+// AppendBatch encodes rows [lo, hi) of cols as one columnar batch:
+//
+//	u32 rows | u16 ncols | ncols × block
+//
+// where a block is u8 type code followed by the typed page —
+// little-endian raw pages for DOUBLE/BIGINT, a bitmap for BOOLEAN, and
+// a per-batch dictionary page for VARCHAR (uvarint dict size, dict
+// words, u8 code width, then one 1/2/4-byte code per row). The VARCHAR
+// dictionary is local to the batch — only words the batch actually
+// references ship, re-coded to dense local ids — so a huge table
+// dictionary never rides along with a small result.
+func AppendBatch(b []byte, cols []column.Column, lo, hi int) []byte {
+	b = appendU32(b, uint32(hi-lo))
+	b = appendU16(b, uint16(len(cols)))
+	for _, c := range cols {
+		switch col := c.(type) {
+		case *column.Float64Col:
+			b = appendU8(b, TypeFloat64)
+			b = appendF64Page(b, col.Data[lo:hi])
+		case *column.Int64Col:
+			b = appendU8(b, TypeInt64)
+			b = appendI64Page(b, col.Data[lo:hi])
+		case *column.BoolCol:
+			b = appendU8(b, TypeBool)
+			b = appendBitmap(b, col.Data[lo:hi])
+		case *column.StringCol:
+			b = appendU8(b, TypeString)
+			b = appendDictPage(b, col, lo, hi)
+		default:
+			panic(fmt.Sprintf("wire: unencodable column type %T", c))
+		}
+	}
+	return b
+}
+
+func appendF64Page(b []byte, vals []float64) []byte {
+	for _, v := range vals {
+		b = appendF64(b, v)
+	}
+	return b
+}
+
+// BIGINT page encodings (the leading tag byte of the page).
+const (
+	i64EncRaw = 0 // rows × i64
+	i64EncFOR = 1 // i64 base | u8 delta width (0/1/2/4) | rows × width
+)
+
+// appendI64Page writes a BIGINT page, choosing between a raw page and
+// frame-of-reference encoding: when the page's value span fits 0, 1, 2,
+// or 4 bytes, values ship as fixed-width unsigned deltas from the page
+// minimum. Dense id columns (objID, mjd) and aggregate results collapse
+// from 8 bytes/row to their actual spread; pages that genuinely use the
+// full 64-bit range fall back to raw.
+func appendI64Page(b []byte, vals []int64) []byte {
+	if len(vals) == 0 {
+		return appendU8(b, i64EncRaw)
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	// Two's-complement subtraction: correct even for the full int64
+	// range, where the signed difference would overflow.
+	span := uint64(hi) - uint64(lo)
+	var width byte
+	switch {
+	case span == 0:
+		width = 0
+	case span < 1<<8:
+		width = 1
+	case span < 1<<16:
+		width = 2
+	case span < 1<<32:
+		width = 4
+	default:
+		b = appendU8(b, i64EncRaw)
+		for _, v := range vals {
+			b = appendI64(b, v)
+		}
+		return b
+	}
+	b = appendU8(b, i64EncFOR)
+	b = appendI64(b, lo)
+	b = appendU8(b, width)
+	for _, v := range vals {
+		delta := uint64(v) - uint64(lo)
+		switch width {
+		case 1:
+			b = appendU8(b, byte(delta))
+		case 2:
+			b = appendU16(b, uint16(delta))
+		case 4:
+			b = appendU32(b, uint32(delta))
+		}
+	}
+	return b
+}
+
+func appendBitmap(b []byte, vals []bool) []byte {
+	nbytes := (len(vals) + 7) / 8
+	start := len(b)
+	b = append(b, make([]byte, nbytes)...)
+	for i, v := range vals {
+		if v {
+			b[start+i/8] |= 1 << (i % 8)
+		}
+	}
+	return b
+}
+
+// appendDictPage builds the batch-local VARCHAR dictionary: one pass
+// over the batch's codes collects the used words in first-use order,
+// a second writes the re-coded rows at the narrowest width that fits.
+func appendDictPage(b []byte, col *column.StringCol, lo, hi int) []byte {
+	codes := col.Data[lo:hi]
+	local := make(map[int32]uint32, 16)
+	var words []string
+	for _, code := range codes {
+		if _, ok := local[code]; !ok {
+			local[code] = uint32(len(words))
+			words = append(words, col.Word(code))
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(words)))
+	for _, w := range words {
+		b = appendStr(b, w)
+	}
+	width := codeWidth(len(words))
+	b = appendU8(b, width)
+	for _, code := range codes {
+		id := local[code]
+		switch width {
+		case 1:
+			b = appendU8(b, byte(id))
+		case 2:
+			b = appendU16(b, uint16(id))
+		default:
+			b = appendU32(b, id)
+		}
+	}
+	return b
+}
+
+// codeWidth returns the narrowest code byte width for a dictionary of n
+// words. An empty dictionary (zero-row batch) still needs a valid width.
+func codeWidth(n int) byte {
+	switch {
+	case n <= 1<<8:
+		return 1
+	case n <= 1<<16:
+		return 2
+	default:
+		return 4
+	}
+}
+
+// maxBatchRows caps the row count one batch may declare — a full morsel
+// with generous headroom, far below anything that could make a forged
+// count allocate unboundedly before the per-page remaining() checks.
+const maxBatchRows = 1 << 22
+
+// DecodeBatch decodes a FrameBatch payload. VARCHAR blocks come back as
+// materialised strings: the decoder resolves dictionary codes so
+// callers never see the page layout.
+func DecodeBatch(p []byte) (*Batch, error) {
+	c := cursor{p: p}
+	rows := int(c.u32())
+	ncols := int(c.u16())
+	if c.bad || rows > maxBatchRows || ncols > maxCols {
+		return nil, fmt.Errorf("wire: batch declares %d rows × %d columns", rows, ncols)
+	}
+	ba := &Batch{Rows: rows, Cols: make([]ColBlock, 0, minInt(ncols, c.remaining()+1))}
+	for i := 0; i < ncols; i++ {
+		blk, err := decodeBlock(&c, rows)
+		if err != nil {
+			return nil, err
+		}
+		ba.Cols = append(ba.Cols, blk)
+	}
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+	return ba, nil
+}
+
+func decodeBlock(c *cursor, rows int) (ColBlock, error) {
+	typ := c.u8()
+	switch typ {
+	case TypeFloat64:
+		if c.remaining() < rows*8 {
+			return ColBlock{}, fmt.Errorf("wire: truncated DOUBLE page")
+		}
+		vals := make([]float64, rows)
+		for i := range vals {
+			vals[i] = c.f64()
+		}
+		return ColBlock{Type: typ, F64: vals}, nil
+	case TypeInt64:
+		return decodeI64Page(c, rows)
+	case TypeBool:
+		nbytes := (rows + 7) / 8
+		bits := c.bytes(nbytes)
+		if bits == nil {
+			return ColBlock{}, fmt.Errorf("wire: truncated BOOLEAN bitmap")
+		}
+		vals := make([]bool, rows)
+		for i := range vals {
+			vals[i] = bits[i/8]&(1<<(i%8)) != 0
+		}
+		return ColBlock{Type: typ, Bool: vals}, nil
+	case TypeString:
+		return decodeDictBlock(c, rows)
+	default:
+		return ColBlock{}, fmt.Errorf("wire: unknown block type %d", typ)
+	}
+}
+
+// decodeI64Page decodes a tagged BIGINT page (raw or frame-of-reference).
+func decodeI64Page(c *cursor, rows int) (ColBlock, error) {
+	switch enc := c.u8(); enc {
+	case i64EncRaw:
+		if c.remaining() < rows*8 {
+			return ColBlock{}, fmt.Errorf("wire: truncated BIGINT page")
+		}
+		vals := make([]int64, rows)
+		for i := range vals {
+			vals[i] = c.i64()
+		}
+		return ColBlock{Type: TypeInt64, I64: vals}, nil
+	case i64EncFOR:
+		base := uint64(c.i64())
+		width := int(c.u8())
+		switch width {
+		case 0, 1, 2, 4:
+		default:
+			return ColBlock{}, fmt.Errorf("wire: BIGINT delta width %d", width)
+		}
+		if c.bad || c.remaining() < rows*width {
+			return ColBlock{}, fmt.Errorf("wire: truncated BIGINT delta page")
+		}
+		vals := make([]int64, rows)
+		for i := range vals {
+			var delta uint64
+			switch width {
+			case 1:
+				delta = uint64(c.u8())
+			case 2:
+				delta = uint64(c.u16())
+			case 4:
+				delta = uint64(c.u32())
+			}
+			vals[i] = int64(base + delta)
+		}
+		return ColBlock{Type: TypeInt64, I64: vals}, nil
+	default:
+		return ColBlock{}, fmt.Errorf("wire: unknown BIGINT page encoding %d", enc)
+	}
+}
+
+func decodeDictBlock(c *cursor, rows int) (ColBlock, error) {
+	dictN := c.uvarint()
+	if c.bad || dictN > uint64(c.remaining()) {
+		return ColBlock{}, fmt.Errorf("wire: dictionary declares %d words", dictN)
+	}
+	words := make([]string, dictN)
+	for i := range words {
+		words[i] = c.str()
+	}
+	width := int(c.u8())
+	switch width {
+	case 1, 2, 4:
+	default:
+		return ColBlock{}, fmt.Errorf("wire: dictionary code width %d", width)
+	}
+	if c.remaining() < rows*width {
+		return ColBlock{}, fmt.Errorf("wire: truncated VARCHAR code page")
+	}
+	vals := make([]string, rows)
+	for i := range vals {
+		var id uint32
+		switch width {
+		case 1:
+			id = uint32(c.u8())
+		case 2:
+			id = uint32(c.u16())
+		default:
+			id = c.u32()
+		}
+		if uint64(id) >= dictN {
+			return ColBlock{}, fmt.Errorf("wire: dictionary code %d out of range (%d words)", id, dictN)
+		}
+		vals[i] = words[id]
+	}
+	return ColBlock{Type: TypeString, Str: vals}, nil
+}
+
+// End closes one result: the untruncated row count and the server-side
+// timings the HTTP response reports as elapsed_ns / queue_ns.
+type End struct {
+	Rows      uint64
+	ElapsedNs int64
+	QueueNs   int64
+}
+
+// AppendEnd encodes e.
+func AppendEnd(b []byte, e *End) []byte {
+	b = appendU64(b, e.Rows)
+	b = appendI64(b, e.ElapsedNs)
+	return appendI64(b, e.QueueNs)
+}
+
+// DecodeEnd decodes a FrameEnd payload.
+func DecodeEnd(p []byte) (*End, error) {
+	c := cursor{p: p}
+	e := &End{Rows: c.u64(), ElapsedNs: c.i64(), QueueNs: c.i64()}
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// EstimateW is one aggregate estimate on the wire, mirroring the HTTP
+// response's estimate object field for field.
+type EstimateW struct {
+	Name       string
+	Value      float64
+	HalfWidth  float64
+	Confidence float64
+	RelError   float64
+	Exact      bool
+	SampleRows uint32
+}
+
+// TrailW is one escalation-ladder rung on the wire.
+type TrailW struct {
+	Layer     string
+	Rows      uint32
+	ElapsedNs int64
+	Satisfied bool
+}
+
+// Bounded is a bounded estimate answer: one typed frame carrying the
+// estimates plus the trail and interval metadata, never a row stream.
+type Bounded struct {
+	Layer      string
+	Exact      bool
+	BoundMet   bool
+	PromisedNs int64
+	Estimates  []EstimateW
+	Trail      []TrailW
+}
+
+// maxBoundedItems caps estimate/trail counts in a decoded bounded
+// frame; real answers carry a handful of each.
+const maxBoundedItems = 65535
+
+// AppendBounded encodes a.
+func AppendBounded(b []byte, a *Bounded) []byte {
+	b = appendStr(b, a.Layer)
+	b = appendBool(b, a.Exact)
+	b = appendBool(b, a.BoundMet)
+	b = appendI64(b, a.PromisedNs)
+	b = appendU16(b, uint16(len(a.Estimates)))
+	for _, e := range a.Estimates {
+		b = appendStr(b, e.Name)
+		b = appendF64(b, e.Value)
+		b = appendF64(b, e.HalfWidth)
+		b = appendF64(b, e.Confidence)
+		b = appendF64(b, e.RelError)
+		b = appendBool(b, e.Exact)
+		b = appendU32(b, e.SampleRows)
+	}
+	b = appendU16(b, uint16(len(a.Trail)))
+	for _, t := range a.Trail {
+		b = appendStr(b, t.Layer)
+		b = appendU32(b, t.Rows)
+		b = appendI64(b, t.ElapsedNs)
+		b = appendBool(b, t.Satisfied)
+	}
+	return b
+}
+
+// DecodeBounded decodes a FrameBounded payload.
+func DecodeBounded(p []byte) (*Bounded, error) {
+	c := cursor{p: p}
+	a := &Bounded{
+		Layer:      c.str(),
+		Exact:      c.boolv(),
+		BoundMet:   c.boolv(),
+		PromisedNs: c.i64(),
+	}
+	ne := int(c.u16())
+	if c.bad || ne > maxBoundedItems || ne > c.remaining() {
+		return nil, fmt.Errorf("wire: bounded frame declares %d estimates", ne)
+	}
+	a.Estimates = make([]EstimateW, ne)
+	for i := range a.Estimates {
+		a.Estimates[i] = EstimateW{
+			Name:       c.str(),
+			Value:      c.f64(),
+			HalfWidth:  c.f64(),
+			Confidence: c.f64(),
+			RelError:   c.f64(),
+			Exact:      c.boolv(),
+			SampleRows: c.u32(),
+		}
+	}
+	nt := int(c.u16())
+	if c.bad || nt > maxBoundedItems || nt > c.remaining() {
+		return nil, fmt.Errorf("wire: bounded frame declares %d trail steps", nt)
+	}
+	a.Trail = make([]TrailW, nt)
+	for i := range a.Trail {
+		a.Trail[i] = TrailW{
+			Layer:     c.str(),
+			Rows:      c.u32(),
+			ElapsedNs: c.i64(),
+			Satisfied: c.boolv(),
+		}
+	}
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// ErrorFrame is a server failure report. Codes mirror the HTTP error
+// codes (parse_error, overloaded, draining, timeout, canceled,
+// exec_error, query_panic, internal_panic, memory_pressure,
+// bad_request, protocol_error); RetryAfterNs > 0 is the binary
+// equivalent of the Retry-After header on 429/503 responses.
+type ErrorFrame struct {
+	Code         string
+	Message      string
+	RetryAfterNs int64
+}
+
+// AppendError encodes e.
+func AppendError(b []byte, e *ErrorFrame) []byte {
+	b = appendStr(b, e.Code)
+	b = appendStr(b, e.Message)
+	return appendI64(b, e.RetryAfterNs)
+}
+
+// DecodeError decodes a FrameError payload.
+func DecodeError(p []byte) (*ErrorFrame, error) {
+	c := cursor{p: p}
+	e := &ErrorFrame{Code: c.str(), Message: c.str(), RetryAfterNs: c.i64()}
+	if err := c.done(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,265 @@
+// Package wire implements the SciBORQ binary wire protocol: a
+// length-prefixed frame stream over TCP with columnar result encoding
+// and connection-oriented sessions.
+//
+// The protocol exists because the HTTP/JSON front end string-encodes
+// every value and truncates exact results; serving "heavy traffic"
+// needs results moving at hardware speed. A wire result ships typed
+// column blocks — raw little-endian int64/float64 pages, bitmaps for
+// booleans, dictionary pages for VARCHAR — in morsel-aligned batches,
+// streamed with no row cap and natural TCP backpressure: a slow client
+// blocks the flush, which holds the query's admission slot, which is
+// load the WITHIN TIME pricing already sees.
+//
+// Every frame is
+//
+//	uint32 length (little-endian) | uint8 type | payload
+//
+// where length counts the type byte plus the payload. The full grammar,
+// type codes, session lifecycle, and error semantics are documented in
+// docs/PROTOCOL.md.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ProtocolVersion is negotiated in the Hello handshake; the server
+// rejects clients speaking a newer major version.
+const ProtocolVersion = 1
+
+// Frame types. Client-to-server frames sit below 0x80, server-to-client
+// frames at or above it; FrameError is deliberately distant from the
+// data frames so a corrupted type byte is unlikely to alias it.
+const (
+	// FrameHello opens a session: u8 version, str tenant.
+	FrameHello = 0x01
+	// FrameQuery executes one SQL statement: str sql.
+	FrameQuery = 0x02
+	// FramePrepare registers a prepared statement: str sql.
+	FramePrepare = 0x03
+	// FrameExecute runs a prepared statement: u32 stmt id, u16 nlits,
+	// nlits × f64 literal values (empty = re-execute verbatim).
+	FrameExecute = 0x04
+	// FrameCloseStmt discards a prepared statement: u32 stmt id.
+	FrameCloseStmt = 0x05
+	// FrameBye ends the session cleanly (empty payload).
+	FrameBye = 0x06
+
+	// FrameHelloOK acknowledges Hello: u8 version, u64 session id.
+	FrameHelloOK = 0x81
+	// FramePrepareOK acknowledges Prepare: u32 stmt id, u16 nparams.
+	FramePrepareOK = 0x82
+	// FrameHeader opens an exact result stream: u64 total rows, u16
+	// ncols, ncols × (str name, u8 type code).
+	FrameHeader = 0x83
+	// FrameBatch carries one columnar batch; see AppendBatch.
+	FrameBatch = 0x84
+	// FrameEnd closes a result: u64 rows, i64 elapsed ns, i64 queue ns.
+	FrameEnd = 0x85
+	// FrameBounded carries a bounded estimate answer; see AppendBounded.
+	FrameBounded = 0x86
+	// FrameError reports a failure: str code, str message, i64
+	// retry-after ns (0 = no retry hint).
+	FrameError = 0xEF
+)
+
+// Wire column type codes. They mirror column.Type's values on purpose —
+// the encoder casts directly — but are frozen here independently: the
+// protocol may not change when the storage enum does.
+const (
+	TypeFloat64 = 0
+	TypeInt64   = 1
+	TypeString  = 2
+	TypeBool    = 3
+)
+
+// Frame size caps. Client frames carry SQL text and literal bindings,
+// so the HTTP body cap carries over; server frames carry column pages
+// for up to one morsel of rows, so the cap is sized for a wide morsel
+// (64K rows × many columns) with headroom.
+const (
+	MaxClientFrame = 1 << 20
+	MaxServerFrame = 64 << 20
+)
+
+// ErrFrameTooLarge is returned by ReadFrame when the peer announces a
+// frame beyond the caller's cap — a protocol violation, not an I/O
+// error; the connection is unrecoverable after it.
+type ErrFrameTooLarge struct {
+	Size, Max uint32
+}
+
+func (e *ErrFrameTooLarge) Error() string {
+	return fmt.Sprintf("wire: frame of %d bytes exceeds the %d-byte cap", e.Size, e.Max)
+}
+
+// ReadFrame reads one frame, reusing scratch for the payload when it
+// fits. It returns the frame type, the payload (valid until the next
+// call with the same scratch), and the possibly grown scratch slice.
+func ReadFrame(r io.Reader, max uint32, scratch []byte) (typ byte, payload []byte, newScratch []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, scratch, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n < 1 {
+		return 0, nil, scratch, fmt.Errorf("wire: zero-length frame")
+	}
+	if n > max {
+		return 0, nil, scratch, &ErrFrameTooLarge{Size: n, Max: max}
+	}
+	typ = hdr[4]
+	body := int(n - 1)
+	if cap(scratch) < body {
+		scratch = make([]byte, body)
+	}
+	payload = scratch[:body]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF // the frame header promised more
+		}
+		return 0, nil, scratch, err
+	}
+	return typ, payload, scratch, nil
+}
+
+// WriteFrame writes one frame to w. The caller flushes.
+func WriteFrame(w *bufio.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload))+1)
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// Payload append helpers. All integers are little-endian; strings are
+// uvarint length + bytes.
+
+func appendU8(b []byte, v byte) []byte { return append(b, v) }
+func appendU16(b []byte, v uint16) []byte {
+	return append(b, byte(v), byte(v>>8))
+}
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+func appendI64(b []byte, v int64) []byte { return appendU64(b, uint64(v)) }
+func appendF64(b []byte, v float64) []byte {
+	return appendU64(b, math.Float64bits(v))
+}
+func appendStr(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// cursor is a bounds-checked payload reader: a read past the end flips
+// bad and returns zero values, so decoders can run straight-line and
+// check once. Every count-driven allocation must be guarded against
+// remaining() first — that is what keeps arbitrary fuzz input from
+// turning a forged 4-byte count into a gigabyte make().
+type cursor struct {
+	p   []byte
+	off int
+	bad bool
+}
+
+func (c *cursor) remaining() int { return len(c.p) - c.off }
+
+func (c *cursor) fail() {
+	c.bad = true
+	c.off = len(c.p)
+}
+
+func (c *cursor) bytes(n int) []byte {
+	if n < 0 || c.remaining() < n {
+		c.fail()
+		return nil
+	}
+	b := c.p[c.off : c.off+n]
+	c.off += n
+	return b
+}
+
+func (c *cursor) u8() byte {
+	b := c.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (c *cursor) u16() uint16 {
+	b := c.bytes(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (c *cursor) u32() uint32 {
+	b := c.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (c *cursor) u64() uint64 {
+	b := c.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (c *cursor) i64() int64   { return int64(c.u64()) }
+func (c *cursor) f64() float64 { return math.Float64frombits(c.u64()) }
+
+func (c *cursor) uvarint() uint64 {
+	v, n := binary.Uvarint(c.p[c.off:])
+	if n <= 0 {
+		c.fail()
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+func (c *cursor) str() string {
+	n := c.uvarint()
+	if c.bad || n > uint64(c.remaining()) {
+		c.fail()
+		return ""
+	}
+	return string(c.bytes(int(n)))
+}
+
+func (c *cursor) boolv() bool { return c.u8() != 0 }
+
+// done returns an error if the cursor overran or left trailing bytes —
+// a decoded payload must account for every byte it was handed.
+func (c *cursor) done() error {
+	if c.bad {
+		return fmt.Errorf("wire: truncated payload")
+	}
+	if c.remaining() != 0 {
+		return fmt.Errorf("wire: %d trailing bytes after payload", c.remaining())
+	}
+	return nil
+}
