@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test cover race bench bench-json bench-alloc chaos fuzz fmt vet ci server server-smoke
+.PHONY: all build test cover race bench bench-json bench-alloc chaos crash fuzz fmt vet ci server server-smoke
 
 all: build
 
@@ -23,11 +23,21 @@ cover:
 # pooled hash infrastructure shared across scan workers, the impression
 # views read by queries while loads mutate the samplers, the shared
 # recycler + the expr scratch-pool kernels it drives, the plan cache
-# hit/evicted/invalidated concurrently by queries and loads, and the
-# HTTP server whose admission queue and tenant counters every request
-# pounds).
+# hit/evicted/invalidated concurrently by queries and loads, the HTTP
+# server whose admission queue and tenant counters every request
+# pounds, and the durable segment store whose granule cache is touched
+# by scans while loads fold batches).
 race:
-	$(GO) test -race ./internal/engine/... ./internal/bounded/... ./internal/hashtab/... ./internal/impression/... ./internal/recycler/... ./internal/expr/... ./internal/server/... ./internal/plancache/... ./internal/wire/... .
+	$(GO) test -race ./internal/engine/... ./internal/bounded/... ./internal/hashtab/... ./internal/impression/... ./internal/recycler/... ./internal/expr/... ./internal/server/... ./internal/plancache/... ./internal/wire/... ./internal/segment/... .
+
+# Crash-recovery suite under the race detector: the segment store's
+# WAL/torn-tail/fault-injection property tests, the DB-level restart
+# and crash-without-Close recovery tests, and the daemon's -data-dir
+# restart acceptance.
+crash:
+	$(GO) test -race -v ./internal/segment/...
+	$(GO) test -race -run='^TestDurable' -v .
+	$(GO) test -race -run='^TestRestartRecoversDataDir$$' -v ./cmd/sciborqd
 
 # Short fuzz smoke over the SQL front-end (Parse never panics and
 # accepted statements round-trip through Statement.String) and the wire
@@ -71,6 +81,9 @@ bench-json:
 	$(GO) test -json -run='^$$' -benchmem -benchtime=5x \
 		-bench='^(BenchmarkWireEncode|BenchmarkJSONEncode|BenchmarkWireStream)$$' \
 		./internal/wire > BENCH_wire.json
+	$(GO) test -json -run='^$$' -benchmem -benchtime=5x \
+		-bench='^BenchmarkSegmentScan$$' \
+		./internal/segment > BENCH_storage.json
 
 # Allocation regression gate for the cached-statement front end: a warm
 # plan-cache hit (alias probe + catalog version check) must stay at
@@ -108,4 +121,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: build vet fmt test race bench bench-alloc chaos fuzz
+ci: build vet fmt test race bench bench-alloc chaos crash fuzz

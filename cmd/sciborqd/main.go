@@ -44,20 +44,23 @@ import (
 // package-level flag state) so the drain test can run the real daemon
 // in-process with a tiny dataset.
 type options struct {
-	addr         string
-	wireAddr     string
-	rows         int
-	layers       string
-	policy       string
-	seed         uint64
-	maxInFlight  int
-	maxQueue     int
-	maxQueryTime time.Duration
-	recyclerMB   int64
-	tenantMB     int64
-	maxTenants   int
-	memoryMB     int64
-	drainTimeout time.Duration
+	addr            string
+	wireAddr        string
+	rows            int
+	layers          string
+	policy          string
+	seed            uint64
+	maxInFlight     int
+	maxQueue        int
+	maxQueryTime    time.Duration
+	recyclerMB      int64
+	tenantMB        int64
+	maxTenants      int
+	memoryMB        int64
+	drainTimeout    time.Duration
+	dataDir         string
+	granuleCacheMB  int64
+	wireIdleTimeout time.Duration
 }
 
 func main() {
@@ -76,6 +79,9 @@ func main() {
 	flag.IntVar(&opts.maxTenants, "max-tenants", 64, "max resident tenant recycler partitions (LRU beyond)")
 	flag.Int64Var(&opts.memoryMB, "memory-mb", 0, "global cache memory budget in MiB under the governor (0 disables)")
 	flag.DurationVar(&opts.drainTimeout, "drain-timeout", 30*time.Second, "max wait for in-flight queries on shutdown")
+	flag.StringVar(&opts.dataDir, "data-dir", "", "durable storage directory: Load batches are WAL-acknowledged and survive restarts (empty: in-memory)")
+	flag.Int64Var(&opts.granuleCacheMB, "granule-cache-mb", 0, "hot-granule residency budget in MiB for durable tables (0: track only, never evict)")
+	flag.DurationVar(&opts.wireIdleTimeout, "wire-idle-timeout", 0, "close wire sessions idle longer than this (0: protocol default of 5m)")
 	flag.Parse()
 	if err := run(opts, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "sciborqd:", err)
@@ -100,12 +106,14 @@ func run(opts options, ready func(addr, wireAddr string)) error {
 		return err
 	}
 
-	fmt.Printf("sciborqd: generating %d synthetic SkyServer objects...\n", opts.rows)
-	db, err := buildDB(opts.rows, sizes, policy, opts.seed,
-		opts.recyclerMB<<20, opts.tenantMB<<20, opts.maxTenants, opts.memoryMB<<20)
+	db, err := buildDB(opts, sizes, policy)
 	if err != nil {
 		return err
 	}
+	// Final seal + file/mapping release for durable tables; a no-op for
+	// in-memory runs. Runs after both listeners have shut down, so no
+	// query snapshot still references the mappings it unmaps.
+	defer db.Close()
 
 	srv, err := server.New(server.Config{
 		DB:           db,
@@ -155,6 +163,7 @@ func run(opts options, ready func(addr, wireAddr string)) error {
 			DB:           db,
 			Core:         srv,
 			MaxQueryTime: opts.maxQueryTime,
+			IdleTimeout:  opts.wireIdleTimeout,
 		})
 		srv.SetWireStats(func() any { return wireSrv.Stats() })
 		wireAddr = wln.Addr().String()
@@ -204,22 +213,30 @@ func run(opts options, ready func(addr, wireAddr string)) error {
 // buildDB assembles the same synthetic SkyServer setup as the sciborq
 // shell: catalogue tables, a tracked (ra, dec) workload, a biased
 // impression hierarchy, and the data loaded in nightly batches so the
-// impressions build in the load path.
-func buildDB(rows int, sizes []int, policy sciborq.Policy, seed uint64,
-	recyclerBytes, tenantBytes int64, maxTenants int, memoryBytes int64) (*sciborq.DB, error) {
+// impressions build in the load path. With -data-dir, an existing
+// directory short-circuits generation: attach recovers the acknowledged
+// rows (sealed segments + WAL replay) and impressions are backfilled
+// from the recovered table instead of rebuilt in a load loop.
+func buildDB(opts options, sizes []int, policy sciborq.Policy) (*sciborq.DB, error) {
 	cfg := skyserver.DefaultConfig(0)
-	cfg.Seed = seed
+	cfg.Seed = opts.seed
 	sky, err := skyserver.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	db := sciborq.Open(
-		sciborq.WithSeed(seed),
-		sciborq.WithRecyclerBudget(recyclerBytes),
-		sciborq.WithTenantRecyclerBudget(tenantBytes),
-		sciborq.WithMaxTenants(maxTenants),
-		sciborq.WithMemoryBudget(memoryBytes),
-	)
+	dbOpts := []sciborq.Option{
+		sciborq.WithSeed(opts.seed),
+		sciborq.WithRecyclerBudget(opts.recyclerMB << 20),
+		sciborq.WithTenantRecyclerBudget(opts.tenantMB << 20),
+		sciborq.WithMaxTenants(opts.maxTenants),
+		sciborq.WithMemoryBudget(opts.memoryMB << 20),
+	}
+	if opts.dataDir != "" {
+		dbOpts = append(dbOpts,
+			sciborq.WithDataDir(opts.dataDir),
+			sciborq.WithGranuleCacheBudget(opts.granuleCacheMB<<20))
+	}
+	db := sciborq.Open(dbOpts...)
 	for _, t := range []string{"PhotoObjAll", "Field", "PhotoTag"} {
 		tb, err := sky.Catalog.Get(t)
 		if err != nil {
@@ -229,6 +246,7 @@ func buildDB(rows int, sizes []int, policy sciborq.Policy, seed uint64,
 			return nil, err
 		}
 	}
+	recovered := db.Recovered("PhotoObjAll")
 	if err := db.TrackWorkload("PhotoObjAll",
 		sciborq.Attr{Name: "ra", Min: cfg.RaMin, Max: cfg.RaMax, Beta: 30},
 		sciborq.Attr{Name: "dec", Min: cfg.DecMin, Max: cfg.DecMax, Beta: 30},
@@ -241,15 +259,26 @@ func buildDB(rows int, sizes []int, policy sciborq.Policy, seed uint64,
 	}
 	if err := db.BuildImpressions("PhotoObjAll", sciborq.ImpressionConfig{
 		Sizes: sizes, Policy: policy, Attrs: attrs, K: 500, D: 1000,
+		Backfill: recovered,
 	}); err != nil {
 		return nil, err
 	}
+	if recovered {
+		tb, err := db.Table("PhotoObjAll")
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("sciborqd: recovered %d durable rows from %s; impressions backfilled\n",
+			tb.Len(), opts.dataDir)
+		return db, nil
+	}
+	fmt.Printf("sciborqd: generating %d synthetic SkyServer objects...\n", opts.rows)
 	gen := sky.Generator(nil)
 	const night = 20_000
-	for loaded := 0; loaded < rows; loaded += night {
+	for loaded := 0; loaded < opts.rows; loaded += night {
 		n := night
-		if rows-loaded < n {
-			n = rows - loaded
+		if opts.rows-loaded < n {
+			n = opts.rows - loaded
 		}
 		if err := db.Load("PhotoObjAll", gen.NextBatch(n)); err != nil {
 			return nil, err

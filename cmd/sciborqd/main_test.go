@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"syscall"
 	"testing"
 	"time"
@@ -203,6 +204,130 @@ func TestGracefulDrainOnSIGTERM(t *testing.T) {
 		t.Fatal("wire listener still accepting after shutdown")
 	}
 }
+
+// TestRestartRecoversDataDir is the daemon half of the durability
+// acceptance: run sciborqd with -data-dir, stop it with SIGTERM, start
+// it again on the same directory, and the acknowledged rows are served
+// again — recovered from disk, not regenerated — with the storage
+// section visible in /stats.
+func TestRestartRecoversDataDir(t *testing.T) {
+	dir := t.TempDir()
+	opts := options{
+		addr:           "127.0.0.1:0",
+		rows:           6000,
+		layers:         "400,40",
+		policy:         "biased",
+		seed:           7,
+		maxInFlight:    2,
+		maxQueue:       4,
+		recyclerMB:     1,
+		tenantMB:       1,
+		maxTenants:     4,
+		drainTimeout:   10 * time.Second,
+		dataDir:        dir,
+		granuleCacheMB: 1,
+	}
+
+	countRows := func(base string) float64 {
+		t.Helper()
+		body, _ := json.Marshal(map[string]string{"sql": "SELECT COUNT(*) AS n FROM PhotoObjAll"})
+		resp, err := http.Post(base+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var res struct {
+			Exact *struct {
+				Rows [][]string `json:"rows"`
+			} `json:"exact"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			t.Fatal(err)
+		}
+		if res.Exact == nil || len(res.Exact.Rows) != 1 || len(res.Exact.Rows[0]) != 1 {
+			t.Fatalf("count query shape: %+v", res.Exact)
+		}
+		n, err := strconv.ParseFloat(res.Exact.Rows[0][0], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+
+	boot := func() (base string, runErr chan error) {
+		t.Helper()
+		addrCh := make(chan addrs, 1)
+		runErr = make(chan error, 1)
+		go func() {
+			runErr <- run(opts, func(addr, wireAddr string) { addrCh <- addrs{addr, wireAddr} })
+		}()
+		select {
+		case a := <-addrCh:
+			return "http://" + a.http, runErr
+		case err := <-runErr:
+			t.Fatalf("daemon exited before ready: %v", err)
+		case <-time.After(60 * time.Second):
+			t.Fatal("daemon never became ready")
+		}
+		return "", nil
+	}
+	stop := func(runErr chan error) {
+		t.Helper()
+		if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-runErr:
+			if err != nil {
+				t.Fatalf("run returned %v, want nil", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("daemon did not shut down")
+		}
+	}
+
+	base, runErr := boot()
+	if got := countRows(base); got != 6000 {
+		t.Fatalf("first boot: COUNT(*) = %v, want 6000", got)
+	}
+	stop(runErr)
+
+	// Second boot on the same directory: even with a different -rows
+	// setting, the durable state wins — nothing is regenerated.
+	opts.rows = 99
+	base, runErr = boot()
+	if got := countRows(base); got != 6000 {
+		t.Fatalf("after restart: COUNT(*) = %v, want the 6000 recovered rows", got)
+	}
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Storage *struct {
+			Tables map[string]struct {
+				Rows      int  `json:"rows"`
+				Recovered bool `json:"recovered"`
+			} `json:"tables"`
+		} `json:"storage"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Storage == nil {
+		t.Fatal("/stats has no storage section on a durable daemon")
+	}
+	ts, ok := st.Storage.Tables["PhotoObjAll"]
+	if !ok || ts.Rows != 6000 || !ts.Recovered {
+		t.Fatalf("storage stats after restart: %+v", st.Storage.Tables)
+	}
+	stop(runErr)
+}
+
+// addrs carries the two bound listen addresses out of run's ready hook.
+type addrs struct{ http, wire string }
 
 // waitFor polls /stats until the admission queue shows the wanted
 // occupancy (or fails after a bounded wait).

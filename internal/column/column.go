@@ -129,6 +129,17 @@ func (c *Float64Col) SnapshotView(n int) Column {
 	return &Float64Col{name: c.name, Data: c.Data[:n:n], zones: c.zones.snapshot(n)}
 }
 
+// SetMapped replaces the column's storage with data — typically a
+// file-backed (mmap) slice owned by the durable segment store — and
+// observes rows [from, len(data)) into the zone map. Rows below from
+// must already be covered (by InstallZones or an earlier SetMapped);
+// the store extends a mapped column by handing the same mapping with a
+// longer length and from = previous length.
+func (c *Float64Col) SetMapped(data []float64, from int) {
+	c.Data = data
+	c.zones.rebuildF64(data, from)
+}
+
 // Int64Col is a column of int64 values.
 type Int64Col struct {
 	name  string
@@ -194,6 +205,12 @@ func (c *Int64Col) SnapshotView(n int) Column {
 	return &Int64Col{name: c.name, Data: c.Data[:n:n], zones: c.zones.snapshot(n)}
 }
 
+// SetMapped is Float64Col.SetMapped for BIGINT storage.
+func (c *Int64Col) SetMapped(data []int64, from int) {
+	c.Data = data
+	c.zones.rebuildI64(data, from)
+}
+
 // BoolCol is a column of bool values.
 type BoolCol struct {
 	name string
@@ -238,6 +255,10 @@ func (c *BoolCol) AppendFrom(src Column, sel vec.Sel) error {
 func (c *BoolCol) SnapshotView(n int) Column {
 	return &BoolCol{name: c.name, Data: c.Data[:n:n]}
 }
+
+// SetMapped replaces the column's storage with a file-backed slice;
+// BOOLEAN columns carry no zone map, so this is a header swap.
+func (c *BoolCol) SetMapped(data []bool) { c.Data = data }
 
 // Slice implements Column.
 func (c *BoolCol) Slice(sel vec.Sel) Column {
@@ -341,6 +362,42 @@ func (c *StringCol) SnapshotView(n int) Column {
 		Data:  c.Data[:n:n],
 	}
 }
+
+// SetMappedCodes replaces the code storage with a file-backed slice.
+// The dictionary is unchanged: the durable store restores it first with
+// LoadDict, and the codes in the mapping were written against exactly
+// that word order.
+func (c *StringCol) SetMappedCodes(codes []int32) { c.Data = codes }
+
+// LoadDict installs the dictionary words in code order, replacing any
+// existing dictionary. Used by the durable store when reopening a
+// VARCHAR column whose codes live in a mapped file.
+func (c *StringCol) LoadDict(words []string) {
+	c.dict = append(c.dict[:0], words...)
+	c.codes = make(map[string]int32, len(words))
+	for i, w := range words {
+		c.codes[w] = int32(i)
+	}
+}
+
+// Intern returns the dictionary code for v, adding it to the dictionary
+// if absent — the code-assignment half of Append, without appending a
+// row. The durable store interns batch values and writes the codes to
+// the column's mapped file itself.
+func (c *StringCol) Intern(v string) int32 {
+	code, ok := c.codes[v]
+	if !ok {
+		code = int32(len(c.dict))
+		c.dict = append(c.dict, v)
+		c.codes[v] = code
+	}
+	return code
+}
+
+// Dict returns the dictionary words in code order (shared; callers
+// must not mutate). The durable store persists the suffix added since
+// the last seal.
+func (c *StringCol) Dict() []string { return c.dict }
 
 // Slice implements Column.
 func (c *StringCol) Slice(sel vec.Sel) Column {

@@ -119,10 +119,36 @@ func (c *Int64Col) ZoneBounds(lo, hi int) (mn, mx float64, ok bool) {
 	return c.zones.bounds(lo, hi)
 }
 
+// ZoneArrays returns copies of the per-granule min/max arrays — what
+// the durable segment store persists in its manifest so reopening a
+// sealed column never rescans the data.
+func (c *Float64Col) ZoneArrays() (zmin, zmax []float64) {
+	return append([]float64(nil), c.zones.zmin...), append([]float64(nil), c.zones.zmax...)
+}
+
+// ZoneArrays is Float64Col.ZoneArrays for BIGINT columns.
+func (c *Int64Col) ZoneArrays() (zmin, zmax []float64) {
+	return append([]float64(nil), c.zones.zmin...), append([]float64(nil), c.zones.zmax...)
+}
+
+// InstallZones replaces the column's zone map with persisted granule
+// bounds (the manifest's record of a sealed prefix). The arrays are
+// adopted, not copied; subsequent appends observe into them in place.
+func (c *Float64Col) InstallZones(zmin, zmax []float64) {
+	c.zones = zoneMapF64{zmin: zmin, zmax: zmax}
+}
+
+// InstallZones is Float64Col.InstallZones for BIGINT columns.
+func (c *Int64Col) InstallZones(zmin, zmax []float64) {
+	c.zones = zoneMapF64{zmin: zmin, zmax: zmax}
+}
+
 // ZoneMapped is implemented by columns that maintain per-granule
 // min/max summaries; the engine's morsel pruning consults it.
 type ZoneMapped interface {
 	// ZoneBounds returns conservative min/max over rows [lo, hi);
 	// ok is false when the window has no zone coverage.
 	ZoneBounds(lo, hi int) (mn, mx float64, ok bool)
+	// ZoneArrays returns copies of the raw per-granule min/max arrays.
+	ZoneArrays() (zmin, zmax []float64)
 }

@@ -459,6 +459,10 @@ func scanMorsels(t *table.Table, n int, pred expr.Predicate, opts ExecOptions, p
 				return nil
 			}
 		}
+		// The morsel survived pruning and will be read: account its
+		// granules' residency with the table's pager (durable tables
+		// larger than RAM; no-op branch for in-memory tables).
+		t.TouchRange(lo, hi)
 		sel, pooled, err := filterMorsel(t, pred, lo, hi)
 		if err != nil {
 			return err

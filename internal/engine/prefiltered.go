@@ -28,7 +28,7 @@ func FilterStats(t *table.Table, pred expr.Predicate, opts ExecOptions) (vec.Sel
 // the same no-op merge a matchless morsel produces on the cold path.
 // The ScanStats handed back is the caller's (the fold did not scan
 // anything new).
-func selDriver(positions vec.Sel, n int, opts ExecOptions, scan ScanStats) scanDriver {
+func selDriver(t *table.Table, positions vec.Sel, n int, opts ExecOptions, scan ScanStats) scanDriver {
 	return func(perMorsel func(m, lo, hi int, sel vec.Sel) error) (ScanStats, error) {
 		parts := partitionSel(positions, n, opts)
 		mr := opts.morselRows()
@@ -36,6 +36,7 @@ func selDriver(positions vec.Sel, n int, opts ExecOptions, scan ScanStats) scanD
 		partOpts := ExecOptions{Parallelism: opts.workers(), MorselRows: 1, Ctx: opts.Ctx}
 		err := forEachMorsel(len(parts), partOpts, func(i, _, _ int) error {
 			p := parts[i]
+			t.TouchRange(p.rowLo, p.rowHi)
 			return perMorsel(p.rowLo/mr, p.rowLo, p.rowHi, positions[p.plo:p.phi])
 		})
 		return scan, err
@@ -59,7 +60,7 @@ func RunOnFilteredOpts(t *table.Table, sel vec.Sel, q Query, scan ScanStats, opt
 		sel = vec.NewSelAll(t.Len())
 	}
 	if len(q.Aggs) > 0 {
-		drive := selDriver(sel, t.Len(), opts, scan)
+		drive := selDriver(t, sel, t.Len(), opts, scan)
 		if q.GroupBy != "" {
 			return groupByAggregate(t, q, opts, drive)
 		}

@@ -118,7 +118,8 @@ func TestSelDriverMorselLayout(t *testing.T) {
 		sel       vec.Sel
 	}
 	var got []part
-	_, err := selDriver(positions, 1000, opts, ScanStats{})(func(m, lo, hi int, sel vec.Sel) error {
+	tb := table.MustNew("layout", table.Schema{{Name: "x", Type: column.Float64}})
+	_, err := selDriver(tb, positions, 1000, opts, ScanStats{})(func(m, lo, hi int, sel vec.Sel) error {
 		got = append(got, part{m, lo, hi, append(vec.Sel(nil), sel...)})
 		return nil
 	})

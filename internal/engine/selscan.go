@@ -140,6 +140,8 @@ func scanSelMorsels(t *table.Table, positions vec.Sel, pred expr.Predicate, opts
 				return nil
 			}
 		}
+		// Surviving part: account granule residency before reading.
+		t.TouchRange(p.rowLo, p.rowHi)
 		sel, err := filterSelPart(t, pred, positions[p.plo:p.phi])
 		if err != nil {
 			return err

@@ -50,6 +50,12 @@ const (
 	PointQuery = "server.query"
 	// PointLoad fires at the top of every DB.Load batch.
 	PointLoad = "db.load"
+	// PointWAL fires inside the segment store's WAL append, after the
+	// record is serialised but before it is written and synced. An
+	// injected error makes the store write a torn prefix of the record
+	// and fail the batch — simulating a crash mid-write, the scenario
+	// recovery's torn-tail tolerance exists for.
+	PointWAL = "storage.wal"
 )
 
 // Kind is the shape of one injected fault.

@@ -23,11 +23,20 @@ var (
 	_ Sink = (*impression.Hierarchy)(nil)
 )
 
+// Appender is an alternative batch-append destination — the durable
+// segment store. When installed, LoadBatch routes every batch through
+// it (WAL, fold, seal) instead of appending to the table directly; the
+// store extends the same table, so position accounting is unchanged.
+type Appender interface {
+	LoadBatch(rows []table.Row) error
+}
+
 // Loader appends batches to a base table and feeds every appended row to
 // the registered sinks.
 type Loader struct {
 	mu      sync.Mutex
 	base    *table.Table
+	app     Appender // nil: append straight to base
 	sinks   []Sink
 	batches int64
 	rows    int64
@@ -63,13 +72,30 @@ func (l *Loader) Backfill(s Sink) {
 	}
 }
 
+// SetAppender routes subsequent batches through a (durable) appender
+// instead of the table's direct append path. Install before loading
+// starts.
+func (l *Loader) SetAppender(a Appender) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.app = a
+}
+
 // LoadBatch appends one nightly batch and streams its positions to all
-// sinks. The append is atomic; on error no sink sees any row.
+// sinks. The append is atomic; on error no sink sees any row. With an
+// Appender installed, the batch is durable (WAL-acknowledged) before
+// this returns.
 func (l *Loader) LoadBatch(rows []table.Row) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	start := l.base.Len()
-	if err := l.base.AppendBatch(rows); err != nil {
+	var err error
+	if l.app != nil {
+		err = l.app.LoadBatch(rows)
+	} else {
+		err = l.base.AppendBatch(rows)
+	}
+	if err != nil {
 		return fmt.Errorf("loader: %w", err)
 	}
 	end := l.base.Len()

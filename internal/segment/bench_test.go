@@ -1,0 +1,86 @@
+package segment
+
+import (
+	"testing"
+
+	"sciborq/internal/column"
+	"sciborq/internal/table"
+)
+
+// benchStore builds a sealed 4-granule durable store (x f64 + k i64,
+// 512K rows) with a tracking granule cache, returning the mapped x
+// column for scanning.
+func benchStore(b *testing.B) (*Store, *Cache, []float64) {
+	b.Helper()
+	tb := table.MustNew("bench", table.Schema{
+		{Name: "x", Type: column.Float64},
+		{Name: "k", Type: column.Int64},
+	})
+	cache := NewCache(0) // track-only: benchmarks evict explicitly
+	s, err := Open(tb, Options{Dir: b.TempDir(), Cache: cache})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	const total = 4 * granuleRows
+	batch := make([]table.Row, 0, 16384)
+	for lo := 0; lo < total; lo += cap(batch) {
+		batch = batch[:0]
+		for i := lo; i < lo+cap(batch); i++ {
+			batch = append(batch, table.Row{float64(i), int64(i)})
+		}
+		if err := s.LoadBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Seal(); err != nil {
+		b.Fatal(err)
+	}
+	data, err := tb.Float64("x")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, cache, data
+}
+
+// BenchmarkSegmentScan compares scanning a durable column with its
+// granules resident against scanning after every granule was advised
+// out of the mapping — the steady-state vs cold-fault cost a
+// larger-than-budget table pays per touch.
+func BenchmarkSegmentScan(b *testing.B) {
+	s, cache, data := benchStore(b)
+	scan := func() float64 {
+		sum := 0.0
+		for _, v := range data {
+			sum += v
+		}
+		return sum
+	}
+	bytesPerScan := int64(len(data)) * 8
+
+	b.Run("resident", func(b *testing.B) {
+		s.Touch(0, len(data))
+		scan() // fault everything in once
+		b.SetBytes(bytesPerScan)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Touch(0, len(data))
+			if scan() == -1 {
+				b.Fatal("impossible")
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		b.SetBytes(bytesPerScan)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cache.Shed(1 << 62) // advise every granule out
+			b.StartTimer()
+			s.Touch(0, len(data))
+			if scan() == -1 {
+				b.Fatal("impossible")
+			}
+		}
+	})
+}

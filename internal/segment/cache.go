@@ -1,0 +1,151 @@
+package segment
+
+import (
+	"container/list"
+	"sync"
+
+	"sciborq/internal/column"
+)
+
+// Cache is the process-wide granule-residency accountant: every morsel
+// the engine actually reads (post zone-pruning) touches its granules
+// here, and when the resident estimate exceeds the byte budget the
+// coldest granules are advised out of their stores' mappings
+// (madvise(MADV_DONTNEED)) — so a table can be larger than RAM with hot
+// granules resident and cold ones refaulting from disk on demand. The
+// cache also registers with the memory governor as a shed tier
+// ("storage.granules"): under global pressure it gives ground before
+// the recycler, since a granule refault is one read, not a scan.
+//
+// Residency here is an estimate, not ground truth — the kernel pages
+// data in and out on its own. The estimate is what makes eviction
+// proactive and observable (/stats) instead of leaving cold tables to
+// swap pressure.
+type Cache struct {
+	mu       sync.Mutex
+	budget   int64 // <= 0: track only, never evict
+	lru      *list.List
+	entries  map[granKey]*list.Element
+	resident int64
+
+	touches   int64
+	faults    int64
+	evictions int64
+}
+
+type granKey struct {
+	store *Store
+	g     int
+}
+
+type granEntry struct {
+	key   granKey
+	bytes int64
+}
+
+// NewCache builds a granule cache with the given byte budget; <= 0
+// disables eviction (residency is still tracked for /stats).
+func NewCache(budget int64) *Cache {
+	return &Cache{budget: budget, lru: list.New(), entries: make(map[granKey]*list.Element)}
+}
+
+// touch marks granules [g0, g1] of s hot, faulting in absentees and
+// evicting over-budget cold granules.
+func (c *Cache) touch(s *Store, g0, g1 int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for g := g0; g <= g1; g++ {
+		key := granKey{store: s, g: g}
+		if el, ok := c.entries[key]; ok {
+			c.lru.MoveToFront(el)
+			c.touches++
+			continue
+		}
+		bytes := s.granuleBytes(g)
+		c.entries[key] = c.lru.PushFront(&granEntry{key: key, bytes: bytes})
+		c.resident += bytes
+		c.faults++
+	}
+	if c.budget > 0 {
+		c.evictLocked(c.resident - c.budget)
+	}
+}
+
+// evictLocked releases cold granules until at least need bytes are
+// freed (or the LRU is empty), returning the bytes freed.
+func (c *Cache) evictLocked(need int64) int64 {
+	var freed int64
+	for freed < need {
+		el := c.lru.Back()
+		if el == nil {
+			break
+		}
+		e := el.Value.(*granEntry)
+		c.lru.Remove(el)
+		delete(c.entries, e.key)
+		e.key.store.evictGranule(e.key.g)
+		c.resident -= e.bytes
+		freed += e.bytes
+		c.evictions++
+	}
+	return freed
+}
+
+// forget drops every entry of s without advising (the store is
+// closing; its mappings are about to go away).
+func (c *Cache) forget(s *Store) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, el := range c.entries {
+		if key.store != s {
+			continue
+		}
+		e := el.Value.(*granEntry)
+		c.lru.Remove(el)
+		delete(c.entries, key)
+		c.resident -= e.bytes
+	}
+}
+
+// Usage reports the resident-byte estimate — the governor's usage probe.
+func (c *Cache) Usage() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resident
+}
+
+// Shed releases up to bytes of the coldest granules — the governor's
+// shed hook for the "storage.granules" tier.
+func (c *Cache) Shed(bytes int64) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictLocked(bytes)
+}
+
+// CacheStats is the /stats view of granule residency.
+type CacheStats struct {
+	BudgetBytes   int64 `json:"budget_bytes"`
+	ResidentBytes int64 `json:"resident_bytes"`
+	Granules      int   `json:"granules"`
+	Touches       int64 `json:"touches"`
+	Faults        int64 `json:"faults"`
+	Evictions     int64 `json:"evictions"`
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		BudgetBytes:   c.budget,
+		ResidentBytes: c.resident,
+		Granules:      len(c.entries),
+		Touches:       c.touches,
+		Faults:        c.faults,
+		Evictions:     c.evictions,
+	}
+}
+
+// granuleRows is the residency unit: the engine's zone-map granule, so
+// touch accounting aligns with morsel pruning.
+const granuleRows = column.ZoneRows

@@ -1,0 +1,203 @@
+// Package segment is the durable storage layer under internal/table:
+// per-column data files in the MonetDB BAT tradition the paper builds
+// on (one file per column, raw little-endian values, dictionary pages
+// for VARCHAR), a write-ahead log that makes Loader batches durable
+// before they are acknowledged, a manifest that seals the durable
+// prefix with its zone maps, and a byte-budgeted granule-residency
+// cache so a table can be larger than RAM.
+//
+// The central design constraint is the engine: every scan kernel reads
+// whole contiguous Data slices ([]float64, []int64, ...). Segment
+// storage therefore maps each column's single data file read-only
+// (MAP_SHARED) and hands the table unsafe-cast slice views into the
+// mapping — the engine is unchanged, the OS pages granules in on
+// demand, and eviction is madvise(MADV_DONTNEED) on cold granule
+// ranges. Platforms without mmap fall back to heap-resident storage
+// (still durable, not larger-than-RAM).
+package segment
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"unsafe"
+)
+
+// colFile is one column's backing file: a sparse file sized to a row
+// capacity, written with pwrite (never through the mapping) and read
+// through a whole-file read-only mapping. Capacity growth doubles the
+// file and remaps; superseded mappings are retired, not unmapped, so
+// snapshot slices taken before the growth stay valid until Close.
+type colFile struct {
+	path string
+	f    *os.File
+	elem int64 // bytes per row: 8 (f64/i64), 4 (varchar codes), 1 (bool)
+
+	mapped  []byte   // current mapping (nil in heap mode)
+	retired [][]byte // superseded mappings, unmapped only at Close
+	heap    []byte   // heap-mode storage mirror
+	capRows int64
+}
+
+// minCapRows is the smallest file capacity, in rows. Files are sparse,
+// so over-reserving costs address space (cheap) not disk.
+const minCapRows = 64 * 1024
+
+// openColFile opens (creating if absent) the column file at path and
+// ensures capacity for at least needRows rows.
+func openColFile(path string, elem int64, needRows int, noMmap bool) (*colFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	c := &colFile{path: path, f: f, elem: elem}
+	capRows := int64(minCapRows)
+	for capRows < int64(needRows) {
+		capRows *= 2
+	}
+	if err := c.setCap(capRows, noMmap || !mmapSupported); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// setCap grows the file to capRows rows and (re)maps it. The previous
+// mapping, if any, is retired.
+func (c *colFile) setCap(capRows int64, heapMode bool) error {
+	if err := c.f.Truncate(capRows * c.elem); err != nil {
+		return fmt.Errorf("segment: grow %s: %w", c.path, err)
+	}
+	if heapMode {
+		grown := make([]byte, capRows*c.elem)
+		if c.heap == nil {
+			// First open in heap mode: load whatever the file holds. The
+			// file was just truncated to exactly len(grown), so the read
+			// fills fully; io.EOF at the boundary is not an error.
+			if _, err := c.f.ReadAt(grown, 0); err != nil && !errors.Is(err, io.EOF) {
+				return fmt.Errorf("segment: read %s: %w", c.path, err)
+			}
+		} else {
+			copy(grown, c.heap)
+		}
+		c.heap = grown
+		c.capRows = capRows
+		return nil
+	}
+	m, err := mmapFile(int(c.f.Fd()), capRows*c.elem)
+	if err != nil {
+		return fmt.Errorf("segment: mmap %s: %w", c.path, err)
+	}
+	if c.mapped != nil {
+		c.retired = append(c.retired, c.mapped)
+	}
+	c.mapped = m
+	c.capRows = capRows
+	return nil
+}
+
+// ensure grows capacity to hold rows rows (doubling); a no-op when it
+// already fits.
+func (c *colFile) ensure(rows int) error {
+	if int64(rows) <= c.capRows {
+		return nil
+	}
+	capRows := c.capRows
+	for capRows < int64(rows) {
+		capRows *= 2
+	}
+	return c.setCap(capRows, c.mapped == nil)
+}
+
+// write stores b at byte offset off: always to the file (durability),
+// and into the heap mirror when not mapped (visibility).
+func (c *colFile) write(off int64, b []byte) error {
+	if _, err := c.f.WriteAt(b, off); err != nil {
+		return fmt.Errorf("segment: write %s: %w", c.path, err)
+	}
+	if c.mapped == nil {
+		copy(c.heap[off:], b)
+	}
+	return nil
+}
+
+// bytes returns the full-capacity byte view of the column storage.
+func (c *colFile) bytes() []byte {
+	if c.mapped != nil {
+		return c.mapped
+	}
+	return c.heap
+}
+
+// sync flushes the file to stable storage.
+func (c *colFile) sync() error { return c.f.Sync() }
+
+// evict drops the residency of byte range [lo, hi) (page-aligned
+// inward); a no-op in heap mode. Returns the bytes advised out.
+func (c *colFile) evict(lo, hi int64) int64 {
+	if c.mapped == nil {
+		return 0
+	}
+	lo = (lo + pageSize - 1) / pageSize * pageSize
+	hi = hi / pageSize * pageSize
+	if hi <= lo {
+		return 0
+	}
+	if err := madviseDontNeed(c.mapped[lo:hi]); err != nil {
+		return 0
+	}
+	return hi - lo
+}
+
+// close unmaps every mapping (current and retired) and closes the file.
+// Slices handed out over the mappings are invalid afterwards.
+func (c *colFile) close() error {
+	var first error
+	for _, m := range append(c.retired, c.mapped) {
+		if m != nil {
+			if err := munmapFile(m); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	c.mapped, c.retired = nil, nil
+	if err := c.f.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// Typed views over a column file's bytes. The mapping is page-aligned,
+// so the casts are aligned for every element size; n is in rows.
+
+func f64View(b []byte, n int) []float64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8)[:n:n]
+}
+
+func i64View(b []byte, n int) []int64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), len(b)/8)[:n:n]
+}
+
+func i32View(b []byte, n int) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)[:n:n]
+}
+
+// boolView reinterprets one byte per row as bool. The writer only emits
+// 0x00/0x01; the per-segment CRC catches on-disk corruption that could
+// smuggle in other byte values (undefined as Go bools).
+func boolView(b []byte, n int) []bool {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*bool)(unsafe.Pointer(&b[0])), len(b))[:n:n]
+}

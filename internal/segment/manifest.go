@@ -1,0 +1,171 @@
+package segment
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"sciborq/internal/column"
+	"sciborq/internal/table"
+)
+
+// The manifest is the durable footer of the table's sealed prefix: it
+// records the schema, the sealed row count, the per-column zone-map
+// granule arrays at that prefix (so reopening never rescans data), the
+// sealed dictionary word counts for VARCHAR columns, and one entry per
+// sealed segment with per-column CRC32s for VerifyOnOpen. It is
+// rewritten atomically at each seal (tmp + fsync + rename + dir sync):
+// a crash mid-seal leaves the previous manifest, and the WAL — only
+// truncated after the manifest rename — still carries the batches the
+// old manifest does not cover.
+const (
+	manifestName    = "MANIFEST.json"
+	manifestVersion = 1
+)
+
+type manifest struct {
+	Version    int          `json:"version"`
+	Table      string       `json:"table"`
+	SealedRows int          `json:"sealed_rows"`
+	Columns    []manCol     `json:"columns"`
+	Segments   []manSegment `json:"segments"`
+}
+
+type manCol struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+	// Zmin/Zmax are the zone-map granule arrays over the sealed prefix,
+	// base64 of raw little-endian IEEE 754 float64 — raw bits rather
+	// than JSON numbers so NaN survives and reopen is bit-identical.
+	Zmin string `json:"zmin,omitempty"`
+	Zmax string `json:"zmax,omitempty"`
+	// DictWords counts the sealed dictionary words (VARCHAR only); the
+	// dict file may hold exactly this many complete entries.
+	DictWords int `json:"dict_words,omitempty"`
+}
+
+type manSegment struct {
+	StartRow int `json:"start_row"`
+	Rows     int `json:"rows"`
+	// CRC maps column name → IEEE CRC32 of that column's raw bytes over
+	// the segment's row range.
+	CRC map[string]uint32 `json:"crc"`
+}
+
+func encodeF64s(v []float64) string {
+	buf := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(x))
+	}
+	return base64.StdEncoding.EncodeToString(buf)
+}
+
+func decodeF64s(s string) ([]float64, error) {
+	buf, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf)%8 != 0 {
+		return nil, fmt.Errorf("segment: zone array length %d not a multiple of 8", len(buf))
+	}
+	out := make([]float64, len(buf)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return out, nil
+}
+
+// readManifest loads the manifest from dir; found is false when none
+// exists (a fresh data directory).
+func readManifest(dir string) (m *manifest, found bool, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	m = &manifest{}
+	if err := json.Unmarshal(data, m); err != nil {
+		return nil, false, fmt.Errorf("segment: corrupt manifest in %s: %w", dir, err)
+	}
+	if m.Version != manifestVersion {
+		return nil, false, fmt.Errorf("segment: manifest version %d, want %d", m.Version, manifestVersion)
+	}
+	return m, true, nil
+}
+
+// writeManifest atomically replaces dir's manifest: write to a temp
+// file, fsync it, rename over the real name, fsync the directory. A
+// crash at any point leaves either the old or the new manifest, never a
+// torn one.
+func writeManifest(dir string, m *manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// checkSchema verifies the manifest's column list matches the attached
+// table's schema exactly — name, order, and type. A mismatch means the
+// directory belongs to a different table shape; refusing is the only
+// safe answer.
+func checkSchema(m *manifest, schema table.Schema) error {
+	if len(m.Columns) != len(schema) {
+		return fmt.Errorf("segment: manifest has %d columns, table has %d", len(m.Columns), len(schema))
+	}
+	for i, mc := range m.Columns {
+		if mc.Name != schema[i].Name || mc.Type != schema[i].Type.String() {
+			return fmt.Errorf("segment: manifest column %d is %s %s, table wants %s %s",
+				i, mc.Name, mc.Type, schema[i].Name, schema[i].Type)
+		}
+	}
+	return nil
+}
+
+// elemSize returns the on-disk bytes per row for a column type.
+func elemSize(t column.Type) int64 {
+	switch t {
+	case column.Float64, column.Int64:
+		return 8
+	case column.String:
+		return 4 // int32 dictionary codes; words live in the dict file
+	case column.Bool:
+		return 1
+	}
+	panic(fmt.Sprintf("segment: unknown column type %d", t))
+}

@@ -1,0 +1,29 @@
+//go:build linux
+
+package segment
+
+import "syscall"
+
+// mmapSupported gates the mapped storage path; on platforms without it
+// colFile falls back to heap-resident storage (still durable — writes
+// always go to the file — just not larger-than-RAM).
+const mmapSupported = true
+
+// mmapFile maps length bytes of fd read-only and shared: reads see
+// pwrite(2) traffic to the same file immediately (one page cache), and
+// the mapping itself is never written through, so storage corruption
+// from a stray engine write is impossible at the MMU level.
+func mmapFile(fd int, length int64) ([]byte, error) {
+	return syscall.Mmap(fd, 0, int(length), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(b []byte) error { return syscall.Munmap(b) }
+
+// madviseDontNeed releases the page-table entries for b, dropping the
+// granule's RSS charge. On a MAP_SHARED file mapping this cannot lose
+// data — dirty pages live in the page cache under writeback, and a
+// later read simply refaults from the file.
+func madviseDontNeed(b []byte) error { return syscall.Madvise(b, syscall.MADV_DONTNEED) }
+
+// pageSize for aligning madvise ranges.
+var pageSize = int64(syscall.Getpagesize())

@@ -1,0 +1,17 @@
+//go:build !linux
+
+package segment
+
+import "errors"
+
+const mmapSupported = false
+
+func mmapFile(fd int, length int64) ([]byte, error) {
+	return nil, errors.New("segment: mmap not supported on this platform")
+}
+
+func munmapFile(b []byte) error { return nil }
+
+func madviseDontNeed(b []byte) error { return nil }
+
+var pageSize = int64(4096)

@@ -1,0 +1,783 @@
+package segment
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"sciborq/internal/column"
+	"sciborq/internal/table"
+)
+
+// DefaultSealRows is the tail size at which the store seals: syncs the
+// column files, rewrites the manifest (zones, dictionary counts,
+// segment CRCs), and truncates the WAL. Four zone-map granules — large
+// enough that seal cost amortises, small enough that the WAL a crash
+// must replay stays modest.
+const DefaultSealRows = 4 * granuleRows
+
+// Options configures a Store.
+type Options struct {
+	// Dir is the table's data directory (one directory per table).
+	Dir string
+	// SealRows is the unsealed-tail row threshold that triggers a seal;
+	// <= 0 means DefaultSealRows.
+	SealRows int
+	// NoMmap forces heap-resident storage even where mmap is available
+	// (tests, and a safety hatch).
+	NoMmap bool
+	// VerifyOnOpen checks every sealed segment's per-column CRC32 at
+	// open — a full read of the sealed data, so it is off by default
+	// (larger-than-RAM tables open lazily); recovery tests turn it on.
+	VerifyOnOpen bool
+	// Cache, when non-nil, tracks granule residency and evicts cold
+	// granules under its byte budget. Shared across stores.
+	Cache *Cache
+}
+
+// Store owns one table's durable storage: per-column data files served
+// to the engine as mapped slices, the WAL that makes Load batches
+// durable before acknowledgement, and the manifest sealing the durable
+// prefix. It implements table.Pager so engine scans feed the granule
+// cache.
+//
+// Locking: Store.mu serialises all mutation (LoadBatch, seal, Close)
+// and is ordered AFTER Cache.mu (the cache calls granuleBytes and
+// evictGranule while holding its own lock) and BEFORE the table lock
+// (fold runs inside Table.ExtendWith). Store code must therefore never
+// call Cache methods while holding Store.mu.
+type Store struct {
+	mu     sync.Mutex
+	dir    string
+	t      *table.Table
+	schema table.Schema
+	opts   Options
+
+	files []*colFile
+	cols  []column.Column // live headers; the store is their sole mutator
+
+	// VARCHAR sidecars: dictionary files (u32 len | bytes per word, in
+	// code order), with the sealed word count and byte offset. Entries
+	// beyond the sealed count are re-created deterministically by WAL
+	// replay, so recovery truncates them.
+	dictF     []*os.File
+	dictWords []int
+	dictOff   []int64
+
+	wal        *wal
+	rows       int
+	sealedRows int
+	seq        uint64
+	segments   []manSegment
+
+	closed      atomic.Bool
+	recovered   bool
+	walBatches  int64
+	replayed    int64
+	seals       int64
+	lastSealErr error
+}
+
+// Open attaches durable storage under t, rooted at opts.Dir.
+//
+// Fresh directory: the table's current rows (a pre-generated catalogue,
+// the paper's "extracted from an existing database" mode, §3.3) are
+// imported as the initial sealed segment; an empty table starts an
+// empty store. Existing directory: the manifest's sealed prefix is
+// mapped back in (zones restored from the manifest, dictionaries from
+// their sidecars — no data rescan), the WAL is replayed batch-atomically
+// with torn-tail tolerance, and any rows the table held in memory are
+// discarded — the durable state is the truth. Either way the table is
+// marked durable: direct appends are rejected, ingest must flow through
+// LoadBatch (via the loader), and scans feed the granule cache.
+func Open(t *table.Table, opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("segment: empty data directory")
+	}
+	if opts.SealRows <= 0 {
+		opts.SealRows = DefaultSealRows
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: opts.Dir, t: t, schema: t.Schema(), opts: opts}
+	man, found, err := readManifest(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if found {
+		if err := checkSchema(man, s.schema); err != nil {
+			return nil, err
+		}
+		err = s.recoverFrom(man)
+	} else {
+		err = s.initFresh()
+	}
+	if err != nil {
+		s.closeFiles()
+		return nil, err
+	}
+	t.SetPager(s)
+	return s, nil
+}
+
+func (s *Store) colPath(name string) string  { return filepath.Join(s.dir, name+".col") }
+func (s *Store) dictPath(name string) string { return filepath.Join(s.dir, name+".dict") }
+func (s *Store) walPath() string             { return filepath.Join(s.dir, "wal.log") }
+
+// openFiles opens every column file (and VARCHAR dict sidecar) with
+// capacity for needRows.
+func (s *Store) openFiles(needRows int) error {
+	s.files = make([]*colFile, len(s.schema))
+	s.dictF = make([]*os.File, len(s.schema))
+	s.dictWords = make([]int, len(s.schema))
+	s.dictOff = make([]int64, len(s.schema))
+	for i, def := range s.schema {
+		f, err := openColFile(s.colPath(def.Name), elemSize(def.Type), needRows, s.opts.NoMmap)
+		if err != nil {
+			return err
+		}
+		s.files[i] = f
+		if def.Type == column.String {
+			df, err := os.OpenFile(s.dictPath(def.Name), os.O_RDWR|os.O_CREATE, 0o644)
+			if err != nil {
+				return err
+			}
+			s.dictF[i] = df
+		}
+	}
+	return nil
+}
+
+// initFresh sets up a brand-new data directory, importing any rows the
+// table already holds as the initial sealed segment.
+func (s *Store) initFresh() error {
+	n := s.t.Len()
+	if err := s.openFiles(n); err != nil {
+		return err
+	}
+	var err error
+	s.wal, err = openWAL(s.walPath())
+	if err != nil {
+		return err
+	}
+	// Import under the table lock: write every existing value to its
+	// column file, then swap the headers onto the mapping. ExtendWith
+	// also hands us the live column objects the store mutates from here
+	// on.
+	impErr := s.t.ExtendWith(func(cols []column.Column) error {
+		s.cols = cols
+		for ci := range s.schema {
+			if err := s.writeColumnRange(ci, cols[ci], 0, n); err != nil {
+				return err
+			}
+		}
+		s.swapHeaders(cols, n, 0)
+		return nil
+	})
+	if impErr != nil {
+		return impErr
+	}
+	s.rows = n
+	// Seal the imported rows (or write the empty manifest) so the next
+	// open finds a footer.
+	return s.sealLocked(true)
+}
+
+// recoverFrom rebuilds the table from an existing data directory.
+func (s *Store) recoverFrom(man *manifest) error {
+	s.sealedRows = man.SealedRows
+	s.rows = man.SealedRows
+	s.segments = man.Segments
+	s.recovered = true
+	// A sealed prefix with a missing column file is unrecoverable
+	// corruption — refuse loudly rather than serving zeros.
+	if man.SealedRows > 0 {
+		for _, def := range s.schema {
+			if _, err := os.Stat(s.colPath(def.Name)); err != nil {
+				return fmt.Errorf("segment: table %q: missing column file for %q: %w",
+					s.t.Name(), def.Name, err)
+			}
+		}
+	}
+	if err := s.openFiles(man.SealedRows); err != nil {
+		return err
+	}
+	if s.opts.VerifyOnOpen {
+		if err := s.verifySegments(); err != nil {
+			return err
+		}
+	}
+	// Rebuild the columns over the mappings: zones from the manifest,
+	// dictionaries from their sidecars — no data rescan.
+	cols := make([]column.Column, len(s.schema))
+	for ci, def := range s.schema {
+		mc := man.Columns[ci]
+		b := s.files[ci].bytes()
+		switch def.Type {
+		case column.Float64:
+			c := column.NewFloat64(def.Name)
+			zmin, zmax, err := decodeZones(mc)
+			if err != nil {
+				return err
+			}
+			c.InstallZones(zmin, zmax)
+			c.SetMapped(f64View(b, man.SealedRows), man.SealedRows)
+			cols[ci] = c
+		case column.Int64:
+			c := column.NewInt64(def.Name)
+			zmin, zmax, err := decodeZones(mc)
+			if err != nil {
+				return err
+			}
+			c.InstallZones(zmin, zmax)
+			c.SetMapped(i64View(b, man.SealedRows), man.SealedRows)
+			cols[ci] = c
+		case column.Bool:
+			c := column.NewBool(def.Name)
+			c.SetMapped(boolView(b, man.SealedRows))
+			cols[ci] = c
+		case column.String:
+			c := column.NewString(def.Name)
+			words, off, err := readDict(s.dictF[ci], mc.DictWords)
+			if err != nil {
+				return fmt.Errorf("segment: table %q column %q: %w", s.t.Name(), def.Name, err)
+			}
+			// Words beyond the sealed count were appended by a seal the
+			// crash interrupted before the manifest landed; WAL replay
+			// re-interns them, so drop the file tail to match.
+			if err := s.dictF[ci].Truncate(off); err != nil {
+				return err
+			}
+			s.dictWords[ci] = mc.DictWords
+			s.dictOff[ci] = off
+			c.LoadDict(words)
+			c.SetMappedCodes(i32View(b, man.SealedRows))
+			cols[ci] = c
+		}
+	}
+	if err := s.t.AdoptColumns(cols); err != nil {
+		return err
+	}
+	s.cols = cols
+	// Replay the WAL: every intact record folds exactly as the live
+	// LoadBatch folded it — same writes, same zones, same dictionary
+	// interning order — so the recovered table is bit-identical to the
+	// acknowledged-batch prefix. The torn tail, if any, is truncated.
+	var err error
+	s.wal, err = openWAL(s.walPath())
+	if err != nil {
+		return err
+	}
+	return s.wal.replay(func(payload []byte) error {
+		seq, batch, err := decodeBatch(s.schema, payload)
+		if err != nil {
+			return err
+		}
+		if err := s.foldLocked(batch); err != nil {
+			return err
+		}
+		s.seq = seq
+		s.replayed++
+		return nil
+	})
+}
+
+// verifySegments checks every sealed segment's per-column CRC32.
+func (s *Store) verifySegments() error {
+	for _, seg := range s.segments {
+		for ci, def := range s.schema {
+			f := s.files[ci]
+			lo := int64(seg.StartRow) * f.elem
+			hi := int64(seg.StartRow+seg.Rows) * f.elem
+			got := crc32.ChecksumIEEE(f.bytes()[lo:hi])
+			if want, ok := seg.CRC[def.Name]; ok && got != want {
+				return fmt.Errorf("segment: table %q column %q rows [%d,%d): checksum mismatch (%08x != %08x)",
+					s.t.Name(), def.Name, seg.StartRow, seg.StartRow+seg.Rows, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+// decodeZones decodes a manifest column's granule arrays.
+func decodeZones(mc manCol) (zmin, zmax []float64, err error) {
+	if zmin, err = decodeF64s(mc.Zmin); err != nil {
+		return nil, nil, err
+	}
+	if zmax, err = decodeF64s(mc.Zmax); err != nil {
+		return nil, nil, err
+	}
+	if len(zmin) != len(zmax) {
+		return nil, nil, fmt.Errorf("segment: zone arrays disagree: %d vs %d granules", len(zmin), len(zmax))
+	}
+	return zmin, zmax, nil
+}
+
+// readDict reads the first words entries of a dict sidecar, returning
+// them and the byte offset just past the last one.
+func readDict(f *os.File, words int) ([]string, int64, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, 0, err
+	}
+	data := make([]byte, fi.Size())
+	if _, err := f.ReadAt(data, 0); err != nil && fi.Size() > 0 {
+		return nil, 0, err
+	}
+	out := make([]string, 0, words)
+	off := int64(0)
+	for len(out) < words {
+		if int64(len(data))-off < 4 {
+			return nil, 0, fmt.Errorf("dictionary truncated: %d of %d words", len(out), words)
+		}
+		l := int64(binary.LittleEndian.Uint32(data[off:]))
+		if int64(len(data))-off-4 < l {
+			return nil, 0, fmt.Errorf("dictionary truncated: %d of %d words", len(out), words)
+		}
+		out = append(out, string(data[off+4:off+4+l]))
+		off += 4 + l
+	}
+	return out, off, nil
+}
+
+// LoadBatch makes one batch durable and visible: validate, append to
+// the WAL and fsync (the acknowledgement point — returning nil means
+// the batch survives any crash), fold into the mapped columns under the
+// table lock, and seal when the unsealed tail crosses the threshold.
+// Batch-atomic throughout: a validation or WAL failure leaves no trace,
+// and a fold failure after the WAL write un-acks by truncating the
+// record back out, so recovery replays exactly the batches callers saw
+// succeed.
+func (s *Store) LoadBatch(batch []table.Row) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return fmt.Errorf("segment: table %q: store is closed", s.t.Name())
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	if err := s.validate(batch); err != nil {
+		return err
+	}
+	payload := encodeBatch(s.seq+1, s.schema, batch)
+	start, err := s.wal.append(payload)
+	if err != nil {
+		return err
+	}
+	s.seq++
+	if err := s.foldLocked(batch); err != nil {
+		s.wal.truncate(start)
+		s.seq--
+		return err
+	}
+	s.walBatches++
+	if s.rows-s.sealedRows >= s.opts.SealRows {
+		// A seal failure is not a batch failure: the rows are durable in
+		// the WAL and visible in the table. Surface it on the next seal
+		// attempt and in Stats instead.
+		s.lastSealErr = s.sealLocked(false)
+	}
+	return nil
+}
+
+// validate type-checks a batch against the schema before anything is
+// written, mirroring Table.AppendBatch's whole-batch validation.
+func (s *Store) validate(batch []table.Row) error {
+	for k, r := range batch {
+		if len(r) != len(s.schema) {
+			return fmt.Errorf("batch row %d: table %q: row arity %d, want %d",
+				k, s.t.Name(), len(r), len(s.schema))
+		}
+		for i, def := range s.schema {
+			ok := false
+			switch def.Type {
+			case column.Float64:
+				_, ok = r[i].(float64)
+			case column.Int64:
+				_, ok = r[i].(int64)
+			case column.String:
+				_, ok = r[i].(string)
+			case column.Bool:
+				_, ok = r[i].(bool)
+			}
+			if !ok {
+				return fmt.Errorf("batch row %d: table %q: column %q wants %s, got %T",
+					k, s.t.Name(), def.Name, def.Type, r[i])
+			}
+		}
+	}
+	return nil
+}
+
+// foldLocked writes a validated batch into the column files and extends
+// the table's headers over the mappings — the visibility step. File
+// writes happen first (rows beyond the table length are invisible, so a
+// partial failure changes nothing observable); the header swaps cannot
+// fail. Runs under Store.mu; takes the table write lock via ExtendWith.
+func (s *Store) foldLocked(batch []table.Row) error {
+	n := len(batch)
+	newRows := s.rows + n
+	for _, f := range s.files {
+		if err := f.ensure(newRows); err != nil {
+			return err
+		}
+	}
+	err := s.t.ExtendWith(func(cols []column.Column) error {
+		for ci := range s.schema {
+			if err := s.writeBatchColumn(ci, cols[ci], batch, s.rows); err != nil {
+				return err
+			}
+		}
+		s.swapHeaders(cols, newRows, s.rows)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	s.rows = newRows
+	return nil
+}
+
+// writeBatchColumn serialises one column of a batch to its file at row
+// offset base. VARCHAR values are interned into the live dictionary
+// here — under the table write lock, because interning mutates the
+// dictionary that concurrent Snapshot calls read.
+func (s *Store) writeBatchColumn(ci int, col column.Column, batch []table.Row, base int) error {
+	f := s.files[ci]
+	n := len(batch)
+	buf := make([]byte, int64(n)*f.elem)
+	switch s.schema[ci].Type {
+	case column.Float64:
+		for ri, r := range batch {
+			binary.LittleEndian.PutUint64(buf[ri*8:], math.Float64bits(r[ci].(float64)))
+		}
+	case column.Int64:
+		for ri, r := range batch {
+			binary.LittleEndian.PutUint64(buf[ri*8:], uint64(r[ci].(int64)))
+		}
+	case column.Bool:
+		for ri, r := range batch {
+			if r[ci].(bool) {
+				buf[ri] = 1
+			}
+		}
+	case column.String:
+		sc := col.(*column.StringCol)
+		for ri, r := range batch {
+			binary.LittleEndian.PutUint32(buf[ri*4:], uint32(sc.Intern(r[ci].(string))))
+		}
+	}
+	return f.write(int64(base)*f.elem, buf)
+}
+
+// writeColumnRange serialises rows [lo, hi) of an existing in-memory
+// column to its file — the fresh-directory import path.
+func (s *Store) writeColumnRange(ci int, col column.Column, lo, hi int) error {
+	if hi <= lo {
+		return nil
+	}
+	f := s.files[ci]
+	n := hi - lo
+	buf := make([]byte, int64(n)*f.elem)
+	switch c := col.(type) {
+	case *column.Float64Col:
+		for i, v := range c.Data[lo:hi] {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+		}
+	case *column.Int64Col:
+		for i, v := range c.Data[lo:hi] {
+			binary.LittleEndian.PutUint64(buf[i*8:], uint64(v))
+		}
+	case *column.BoolCol:
+		for i, v := range c.Data[lo:hi] {
+			if v {
+				buf[i] = 1
+			}
+		}
+	case *column.StringCol:
+		for i, code := range c.Data[lo:hi] {
+			binary.LittleEndian.PutUint32(buf[i*4:], uint32(code))
+		}
+	}
+	return f.write(int64(lo)*f.elem, buf)
+}
+
+// swapHeaders points every column at its mapping with length newRows.
+// from is the previous length: zone maps observe only the new rows.
+func (s *Store) swapHeaders(cols []column.Column, newRows, from int) {
+	for ci := range s.schema {
+		b := s.files[ci].bytes()
+		switch c := cols[ci].(type) {
+		case *column.Float64Col:
+			c.SetMapped(f64View(b, newRows), from)
+		case *column.Int64Col:
+			c.SetMapped(i64View(b, newRows), from)
+		case *column.BoolCol:
+			c.SetMapped(boolView(b, newRows))
+		case *column.StringCol:
+			c.SetMappedCodes(i32View(b, newRows))
+		}
+	}
+}
+
+// sealLocked makes the current row count the durable sealed prefix:
+// sync the column files, persist new dictionary words, rewrite the
+// manifest (atomic rename), then truncate the WAL. Crash ordering is
+// safe at every step — until the manifest rename lands, the old
+// manifest plus the still-intact WAL reproduce the same rows; after it,
+// the WAL's contents are redundant and truncating them is cleanup.
+// force writes a manifest even with nothing new to seal (the initial
+// footer of a fresh directory).
+func (s *Store) sealLocked(force bool) error {
+	if s.rows == s.sealedRows && !force {
+		return nil
+	}
+	for _, f := range s.files {
+		if err := f.sync(); err != nil {
+			return err
+		}
+	}
+	// Persist dictionary suffixes. Offsets and counts advance only
+	// after the manifest lands; a crash in between leaves orphan words
+	// the next open truncates.
+	newDictWords := make([]int, len(s.schema))
+	newDictOff := make([]int64, len(s.schema))
+	copy(newDictWords, s.dictWords)
+	copy(newDictOff, s.dictOff)
+	for ci, def := range s.schema {
+		if def.Type != column.String {
+			continue
+		}
+		words := s.cols[ci].(*column.StringCol).Dict()
+		var buf []byte
+		for _, w := range words[s.dictWords[ci]:] {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(w)))
+			buf = append(buf, w...)
+		}
+		if len(buf) > 0 {
+			if _, err := s.dictF[ci].WriteAt(buf, s.dictOff[ci]); err != nil {
+				return err
+			}
+			if err := s.dictF[ci].Sync(); err != nil {
+				return err
+			}
+		}
+		newDictWords[ci] = len(words)
+		newDictOff[ci] = s.dictOff[ci] + int64(len(buf))
+	}
+	segments := s.segments
+	if s.rows > s.sealedRows {
+		seg := manSegment{StartRow: s.sealedRows, Rows: s.rows - s.sealedRows,
+			CRC: make(map[string]uint32, len(s.schema))}
+		for ci, def := range s.schema {
+			f := s.files[ci]
+			seg.CRC[def.Name] = crc32.ChecksumIEEE(
+				f.bytes()[int64(s.sealedRows)*f.elem : int64(s.rows)*f.elem])
+		}
+		segments = append(segments, seg)
+	}
+	man := &manifest{
+		Version:    manifestVersion,
+		Table:      s.t.Name(),
+		SealedRows: s.rows,
+		Segments:   segments,
+		Columns:    make([]manCol, len(s.schema)),
+	}
+	for ci, def := range s.schema {
+		mc := manCol{Name: def.Name, Type: def.Type.String()}
+		switch c := s.cols[ci].(type) {
+		case *column.Float64Col:
+			zmin, zmax := c.ZoneArrays()
+			mc.Zmin, mc.Zmax = encodeF64s(zmin), encodeF64s(zmax)
+		case *column.Int64Col:
+			zmin, zmax := c.ZoneArrays()
+			mc.Zmin, mc.Zmax = encodeF64s(zmin), encodeF64s(zmax)
+		case *column.StringCol:
+			mc.DictWords = newDictWords[ci]
+		}
+		man.Columns[ci] = mc
+	}
+	if err := writeManifest(s.dir, man); err != nil {
+		return err
+	}
+	s.segments = segments
+	s.dictWords = newDictWords
+	s.dictOff = newDictOff
+	s.sealedRows = s.rows
+	s.seals++
+	s.seq = 0
+	return s.wal.truncate(0)
+}
+
+// Seal forces a seal of the current unsealed tail — shutdown's final
+// flush, and a test hook.
+func (s *Store) Seal() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sealLocked(false)
+}
+
+// Touch implements table.Pager: engine scans report every morsel they
+// actually read (post zone-pruning).
+func (s *Store) Touch(lo, hi int) {
+	if s.opts.Cache == nil || hi <= lo || s.closed.Load() {
+		return
+	}
+	s.opts.Cache.touch(s, lo/granuleRows, (hi-1)/granuleRows)
+}
+
+// granuleBytes estimates granule g's resident footprint across all
+// columns. Called by the Cache under its own lock (never call back).
+func (s *Store) granuleBytes(g int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lo := g * granuleRows
+	hi := lo + granuleRows
+	if hi > s.rows {
+		hi = s.rows
+	}
+	if hi <= lo {
+		return 0
+	}
+	var sum int64
+	for _, f := range s.files {
+		sum += int64(hi-lo) * f.elem
+	}
+	return sum
+}
+
+// evictGranule advises granule g's pages out of every column mapping.
+// Safe for unsynced rows: the pages are dirty in the page cache (writes
+// go through pwrite), and MADV_DONTNEED on a MAP_SHARED mapping drops
+// only this mapping's references — a later read refaults from the file.
+func (s *Store) evictGranule(g int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return
+	}
+	lo := int64(g) * granuleRows
+	hi := lo + granuleRows
+	for _, f := range s.files {
+		f.evict(lo*f.elem, hi*f.elem)
+	}
+}
+
+// Recovered reports whether this store was opened over an existing data
+// directory (manifest found) rather than initialising a fresh one.
+func (s *Store) Recovered() bool { return s.recovered }
+
+// Rows returns the folded (acknowledged) row count.
+func (s *Store) Rows() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rows
+}
+
+// Close seals the tail and releases files and mappings. Callers must
+// have quiesced queries first (server drain): outstanding snapshots
+// hold slices into the mappings, which Close unmaps.
+func (s *Store) Close() error {
+	if s.opts.Cache != nil {
+		// Before closed is set and under no Store lock (lock order:
+		// Cache.mu before Store.mu).
+		s.opts.Cache.forget(s)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Swap(true) {
+		return nil
+	}
+	first := s.sealLocked(false)
+	if err := s.closeFilesLocked(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+func (s *Store) closeFiles() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed.Store(true)
+	return s.closeFilesLocked()
+}
+
+func (s *Store) closeFilesLocked() error {
+	var first error
+	for _, f := range s.files {
+		if f == nil {
+			continue
+		}
+		if err := f.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, df := range s.dictF {
+		if df == nil {
+			continue
+		}
+		if err := df.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.wal != nil {
+		if err := s.wal.f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// StoreStats is the /stats view of one table's durable storage.
+type StoreStats struct {
+	Rows            int    `json:"rows"`
+	SealedRows      int    `json:"sealed_rows"`
+	Segments        int    `json:"segments"`
+	Seals           int64  `json:"seals"`
+	WALBatches      int64  `json:"wal_batches"`
+	WALBytes        int64  `json:"wal_bytes"`
+	ReplayedBatches int64  `json:"replayed_batches"`
+	Recovered       bool   `json:"recovered"`
+	Mapped          bool   `json:"mapped"`
+	DiskBytes       int64  `json:"disk_bytes"`
+	LastSealError   string `json:"last_seal_error,omitempty"`
+}
+
+// Stats snapshots the store.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := StoreStats{
+		Rows:            s.rows,
+		SealedRows:      s.sealedRows,
+		Segments:        len(s.segments),
+		Seals:           s.seals,
+		WALBatches:      s.walBatches,
+		ReplayedBatches: s.replayed,
+		Recovered:       s.recovered,
+	}
+	if s.wal != nil {
+		st.WALBytes = s.wal.off
+	}
+	for _, f := range s.files {
+		if f == nil {
+			continue
+		}
+		st.DiskBytes += int64(s.rows) * f.elem
+		if f.mapped != nil {
+			st.Mapped = true
+		}
+	}
+	st.DiskBytes += st.WALBytes
+	if s.lastSealErr != nil {
+		st.LastSealError = s.lastSealErr.Error()
+	}
+	return st
+}

@@ -318,6 +318,7 @@ type statsResponse struct {
 	Admission  AdmissionStats            `json:"admission"`
 	Resilience resilienceJSON            `json:"resilience"`
 	Governor   *governorJSON             `json:"governor,omitempty"`
+	Storage    *sciborq.StorageStats     `json:"storage,omitempty"`
 	Wire       any                       `json:"wire,omitempty"`
 	Recycler   map[string]recyclerJSON   `json:"recycler"`
 	PlanCache  map[string]plancacheJSON  `json:"plancache"`
@@ -505,6 +506,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			TierUsages: gs.TierUsages,
 		}
 	}
+	resp.Storage = s.db.StorageStats()
 	if fn := s.wireStats.Load(); fn != nil {
 		resp.Wire = (*fn)()
 	}

@@ -1,0 +1,123 @@
+package table
+
+import (
+	"math"
+	"testing"
+
+	"sciborq/internal/column"
+)
+
+// TestRollbackRebuildsZoneMaps is the regression test for batch-rollback
+// zone maps: a failed AppendBatch rolls the table back via
+// truncateLocked, and the rebuilt per-granule min/max must be exactly
+// what a table that never saw the poisoned batch carries. A stale zone
+// map here is silent data corruption for the engine — a granule whose
+// recorded max still includes the rolled-back values stops being
+// prunable (performance) and, worse, a recorded min/max narrower than
+// the survivors would prune live rows (wrong results).
+func TestRollbackRebuildsZoneMaps(t *testing.T) {
+	schema := Schema{
+		{Name: "x", Type: column.Float64},
+		{Name: "k", Type: column.Int64},
+	}
+	// 2.5 granules of clustered, ascending data, so the rollback point
+	// lands mid-granule and every granule has distinct tight bounds.
+	n := 2*column.ZoneRows + column.ZoneRows/2
+	mkRow := func(i int) Row {
+		return Row{float64(i) + 0.25, int64(i) * 3}
+	}
+
+	tb := MustNew("events", schema)
+	ref := MustNew("events_ref", schema)
+	batch := make([]Row, 0, 8192)
+	for lo := 0; lo < n; lo += cap(batch) {
+		batch = batch[:0]
+		for i := lo; i < lo+cap(batch) && i < n; i++ {
+			batch = append(batch, mkRow(i))
+		}
+		if err := tb.AppendBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.AppendBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The poisoned batch: values far outside every live granule's range,
+	// spilling past a granule boundary before the bad row fails it. Only
+	// tb sees it; ref is the never-poisoned control.
+	poison := make([]Row, 0, column.ZoneRows)
+	for i := 0; i < column.ZoneRows-1; i++ {
+		poison = append(poison, Row{1e12 + float64(i), int64(math.MaxInt64 - i)})
+	}
+	poison = append(poison, Row{"not a float", int64(0)})
+	verBefore := tb.Version()
+	if err := tb.AppendBatch(poison); err == nil {
+		t.Fatal("poisoned batch accepted")
+	}
+	if tb.Len() != n {
+		t.Fatalf("Len after rollback = %d, want %d", tb.Len(), n)
+	}
+	if tb.Version() == verBefore {
+		t.Fatal("rollback did not bump the table version")
+	}
+
+	for _, name := range []string{"x", "k"} {
+		col, err := tb.Col(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refCol, _ := ref.Col(name)
+		zm, ok := col.(column.ZoneMapped)
+		if !ok {
+			t.Fatalf("column %s lost its zone map after rollback", name)
+		}
+		zmin, zmax := zm.ZoneArrays()
+		rmin, rmax := refCol.(column.ZoneMapped).ZoneArrays()
+		wantGran := (n + column.ZoneRows - 1) / column.ZoneRows
+		if len(zmin) != wantGran || len(zmax) != wantGran {
+			t.Fatalf("%s: %d granules after rollback, want %d", name, len(zmin), wantGran)
+		}
+		for g := range zmin {
+			if math.Float64bits(zmin[g]) != math.Float64bits(rmin[g]) ||
+				math.Float64bits(zmax[g]) != math.Float64bits(rmax[g]) {
+				t.Fatalf("%s granule %d: bounds [%v, %v] after rollback, control has [%v, %v]",
+					name, g, zmin[g], zmax[g], rmin[g], rmax[g])
+			}
+		}
+
+		// Pruning count for a predicate that only the poisoned rows could
+		// satisfy: every granule must be prunable, i.e. no recorded max
+		// still remembers the rolled-back values.
+		prunable := 0
+		for g := range zmax {
+			if zmax[g] < 1e12 {
+				prunable++
+			}
+		}
+		if prunable != wantGran {
+			t.Fatalf("%s: only %d/%d granules prunable for x >= 1e12 after rollback",
+				name, prunable, wantGran)
+		}
+	}
+
+	// The rolled-back table must keep accepting appends with correct
+	// incremental zone maintenance: the next batch reopens the partial
+	// granule exactly where the survivors left off.
+	more := []Row{mkRow(n), mkRow(n + 1)}
+	if err := tb.AppendBatch(more); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.AppendBatch(more); err != nil {
+		t.Fatal(err)
+	}
+	x, _ := tb.Col("x")
+	rx, _ := ref.Col("x")
+	zmin, zmax := x.(column.ZoneMapped).ZoneArrays()
+	rmin, rmax := rx.(column.ZoneMapped).ZoneArrays()
+	g := len(zmin) - 1
+	if zmin[g] != rmin[g] || zmax[g] != rmax[g] {
+		t.Fatalf("post-rollback append: last granule [%v, %v], control [%v, %v]",
+			zmin[g], zmax[g], rmin[g], rmax[g])
+	}
+}

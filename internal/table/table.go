@@ -71,6 +71,23 @@ type Table struct {
 	// snap marks point-in-time views produced by Snapshot: reads share
 	// the source's value storage, appends are rejected.
 	snap bool
+	// pager, when non-nil, is the durable segment store backing this
+	// table's column storage. Scans call TouchRange so the store can
+	// account granule residency; snapshots inherit the pager (mapped
+	// storage is never unmapped while the table lives, so snapshot
+	// views stay valid).
+	pager Pager
+	// durable marks a table whose storage is owned by a segment store.
+	// Direct appends are rejected: every row must flow through the
+	// store's WAL (loader → store.LoadBatch) or durability would lie.
+	durable bool
+}
+
+// Pager is implemented by the durable segment store. Touch accounts a
+// scan over rows [lo, hi) for granule-residency tracking (LRU heat and
+// byte-budgeted eviction of cold granules).
+type Pager interface {
+	Touch(lo, hi int)
 }
 
 // New creates an empty table with the given schema.
@@ -205,7 +222,75 @@ func (t *Table) Snapshot() *Table {
 		cols[i] = c.SnapshotView(n)
 	}
 	return &Table{name: t.name, schema: t.schema, cols: cols, byName: t.byName,
-		id: t.id, ver: t.ver, snap: true}
+		id: t.id, ver: t.ver, snap: true, pager: t.pager}
+}
+
+// SetPager installs the durable segment store as this table's pager and
+// marks the table durable: direct appends are rejected from here on —
+// ingest must flow through the store so every acknowledged row is in
+// the WAL. Call before the table starts serving queries; snapshots
+// taken afterwards carry the pager.
+func (t *Table) SetPager(p Pager) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.pager = p
+	t.durable = p != nil
+}
+
+// TouchRange reports a scan over rows [lo, hi) to the table's pager, if
+// any. Nil-safe and cheap for in-memory tables (one predictable branch);
+// for durable tables it feeds granule-residency accounting.
+func (t *Table) TouchRange(lo, hi int) {
+	if t.pager != nil {
+		t.pager.Touch(lo, hi)
+	}
+}
+
+// ExtendWith runs fn over the live column headers under the table's
+// write lock and bumps the version on success — the hook the durable
+// segment store uses to fold a WAL-acknowledged batch into mapped
+// storage (swapping slice headers over the same mapping) atomically
+// with respect to Snapshot. fn must leave all columns at equal lengths.
+func (t *Table) ExtendWith(fn func(cols []column.Column) error) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.snap {
+		return fmt.Errorf("table %q: cannot extend a snapshot", t.name)
+	}
+	if err := fn(t.cols); err != nil {
+		return err
+	}
+	t.ver++
+	return nil
+}
+
+// AdoptColumns replaces the table's column storage wholesale — the
+// recovery path: the segment store rebuilds mapped columns from disk
+// and installs them over the (empty or stale) in-memory ones. The new
+// columns must match the schema order and types. Bumps the version.
+func (t *Table) AdoptColumns(cols []column.Column) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.snap {
+		return fmt.Errorf("table %q: cannot adopt columns into a snapshot", t.name)
+	}
+	if len(cols) != len(t.schema) {
+		return fmt.Errorf("table %q: adopt %d columns, want %d", t.name, len(cols), len(t.schema))
+	}
+	n := cols[0].Len()
+	for i, c := range cols {
+		if c.Type() != t.schema[i].Type {
+			return fmt.Errorf("table %q: adopt column %d is %s, want %s",
+				t.name, i, c.Type(), t.schema[i].Type)
+		}
+		if c.Len() != n {
+			return fmt.Errorf("table %q: adopt column %d length %d, want %d",
+				t.name, i, c.Len(), n)
+		}
+	}
+	t.cols = cols
+	t.ver++
+	return nil
 }
 
 // Row is one tuple in schema order. Values must match the column types:
@@ -222,6 +307,9 @@ func (t *Table) AppendRow(r Row) error {
 func (t *Table) appendRowLocked(r Row) error {
 	if t.snap {
 		return fmt.Errorf("table %q: cannot append to a snapshot", t.name)
+	}
+	if t.durable {
+		return fmt.Errorf("table %q: durable table, appends must go through the segment store", t.name)
 	}
 	if len(r) != len(t.cols) {
 		return fmt.Errorf("table %q: row arity %d, want %d", t.name, len(r), len(t.cols))
@@ -283,6 +371,9 @@ func (t *Table) AppendColumns(chunks []column.Column) error {
 	defer t.mu.Unlock()
 	if t.snap {
 		return fmt.Errorf("table %q: cannot append to a snapshot", t.name)
+	}
+	if t.durable {
+		return fmt.Errorf("table %q: durable table, appends must go through the segment store", t.name)
 	}
 	if len(chunks) != len(t.cols) {
 		return fmt.Errorf("table %q: %d chunks, want %d", t.name, len(chunks), len(t.cols))

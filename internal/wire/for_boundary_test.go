@@ -1,0 +1,104 @@
+package wire
+
+import (
+	"math"
+	"testing"
+)
+
+// roundTripI64 encodes vals as a BIGINT page and decodes it back,
+// returning the decoded values plus the page's encoding tag and (for
+// FoR pages) the delta width byte.
+func roundTripI64(t *testing.T, vals []int64) (got []int64, enc byte, width int) {
+	t.Helper()
+	b := appendI64Page(nil, vals)
+	enc = b[0]
+	if enc == i64EncFOR {
+		width = int(b[9])
+	} else {
+		width = 8
+	}
+	c := cursor{p: b}
+	blk, err := decodeI64Page(&c, len(vals))
+	if err != nil {
+		t.Fatalf("decode %v: %v", vals, err)
+	}
+	if err := c.done(); err != nil {
+		t.Fatalf("decode %v: trailing bytes: %v", vals, err)
+	}
+	return blk.I64, enc, width
+}
+
+// TestI64PageBoundarySpans pins the frame-of-reference width selection
+// at the exact span boundaries. A span of 2^k−1 is the largest that
+// fits k/8 bytes — the maximum delta is the span itself — and a span of
+// 2^k must spill to the next width. An off-by-one here silently
+// truncates the page maximum's delta, decoding it as the page minimum.
+func TestI64PageBoundarySpans(t *testing.T) {
+	cases := []struct {
+		name      string
+		lo        int64
+		span      uint64
+		wantEnc   byte
+		wantWidth int
+	}{
+		{"span0", 42, 0, i64EncFOR, 0},
+		{"span1", 42, 1, i64EncFOR, 1},
+		{"span2^8-1", 0, 1<<8 - 1, i64EncFOR, 1},
+		{"span2^8", 0, 1 << 8, i64EncFOR, 2},
+		{"span2^16-1", -7, 1<<16 - 1, i64EncFOR, 2},
+		{"span2^16", -7, 1 << 16, i64EncFOR, 4},
+		{"span2^32-1", 1e15, 1<<32 - 1, i64EncFOR, 4},
+		{"span2^32", 1e15, 1 << 32, i64EncRaw, 8},
+
+		// Bases around MinInt64: the span subtraction must be performed
+		// in two's complement — (lo + span) − lo overflows the signed
+		// difference whenever the page brackets the integer range.
+		{"minInt64 span2^8-1", math.MinInt64, 1<<8 - 1, i64EncFOR, 1},
+		{"minInt64 span2^32-1", math.MinInt64, 1<<32 - 1, i64EncFOR, 4},
+		{"minInt64 to maxInt64", math.MinInt64, math.MaxUint64, i64EncRaw, 8},
+		{"negative to positive", -(1 << 31), 1<<32 - 1, i64EncFOR, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			hi := int64(uint64(tc.lo) + tc.span)
+			vals := []int64{tc.lo, hi, tc.lo, hi}
+			if tc.span > 1 {
+				vals = append(vals, int64(uint64(tc.lo)+tc.span/2))
+			}
+			got, enc, width := roundTripI64(t, vals)
+			if enc != tc.wantEnc || width != tc.wantWidth {
+				t.Fatalf("enc=%d width=%d, want enc=%d width=%d", enc, width, tc.wantEnc, tc.wantWidth)
+			}
+			if len(got) != len(vals) {
+				t.Fatalf("decoded %d values, want %d", len(got), len(vals))
+			}
+			for i := range vals {
+				if got[i] != vals[i] {
+					t.Fatalf("value %d: decoded %d, want %d", i, got[i], vals[i])
+				}
+			}
+		})
+	}
+}
+
+// TestI64PageExtremes round-trips pages that sit entirely at the edges
+// of the int64 range, where any signed intermediate would overflow.
+func TestI64PageExtremes(t *testing.T) {
+	pages := [][]int64{
+		{math.MinInt64},
+		{math.MaxInt64},
+		{math.MinInt64, math.MinInt64 + 1},
+		{math.MaxInt64 - 255, math.MaxInt64},
+		{math.MinInt64, math.MaxInt64},
+		{math.MinInt64, 0, math.MaxInt64},
+		{-1, 1}, // span 2 crossing zero
+	}
+	for _, vals := range pages {
+		got, _, _ := roundTripI64(t, vals)
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("page %v: value %d decoded as %d", vals, i, got[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package wire
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"sciborq/internal/faultinject"
+	"sciborq/internal/server"
+)
+
+// TestWireIdleSessionReaped is the regression test for the idle-session
+// leak: before IdleTimeout existed, serveConn blocked in read() with no
+// deadline, so a silent client parked its goroutine and session state
+// forever. The connection must now be closed within the idle timeout,
+// counted in idle_closed, and the same must hold for a peer that
+// connects and never even sends Hello.
+func TestWireIdleSessionReaped(t *testing.T) {
+	db := newTestDB(t, 1)
+	const idle = 200 * time.Millisecond
+	_, ws, addr := startWire(t, db, server.Config{MaxInFlight: 4}, Config{IdleTimeout: idle})
+
+	c := dialT(t, addr, "")
+	if _, err := c.Query("SELECT COUNT(*) AS n FROM PhotoObjAll"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Go silent mid-session. The server must close the connection on its
+	// own; the client observes it as a read error well before the 5s cap.
+	start := time.Now()
+	if _, _, err := c.read(); err == nil {
+		t.Fatal("read after going idle: got a frame, want connection closed")
+	}
+	if waited := time.Since(start); waited > 25*idle {
+		t.Fatalf("idle connection reaped after %v, want ~%v", waited, idle)
+	}
+
+	// A connection that never sends Hello must be reaped the same way:
+	// the handshake read runs under the same deadline.
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	raw.SetReadDeadline(time.Now().Add(25 * idle))
+	if _, err := raw.Read(make([]byte, 1)); err == nil {
+		t.Fatal("silent pre-Hello connection: got bytes, want close")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("silent pre-Hello connection not reaped within deadline")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for ws.Stats().ConnsOpen != 0 || ws.Stats().IdleClosed < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stats after reap: %+v, want conns_open=0 idle_closed>=2", ws.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestWireActiveSessionNotReaped pins the other half of the contract:
+// the idle deadline governs only the gap between requests. A request
+// that takes longer than IdleTimeout to serve (here via an injected
+// execution latency) and a client that drains the batch stream slowly
+// must both survive, and the session must accept the next request.
+func TestWireActiveSessionNotReaped(t *testing.T) {
+	db := newTestDB(t, 1)
+	const idle = 250 * time.Millisecond
+	_, ws, addr := startWire(t, db, server.Config{MaxInFlight: 4},
+		Config{IdleTimeout: idle, BatchRows: 256})
+
+	faultinject.Enable(faultinject.NewPlan(faultinject.Fault{
+		Point: faultinject.PointAdmission, Hit: 1,
+		Kind: faultinject.KindLatency, Latency: 3 * idle,
+	}))
+	defer faultinject.Disable()
+
+	c := dialT(t, addr, "")
+
+	// First request: held in execution for 3×IdleTimeout by the fault,
+	// then streamed in 256-row batches which the client drains slowly.
+	c.enc = appendStr(c.enc[:0], "SELECT objID, ra, dec FROM PhotoObjAll WHERE ra >= 0")
+	if err := c.send(FrameQuery, c.enc); err != nil {
+		t.Fatal(err)
+	}
+	frames := 0
+	for {
+		typ, payload, err := c.read()
+		if err != nil {
+			t.Fatalf("active session dropped after %d frames: %v", frames, err)
+		}
+		frames++
+		if typ == FrameError {
+			se, _ := DecodeError(payload)
+			t.Fatalf("query failed: %+v", se)
+		}
+		if typ == FrameEnd {
+			break
+		}
+		time.Sleep(3 * time.Millisecond)
+	}
+	if frames < 3 {
+		t.Fatalf("expected a multi-frame stream, got %d frames", frames)
+	}
+
+	// The session stayed up through a request that outlived IdleTimeout;
+	// it must still serve the next one.
+	if _, err := c.Query("SELECT COUNT(*) AS n FROM PhotoObjAll"); err != nil {
+		t.Fatalf("follow-up query on surviving session: %v", err)
+	}
+	if got := ws.Stats().IdleClosed; got != 0 {
+		t.Fatalf("idle_closed = %d, want 0 (no idle reaps in this test)", got)
+	}
+}

@@ -40,11 +40,22 @@ type Config struct {
 	// query's admission slot stays held — but a dead peer must not hold
 	// a slot forever; the deadline converts it into a connection error.
 	WriteTimeout time.Duration
+
+	// IdleTimeout bounds how long a session may sit between requests
+	// (and how long a request frame may take to arrive). Without it a
+	// dead or silent client parks a goroutine and its session state
+	// forever — the connection holds no admission slot, so nothing else
+	// ever reaps it. A slow-but-active streaming client is unaffected:
+	// the deadline arms only when the server turns around to read the
+	// next request, after the previous response finished. 0 means the
+	// default (5 minutes); negative disables (tests only).
+	IdleTimeout time.Duration
 }
 
 const (
 	defaultBatchRows    = 65536
 	defaultWriteTimeout = 30 * time.Second
+	defaultIdleTimeout  = 5 * time.Minute
 	// maxStmts caps prepared statements per session; a session leaking
 	// statements is cut off before its map becomes a memory sink.
 	maxStmts = 1024
@@ -72,6 +83,7 @@ type Server struct {
 	errorsSent atomic.Int64
 	panics     atomic.Int64
 	stmtsOpen  atomic.Int64
+	idleClosed atomic.Int64
 	sessionSeq atomic.Uint64
 }
 
@@ -90,6 +102,7 @@ type StatsSnapshot struct {
 	ErrorsSent int64 `json:"errors_sent"`
 	Panics     int64 `json:"panics"`
 	StmtsOpen  int64 `json:"stmts_open"`
+	IdleClosed int64 `json:"idle_closed"`
 }
 
 // NewServer returns a wire listener serving cfg.DB. It panics if DB or
@@ -103,6 +116,9 @@ func NewServer(cfg Config) *Server {
 	}
 	if cfg.WriteTimeout <= 0 {
 		cfg.WriteTimeout = defaultWriteTimeout
+	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = defaultIdleTimeout
 	}
 	return &Server{cfg: cfg, conns: make(map[*session]struct{})}
 }
@@ -122,6 +138,7 @@ func (s *Server) Stats() StatsSnapshot {
 		ErrorsSent: s.errorsSent.Load(),
 		Panics:     s.panics.Load(),
 		StmtsOpen:  s.stmtsOpen.Load(),
+		IdleClosed: s.idleClosed.Load(),
 	}
 }
 
@@ -288,6 +305,30 @@ func (r *frameReader) read() (byte, []byte, error) {
 	return typ, payload, err
 }
 
+// armIdle sets the read deadline for the next request frame. The
+// deadline covers the whole inter-request gap plus the frame's own
+// arrival, so a silent peer (or one that trickles half a frame and
+// stops) is reaped rather than parking the goroutine forever. It is
+// re-armed per request, never during response streaming — writes run
+// under their own deadline.
+func (sess *session) armIdle() error {
+	t := sess.s.cfg.IdleTimeout
+	if t < 0 {
+		return sess.conn.SetReadDeadline(time.Time{})
+	}
+	return sess.conn.SetReadDeadline(time.Now().Add(t))
+}
+
+// noteReadErr classifies a request-read failure for the stats counters:
+// a deadline expiry is an idle reap, everything else is a normal
+// disconnect or protocol failure.
+func (sess *session) noteReadErr(err error) {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		sess.s.idleClosed.Add(1)
+	}
+}
+
 // write frames one payload and writes it under the session's write
 // deadline. Frames are written whole — no separate flush step — so a
 // stalled client surfaces as a deadline error on the very frame that
@@ -337,8 +378,12 @@ func (s *Server) serveConn(sess *session) {
 		return
 	}
 	for {
+		if err := sess.armIdle(); err != nil {
+			return
+		}
 		typ, payload, err := sess.r.read()
 		if err != nil {
+			sess.noteReadErr(err)
 			var tooBig *ErrFrameTooLarge
 			if errors.As(err, &tooBig) {
 				sess.busy.Store(true)
@@ -359,8 +404,12 @@ func (s *Server) serveConn(sess *session) {
 // handshake consumes the Hello frame and acknowledges it. Any deviation
 // is fatal: the protocol starts with Hello or not at all.
 func (sess *session) handshake() error {
+	if err := sess.armIdle(); err != nil {
+		return err
+	}
 	typ, payload, err := sess.r.read()
 	if err != nil {
+		sess.noteReadErr(err)
 		var tooBig *ErrFrameTooLarge
 		if errors.As(err, &tooBig) {
 			sess.busy.Store(true)

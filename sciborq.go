@@ -66,6 +66,7 @@ package sciborq
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync"
 
 	"sciborq/internal/bounded"
@@ -77,6 +78,7 @@ import (
 	"sciborq/internal/loader"
 	"sciborq/internal/plancache"
 	"sciborq/internal/recycler"
+	"sciborq/internal/segment"
 	"sciborq/internal/sqlparse"
 	"sciborq/internal/table"
 	"sciborq/internal/workload"
@@ -125,6 +127,11 @@ type DB struct {
 	recPool     *recycler.Pool     // nil when disabled
 	plans       *plancache.Cache   // nil when disabled
 	gov         *governor.Governor // nil when disabled
+	stores      map[string]*segment.Store
+	granules    *segment.Cache // nil unless WithDataDir
+	dataDir     string
+	granBytes   int64
+	sealRows    int
 	planBytes   int64
 	recBytes    int64
 	govBytes    int64
@@ -212,6 +219,34 @@ func WithMemoryBudget(bytes int64) Option {
 	return func(db *DB) { db.govBytes = bytes }
 }
 
+// WithDataDir makes every attached table durable under dir (one
+// subdirectory per table): Load batches are WAL-acknowledged before
+// they return, sealed columnar segments with their zone maps survive
+// restarts (crash recovery replays the WAL on AttachTable), and column
+// storage is served from read-only file mappings so tables can be
+// larger than RAM. Empty (the default) keeps the in-memory behaviour.
+// See docs/STORAGE.md.
+func WithDataDir(dir string) Option {
+	return func(db *DB) { db.dataDir = dir }
+}
+
+// WithGranuleCacheBudget caps the estimated resident bytes of durable
+// tables' hot granules: beyond it, the coldest 64K-row granules are
+// advised out of their file mappings and refault from disk on demand.
+// Zero or negative (the default) tracks residency without evicting.
+// Only meaningful with WithDataDir.
+func WithGranuleCacheBudget(bytes int64) Option {
+	return func(db *DB) { db.granBytes = bytes }
+}
+
+// WithSealRows sets the unsealed-tail row threshold at which durable
+// tables seal (sync columns, rewrite the manifest, truncate the WAL).
+// Zero or negative means segment.DefaultSealRows. Only meaningful with
+// WithDataDir; tests use small values to exercise multi-segment state.
+func WithSealRows(n int) Option {
+	return func(db *DB) { db.sealRows = n }
+}
+
 // WithMaxTenants caps how many named tenant recycler partitions stay
 // resident; beyond it the least-recently-used tenant's cache is dropped
 // wholesale (selections are recomputable, never data). Zero or negative
@@ -229,12 +264,16 @@ func Open(opts ...Option) *DB {
 		loggers:   make(map[string]*workload.Logger),
 		hiers:     make(map[string]*impression.Hierarchy),
 		execs:     make(map[string]*bounded.Executor),
+		stores:    make(map[string]*segment.Store),
 		recBytes:  recycler.DefaultBudget,
 		planBytes: plancache.DefaultBudget,
 		seed:      1,
 	}
 	for _, o := range opts {
 		o(db)
+	}
+	if db.dataDir != "" {
+		db.granules = segment.NewCache(db.granBytes)
 	}
 	if db.planBytes > 0 {
 		// The identity function is bound once so the per-query lookup
@@ -262,6 +301,11 @@ func Open(opts ...Option) *DB {
 		if db.plans != nil {
 			db.gov.Register("plancache.shapes", db.plans.ShapeUsage, db.plans.ShedShapes)
 			db.gov.Register("plancache.plans", db.plans.PlanUsage, db.plans.ShedPlans)
+		}
+		if db.granules != nil {
+			// Hot granules shed before the recycler: releasing one is a
+			// page-table zap and a refault later, not a rescan.
+			db.gov.Register("storage.granules", db.granules.Usage, db.granules.Shed)
 		}
 		if db.recPool != nil {
 			db.gov.Register("recycler", db.recPool.UsageBytes, db.recPool.Shed)
@@ -368,7 +412,11 @@ func (db *DB) CreateTable(name string, schema Schema) (*table.Table, error) {
 }
 
 // AttachTable registers an existing table (e.g. a generated SkyServer
-// catalogue).
+// catalogue). With WithDataDir configured, the table becomes durable:
+// an existing data directory takes precedence over whatever rows t
+// holds in memory (crash recovery — the manifest's sealed prefix plus
+// the WAL replay are the truth), while a fresh directory imports t's
+// current rows as the initial sealed segment.
 func (db *DB) AttachTable(t *table.Table) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -379,8 +427,73 @@ func (db *DB) AttachTable(t *table.Table) error {
 	if err != nil {
 		return err
 	}
+	if db.dataDir != "" {
+		st, err := segment.Open(t, segment.Options{
+			Dir:      filepath.Join(db.dataDir, t.Name()),
+			SealRows: db.sealRows,
+			Cache:    db.granules,
+		})
+		if err != nil {
+			db.catalog.Drop(t.Name())
+			return fmt.Errorf("sciborq: attach %q: %w", t.Name(), err)
+		}
+		db.stores[t.Name()] = st
+		l.SetAppender(st)
+	}
 	db.loaders[t.Name()] = l
 	return nil
+}
+
+// Recovered reports whether the named table was restored from an
+// existing data directory at attach time (false for in-memory tables
+// and fresh directories) — the signal daemons use to skip regenerating
+// data and backfill impressions instead.
+func (db *DB) Recovered(tableName string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	st, ok := db.stores[tableName]
+	return ok && st.Recovered()
+}
+
+// StorageStats reports durable-storage state for /stats: per-table
+// store counters plus the shared granule cache. Nil when WithDataDir is
+// not configured.
+func (db *DB) StorageStats() *StorageStats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.dataDir == "" {
+		return nil
+	}
+	out := &StorageStats{
+		Tables: make(map[string]segment.StoreStats, len(db.stores)),
+		Cache:  db.granules.Stats(),
+	}
+	for name, st := range db.stores {
+		out.Tables[name] = st.Stats()
+	}
+	return out
+}
+
+// StorageStats is the /stats storage section.
+type StorageStats struct {
+	Tables map[string]segment.StoreStats `json:"tables"`
+	Cache  segment.CacheStats            `json:"granule_cache"`
+}
+
+// Close seals and releases every durable table's storage (final
+// manifest, file handles, mappings). Call after queries have drained:
+// outstanding snapshots hold views into the mappings Close unmaps. A DB
+// without WithDataDir has nothing to release; Close is then a no-op.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var first error
+	for _, st := range db.stores {
+		if err := st.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Table returns a registered table.

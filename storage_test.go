@@ -1,0 +1,351 @@
+package sciborq
+
+// DB-level tests for durable storage (WithDataDir): restart recovery of
+// acknowledged loads including deterministic impression rebuild, crash
+// recovery without a clean Close, and serving tables larger than the
+// granule-cache budget.
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"sciborq/internal/engine"
+	"sciborq/internal/skyserver"
+)
+
+const durTable = "PhotoObjAll"
+
+// newDurableSky builds the standard SkyServer fixture over a data
+// directory. backfill selects the impression deployment mode: false is
+// the in-line load path (fresh daemon), true extracts the hierarchy
+// from the already-present rows (restart).
+func newDurableSky(t *testing.T, dir string, backfill bool, extra ...Option) *DB {
+	t.Helper()
+	base := []Option{
+		WithCostModel(engine.CostModel{NsPerRow: 12, FixedNs: 2000}),
+		WithSeed(2011),
+	}
+	if dir != "" {
+		base = append(base, WithDataDir(dir), WithSealRows(24_000))
+	}
+	db := Open(append(base, extra...)...)
+	cfg := skyserver.DefaultConfig(0)
+	sky, err := skyserver.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fact, err := sky.Catalog.Get(durTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AttachTable(fact); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.TrackWorkload(durTable,
+		Attr{Name: "ra", Min: cfg.RaMin, Max: cfg.RaMax, Beta: 30},
+		Attr{Name: "dec", Min: cfg.DecMin, Max: cfg.DecMax, Beta: 30},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.BuildImpressions(durTable, ImpressionConfig{
+		Sizes:    []int{4000, 400},
+		Policy:   Biased,
+		Attrs:    []string{"ra", "dec"},
+		Backfill: backfill,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func loadNights(t *testing.T, db *DB, nights, rows int) {
+	t.Helper()
+	cfg := skyserver.DefaultConfig(0)
+	sky, err := skyserver.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := sky.Generator(nil)
+	for n := 0; n < nights; n++ {
+		if err := db.Load(durTable, gen.NextBatch(rows)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// queryFingerprint runs a battery of exact queries and returns their
+// scalar answers, bit-exact.
+func queryFingerprint(t *testing.T, db *DB) []uint64 {
+	t.Helper()
+	queries := []struct{ sql, col string }{
+		{"SELECT COUNT(*) AS v FROM PhotoObjAll", "v"},
+		{"SELECT SUM(r) AS v FROM PhotoObjAll WHERE ra BETWEEN 150 AND 200", "v"},
+		{"SELECT AVG(dec) AS v FROM PhotoObjAll WHERE r < 20", "v"},
+		{"SELECT MIN(objID) AS v FROM PhotoObjAll WHERE fGetNearbyObjEq(165, 20, 3)", "v"},
+		{"SELECT STDDEV(g) AS v FROM PhotoObjAll WHERE g > 15", "v"},
+	}
+	out := make([]uint64, 0, len(queries))
+	for _, q := range queries {
+		res, err := db.Exec(q.sql)
+		if err != nil {
+			t.Fatalf("%s: %v", q.sql, err)
+		}
+		v, err := res.Scalar(q.col)
+		if err != nil {
+			t.Fatalf("%s: %v", q.sql, err)
+		}
+		out = append(out, math.Float64bits(v))
+	}
+	return out
+}
+
+// boundedFingerprint runs one WITHIN ERROR query and returns the
+// layer it was answered from plus the bit patterns of its estimates —
+// identical layers (same sampled positions) give identical bits.
+func boundedFingerprint(t *testing.T, db *DB) (string, []uint64) {
+	t.Helper()
+	res, err := db.Exec("SELECT COUNT(*) AS n, AVG(r) AS avg_r FROM PhotoObjAll" +
+		" WHERE fGetNearbyObjEq(165, 20, 3) WITHIN ERROR 0.2 CONFIDENCE 0.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bounded == nil {
+		t.Fatal("bounded query returned an exact result")
+	}
+	bits := make([]uint64, 0, len(res.Bounded.Estimates))
+	for _, e := range res.Bounded.Estimates {
+		bits = append(bits, math.Float64bits(e.Value()))
+	}
+	return res.Bounded.Layer, bits
+}
+
+// TestDurableRestartRecoversLoads is the ISSUE's headline acceptance:
+// restart a DB against the same data directory and every acknowledged
+// Load batch is back bit-identically, impressions rebuild
+// deterministically from the recovered rows, and loading continues.
+func TestDurableRestartRecoversLoads(t *testing.T) {
+	dir := t.TempDir()
+	db1 := newDurableSky(t, dir, false)
+	loadNights(t, db1, 5, 8000)
+	wantRows := 40_000
+	if tb, _ := db1.Table(durTable); tb.Len() != wantRows {
+		t.Fatalf("rows before restart = %d", tb.Len())
+	}
+	wantExact := queryFingerprint(t, db1)
+	if err := db1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: a fresh catalog table attaches over the existing
+	// directory; the manifest + WAL are the truth, not the generator.
+	db2 := newDurableSky(t, dir, true)
+	defer db2.Close()
+	if !db2.Recovered(durTable) {
+		t.Fatal("restart did not recover the durable table")
+	}
+	tb2, _ := db2.Table(durTable)
+	if tb2.Len() != wantRows {
+		t.Fatalf("rows after restart = %d, want %d", tb2.Len(), wantRows)
+	}
+	gotExact := queryFingerprint(t, db2)
+	for i := range wantExact {
+		if gotExact[i] != wantExact[i] {
+			t.Fatalf("exact query %d: %x after restart, want %x", i, gotExact[i], wantExact[i])
+		}
+	}
+
+	// Impression rebuild determinism: an in-memory control DB with the
+	// same rows and the same Backfill deployment must produce the same
+	// layers — same seed and same offer order (0..N) — and therefore
+	// bit-identical bounded answers.
+	ctl := Open(WithCostModel(engine.CostModel{NsPerRow: 12, FixedNs: 2000}), WithSeed(2011))
+	cfg := skyserver.DefaultConfig(0)
+	sky, err := skyserver.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fact, _ := sky.Catalog.Get(durTable)
+	if err := ctl.AttachTable(fact); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.TrackWorkload(durTable,
+		Attr{Name: "ra", Min: cfg.RaMin, Max: cfg.RaMax, Beta: 30},
+		Attr{Name: "dec", Min: cfg.DecMin, Max: cfg.DecMax, Beta: 30},
+	); err != nil {
+		t.Fatal(err)
+	}
+	loadRows := func() {
+		gen := sky.Generator(nil)
+		for n := 0; n < 5; n++ {
+			if err := ctl.Load(durTable, gen.NextBatch(8000)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	loadRows()
+	if err := ctl.BuildImpressions(durTable, ImpressionConfig{
+		Sizes: []int{4000, 400}, Policy: Biased, Attrs: []string{"ra", "dec"},
+		Backfill: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctlLayer, ctlBits := boundedFingerprint(t, ctl)
+	recLayer, recBits := boundedFingerprint(t, db2)
+	if recLayer != ctlLayer {
+		t.Fatalf("bounded layer after recovery = %q, control = %q", recLayer, ctlLayer)
+	}
+	if len(recBits) != len(ctlBits) {
+		t.Fatalf("estimate count %d vs %d", len(recBits), len(ctlBits))
+	}
+	for i := range recBits {
+		if recBits[i] != ctlBits[i] {
+			t.Fatalf("estimate %d: %x after recovery, control %x", i, recBits[i], ctlBits[i])
+		}
+	}
+
+	// Loading must continue seamlessly on the recovered store.
+	loadNights(t, db2, 1, 8000)
+	if tb2.Len() != wantRows+8000 {
+		t.Fatalf("rows after post-recovery load = %d", tb2.Len())
+	}
+}
+
+// TestDurableCrashWithoutClose reopens a directory whose owner never
+// called Close: the unsealed tail lives only in the WAL, and replay must
+// restore every acknowledged batch.
+func TestDurableCrashWithoutClose(t *testing.T) {
+	dir := t.TempDir()
+	db1 := newDurableSky(t, dir, false)
+	loadNights(t, db1, 3, 7000) // 21000 rows: below the seal threshold
+	want := queryFingerprint(t, db1)
+	// No Close: db1 simply ceases to matter, like a SIGKILL'd daemon.
+
+	db2 := newDurableSky(t, dir, true)
+	defer db2.Close()
+	if !db2.Recovered(durTable) {
+		t.Fatal("WAL-only state not recovered")
+	}
+	if tb, _ := db2.Table(durTable); tb.Len() != 21_000 {
+		t.Fatalf("rows after crash recovery = %d, want 21000", tb.Len())
+	}
+	got := queryFingerprint(t, db2)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("exact query %d: %x after crash recovery, want %x", i, got[i], want[i])
+		}
+	}
+	if db2.StorageStats() == nil {
+		t.Fatal("StorageStats nil on a durable DB")
+	}
+}
+
+// TestDurableLargerThanCacheBudget serves a table ~4x the granule-cache
+// budget: filtered aggregates and bounded queries must stay correct
+// while cold granules are advised out, with eviction observable in
+// StorageStats.
+func TestDurableLargerThanCacheBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large durable table")
+	}
+	// Schema is x(f64) + k(i64): 16 bytes/row, so one 64K granule is
+	// 1 MiB. 8 granules of data against a 2 MiB budget = 4x.
+	const (
+		granuleRows = 64 * 1024
+		totalRows   = 8 * granuleRows
+		budget      = 2 << 20
+	)
+	dir := t.TempDir()
+	db := Open(
+		WithCostModel(engine.CostModel{NsPerRow: 12, FixedNs: 2000}),
+		WithSeed(7),
+		WithDataDir(dir),
+		WithGranuleCacheBudget(budget),
+	)
+	defer db.Close()
+	ctl := Open(WithCostModel(engine.CostModel{NsPerRow: 12, FixedNs: 2000}), WithSeed(7))
+
+	schema := Schema{{Name: "x", Type: Float64}, {Name: "k", Type: Int64}}
+	if _, err := db.CreateTable("big", schema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.CreateTable("big", schema); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []*DB{db, ctl} {
+		if err := d.TrackWorkload("big",
+			Attr{Name: "x", Min: 0, Max: totalRows, Beta: 30}); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.BuildImpressions("big", ImpressionConfig{
+			Sizes: []int{8000, 800}, Policy: Biased, Attrs: []string{"x"},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := make([]Row, 0, 16384)
+	for lo := 0; lo < totalRows; lo += cap(batch) {
+		batch = batch[:0]
+		for i := lo; i < lo+cap(batch); i++ {
+			batch = append(batch, Row{float64(i), int64(i % 977)})
+		}
+		if err := db.Load("big", batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := ctl.Load("big", batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Sweep filtered aggregates across the whole key space so every
+	// granule is touched and the cold ones cycle through the cache.
+	for g := 0; g < 8; g++ {
+		lo, hi := g*granuleRows, (g+1)*granuleRows
+		sql := "SELECT COUNT(*) AS n, SUM(k) AS s FROM big WHERE x BETWEEN " +
+			strconv.Itoa(lo) + " AND " + strconv.Itoa(hi-1)
+		want, err := ctl.Exec(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := db.Exec(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, colName := range []string{"n", "s"} {
+			wv, _ := want.Scalar(colName)
+			gv, _ := got.Scalar(colName)
+			if math.Float64bits(wv) != math.Float64bits(gv) {
+				t.Fatalf("granule %d %s: durable %v, control %v", g, colName, gv, wv)
+			}
+		}
+	}
+
+	// A bounded query runs over the impression layers against the
+	// mapped base snapshot.
+	res, err := db.Exec("SELECT AVG(k) AS v FROM big WHERE x BETWEEN 100000 AND 300000" +
+		" WITHIN ERROR 0.2 CONFIDENCE 0.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bounded == nil {
+		t.Fatal("bounded query fell back to exact")
+	}
+
+	st := db.StorageStats()
+	if st == nil {
+		t.Fatal("StorageStats nil")
+	}
+	cs := st.Cache
+	if cs.BudgetBytes != budget {
+		t.Fatalf("cache budget = %d, want %d", cs.BudgetBytes, budget)
+	}
+	if cs.Evictions == 0 {
+		t.Fatalf("no evictions at 4x budget: %+v", cs)
+	}
+	if cs.ResidentBytes > budget {
+		t.Fatalf("resident %d exceeds budget %d", cs.ResidentBytes, budget)
+	}
+	if ts, ok := st.Tables["big"]; !ok || ts.Rows != totalRows {
+		t.Fatalf("table stats: %+v", st.Tables)
+	}
+}
