@@ -56,6 +56,12 @@ const (
 	// and fail the batch — simulating a crash mid-write, the scenario
 	// recovery's torn-tail tolerance exists for.
 	PointWAL = "storage.wal"
+	// PointWALTruncate fires inside the segment store's WAL truncate,
+	// before the file is cut. An injected error leaves the log intact
+	// and poisons it against further appends — simulating a truncate
+	// failure in the seal or un-ack path, which the manifest's
+	// sealed-sequence watermark must make survivable.
+	PointWALTruncate = "storage.wal.truncate"
 )
 
 // Kind is the shape of one injected fault.

@@ -54,6 +54,14 @@ func NewCache(budget int64) *Cache {
 func (c *Cache) touch(s *Store, g0, g1 int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Re-check closed under Cache.mu (Touch's unlocked check can race
+	// Store.Close): Close sets closed before calling forget, so passing
+	// this check means forget has not swept yet and will still remove
+	// anything admitted here — a closing store can never leak entries
+	// into the residency estimate.
+	if s.closed.Load() {
+		return
+	}
 	for g := g0; g <= g1; g++ {
 		key := granKey{store: s, g: g}
 		if el, ok := c.entries[key]; ok {

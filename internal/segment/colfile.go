@@ -192,9 +192,23 @@ func i32View(b []byte, n int) []int32 {
 	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)[:n:n]
 }
 
+// checkBoolBytes verifies that the first n bytes hold only 0x00/0x01
+// before they are handed to boolView. Run on every open of a sealed
+// prefix — even without VerifyOnOpen — because a stray byte is not
+// merely wrong data: reinterpreting it as a Go bool is undefined
+// behavior.
+func checkBoolBytes(b []byte, n int) error {
+	for i := 0; i < n; i++ {
+		if b[i] > 1 {
+			return fmt.Errorf("bool byte at row %d is 0x%02x, want 0x00/0x01", i, b[i])
+		}
+	}
+	return nil
+}
+
 // boolView reinterprets one byte per row as bool. The writer only emits
-// 0x00/0x01; the per-segment CRC catches on-disk corruption that could
-// smuggle in other byte values (undefined as Go bools).
+// 0x00/0x01, and recovery runs checkBoolBytes over the sealed prefix
+// before installing a view, so no other byte value can reach a Go bool.
 func boolView(b []byte, n int) []bool {
 	if len(b) == 0 {
 		return nil

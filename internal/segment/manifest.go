@@ -21,18 +21,28 @@ import (
 // rewritten atomically at each seal (tmp + fsync + rename + dir sync):
 // a crash mid-seal leaves the previous manifest, and the WAL — only
 // truncated after the manifest rename — still carries the batches the
-// old manifest does not cover.
+// old manifest does not cover. A crash on the other side of the rename
+// (manifest landed, WAL not yet truncated) is covered by SealedSeq:
+// replay skips the records the new manifest already folded.
 const (
 	manifestName    = "MANIFEST.json"
 	manifestVersion = 1
 )
 
 type manifest struct {
-	Version    int          `json:"version"`
-	Table      string       `json:"table"`
-	SealedRows int          `json:"sealed_rows"`
-	Columns    []manCol     `json:"columns"`
-	Segments   []manSegment `json:"segments"`
+	Version    int    `json:"version"`
+	Table      string `json:"table"`
+	SealedRows int    `json:"sealed_rows"`
+	// SealedSeq is the WAL sequence number of the last batch the sealed
+	// prefix covers (sequence numbers are monotonic per store lifetime,
+	// never reset). Replay skips records at or below this watermark:
+	// they are batches a seal already folded into the manifest's rows,
+	// left in the log by a crash — or a truncate failure — between the
+	// manifest rename and the WAL truncate. Without the watermark those
+	// records would fold a second time on recovery.
+	SealedSeq uint64       `json:"sealed_seq"`
+	Columns   []manCol     `json:"columns"`
+	Segments  []manSegment `json:"segments"`
 }
 
 type manCol struct {

@@ -240,6 +240,12 @@ func (s *Store) recoverFrom(man *manifest) error {
 			cols[ci] = c
 		case column.Bool:
 			c := column.NewBool(def.Name)
+			// Validate even when VerifyOnOpen is off: a corrupt byte here
+			// is not merely wrong data — reinterpreting it as a Go bool is
+			// undefined behavior. One byte per row, so the pass is cheap.
+			if err := checkBoolBytes(b, man.SealedRows); err != nil {
+				return fmt.Errorf("segment: table %q column %q: %w", s.t.Name(), def.Name, err)
+			}
 			c.SetMapped(boolView(b, man.SealedRows))
 			cols[ci] = c
 		case column.String:
@@ -269,15 +275,37 @@ func (s *Store) recoverFrom(man *manifest) error {
 	// LoadBatch folded it — same writes, same zones, same dictionary
 	// interning order — so the recovered table is bit-identical to the
 	// acknowledged-batch prefix. The torn tail, if any, is truncated.
+	// Records at or below the manifest's sealed-sequence watermark are
+	// skipped, not folded: a crash (or truncate failure) between the
+	// manifest rename and the WAL truncate leaves them in the log even
+	// though the sealed prefix already contains their rows. Sequence
+	// numbers must be contiguous — a gap means records were lost from
+	// an intact log, which is corruption, not a crash shape.
 	var err error
 	s.wal, err = openWAL(s.walPath())
 	if err != nil {
 		return err
 	}
+	s.seq = man.SealedSeq
+	prev, first := uint64(0), true
 	return s.wal.replay(func(payload []byte) error {
 		seq, batch, err := decodeBatch(s.schema, payload)
 		if err != nil {
 			return err
+		}
+		if first {
+			if seq > man.SealedSeq+1 {
+				return fmt.Errorf("segment: table %q: wal sequence gap: first record is seq %d, sealed prefix ends at seq %d",
+					s.t.Name(), seq, man.SealedSeq)
+			}
+			first = false
+		} else if seq != prev+1 {
+			return fmt.Errorf("segment: table %q: wal sequence gap: record seq %d follows seq %d",
+				s.t.Name(), seq, prev)
+		}
+		prev = seq
+		if seq <= man.SealedSeq {
+			return nil // already inside the sealed prefix; do not fold twice
 		}
 		if err := s.foldLocked(batch); err != nil {
 			return err
@@ -373,7 +401,14 @@ func (s *Store) LoadBatch(batch []table.Row) error {
 	}
 	s.seq++
 	if err := s.foldLocked(batch); err != nil {
-		s.wal.truncate(start)
+		// Un-ack: the record must leave the log, or recovery would
+		// resurrect a batch the caller saw fail. If the truncate itself
+		// fails the record stays — the WAL is now poisoned (no further
+		// appends can land behind it) so the store stops accepting
+		// batches; surface both errors rather than silently continuing.
+		if terr := s.wal.truncate(start); terr != nil {
+			return fmt.Errorf("%w; un-ack failed, store now rejects loads: %v", err, terr)
+		}
 		s.seq--
 		return err
 	}
@@ -532,9 +567,12 @@ func (s *Store) swapHeaders(cols []column.Column, newRows, from int) {
 // manifest (atomic rename), then truncate the WAL. Crash ordering is
 // safe at every step — until the manifest rename lands, the old
 // manifest plus the still-intact WAL reproduce the same rows; after it,
-// the WAL's contents are redundant and truncating them is cleanup.
-// force writes a manifest even with nothing new to seal (the initial
-// footer of a fresh directory).
+// the manifest's sealed_seq watermark makes the WAL's records
+// redundant (replay skips seq <= watermark), so a crash — or a failed
+// truncate — that leaves them in the log cannot fold them twice. A
+// failed truncate additionally poisons the WAL against appends, since
+// the log's safe extent is then unknown. force writes a manifest even
+// with nothing new to seal (the initial footer of a fresh directory).
 func (s *Store) sealLocked(force bool) error {
 	if s.rows == s.sealedRows && !force {
 		return nil
@@ -587,6 +625,7 @@ func (s *Store) sealLocked(force bool) error {
 		Version:    manifestVersion,
 		Table:      s.t.Name(),
 		SealedRows: s.rows,
+		SealedSeq:  s.seq,
 		Segments:   segments,
 		Columns:    make([]manCol, len(s.schema)),
 	}
@@ -612,7 +651,9 @@ func (s *Store) sealLocked(force bool) error {
 	s.dictOff = newDictOff
 	s.sealedRows = s.rows
 	s.seals++
-	s.seq = 0
+	// The sequence counter is NOT reset: it is the watermark's clock,
+	// monotonic for the store's lifetime, so skipped-on-replay and
+	// to-be-folded records can never be confused.
 	return s.wal.truncate(0)
 }
 
@@ -685,16 +726,19 @@ func (s *Store) Rows() int {
 // have quiesced queries first (server drain): outstanding snapshots
 // hold slices into the mappings, which Close unmaps.
 func (s *Store) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
 	if s.opts.Cache != nil {
-		// Before closed is set and under no Store lock (lock order:
-		// Cache.mu before Store.mu).
+		// closed is set BEFORE forget runs, and Cache.touch re-checks
+		// closed under Cache.mu — so a Touch racing this Close either
+		// inserts entries forget will sweep, or observes closed and
+		// bails; no entry can be re-admitted after the sweep. Called
+		// under no Store lock (lock order: Cache.mu before Store.mu).
 		s.opts.Cache.forget(s)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed.Swap(true) {
-		return nil
-	}
 	first := s.sealLocked(false)
 	if err := s.closeFilesLocked(); err != nil && first == nil {
 		first = err
@@ -748,6 +792,9 @@ type StoreStats struct {
 	Mapped          bool   `json:"mapped"`
 	DiskBytes       int64  `json:"disk_bytes"`
 	LastSealError   string `json:"last_seal_error,omitempty"`
+	// WALError, when set, means the log is poisoned (a truncate failed,
+	// leaving its extent ambiguous) and the store rejects all loads.
+	WALError string `json:"wal_error,omitempty"`
 }
 
 // Stats snapshots the store.
@@ -778,6 +825,9 @@ func (s *Store) Stats() StoreStats {
 	st.DiskBytes += st.WALBytes
 	if s.lastSealErr != nil {
 		st.LastSealError = s.lastSealErr.Error()
+	}
+	if s.wal != nil && s.wal.failed != nil {
+		st.WALError = s.wal.failed.Error()
 	}
 	return st
 }

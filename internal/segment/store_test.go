@@ -1,11 +1,13 @@
 package segment
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"sciborq/internal/column"
@@ -305,6 +307,222 @@ func TestFoldFailureUnacks(t *testing.T) {
 	}
 	if got := st.wal.off; got != walLen {
 		t.Fatalf("wal not truncated after fold failure: %d, want %d", got, walLen)
+	}
+}
+
+// TestSealCrashWindowNoDuplicates reproduces a crash between the
+// manifest rename and the WAL truncate: the new manifest covers rows
+// whose records still sit in the log. Replay must skip them via the
+// sealed-sequence watermark — folding them again would duplicate every
+// sealed batch.
+func TestSealCrashWindowNoDuplicates(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(17))
+	batches := [][]table.Row{genBatch(rng, 400), genBatch(rng, 400), genBatch(rng, 400)}
+	_, st := openStore(t, dir, Options{SealRows: 1 << 20})
+	for _, b := range batches {
+		if err := st.LoadBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	walPath := filepath.Join(dir, "wal.log")
+	preSeal, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	st.closeFiles() // crash-style teardown: no Close, no final seal
+	// Restore the pre-seal log: on disk this is exactly the state a
+	// crash after the manifest rename but before the truncate leaves.
+	if err := os.WriteFile(walPath, preSeal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tb2, st2 := openStore(t, dir, Options{})
+	defer st2.Close()
+	ref := table.MustNew("ref", testSchema())
+	loadRef(t, ref, batches)
+	assertTablesEqual(t, ref, tb2)
+	if got := st2.Stats().ReplayedBatches; got != 0 {
+		t.Fatalf("replayed %d batches, want 0 (all at or below the sealed watermark)", got)
+	}
+}
+
+// TestSealTruncateFailureSafe injects a failure into the seal's WAL
+// truncate: the manifest has already landed, so the rows stay durable
+// and the reopen must not double-fold — but the poisoned log must
+// refuse every further load, since its safe extent is ambiguous.
+func TestSealTruncateFailureSafe(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(19))
+	batches := [][]table.Row{genBatch(rng, 300), genBatch(rng, 300)}
+	_, st := openStore(t, dir, Options{SealRows: 1 << 20})
+	for _, b := range batches {
+		if err := st.LoadBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	faultinject.Enable(faultinject.NewPlan(faultinject.Fault{
+		Point: faultinject.PointWALTruncate,
+		Hit:   1,
+		Kind:  faultinject.KindError,
+	}))
+	if err := st.Seal(); err == nil {
+		faultinject.Disable()
+		t.Fatal("seal succeeded despite injected truncate failure")
+	}
+	faultinject.Disable()
+	if err := st.LoadBatch(genBatch(rng, 100)); err == nil {
+		t.Fatal("LoadBatch accepted on a poisoned WAL")
+	}
+	if st.Stats().WALError == "" {
+		t.Fatal("poisoned WAL not surfaced in stats")
+	}
+	st.closeFiles()
+
+	// The sealed manifest plus the stale log must reproduce exactly the
+	// acknowledged batches — records at or below the watermark skip.
+	tb2, st2 := openStore(t, dir, Options{})
+	defer st2.Close()
+	ref := table.MustNew("ref", testSchema())
+	loadRef(t, ref, batches)
+	assertTablesEqual(t, ref, tb2)
+	if got := st2.Stats().ReplayedBatches; got != 0 {
+		t.Fatalf("replayed %d batches, want 0", got)
+	}
+	// And the recovered store loads normally again.
+	extra := genBatch(rng, 200)
+	if err := st2.LoadBatch(extra); err != nil {
+		t.Fatal(err)
+	}
+	loadRef(t, ref, [][]table.Row{extra})
+	assertTablesEqual(t, ref, tb2)
+}
+
+// TestUnackTruncateFailurePoisons covers the fold-failure un-ack path
+// when the truncate itself fails: the rejected record stays in the log,
+// so the store must stop accepting batches (a later append would land
+// behind a record the caller was told failed) and say why.
+func TestUnackTruncateFailurePoisons(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(23))
+	_, st := openStore(t, dir, Options{SealRows: 1 << 20})
+	if err := st.LoadBatch(genBatch(rng, 200)); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range st.files {
+		f.f.Close() // sabotage: the fold's pwrite fails
+	}
+	faultinject.Enable(faultinject.NewPlan(faultinject.Fault{
+		Point: faultinject.PointWALTruncate,
+		Hit:   1,
+		Kind:  faultinject.KindError,
+	}))
+	err := st.LoadBatch(genBatch(rng, 200))
+	faultinject.Disable()
+	if err == nil {
+		t.Fatal("LoadBatch succeeded over closed files")
+	}
+	if !strings.Contains(err.Error(), "un-ack failed") {
+		t.Fatalf("error does not surface the failed un-ack: %v", err)
+	}
+	if err := st.LoadBatch(genBatch(rng, 100)); err == nil {
+		t.Fatal("LoadBatch accepted on a poisoned WAL")
+	}
+	if st.Stats().WALError == "" {
+		t.Fatal("poisoned WAL not surfaced in stats")
+	}
+}
+
+// TestWALSequenceGapRefused removes a record from the middle of an
+// intact log: replay must refuse the open (records lost from an intact
+// prefix are corruption, not a crash shape).
+func TestWALSequenceGapRefused(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(29))
+	_, st := openStore(t, dir, Options{SealRows: 1 << 20})
+	for i := 0; i < 3; i++ {
+		if err := st.LoadBatch(genBatch(rng, 200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.closeFiles()
+	walPath := filepath.Join(dir, "wal.log")
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Splice out the middle record. Each record is 8 bytes of header
+	// (u32 len | u32 crc) followed by len payload bytes.
+	size0 := walHeaderSize + int(binary.LittleEndian.Uint32(data))
+	size1 := walHeaderSize + int(binary.LittleEndian.Uint32(data[size0:]))
+	spliced := append(append([]byte{}, data[:size0]...), data[size0+size1:]...)
+	if err := os.WriteFile(walPath, spliced, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tb := table.MustNew("t", testSchema())
+	if _, err := Open(tb, Options{Dir: dir}); err == nil || !strings.Contains(err.Error(), "sequence gap") {
+		t.Fatalf("open over a WAL with a missing record: err = %v, want sequence gap", err)
+	}
+}
+
+// TestBoolCorruptionRefused flips a sealed bool byte to a non-0/1 value
+// and reopens WITHOUT VerifyOnOpen: the cheap per-open bool validation
+// must still catch it, because reinterpreting such a byte as a Go bool
+// is undefined behavior, not merely wrong data.
+func TestBoolCorruptionRefused(t *testing.T) {
+	dir := t.TempDir()
+	_, st := openStore(t, dir, Options{SealRows: 100})
+	rng := rand.New(rand.NewSource(31))
+	if err := st.LoadBatch(genBatch(rng, 400)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "ok.col"), os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0x02}, 17); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	tb := table.MustNew("t", testSchema())
+	if _, err := Open(tb, Options{Dir: dir}); err == nil || !strings.Contains(err.Error(), "bool byte") {
+		t.Fatalf("open over a corrupt bool column: err = %v, want bool byte error", err)
+	}
+}
+
+// TestCacheClosedStoreNotReadmitted drives the touch/Close race path
+// directly: once a store is closed (closed set before forget sweeps),
+// a racing touch must not re-admit its granules.
+func TestCacheClosedStoreNotReadmitted(t *testing.T) {
+	dir := t.TempDir()
+	cache := NewCache(0)
+	tb, st := openStore(t, dir, Options{SealRows: 1 << 30, Cache: cache})
+	rng := rand.New(rand.NewSource(37))
+	if err := st.LoadBatch(genBatch(rng, 300)); err != nil {
+		t.Fatal(err)
+	}
+	tb.TouchRange(0, 300)
+	if cache.Stats().Granules == 0 {
+		t.Fatal("touch admitted nothing")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.Stats().Granules; got != 0 {
+		t.Fatalf("%d granules survive forget", got)
+	}
+	cache.touch(st, 0, 0) // the racing touch, after closed is set
+	if got := cache.Stats().Granules; got != 0 {
+		t.Fatalf("closed store re-admitted %d granules", got)
+	}
+	if got := cache.Stats().ResidentBytes; got != 0 {
+		t.Fatalf("closed store counts %d resident bytes", got)
 	}
 }
 

@@ -33,6 +33,12 @@ type wal struct {
 	path string
 	f    *os.File
 	off  int64 // current end of good records
+	// failed is set when a truncate fails and the log's on-disk extent
+	// is ambiguous: appending at the stale off could leave a gap replay
+	// would read as a torn tail, silently dropping acknowledged records
+	// behind it. A failed WAL refuses all further appends; the store
+	// surfaces the error to every subsequent LoadBatch.
+	failed error
 }
 
 // walHeaderSize is the fixed record prefix: u32 len + u32 crc.
@@ -58,6 +64,9 @@ func openWAL(path string) (*wal, error) {
 // offset, which the caller uses to un-ack (truncate) if the in-memory
 // fold fails after the WAL write succeeded.
 func (w *wal) append(payload []byte) (start int64, err error) {
+	if w.failed != nil {
+		return 0, fmt.Errorf("segment: wal unusable after truncate failure: %w", w.failed)
+	}
 	var hdr [walHeaderSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
@@ -85,13 +94,26 @@ func (w *wal) append(payload []byte) (start int64, err error) {
 
 // truncate cuts the log back to off bytes — the un-ack path (a batch
 // whose fold failed must not be replayed) and the seal path (sealed
-// batches leave the log).
+// batches leave the log). Any failure poisons the log: the file may or
+// may not have been cut (a sync failure after a successful Truncate
+// leaves the cut applied but unsynced), so the safe extent is unknown
+// and further appends are refused. The faultinject point
+// PointWALTruncate lets tests exercise exactly this path.
 func (w *wal) truncate(off int64) error {
+	if ferr := faultinject.Fire(faultinject.PointWALTruncate); ferr != nil {
+		err := fmt.Errorf("segment: wal truncate: %w", ferr)
+		w.failed = err
+		return err
+	}
 	if err := w.f.Truncate(off); err != nil {
-		return fmt.Errorf("segment: wal truncate: %w", err)
+		err = fmt.Errorf("segment: wal truncate: %w", err)
+		w.failed = err
+		return err
 	}
 	if err := w.f.Sync(); err != nil {
-		return fmt.Errorf("segment: wal sync: %w", err)
+		err = fmt.Errorf("segment: wal sync: %w", err)
+		w.failed = err
+		return err
 	}
 	w.off = off
 	return nil
